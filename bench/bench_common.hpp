@@ -1,0 +1,47 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/options.hpp"
+#include "common/timing.hpp"
+#include "common/types.hpp"
+
+namespace ptatin::bench {
+
+/// Simple fixed-width table printer matching the paper's layout.
+class Table {
+public:
+  explicit Table(std::vector<std::string> headers, int col_width = 12)
+      : headers_(std::move(headers)), w_(col_width) {}
+
+  void print_header() const {
+    for (const auto& h : headers_) std::printf("%*s", w_, h.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+      for (int k = 0; k < w_; ++k) std::printf("-");
+    std::printf("\n");
+  }
+  void cell(const std::string& s) const { std::printf("%*s", w_, s.c_str()); }
+  void cell(double v, const char* fmt = "%.3g") const {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, fmt, v);
+    std::printf("%*s", w_, buf);
+  }
+  void cell(long v) const { std::printf("%*ld", w_, v); }
+  void endrow() const { std::printf("\n"); }
+
+private:
+  std::vector<std::string> headers_;
+  int w_;
+};
+
+inline void banner(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+} // namespace ptatin::bench

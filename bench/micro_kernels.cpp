@@ -1,0 +1,148 @@
+// Kernel-level micro-benchmarks (google-benchmark): the building blocks
+// whose costs the paper's §III-D model predicts.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "fem/basis.hpp"
+#include "fem/point_location.hpp"
+#include "mpm/projection.hpp"
+#include "ptatin/models_sinker.hpp"
+#include "stokes/tensor_contract.hpp"
+#include "stokes/viscous_ops.hpp"
+
+using namespace ptatin;
+
+namespace {
+
+StructuredMesh bench_mesh(Index m = 8) {
+  StructuredMesh mesh = StructuredMesh::box(m, m, m, {0, 0, 0}, {1, 1, 1});
+  mesh.deform([](const Vec3& x) {
+    return Vec3{x[0] + 0.03 * std::sin(3 * x[1]), x[1],
+                x[2] + 0.02 * x[0] * x[1]};
+  });
+  return mesh;
+}
+
+void BM_Q2BasisEval(benchmark::State& state) {
+  Rng rng(1);
+  Real N[kQ2NodesPerEl];
+  Real xi[3] = {0.1, -0.3, 0.7};
+  for (auto _ : state) {
+    q2_eval(xi, N);
+    benchmark::DoNotOptimize(N);
+    xi[0] = -xi[0];
+  }
+}
+BENCHMARK(BM_Q2BasisEval);
+
+void BM_Q2DerivEval(benchmark::State& state) {
+  Real dN[kQ2NodesPerEl][3];
+  Real xi[3] = {0.1, -0.3, 0.7};
+  for (auto _ : state) {
+    q2_eval_deriv(xi, dN);
+    benchmark::DoNotOptimize(dN);
+    xi[1] = -xi[1];
+  }
+}
+BENCHMARK(BM_Q2DerivEval);
+
+void BM_TensorGradient(benchmark::State& state) {
+  const auto& tab = q2_tabulation();
+  Real u[27], gx[27], gy[27], gz[27];
+  Rng rng(2);
+  for (auto& v : u) v = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    tensor_kernel::tensor_gradient(tab.B1, tab.D1, u, gx, gy, gz);
+    benchmark::DoNotOptimize(gx);
+    benchmark::DoNotOptimize(gy);
+    benchmark::DoNotOptimize(gz);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TensorGradient);
+
+void BM_ElementGeometry(benchmark::State& state) {
+  StructuredMesh mesh = bench_mesh(4);
+  ElementGeometry g;
+  Index e = 0;
+  for (auto _ : state) {
+    element_geometry(mesh, e, g);
+    benchmark::DoNotOptimize(g);
+    e = (e + 1) % mesh.num_elements();
+  }
+}
+BENCHMARK(BM_ElementGeometry);
+
+template <class Op>
+void bench_operator_apply(benchmark::State& state, Index m) {
+  StructuredMesh mesh = bench_mesh(m);
+  SinkerParams sp;
+  sp.mx = sp.my = sp.mz = m;
+  QuadCoefficients coeff = sinker_coefficients(mesh, sp);
+  DirichletBc bc = sinker_boundary_conditions(mesh);
+  Op op(mesh, coeff, &bc);
+  Vector x(op.rows(), 1.0), y;
+  bc.zero_constrained(x);
+  for (auto _ : state) {
+    op.apply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * mesh.num_elements());
+  state.counters["GF/s"] = benchmark::Counter(
+      state.iterations() * op.cost_model().flops_per_element *
+          double(mesh.num_elements()) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_ApplyAsmb(benchmark::State& state) {
+  bench_operator_apply<AsmbViscousOperator>(state, state.range(0));
+}
+void BM_ApplyMf(benchmark::State& state) {
+  bench_operator_apply<MfViscousOperator>(state, state.range(0));
+}
+void BM_ApplyTensor(benchmark::State& state) {
+  bench_operator_apply<TensorViscousOperator>(state, state.range(0));
+}
+void BM_ApplyTensorC(benchmark::State& state) {
+  bench_operator_apply<TensorCViscousOperator>(state, state.range(0));
+}
+BENCHMARK(BM_ApplyAsmb)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ApplyMf)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ApplyTensor)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ApplyTensorC)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_PointLocation(benchmark::State& state) {
+  StructuredMesh mesh = bench_mesh(8);
+  Rng rng(3);
+  std::vector<Vec3> pts;
+  for (int i = 0; i < 1000; ++i)
+    pts.push_back({rng.uniform(0.05, 0.95), rng.uniform(0.05, 0.95),
+                   rng.uniform(0.05, 0.95)});
+  std::size_t k = 0;
+  for (auto _ : state) {
+    PointLocation loc = locate_point(mesh, pts[k % pts.size()]);
+    benchmark::DoNotOptimize(loc);
+    ++k;
+  }
+}
+BENCHMARK(BM_PointLocation);
+
+void BM_MpmProjection(benchmark::State& state) {
+  StructuredMesh mesh = bench_mesh(8);
+  MaterialPoints points;
+  layout_points(mesh, 3, [](const Vec3&) { return 0; }, points, 0.3);
+  std::vector<Real> vals(points.size(), 1.0);
+  std::vector<Real> out;
+  for (auto _ : state) {
+    project_to_quadrature(mesh, points, vals, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * points.size());
+}
+BENCHMARK(BM_MpmProjection);
+
+} // namespace
+
+BENCHMARK_MAIN();

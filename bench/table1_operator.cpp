@@ -1,0 +1,98 @@
+// Table I reproduction: cost of one viscous-operator application for the
+// four back-ends (Assembled, Matrix-free, Tensor, Tensor C).
+//
+// The paper reports, per element: flops, pessimal-cache bytes, perfect-cache
+// bytes, and measured time/GF/s on 8 nodes of Edison. We print the same
+// analytic models next to measured single-node timings on this host; the
+// validated claim is the ORDERING and the relative speedups (Tens ~ several
+// times faster than Asmb and MF), not absolute milliseconds.
+//
+// Usage: table1_operator [-m 12] [-reps 20] [-contrast 1e4]
+#include <cmath>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "fem/bc.hpp"
+#include "ptatin/models_sinker.hpp"
+#include "stokes/viscous_ops.hpp"
+
+using namespace ptatin;
+
+int main(int argc, char** argv) {
+  Options opts = Options::from_args(argc, argv);
+  const Index m = opts.get_index("m", 12);
+  const int reps = opts.get_int("reps", 20);
+  const Real contrast = opts.get_real("contrast", 1e4);
+
+  bench::banner(
+      "Table I: viscous operator application cost (paper: SC14 Table I)");
+  std::printf("mesh %lld^3 Q2 elements (%lld velocity dofs), viscosity "
+              "contrast %.1e, %d applications per backend\n\n",
+              (long long)m, (long long)(3 * (2 * m + 1) * (2 * m + 1) *
+                                        (2 * m + 1)),
+              contrast, reps);
+
+  StructuredMesh mesh = StructuredMesh::box(m, m, m, {0, 0, 0}, {1, 1, 1});
+  // Deformed mesh: the paper's kernels must handle non-axis-aligned cells.
+  mesh.deform([](const Vec3& x) {
+    return Vec3{x[0] + 0.03 * std::sin(3 * x[1]),
+                x[1] + 0.03 * std::sin(3 * x[2]), x[2] + 0.03 * x[0] * x[1]};
+  });
+
+  SinkerParams sp;
+  sp.mx = sp.my = sp.mz = m;
+  sp.contrast = contrast;
+  QuadCoefficients coeff = sinker_coefficients(mesh, sp);
+  DirichletBc bc = sinker_boundary_conditions(mesh);
+
+  std::vector<std::unique_ptr<ViscousOperatorBase>> ops;
+  ops.push_back(std::make_unique<AsmbViscousOperator>(mesh, coeff, &bc));
+  ops.push_back(std::make_unique<MfViscousOperator>(mesh, coeff, &bc));
+  ops.push_back(std::make_unique<TensorViscousOperator>(mesh, coeff, &bc));
+  ops.push_back(std::make_unique<TensorCViscousOperator>(mesh, coeff, &bc));
+
+  Vector x(ops[0]->rows()), y;
+  Rng rng(1);
+  for (Index i = 0; i < x.size(); ++i) x[i] = rng.uniform(-1, 1);
+
+  bench::Table tab({"Operator", "Flops/el", "PessB/el", "PerfB/el", "AI",
+                    "Time(ms)", "GF/s", "vs Asmb"});
+  tab.print_header();
+
+  const double nel = double(mesh.num_elements());
+  double asmb_time = 0.0;
+  for (auto& op : ops) {
+    op->apply(x, y); // warm-up (and, for Asmb, ensures assembly done)
+    Timer t;
+    for (int r = 0; r < reps; ++r) op->apply(x, y);
+    const double sec = t.seconds() / reps;
+    if (op->name() == "Asmb") asmb_time = sec;
+
+    const OperatorCostModel cm = op->cost_model();
+    tab.cell(op->name());
+    tab.cell(cm.flops_per_element, "%.0f");
+    tab.cell(cm.bytes_pessimal, "%.0f");
+    tab.cell(cm.bytes_perfect, "%.0f");
+    tab.cell(cm.flops_per_element / cm.bytes_perfect, "%.1f");
+    tab.cell(sec * 1e3, "%.2f");
+    tab.cell(cm.flops_per_element * nel / sec * 1e-9, "%.2f");
+    tab.cell(asmb_time > 0 ? asmb_time / sec : 1.0, "%.2fx");
+    tab.endrow();
+  }
+
+  std::printf("\npaper reference (Edison, 8 nodes): Asmb 42 ms | MF 53 ms | "
+              "Tensor 15 ms | Tensor C 2.9+ ms-class entries;\n"
+              "expected shape: Tens fastest per apply, MF compute-bound "
+              "faster than bandwidth-bound Asmb at scale.\n");
+
+  // Memory footprint comparison (the paper's motivation for matrix-free).
+  const auto* asmb = dynamic_cast<const AsmbViscousOperator*>(ops[0].get());
+  std::printf("\nassembled matrix storage: %.1f MB (%lld nonzeros); "
+              "matrix-free state: coefficients %.1f MB\n",
+              asmb->matrix().memory_bytes() / 1048576.0,
+              (long long)asmb->matrix().nnz(),
+              double(mesh.num_elements()) * kQuadPerEl * sizeof(Real) /
+                  1048576.0);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Continental rifting example (§V, Figure 3): the three-layer visco-plastic
+// lithosphere with a central damage seed under symmetric extension,
+// optionally with a slight axial shortening (the oblique-margin case ii),
+// coupled to the SUPG energy equation, with per-step VTK output of the
+// lithology (material points) and the deforming free surface.
+//
+//   ./build/examples/continental_rifting [-steps 6] [-mx 16 -my 8 -mz 8]
+//                                        [-shortening 0.1] [-output /tmp/rift]
+#include <cstdio>
+#include <string>
+
+#include "common/options.hpp"
+#include "ptatin/context.hpp"
+#include "ptatin/models_rifting.hpp"
+#include "ptatin/vtk.hpp"
+
+using namespace ptatin;
+
+int main(int argc, char** argv) {
+  Options opts = Options::from_args(argc, argv);
+  RiftingParams rp;
+  rp.mx = opts.get_index("mx", 16);
+  rp.my = opts.get_index("my", 8);
+  rp.mz = opts.get_index("mz", 8);
+  rp.shortening_rate = opts.get_real("shortening", 0.0);
+  const int steps = opts.get_int("steps", 6);
+  const std::string prefix = opts.get_string("output", "/tmp/rift");
+
+  ModelSetup setup = make_rifting_model(rp);
+  PtatinOptions po;
+  po.points_per_dim = 2;
+  po.ale.vertical_axis = 1; // y is up in the rifting model
+  po.nonlinear.max_it = 5;
+  po.nonlinear.rtol = 1e-2;
+  po.nonlinear.linear.gmg.levels = 2;
+  po.nonlinear.linear.gmg.smooth_pre = 3;
+  po.nonlinear.linear.gmg.smooth_post = 3;
+  po.nonlinear.linear.coarse_solve = GmgCoarseSolve::kAsmCg;
+  po.nonlinear.linear.coarse_bjacobi_blocks = 4;
+  PtatinContext ctx(std::move(setup), po);
+
+  std::printf("continental rifting: %lldx%lldx%lld elements, %lld material "
+              "points, %s\n",
+              (long long)rp.mx, (long long)rp.my, (long long)rp.mz,
+              (long long)ctx.points().size(),
+              rp.shortening_rate > 0 ? "oblique (extension + shortening)"
+                                     : "cylindrical extension");
+
+  write_vtk_points(prefix + "_pts_0000.vtk", ctx.points());
+  for (int s = 1; s <= steps; ++s) {
+    Real dt = ctx.suggest_dt(0.2);
+    if (s == 1 || dt <= 0) dt = opts.get_real("dt", 0.002);
+    StepReport rep = ctx.step(dt);
+
+    // Surface topography range: obliquity/localization diagnostics.
+    Real ymin = 1e30, ymax = -1e30;
+    const auto& mesh = ctx.mesh();
+    for (Index k = 0; k < mesh.nz(); ++k)
+      for (Index i = 0; i < mesh.nx(); ++i) {
+        const Real y =
+            mesh.node_coord(mesh.node_index(i, mesh.ny() - 1, k))[1];
+        ymin = std::min(ymin, y);
+        ymax = std::max(ymax, y);
+      }
+
+    std::printf("step %2d: dt=%.2e newton=%d krylov=%ld yielded=%lld "
+                "topo=[%.4f, %.4f] (%.1f s)\n",
+                s, dt, rep.nonlinear.iterations,
+                rep.nonlinear.total_krylov_iterations,
+                (long long)rep.yielded_points, ymin, ymax, rep.seconds);
+
+    char tag[32];
+    std::snprintf(tag, sizeof tag, "_%04d.vtk", s);
+    write_vtk_structured(prefix + "_mesh" + tag, ctx.mesh(), ctx.velocity(),
+                         ctx.pressure(), &ctx.coefficients());
+    write_vtk_points(prefix + "_pts" + tag, ctx.points());
+  }
+  std::printf("VTK output written with prefix %s\n", prefix.c_str());
+  return 0;
+}

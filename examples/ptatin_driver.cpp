@@ -1,0 +1,178 @@
+// ptatin_driver: the configurable production entry point.
+//
+// Select a model, a solver configuration, and run a time-stepped simulation
+// with VTK output, per-step diagnostics, and checkpoint/restart — the way
+// the real pTatin3D is driven through PETSc options (§III: "it is important
+// that the solver design be simplified enough for the end user to make
+// educated choices with predictable behavior").
+//
+// Examples:
+//   ptatin_driver -model sinker -m 8 -steps 10 -output /tmp/run
+//   ptatin_driver -model rifting -mx 16 -my 8 -mz 8 -steps 20 \
+//                 -backend tens -levels 2 -coarse amg
+//   ptatin_driver -model subduction -steps 10 -checkpoint_every 5
+//   ptatin_driver -model sinker -restart /tmp/run_ckpt_0005.bin -steps 5
+#include <cstdio>
+#include <string>
+
+#include "common/log.hpp"
+#include "common/options.hpp"
+#include "ptatin/checkpoint.hpp"
+#include "ptatin/context.hpp"
+#include "ptatin/diagnostics.hpp"
+#include "ptatin/models_rifting.hpp"
+#include "ptatin/models_sinker.hpp"
+#include "ptatin/models_subduction.hpp"
+#include "ptatin/vtk.hpp"
+
+using namespace ptatin;
+
+namespace {
+
+FineOperatorType parse_backend(const std::string& s) {
+  if (s == "asmb") return FineOperatorType::kAssembled;
+  if (s == "mf") return FineOperatorType::kMatrixFree;
+  if (s == "tensc") return FineOperatorType::kTensorC;
+  return FineOperatorType::kTensor;
+}
+
+GmgCoarseSolve parse_coarse(const std::string& s) {
+  if (s == "bjacobi") return GmgCoarseSolve::kBJacobiLu;
+  if (s == "asmcg") return GmgCoarseSolve::kAsmCg;
+  return GmgCoarseSolve::kAmg;
+}
+
+ModelSetup build_model(const Options& o, int& vertical_axis) {
+  const std::string model = o.get_string("model", "sinker");
+  vertical_axis = 2;
+  if (model == "rifting") {
+    RiftingParams p;
+    p.mx = o.get_index("mx", 16);
+    p.my = o.get_index("my", 8);
+    p.mz = o.get_index("mz", 8);
+    p.extension_rate = o.get_real("extension", 1.0);
+    p.shortening_rate = o.get_real("shortening", 0.0);
+    vertical_axis = 1;
+    return make_rifting_model(p);
+  }
+  if (model == "subduction") {
+    SubductionParams p;
+    p.mx = o.get_index("mx", 16);
+    p.my = o.get_index("my", 4);
+    p.mz = o.get_index("mz", 8);
+    return make_subduction_model(p);
+  }
+  PT_ASSERT_MSG(model == "sinker",
+                "unknown -model (expected sinker|rifting|subduction)");
+  SinkerParams p;
+  p.mx = p.my = p.mz = o.get_index("m", 8);
+  p.num_spheres = o.get_index("spheres", 8);
+  p.radius = o.get_real("radius", 0.1);
+  p.contrast = o.get_real("contrast", 1e3);
+  return make_sinker_model(p);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  Options o = Options::from_args(argc, argv);
+  if (o.get_bool("help", false)) {
+    std::printf(
+        "ptatin_driver options:\n"
+        "  -model sinker|rifting|subduction   model selection\n"
+        "  -m N / -mx -my -mz                 mesh resolution\n"
+        "  -steps N                           time steps (default 5)\n"
+        "  -dt X                              first-step dt (then CFL)\n"
+        "  -cfl X                             CFL number (default 0.25)\n"
+        "  -backend asmb|mf|tens|tensc        J_uu operator back-end\n"
+        "  -levels N                          GMG levels (default auto)\n"
+        "  -coarse amg|bjacobi|asmcg          coarse-grid solver\n"
+        "  -newton true|false                 Newton linearization\n"
+        "  -nonlinear_rtol X                  per-step ||F|| reduction\n"
+        "  -max_newton N                      Newton iteration cap\n"
+        "  -output PREFIX                     VTK output prefix\n"
+        "  -vtk_every N                       VTK cadence (0 = off)\n"
+        "  -checkpoint_every N                checkpoint cadence (0 = off)\n"
+        "  -restart FILE                      load a checkpoint before running\n"
+        "  -verbose                           per-iteration logging\n");
+    return 0;
+  }
+  if (o.get_bool("verbose", false)) set_log_level(LogLevel::kDebug);
+
+  int vertical_axis = 2;
+  ModelSetup setup = build_model(o, vertical_axis);
+  const std::string name = setup.name;
+
+  PtatinOptions po;
+  po.points_per_dim = o.get_int("ppd", 3);
+  po.ale.vertical_axis = vertical_axis;
+  po.update_mesh = o.get_bool("ale", true);
+  po.nonlinear.max_it = o.get_int("max_newton", 5);
+  po.nonlinear.rtol = o.get_real("nonlinear_rtol", 1e-2);
+  po.nonlinear.use_newton = o.get_bool("newton", true);
+  po.nonlinear.linear.backend =
+      parse_backend(o.get_string("backend", "tens"));
+  const Index mres = o.get_index("mx", o.get_index("m", 8));
+  po.nonlinear.linear.gmg.levels =
+      o.get_int("levels", suggest_gmg_levels(mres));
+  po.nonlinear.linear.coarse_solve =
+      parse_coarse(o.get_string("coarse", "amg"));
+  po.nonlinear.linear.amg.coarse_size = o.get_index("amg_coarse_size", 400);
+  po.nonlinear.linear.krylov.rtol = o.get_real("krylov_rtol", 1e-5);
+  po.nonlinear.linear.krylov.max_it = o.get_int("krylov_maxit", 500);
+
+  PtatinContext ctx(std::move(setup), po);
+
+  const std::string restart = o.get_string("restart", "");
+  if (!restart.empty()) {
+    load_checkpoint(restart, ctx);
+    std::printf("restarted from %s\n", restart.c_str());
+  }
+
+  const int steps = o.get_int("steps", 5);
+  const Real cfl = o.get_real("cfl", 0.25);
+  const std::string prefix = o.get_string("output", "/tmp/" + name);
+  const int vtk_every = o.get_int("vtk_every", 0);
+  const int ckpt_every = o.get_int("checkpoint_every", 0);
+
+  std::printf("== pTatin3D driver: model %s, %lld elements, %lld material "
+              "points, %d steps ==\n",
+              name.c_str(), (long long)ctx.mesh().num_elements(),
+              (long long)ctx.points().size(), steps);
+
+  double total = 0;
+  for (int s = 1; s <= steps; ++s) {
+    Real dt = ctx.suggest_dt(cfl);
+    if (s == 1 || dt <= 0) dt = o.get_real("dt", 0.002);
+    StepReport rep = ctx.step(dt);
+    total += rep.seconds;
+
+    const FlowStats fs =
+        compute_flow_stats(ctx.mesh(), ctx.coefficients(), ctx.velocity());
+    const TopographyField topo =
+        extract_topography(ctx.mesh(), vertical_axis);
+    std::printf("step %3d  dt=%.3e  newton=%d  krylov=%-5ld u_rms=%.3e  "
+                "topo=[%+.4f,%+.4f]  pts=%lld  %.1fs\n",
+                s, dt, rep.nonlinear.iterations,
+                rep.nonlinear.total_krylov_iterations, fs.u_rms,
+                topo.min - topo.mean, topo.max - topo.mean,
+                (long long)ctx.points().size(), rep.seconds);
+
+    char tag[32];
+    if (vtk_every > 0 && s % vtk_every == 0) {
+      std::snprintf(tag, sizeof tag, "_%04d.vtk", s);
+      write_vtk_structured(prefix + "_mesh" + tag, ctx.mesh(), ctx.velocity(),
+                           ctx.pressure(), &ctx.coefficients());
+      write_vtk_points(prefix + "_pts" + tag, ctx.points());
+    }
+    if (ckpt_every > 0 && s % ckpt_every == 0) {
+      std::snprintf(tag, sizeof tag, "_ckpt_%04d.bin", s);
+      save_checkpoint(prefix + tag, ctx);
+      std::printf("          checkpoint written: %s%s\n", prefix.c_str(),
+                  tag);
+    }
+  }
+  std::printf("== done: %.1f s total, %.1f s/step ==\n", total,
+              total / steps);
+  return 0;
+}

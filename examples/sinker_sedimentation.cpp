@@ -1,0 +1,66 @@
+// Sedimentation example (Figure 1): the §IV-A sinker problem driven through
+// the full pTatin3D pipeline — material points, nonlinear solves, advection,
+// population control, ALE free surface — with VTK snapshots for
+// visualization of the flow and the sinking spheres.
+//
+//   ./build/examples/sinker_sedimentation [-m 8] [-steps 5] [-contrast 1e4]
+//                                         [-output /tmp/sinker]
+#include <cstdio>
+#include <string>
+
+#include "common/options.hpp"
+#include "ptatin/context.hpp"
+#include "ptatin/models_sinker.hpp"
+#include "ptatin/vtk.hpp"
+
+using namespace ptatin;
+
+int main(int argc, char** argv) {
+  Options opts = Options::from_args(argc, argv);
+  SinkerParams sp;
+  sp.mx = sp.my = sp.mz = opts.get_index("m", 8);
+  sp.num_spheres = opts.get_index("spheres", 8);
+  sp.radius = opts.get_real("radius", 0.1);
+  sp.contrast = opts.get_real("contrast", 1e4);
+  const int steps = opts.get_int("steps", 5);
+  const std::string prefix = opts.get_string("output", "/tmp/sinker");
+
+  ModelSetup setup = make_sinker_model(sp);
+  PtatinOptions po;
+  po.points_per_dim = 3;
+  po.nonlinear.max_it = 3;
+  po.nonlinear.rtol = 1e-3;
+  po.nonlinear.use_newton = false; // linear rheology: Picard suffices
+  po.nonlinear.linear.gmg.levels = suggest_gmg_levels(sp.mx);
+  po.nonlinear.linear.coarse_solve = GmgCoarseSolve::kAmg;
+  po.nonlinear.linear.amg.coarse_size = 400;
+  PtatinContext ctx(std::move(setup), po);
+
+  std::printf("sinker sedimentation: %lld points, %lld elements\n",
+              (long long)ctx.points().size(),
+              (long long)ctx.mesh().num_elements());
+
+  write_vtk_structured(prefix + "_mesh_0000.vtk", ctx.mesh(), ctx.velocity(),
+                       ctx.pressure(), &ctx.coefficients());
+  write_vtk_points(prefix + "_pts_0000.vtk", ctx.points());
+
+  for (int s = 1; s <= steps; ++s) {
+    Real dt = ctx.suggest_dt(0.25);
+    if (s == 1 || dt <= 0) dt = opts.get_real("dt", 0.002);
+    StepReport rep = ctx.step(dt);
+    std::printf("step %2d: dt=%.3e  newton=%d  krylov=%ld  points=%lld  "
+                "surface dz=%.2e  (%.1f s)\n",
+                s, dt, rep.nonlinear.iterations,
+                rep.nonlinear.total_krylov_iterations,
+                (long long)ctx.points().size(),
+                rep.ale.max_surface_displacement, rep.seconds);
+
+    char tag[32];
+    std::snprintf(tag, sizeof tag, "_%04d.vtk", s);
+    write_vtk_structured(prefix + "_mesh" + tag, ctx.mesh(), ctx.velocity(),
+                         ctx.pressure(), &ctx.coefficients());
+    write_vtk_points(prefix + "_pts" + tag, ctx.points());
+  }
+  std::printf("VTK output written with prefix %s\n", prefix.c_str());
+  return 0;
+}

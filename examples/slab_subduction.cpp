@@ -1,0 +1,67 @@
+// Slab subduction example: a stiff dense plate with a dipping slab segment
+// sinks and rolls back through a weak mantle — the §I motivating application
+// class, driven through the full MPM + nonlinear Stokes + ALE pipeline, with
+// the slab-tip depth tracked as the headline observable.
+//
+//   ./build/examples/slab_subduction [-steps 6] [-mx 16 -my 4 -mz 8]
+//                                    [-output /tmp/slab]
+#include <cstdio>
+#include <string>
+
+#include "common/options.hpp"
+#include "ptatin/context.hpp"
+#include "ptatin/diagnostics.hpp"
+#include "ptatin/models_subduction.hpp"
+#include "ptatin/vtk.hpp"
+
+using namespace ptatin;
+
+int main(int argc, char** argv) {
+  Options opts = Options::from_args(argc, argv);
+  SubductionParams sp;
+  sp.mx = opts.get_index("mx", 16);
+  sp.my = opts.get_index("my", 4);
+  sp.mz = opts.get_index("mz", 8);
+  const int steps = opts.get_int("steps", 6);
+  const std::string prefix = opts.get_string("output", "/tmp/slab");
+
+  ModelSetup setup = make_subduction_model(sp);
+  PtatinOptions po;
+  po.points_per_dim = 3;
+  po.nonlinear.max_it = 4;
+  po.nonlinear.rtol = 1e-2;
+  po.nonlinear.linear.gmg.levels = 2;
+  po.nonlinear.linear.coarse_solve = GmgCoarseSolve::kAmg;
+  po.nonlinear.linear.amg.coarse_size = 400;
+  PtatinContext ctx(std::move(setup), po);
+
+  const Real tip0 = slab_tip_depth(ctx.setup(), ctx.points());
+  std::printf("slab subduction: %lldx%lldx%lld elements, %lld points, "
+              "initial slab tip depth z=%.3f\n",
+              (long long)sp.mx, (long long)sp.my, (long long)sp.mz,
+              (long long)ctx.points().size(), tip0);
+
+  write_vtk_points(prefix + "_pts_0000.vtk", ctx.points());
+  for (int s = 1; s <= steps; ++s) {
+    Real dt = ctx.suggest_dt(0.25);
+    if (s == 1 || dt <= 0) dt = opts.get_real("dt", 0.002);
+    StepReport rep = ctx.step(dt);
+
+    const Real tip = slab_tip_depth(ctx.setup(), ctx.points());
+    const FlowStats fs =
+        compute_flow_stats(ctx.mesh(), ctx.coefficients(), ctx.velocity());
+    std::printf("step %2d: dt=%.2e newton=%d krylov=%ld tip z=%.4f "
+                "u_rms=%.3e dissipation=%.3e (%.1f s)\n",
+                s, dt, rep.nonlinear.iterations,
+                rep.nonlinear.total_krylov_iterations, tip, fs.u_rms,
+                fs.dissipation, rep.seconds);
+
+    char tag[32];
+    std::snprintf(tag, sizeof tag, "_%04d.vtk", s);
+    write_vtk_points(prefix + "_pts" + tag, ctx.points());
+  }
+  const Real tip1 = slab_tip_depth(ctx.setup(), ctx.points());
+  std::printf("slab tip sank from z=%.3f to z=%.3f\n", tip0, tip1);
+  std::printf("VTK output written with prefix %s\n", prefix.c_str());
+  return tip1 < tip0 ? 0 : 1; // the slab must actually subduct
+}

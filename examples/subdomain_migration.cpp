@@ -1,0 +1,75 @@
+// Subdomain decomposition + material-point migration demo (§II-D).
+//
+// Runs the paper's rank-local protocol end-to-end: points are distributed
+// over a 2x2x1 subdomain grid, advected through a rotational velocity field,
+// and after every step the L_s/L_r exchange relocates them onto their owning
+// subdomains (deleting outflow points). The per-rank census and migration
+// traffic are printed each step — the numbers an MPI run would log.
+//
+//   ./build/examples/subdomain_migration [-m 8] [-steps 8] [-px 2 -py 2 -pz 1]
+#include <cstdio>
+
+#include "common/options.hpp"
+#include "fem/dofmap.hpp"
+#include "mpm/advection.hpp"
+#include "mpm/exchanger.hpp"
+
+using namespace ptatin;
+
+int main(int argc, char** argv) {
+  Options opts = Options::from_args(argc, argv);
+  const Index m = opts.get_index("m", 8);
+  const int steps = opts.get_int("steps", 8);
+  const Index px = opts.get_index("px", 2);
+  const Index py = opts.get_index("py", 2);
+  const Index pz = opts.get_index("pz", 1);
+
+  StructuredMesh mesh = StructuredMesh::box(m, m, m, {0, 0, 0}, {1, 1, 1});
+  Decomposition decomp = Decomposition::create(mesh, px, py, pz);
+
+  // Rigid rotation about the vertical axis through the box center plus a
+  // weak outward drift, so points both migrate between subdomains and leave
+  // the domain (exercising outflow deletion).
+  Vector u(num_velocity_dofs(mesh), 0.0);
+  for (Index n = 0; n < mesh.num_nodes(); ++n) {
+    const Vec3 x = mesh.node_coord(n);
+    const Real rx = x[0] - 0.5, ry = x[1] - 0.5;
+    u[3 * n + 0] = -ry + 0.05 * rx;
+    u[3 * n + 1] = rx + 0.05 * ry;
+  }
+
+  MaterialPoints global;
+  layout_points(mesh, 2, [](const Vec3& x) { return x[0] > 0.5 ? 1 : 0; },
+                global);
+  auto ranks = distribute_points(mesh, decomp, global);
+
+  std::printf("decomposition %lldx%lldx%lld over %lld^3 elements, %lld "
+              "points\n\n",
+              (long long)px, (long long)py, (long long)pz, (long long)m,
+              (long long)global.size());
+  std::printf("%6s", "step");
+  for (Index r = 0; r < decomp.num_ranks(); ++r)
+    std::printf("  rank%lld", (long long)r);
+  std::printf("%8s %8s %8s\n", "sent", "recv", "deleted");
+
+  for (int s = 0; s < steps; ++s) {
+    // Each "rank" advects its own points (what each MPI process would do).
+    for (auto& rp : ranks) advect_points_rk2(mesh, u, 0.12, rp.points);
+    const MigrationStats st = migrate_points(mesh, decomp, ranks);
+
+    std::printf("%6d", s);
+    Index total = 0;
+    for (const auto& rp : ranks) {
+      std::printf("  %6lld", (long long)rp.points.size());
+      total += rp.points.size();
+    }
+    std::printf("%8lld %8lld %8lld\n", (long long)st.sent,
+                (long long)st.received, (long long)st.deleted);
+    (void)total;
+  }
+
+  std::printf("\nafter migration every point is owned by the rank holding "
+              "its element — the invariant the Stokes coefficient projection "
+              "relies on (§II-D).\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+#include "amg/aggregation.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "la/coo.hpp"
+
+namespace ptatin {
+
+CsrMatrix build_strength_graph(const CsrMatrix& a, int bs, Real theta) {
+  PT_ASSERT(a.rows() == a.cols());
+  PT_ASSERT(a.rows() % bs == 0);
+  const Index nn = a.rows() / bs;
+
+  // Frobenius norms of the nodal blocks.
+  // First pass: accumulate ||A_ij||_F^2 into a node-graph COO.
+  CooMatrix coo(nn, nn);
+  for (Index i = 0; i < a.rows(); ++i) {
+    const Index ni = i / bs;
+    for (Index k = a.row_ptr()[i]; k < a.row_ptr()[i + 1]; ++k) {
+      const Index nj = a.col_idx()[k] / bs;
+      const Real v = a.values()[k];
+      if (v != 0.0) coo.add(ni, nj, v * v);
+    }
+  }
+  CsrMatrix blocks = coo.to_csr(); // values = squared Frobenius norms
+
+  // Diagonal block norms.
+  std::vector<Real> diag(nn, 0.0);
+  for (Index i = 0; i < nn; ++i) {
+    const Real* d = blocks.find(i, i);
+    diag[i] = d != nullptr ? *d : 0.0;
+  }
+
+  // Filter: connection (i,j) is strong when ||A_ij||_F exceeds
+  // theta * sqrt(||A_ii||_F ||A_jj||_F). With s2 and diag holding SQUARED
+  // Frobenius norms this reads s2 > theta^2 sqrt(diag_i diag_j).
+  CooMatrix strong(nn, nn);
+  const Real theta2 = theta * theta;
+  for (Index i = 0; i < nn; ++i) {
+    for (Index k = blocks.row_ptr()[i]; k < blocks.row_ptr()[i + 1]; ++k) {
+      const Index j = blocks.col_idx()[k];
+      if (j == i) continue;
+      const Real s2 = blocks.values()[k];
+      if (s2 > theta2 * std::sqrt(diag[i] * diag[j]))
+        strong.add(i, j, std::sqrt(s2));
+    }
+  }
+  return strong.to_csr();
+}
+
+std::vector<Index> aggregate_nodes(const CsrMatrix& strength,
+                                   Index& num_aggregates) {
+  const Index nn = strength.rows();
+  std::vector<Index> agg(nn, -1);
+  num_aggregates = 0;
+
+  // Pass 1: root aggregates where the full strong neighborhood is free.
+  for (Index i = 0; i < nn; ++i) {
+    if (agg[i] >= 0) continue;
+    bool free_nbhd = true;
+    for (Index k = strength.row_ptr()[i]; k < strength.row_ptr()[i + 1]; ++k)
+      if (agg[strength.col_idx()[k]] >= 0) {
+        free_nbhd = false;
+        break;
+      }
+    if (!free_nbhd) continue;
+    const Index id = num_aggregates++;
+    agg[i] = id;
+    for (Index k = strength.row_ptr()[i]; k < strength.row_ptr()[i + 1]; ++k)
+      agg[strength.col_idx()[k]] = id;
+  }
+
+  // Pass 2: attach stragglers to the strongest adjacent aggregate.
+  for (Index i = 0; i < nn; ++i) {
+    if (agg[i] >= 0) continue;
+    Index best = -1;
+    Real best_s = 0.0;
+    for (Index k = strength.row_ptr()[i]; k < strength.row_ptr()[i + 1]; ++k) {
+      const Index j = strength.col_idx()[k];
+      if (agg[j] >= 0 && strength.values()[k] > best_s) {
+        best_s = strength.values()[k];
+        best = agg[j];
+      }
+    }
+    if (best >= 0) agg[i] = best;
+  }
+
+  // Pass 3: isolated nodes become singleton aggregates.
+  for (Index i = 0; i < nn; ++i)
+    if (agg[i] < 0) agg[i] = num_aggregates++;
+
+  return agg;
+}
+
+} // namespace ptatin

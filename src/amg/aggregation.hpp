@@ -1,0 +1,25 @@
+// Strength-of-connection graph and greedy aggregation for smoothed
+// aggregation AMG (the GAMG / ML analogue of §III-C and §IV-C).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "la/csr.hpp"
+
+namespace ptatin {
+
+/// Build the node-block strength graph of a matrix with block size `bs`
+/// (3 for the interleaved velocity problem). Connection (i,j) is strong if
+/// ||A_ij||_F > theta * sqrt(||A_ii||_F ||A_jj||_F). Returns a CSR adjacency
+/// (values = strength measure) over the nnodes = rows/bs node graph.
+CsrMatrix build_strength_graph(const CsrMatrix& a, int bs, Real theta);
+
+/// Greedy aggregation on a strength graph: returns node -> aggregate id and
+/// the number of aggregates. Standard three passes: (1) root aggregates from
+/// fully-unaggregated neighborhoods, (2) attach leftovers to adjacent
+/// aggregates, (3) singletons.
+std::vector<Index> aggregate_nodes(const CsrMatrix& strength,
+                                   Index& num_aggregates);
+
+} // namespace ptatin

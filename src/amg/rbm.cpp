@@ -1,0 +1,40 @@
+#include "amg/rbm.hpp"
+
+namespace ptatin {
+
+std::vector<Vector> rigid_body_modes(const std::vector<Real>& coords) {
+  const Index nn = static_cast<Index>(coords.size()) / 3;
+  // Centroid shift improves the conditioning of the per-aggregate QR.
+  Real cx = 0, cy = 0, cz = 0;
+  for (Index n = 0; n < nn; ++n) {
+    cx += coords[3 * n];
+    cy += coords[3 * n + 1];
+    cz += coords[3 * n + 2];
+  }
+  cx /= Real(nn);
+  cy /= Real(nn);
+  cz /= Real(nn);
+
+  std::vector<Vector> modes(6, Vector(3 * nn, 0.0));
+  for (Index n = 0; n < nn; ++n) {
+    const Real x = coords[3 * n] - cx;
+    const Real y = coords[3 * n + 1] - cy;
+    const Real z = coords[3 * n + 2] - cz;
+    modes[0][3 * n + 0] = 1.0; // translations
+    modes[1][3 * n + 1] = 1.0;
+    modes[2][3 * n + 2] = 1.0;
+    modes[3][3 * n + 0] = -y; // rotation about z
+    modes[3][3 * n + 1] = x;
+    modes[4][3 * n + 1] = -z; // rotation about x
+    modes[4][3 * n + 2] = y;
+    modes[5][3 * n + 0] = z; // rotation about y
+    modes[5][3 * n + 2] = -x;
+  }
+  return modes;
+}
+
+std::vector<Vector> rigid_body_modes(const StructuredMesh& mesh) {
+  return rigid_body_modes(mesh.coords());
+}
+
+} // namespace ptatin

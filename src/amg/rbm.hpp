@@ -1,0 +1,23 @@
+// Rigid-body modes: the near-nullspace of the viscous/elastic block.
+//
+// §III-C: "We provide the six rigid-body modes and set a strength threshold
+// of 0.01." The modes (3 translations + 3 rotations) are built from node
+// coordinates and seed the tentative prolongator of the smoothed-aggregation
+// hierarchy.
+#pragma once
+
+#include <vector>
+
+#include "fem/mesh.hpp"
+#include "la/vector.hpp"
+
+namespace ptatin {
+
+/// Six rigid-body modes of a 3-component nodal field on the mesh
+/// (size 3 * num_nodes each), shifted to the mesh centroid for conditioning.
+std::vector<Vector> rigid_body_modes(const StructuredMesh& mesh);
+
+/// Rigid-body modes from a raw coordinate array (3*nnodes, interleaved).
+std::vector<Vector> rigid_body_modes(const std::vector<Real>& coords);
+
+} // namespace ptatin

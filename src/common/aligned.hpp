@@ -1,0 +1,50 @@
+// Cache-line / SIMD aligned storage for hot kernels.
+//
+// The tensor-product element kernels (§III-D) vectorize over elements; aligned
+// buffers let the compiler emit aligned AVX loads for the element work arrays.
+#pragma once
+
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace ptatin {
+
+inline constexpr std::size_t kSimdAlign = 64;
+
+/// Minimal aligned allocator for std::vector-backed kernel buffers.
+template <class T, std::size_t Align = kSimdAlign>
+struct AlignedAllocator {
+  using value_type = T;
+
+  // The non-type Align parameter defeats allocator_traits' automatic rebind;
+  // supply it explicitly.
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    void* p = ::operator new(n * sizeof(T), std::align_val_t(Align));
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Align));
+  }
+
+  template <class U>
+  bool operator==(const AlignedAllocator<U, Align>&) const noexcept {
+    return true;
+  }
+};
+
+template <class T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+} // namespace ptatin

@@ -1,0 +1,54 @@
+// Lightweight assertion / error machinery.
+//
+// PT_ASSERT is active in all build types: solver correctness depends on
+// invariants (CSR structure, DOF map consistency) whose violation must never
+// be silently ignored. Hot inner loops use PT_DEBUG_ASSERT, compiled out in
+// Release builds.
+#pragma once
+
+#include <stdexcept>
+#include <sstream>
+#include <string>
+
+namespace ptatin {
+
+/// Exception type thrown on violated invariants and invalid arguments.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(const char* cond, const char* file, int line,
+                               const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": assertion failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+} // namespace detail
+
+} // namespace ptatin
+
+#define PT_ASSERT(cond)                                                        \
+  do {                                                                         \
+    if (!(cond)) ::ptatin::detail::raise(#cond, __FILE__, __LINE__, "");       \
+  } while (0)
+
+#define PT_ASSERT_MSG(cond, msg)                                               \
+  do {                                                                         \
+    if (!(cond)) ::ptatin::detail::raise(#cond, __FILE__, __LINE__, (msg));    \
+  } while (0)
+
+#ifdef NDEBUG
+#define PT_DEBUG_ASSERT(cond) ((void)0)
+#else
+#define PT_DEBUG_ASSERT(cond) PT_ASSERT(cond)
+#endif
+
+#define PT_THROW(msg)                                                          \
+  do {                                                                         \
+    std::ostringstream os_;                                                    \
+    os_ << msg;                                                                \
+    throw ::ptatin::Error(os_.str());                                          \
+  } while (0)

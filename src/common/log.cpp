@@ -1,0 +1,16 @@
+#include "common/log.hpp"
+
+namespace ptatin {
+
+namespace {
+LogLevel g_level = LogLevel::kSilent;
+}
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel lvl) { g_level = lvl; }
+
+namespace detail {
+void log_write(const std::string& line) { std::cout << line << "\n"; }
+} // namespace detail
+
+} // namespace ptatin

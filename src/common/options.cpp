@@ -1,0 +1,69 @@
+#include "common/options.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace ptatin {
+
+namespace {
+/// A token counts as a value (not an option) when it does not start with
+/// '-', or when it is a negative number ("-1.5", "-3e4").
+bool is_value_token(const char* tok) {
+  if (tok[0] != '-') return true;
+  const char c = tok[1];
+  return c == '.' || (c >= '0' && c <= '9');
+}
+} // namespace
+
+Options Options::from_args(int argc, const char* const* argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.size() < 2 || arg[0] != '-' || is_value_token(argv[i])) continue;
+    std::string key = arg.substr(1);
+    // A value follows unless the next token is another option or absent.
+    if (i + 1 < argc && is_value_token(argv[i + 1])) {
+      opts.set(key, argv[i + 1]);
+      ++i;
+    } else {
+      opts.set(key, "true");
+    }
+  }
+  return opts;
+}
+
+void Options::set(const std::string& key, const std::string& value) {
+  kv_[key] = value;
+}
+
+bool Options::has(const std::string& key) const { return kv_.count(key) > 0; }
+
+std::string Options::get_string(const std::string& key,
+                                const std::string& dflt) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? dflt : it->second;
+}
+
+Index Options::get_index(const std::string& key, Index dflt) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? dflt : static_cast<Index>(std::stoll(it->second));
+}
+
+int Options::get_int(const std::string& key, int dflt) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? dflt : std::stoi(it->second);
+}
+
+Real Options::get_real(const std::string& key, Real dflt) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? dflt : std::stod(it->second);
+}
+
+bool Options::get_bool(const std::string& key, bool dflt) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return dflt;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+} // namespace ptatin

@@ -1,0 +1,36 @@
+// PETSc-style options database: "-key value" command-line pairs with typed
+// accessors and defaults. Examples and benches use this to retune solvers
+// without recompiling, mirroring how pTatin3D is driven through PETSc options.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace ptatin {
+
+class Options {
+public:
+  Options() = default;
+
+  /// Parse "-key value" and bare "-flag" arguments (argv[0] is skipped).
+  static Options from_args(int argc, const char* const* argv);
+
+  void set(const std::string& key, const std::string& value);
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key, const std::string& dflt) const;
+  Index get_index(const std::string& key, Index dflt) const;
+  int get_int(const std::string& key, int dflt) const;
+  Real get_real(const std::string& key, Real dflt) const;
+  bool get_bool(const std::string& key, bool dflt) const;
+
+  const std::map<std::string, std::string>& entries() const { return kv_; }
+
+private:
+  std::map<std::string, std::string> kv_;
+};
+
+} // namespace ptatin

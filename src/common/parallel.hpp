@@ -1,0 +1,82 @@
+// Shared-memory parallel primitives.
+//
+// The paper runs MPI across nodes; intra-node performance (the subject of
+// Tables I–III) is bandwidth- vs compute-bound kernel behaviour. We expose a
+// thin OpenMP layer so every kernel is written once and runs threaded; the
+// subdomain-decomposition layer (src/fem/decomposition.hpp) reproduces the
+// rank-local structure of the MPI code.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace ptatin {
+
+/// Number of threads the parallel_for loops will use.
+inline int num_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Set the thread count (benchmarks sweep this as the "cores" axis).
+inline void set_num_threads(int n) {
+#ifdef _OPENMP
+  omp_set_num_threads(n);
+#else
+  (void)n;
+#endif
+}
+
+/// Parallel loop over [0, n). Body must be safe for concurrent invocation on
+/// disjoint indices.
+template <class F>
+inline void parallel_for(Index n, F&& body) {
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+  for (Index i = 0; i < n; ++i) body(i);
+#else
+  for (Index i = 0; i < n; ++i) body(i);
+#endif
+}
+
+/// Parallel reduction (sum) over [0, n).
+template <class F>
+inline Real parallel_reduce_sum(Index n, F&& body) {
+  Real sum = 0.0;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) reduction(+ : sum)
+  for (Index i = 0; i < n; ++i) sum += body(i);
+#else
+  for (Index i = 0; i < n; ++i) sum += body(i);
+#endif
+  return sum;
+}
+
+/// Parallel reduction (max) over [0, n).
+template <class F>
+inline Real parallel_reduce_max(Index n, F&& body) {
+  Real m = 0.0;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) reduction(max : m)
+  for (Index i = 0; i < n; ++i) {
+    Real v = body(i);
+    if (v > m) m = v;
+  }
+#else
+  for (Index i = 0; i < n; ++i) {
+    Real v = body(i);
+    if (v > m) m = v;
+  }
+#endif
+  return m;
+}
+
+} // namespace ptatin

@@ -1,0 +1,32 @@
+#include "common/perf.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace ptatin {
+
+PerfRegistry& PerfRegistry::instance() {
+  static PerfRegistry reg;
+  return reg;
+}
+
+void PerfRegistry::reset_all() {
+  for (auto& [name, ev] : events_) ev.reset();
+}
+
+std::string PerfRegistry::summary() const {
+  std::ostringstream os;
+  os << std::left << std::setw(24) << "Event" << std::right << std::setw(10)
+     << "Calls" << std::setw(12) << "Time (s)" << std::setw(12) << "GF/s"
+     << "\n";
+  for (const auto& [name, ev] : events_) {
+    if (ev.calls() == 0) continue;
+    os << std::left << std::setw(24) << name << std::right << std::setw(10)
+       << ev.calls() << std::setw(12) << std::fixed << std::setprecision(4)
+       << ev.seconds() << std::setw(12) << std::setprecision(2)
+       << ev.gflops_per_sec() << "\n";
+  }
+  return os.str();
+}
+
+} // namespace ptatin

@@ -1,0 +1,35 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// All stochastic model setup (sinker sphere placement §IV-A, damage seed §V-A,
+// material point layout perturbation) is seeded so that every benchmark run
+// regenerates identical workloads.
+#pragma once
+
+#include <random>
+
+#include "common/types.hpp"
+
+namespace ptatin {
+
+/// Deterministic engine; fixed seed unless the caller supplies one.
+class Rng {
+public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : eng_(seed) {}
+
+  Real uniform(Real lo = 0.0, Real hi = 1.0) {
+    return std::uniform_real_distribution<Real>(lo, hi)(eng_);
+  }
+  Index uniform_index(Index lo, Index hi) {
+    return std::uniform_int_distribution<Index>(lo, hi)(eng_);
+  }
+  Real normal(Real mean = 0.0, Real stddev = 1.0) {
+    return std::normal_distribution<Real>(mean, stddev)(eng_);
+  }
+
+  std::mt19937_64& engine() { return eng_; }
+
+private:
+  std::mt19937_64 eng_;
+};
+
+} // namespace ptatin

@@ -1,0 +1,8 @@
+#include "common/timing.hpp"
+
+// Header-only today; the translation unit anchors the module library.
+namespace ptatin {
+namespace {
+[[maybe_unused]] const Timer anchor_timer{};
+}
+} // namespace ptatin

@@ -1,0 +1,165 @@
+#include "energy/supg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "fem/basis.hpp"
+#include "fem/dofmap.hpp"
+#include "ksp/gmres.hpp"
+#include "ksp/pc.hpp"
+#include "stokes/fields.hpp"
+
+namespace ptatin {
+
+namespace {
+
+Real supg_tau(Real vnorm, Real h, Real kappa) {
+  if (vnorm < 1e-14) return 0.0;
+  const Real pe = vnorm * h / (Real(2) * std::max(kappa, Real(1e-300)));
+  // coth(Pe) - 1/Pe, series-expanded for small Pe to avoid cancellation.
+  Real xi;
+  if (pe < 1e-4) {
+    xi = pe / Real(3);
+  } else {
+    xi = Real(1) / std::tanh(pe) - Real(1) / pe;
+  }
+  return h / (Real(2) * vnorm) * xi;
+}
+
+} // namespace
+
+EnergySolver::EnergySolver(const StructuredMesh& mesh, Real kappa,
+                           std::function<Real(const Vec3&)> source)
+    : mesh_(mesh), kappa_(kappa), source_(std::move(source)) {}
+
+EnergySolveStats EnergySolver::step(
+    const Vector& u, Real dt, const VertexBc& bc, Vector& T,
+    const std::vector<Real>* element_source) const {
+  PT_ASSERT(element_source == nullptr ||
+            static_cast<Index>(element_source->size()) ==
+                mesh_.num_elements());
+  PT_ASSERT(T.size() == mesh_.num_vertices());
+  PT_ASSERT(bc.size() == mesh_.num_vertices());
+  EnergySolveStats stats;
+
+  const auto& tab = q1_tabulation();
+  const Index nv = mesh_.num_vertices();
+
+  // Pattern: vertex-lattice 27-point neighborhoods via element loops.
+  CsrPattern pattern(nv, nv);
+  {
+    Index verts[kQ1NodesPerEl];
+    for (Index e = 0; e < mesh_.num_elements(); ++e) {
+      mesh_.element_corner_vertices(e, verts);
+      for (int a = 0; a < kQ1NodesPerEl; ++a)
+        pattern.add_row_entries(verts[a], verts, kQ1NodesPerEl);
+    }
+  }
+  CsrMatrix A = pattern.finalize();
+  Vector rhs(nv, 0.0);
+
+  const Real idt = Real(1) / dt;
+  Index verts[kQ1NodesPerEl];
+  for (Index e = 0; e < mesh_.num_elements(); ++e) {
+    mesh_.element_corner_vertices(e, verts);
+    Real xe[kQ1NodesPerEl][3];
+    mesh_.element_corner_coords(e, xe);
+
+    Vec3 lo, hi;
+    mesh_.element_bbox(e, lo, hi);
+    const Real h = std::cbrt((hi[0] - lo[0]) * (hi[1] - lo[1]) *
+                             (hi[2] - lo[2]));
+
+    Real Ae[kQ1NodesPerEl][kQ1NodesPerEl] = {};
+    Real be[kQ1NodesPerEl] = {};
+
+    for (int q = 0; q < QuadQ1::kPoints; ++q) {
+      // Geometry at the Q1 quadrature point.
+      Mat3 J{};
+      Vec3 xq{0, 0, 0};
+      for (int v = 0; v < kQ1NodesPerEl; ++v)
+        for (int r = 0; r < 3; ++r) {
+          xq[r] += tab.N[q][v] * xe[v][r];
+          for (int d = 0; d < 3; ++d)
+            J[3 * r + d] += xe[v][r] * tab.dN[q][v][d];
+        }
+      const Real det = det3(J);
+      PT_DEBUG_ASSERT(det > 0);
+      const Mat3 gi = inv3(J, det);
+      const Real w = tab.w[q] * det;
+
+      // Physical gradients of the Q1 basis.
+      Real g[kQ1NodesPerEl][3];
+      for (int v = 0; v < kQ1NodesPerEl; ++v)
+        for (int r = 0; r < 3; ++r)
+          g[v][r] = tab.dN[q][v][0] * gi[0 + r] + tab.dN[q][v][1] * gi[3 + r] +
+                    tab.dN[q][v][2] * gi[6 + r];
+
+      // Velocity at the quadrature point: locate its reference coordinate in
+      // the Q2 element (the Q1 quadrature point in the same element e).
+      const auto p = QuadQ1::point(q);
+      const Vec3 vel =
+          interpolate_velocity(mesh_, u, e, {p[0], p[1], p[2]});
+      const Real vnorm =
+          std::sqrt(vel[0] * vel[0] + vel[1] * vel[1] + vel[2] * vel[2]);
+      const Real tau = supg_tau(vnorm, h, kappa_);
+      stats.tau_max = std::max(stats.tau_max, tau);
+
+      const Real old_T = [&] {
+        Real t = 0;
+        for (int v = 0; v < kQ1NodesPerEl; ++v) t += tab.N[q][v] * T[verts[v]];
+        return t;
+      }();
+      Real src = source_ ? source_(xq) : 0.0;
+      if (element_source != nullptr) src += (*element_source)[e];
+
+      for (int i = 0; i < kQ1NodesPerEl; ++i) {
+        // SUPG-augmented test function: N_i + tau u.grad(N_i).
+        const Real ugi =
+            vel[0] * g[i][0] + vel[1] * g[i][1] + vel[2] * g[i][2];
+        const Real wi = tab.N[q][i] + tau * ugi;
+
+        for (int j = 0; j < kQ1NodesPerEl; ++j) {
+          const Real ugj =
+              vel[0] * g[j][0] + vel[1] * g[j][1] + vel[2] * g[j][2];
+          Real val = wi * (idt * tab.N[q][j] + ugj); // time + advection
+          // Diffusion against the unstabilized gradient (Q1: second
+          // derivatives vanish, so tau-weighted diffusion drops).
+          val += kappa_ * (g[i][0] * g[j][0] + g[i][1] * g[j][1] +
+                           g[i][2] * g[j][2]);
+          Ae[i][j] += w * val;
+        }
+        be[i] += w * wi * (idt * old_T + src);
+      }
+    }
+
+    for (int i = 0; i < kQ1NodesPerEl; ++i) {
+      for (int j = 0; j < kQ1NodesPerEl; ++j)
+        if (Ae[i][j] != 0.0) A.add_value(verts[i], verts[j], Ae[i][j]);
+      rhs[verts[i]] += be[i];
+    }
+  }
+
+  // Dirichlet rows.
+  for (Index v = 0; v < nv; ++v) {
+    if (!bc.is_constrained(v)) continue;
+    A.zero_row_set_identity(v);
+    rhs[v] = bc.value(v);
+  }
+
+  // Solve (nonsymmetric with advection): GMRES + ILU(0).
+  MatrixOperator op(&A);
+  Ilu0Pc pc(A);
+  KrylovSettings s;
+  s.rtol = 1e-10;
+  s.max_it = 500;
+  s.restart = 50;
+  Vector Tn;
+  Tn.copy_from(T); // warm start
+  stats.linear = gmres_solve(op, pc, rhs, Tn, s);
+  T.copy_from(Tn);
+  return stats;
+}
+
+} // namespace ptatin

@@ -1,0 +1,72 @@
+// Energy equation (§V-A, Eq. 20):
+//
+//   dT/dt + u . grad T = div(kappa grad T)
+//
+// discretized with Q1 finite elements on the corner-vertex mesh, stabilized
+// with SUPG, and stepped with backward Euler:
+//
+//   (M/dt + K + C(u)) T^{n+1} = M/dt T^n + s
+//
+// The SUPG test function w + tau u.grad w multiplies the advective and
+// temporal terms; tau uses the classical coth rule
+// tau = h/(2|u|) (coth(Pe) - 1/Pe), Pe = |u| h / (2 kappa).
+#pragma once
+
+#include <functional>
+
+#include "fem/bc.hpp"
+#include "fem/mesh.hpp"
+#include "ksp/settings.hpp"
+#include "la/csr.hpp"
+#include "la/vector.hpp"
+
+namespace ptatin {
+
+/// Dirichlet data on the vertex (temperature) space.
+class VertexBc {
+public:
+  VertexBc() = default;
+  explicit VertexBc(Index n) : mask_(n, 0), values_(n, 0.0) {}
+  void constrain(Index v, Real value) {
+    mask_[v] = 1;
+    values_[v] = value;
+  }
+  bool is_constrained(Index v) const { return mask_[v] != 0; }
+  Real value(Index v) const { return values_[v]; }
+  Index size() const { return static_cast<Index>(mask_.size()); }
+
+private:
+  std::vector<std::uint8_t> mask_;
+  std::vector<Real> values_;
+};
+
+struct EnergySolveStats {
+  SolveStats linear;
+  Real tau_max = 0.0; ///< largest SUPG stabilization parameter used
+};
+
+class EnergySolver {
+public:
+  /// kappa: thermal diffusivity (constant); source: volumetric heating
+  /// evaluated at physical positions (may be null).
+  EnergySolver(const StructuredMesh& mesh, Real kappa,
+               std::function<Real(const Vec3&)> source = nullptr);
+
+  /// Advance T (vertex field) by one backward-Euler step with the Q2
+  /// velocity field u. The system matrix is reassembled (mesh and velocity
+  /// change every time step in ALE runs). `element_source` (optional) adds a
+  /// per-element volumetric heating rate — e.g. shear heating
+  /// Phi/(rho c) computed from the converged flow.
+  EnergySolveStats step(const Vector& u, Real dt, const VertexBc& bc,
+                        Vector& T,
+                        const std::vector<Real>* element_source = nullptr) const;
+
+  Index num_dofs() const { return mesh_.num_vertices(); }
+
+private:
+  const StructuredMesh& mesh_;
+  Real kappa_;
+  std::function<Real(const Vec3&)> source_;
+};
+
+} // namespace ptatin

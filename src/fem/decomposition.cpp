@@ -1,0 +1,87 @@
+#include "fem/decomposition.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ptatin {
+
+namespace {
+std::vector<Index> make_splits(Index m, Index p) {
+  // Distribute m elements over p chunks, remainder spread from the front.
+  std::vector<Index> s(p + 1, 0);
+  const Index base = m / p, rem = m % p;
+  for (Index i = 0; i < p; ++i) s[i + 1] = s[i] + base + (i < rem ? 1 : 0);
+  return s;
+}
+} // namespace
+
+Decomposition Decomposition::create(const StructuredMesh& mesh, Index px,
+                                    Index py, Index pz) {
+  PT_ASSERT(px >= 1 && py >= 1 && pz >= 1);
+  PT_ASSERT_MSG(px <= mesh.mx() && py <= mesh.my() && pz <= mesh.mz(),
+                "more subdomains than elements in some direction");
+  Decomposition d;
+  d.px_ = px;
+  d.py_ = py;
+  d.pz_ = pz;
+  d.mx_ = mesh.mx();
+  d.my_ = mesh.my();
+  d.mz_ = mesh.mz();
+  d.splits_x_ = make_splits(mesh.mx(), px);
+  d.splits_y_ = make_splits(mesh.my(), py);
+  d.splits_z_ = make_splits(mesh.mz(), pz);
+
+  d.subs_.resize(d.num_ranks());
+  for (Index rk = 0; rk < pz; ++rk)
+    for (Index rj = 0; rj < py; ++rj)
+      for (Index ri = 0; ri < px; ++ri) {
+        const Index rank = ri + px * (rj + py * rk);
+        Subdomain& s = d.subs_[rank];
+        s.rank = rank;
+        s.elo = {d.splits_x_[ri], d.splits_y_[rj], d.splits_z_[rk]};
+        s.ehi = {d.splits_x_[ri + 1], d.splits_y_[rj + 1], d.splits_z_[rk + 1]};
+        // 26-connectivity neighbor ranks.
+        for (Index dk = -1; dk <= 1; ++dk)
+          for (Index dj = -1; dj <= 1; ++dj)
+            for (Index di = -1; di <= 1; ++di) {
+              if (di == 0 && dj == 0 && dk == 0) continue;
+              const Index ni = ri + di, nj = rj + dj, nk = rk + dk;
+              if (ni < 0 || ni >= px || nj < 0 || nj >= py || nk < 0 ||
+                  nk >= pz)
+                continue;
+              s.neighbors.push_back(ni + px * (nj + py * nk));
+            }
+      }
+  return d;
+}
+
+Index Decomposition::dir_rank(const std::vector<Index>& splits, Index e) const {
+  // splits is sorted; find the chunk containing e.
+  auto it = std::upper_bound(splits.begin(), splits.end(), e);
+  return static_cast<Index>(it - splits.begin()) - 1;
+}
+
+Index Decomposition::rank_of_element(const StructuredMesh& mesh,
+                                     Index e) const {
+  Index ei, ej, ek;
+  mesh.element_ijk(e, ei, ej, ek);
+  const Index ri = dir_rank(splits_x_, ei);
+  const Index rj = dir_rank(splits_y_, ej);
+  const Index rk = dir_rank(splits_z_, ek);
+  return ri + px_ * (rj + py_ * rk);
+}
+
+std::vector<Index> Decomposition::owned_elements(const StructuredMesh& mesh,
+                                                 Index rank) const {
+  const Subdomain& s = subs_[rank];
+  std::vector<Index> out;
+  out.reserve(s.num_elements());
+  for (Index ek = s.elo[2]; ek < s.ehi[2]; ++ek)
+    for (Index ej = s.elo[1]; ej < s.ehi[1]; ++ej)
+      for (Index ei = s.elo[0]; ei < s.ehi[0]; ++ei)
+        out.push_back(mesh.element_index(ei, ej, ek));
+  return out;
+}
+
+} // namespace ptatin

@@ -1,0 +1,70 @@
+// Subdomain decomposition of the structured element mesh.
+//
+// §II-D: "Parallelism is achieved by spatially decomposing the structured Q2
+// finite element mesh containing M x N x P elements into structured
+// subdomains". The MPI substitution (see DESIGN.md) keeps these rank-local
+// data structures — element ownership, neighbor topology — and drives them
+// from shared memory. The material-point exchanger (src/mpm/exchanger) uses
+// the neighbor lists exactly as the paper's migration protocol does.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/types.hpp"
+#include "fem/mesh.hpp"
+
+namespace ptatin {
+
+struct Subdomain {
+  Index rank = 0;
+  /// Owned element box [elo, ehi) per direction.
+  std::array<Index, 3> elo{0, 0, 0};
+  std::array<Index, 3> ehi{0, 0, 0};
+  /// Ranks of the (up to 26) adjacent subdomains.
+  std::vector<Index> neighbors;
+
+  Index num_elements() const {
+    return (ehi[0] - elo[0]) * (ehi[1] - elo[1]) * (ehi[2] - elo[2]);
+  }
+  bool owns_element_ijk(Index ei, Index ej, Index ek) const {
+    return ei >= elo[0] && ei < ehi[0] && ej >= elo[1] && ej < ehi[1] &&
+           ek >= elo[2] && ek < ehi[2];
+  }
+};
+
+class Decomposition {
+public:
+  Decomposition() = default;
+
+  /// Split the mesh into a px x py x pz grid of box subdomains with element
+  /// counts as even as possible.
+  static Decomposition create(const StructuredMesh& mesh, Index px, Index py,
+                              Index pz);
+
+  Index num_ranks() const { return px_ * py_ * pz_; }
+  Index px() const { return px_; }
+  Index py() const { return py_; }
+  Index pz() const { return pz_; }
+
+  const Subdomain& subdomain(Index rank) const { return subs_[rank]; }
+  const std::vector<Subdomain>& subdomains() const { return subs_; }
+
+  /// Owning rank of element e.
+  Index rank_of_element(const StructuredMesh& mesh, Index e) const;
+
+  /// Elements owned by a rank, in mesh element ordering.
+  std::vector<Index> owned_elements(const StructuredMesh& mesh,
+                                    Index rank) const;
+
+private:
+  Index px_ = 1, py_ = 1, pz_ = 1;
+  Index mx_ = 0, my_ = 0, mz_ = 0;
+  /// Partition boundaries per direction (size p + 1 each).
+  std::vector<Index> splits_x_, splits_y_, splits_z_;
+  std::vector<Subdomain> subs_;
+
+  Index dir_rank(const std::vector<Index>& splits, Index e) const;
+};
+
+} // namespace ptatin

@@ -1,0 +1,41 @@
+// Degree-of-freedom numbering for the Q2-P1disc mixed discretization.
+//
+// Velocity: 3 interleaved components per Q2 node (dof = 3*node + c).
+// Pressure: 4 discontinuous modes per element (dof = 4*element + k), so the
+// pressure mass matrix is block-diagonal with 4x4 element blocks — the
+// property that makes the viscosity-scaled Schur preconditioner of §III-B
+// essentially free to invert.
+#pragma once
+
+#include "common/types.hpp"
+#include "fem/mesh.hpp"
+
+namespace ptatin {
+
+inline Index velocity_dof(Index node, int component) {
+  return 3 * node + component;
+}
+
+inline Index pressure_dof(Index element, int mode) {
+  return kP1NodesPerEl * element + mode;
+}
+
+inline Index num_velocity_dofs(const StructuredMesh& mesh) {
+  return 3 * mesh.num_nodes();
+}
+
+inline Index num_pressure_dofs(const StructuredMesh& mesh) {
+  return kP1NodesPerEl * mesh.num_elements();
+}
+
+/// Gather the 81 velocity dofs of an element (local ordering: node-major,
+/// component-minor, matching the element kernels).
+inline void element_velocity_dofs(const StructuredMesh& mesh, Index e,
+                                  Index out[3 * kQ2NodesPerEl]) {
+  Index nodes[kQ2NodesPerEl];
+  mesh.element_nodes(e, nodes);
+  for (int i = 0; i < kQ2NodesPerEl; ++i)
+    for (int c = 0; c < 3; ++c) out[3 * i + c] = velocity_dof(nodes[i], c);
+}
+
+} // namespace ptatin

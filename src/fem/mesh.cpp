@@ -1,0 +1,146 @@
+#include "fem/mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/parallel.hpp"
+#include "fem/basis.hpp"
+
+namespace ptatin {
+
+StructuredMesh StructuredMesh::box(Index mx, Index my, Index mz, const Vec3& lo,
+                                   const Vec3& hi) {
+  PT_ASSERT(mx >= 1 && my >= 1 && mz >= 1);
+  StructuredMesh m;
+  m.mx_ = mx;
+  m.my_ = my;
+  m.mz_ = mz;
+  m.coords_.resize(3 * m.num_nodes());
+  const Index nx = m.nx(), ny = m.ny(), nz = m.nz();
+  for (Index k = 0; k < nz; ++k)
+    for (Index j = 0; j < ny; ++j)
+      for (Index i = 0; i < nx; ++i) {
+        const Index n = m.node_index(i, j, k);
+        m.coords_[3 * n + 0] = lo[0] + (hi[0] - lo[0]) * Real(i) / Real(nx - 1);
+        m.coords_[3 * n + 1] = lo[1] + (hi[1] - lo[1]) * Real(j) / Real(ny - 1);
+        m.coords_[3 * n + 2] = lo[2] + (hi[2] - lo[2]) * Real(k) / Real(nz - 1);
+      }
+  return m;
+}
+
+void StructuredMesh::element_nodes(Index e, Index out[kQ2NodesPerEl]) const {
+  Index ei, ej, ek;
+  element_ijk(e, ei, ej, ek);
+  int t = 0;
+  for (Index c = 0; c < 3; ++c)
+    for (Index b = 0; b < 3; ++b)
+      for (Index a = 0; a < 3; ++a)
+        out[t++] = node_index(2 * ei + a, 2 * ej + b, 2 * ek + c);
+}
+
+void StructuredMesh::element_corners(Index e, Index out[kQ1NodesPerEl]) const {
+  Index ei, ej, ek;
+  element_ijk(e, ei, ej, ek);
+  int t = 0;
+  for (Index c = 0; c < 2; ++c)
+    for (Index b = 0; b < 2; ++b)
+      for (Index a = 0; a < 2; ++a)
+        out[t++] = node_index(2 * (ei + a), 2 * (ej + b), 2 * (ek + c));
+}
+
+void StructuredMesh::element_corner_vertices(Index e,
+                                             Index out[kQ1NodesPerEl]) const {
+  Index ei, ej, ek;
+  element_ijk(e, ei, ej, ek);
+  int t = 0;
+  for (Index c = 0; c < 2; ++c)
+    for (Index b = 0; b < 2; ++b)
+      for (Index a = 0; a < 2; ++a)
+        out[t++] = vertex_index(ei + a, ej + b, ek + c);
+}
+
+void StructuredMesh::element_corner_coords(Index e,
+                                           Real xe[kQ1NodesPerEl][3]) const {
+  Index corners[kQ1NodesPerEl];
+  element_corners(e, corners);
+  for (int v = 0; v < kQ1NodesPerEl; ++v) {
+    const Index n = corners[v];
+    xe[v][0] = coords_[3 * n + 0];
+    xe[v][1] = coords_[3 * n + 1];
+    xe[v][2] = coords_[3 * n + 2];
+  }
+}
+
+void StructuredMesh::deform(const std::function<Vec3(const Vec3&)>& f) {
+  parallel_for(num_nodes(), [&](Index n) {
+    const Vec3 x = node_coord(n);
+    const Vec3 y = f(x);
+    coords_[3 * n + 0] = y[0];
+    coords_[3 * n + 1] = y[1];
+    coords_[3 * n + 2] = y[2];
+  });
+}
+
+Vec3 StructuredMesh::map_to_physical(Index e, const Vec3& xi) const {
+  Real xe[kQ1NodesPerEl][3];
+  element_corner_coords(e, xe);
+  Real N[kQ1NodesPerEl];
+  const Real p[3] = {xi[0], xi[1], xi[2]};
+  q1_eval(p, N);
+  Vec3 x{0, 0, 0};
+  for (int v = 0; v < kQ1NodesPerEl; ++v)
+    for (int d = 0; d < 3; ++d) x[d] += N[v] * xe[v][d];
+  return x;
+}
+
+StructuredMesh StructuredMesh::coarsen() const {
+  PT_ASSERT_MSG(can_coarsen(), "mesh dimensions must be even to coarsen");
+  StructuredMesh c;
+  c.mx_ = mx_ / 2;
+  c.my_ = my_ / 2;
+  c.mz_ = mz_ / 2;
+  c.coords_.resize(3 * c.num_nodes());
+  // Injection: coarse node (i,j,k) takes the coordinates of fine node
+  // (2i, 2j, 2k).
+  for (Index k = 0; k < c.nz(); ++k)
+    for (Index j = 0; j < c.ny(); ++j)
+      for (Index i = 0; i < c.nx(); ++i) {
+        const Index cn = c.node_index(i, j, k);
+        const Index fn = node_index(2 * i, 2 * j, 2 * k);
+        for (int d = 0; d < 3; ++d) c.coords_[3 * cn + d] = coords_[3 * fn + d];
+      }
+  return c;
+}
+
+void StructuredMesh::element_bbox(Index e, Vec3& lo, Vec3& hi) const {
+  Real xe[kQ1NodesPerEl][3];
+  element_corner_coords(e, xe);
+  for (int d = 0; d < 3; ++d) {
+    lo[d] = hi[d] = xe[0][d];
+    for (int v = 1; v < kQ1NodesPerEl; ++v) {
+      lo[d] = std::min(lo[d], xe[v][d]);
+      hi[d] = std::max(hi[d], xe[v][d]);
+    }
+  }
+}
+
+Real StructuredMesh::volume() const {
+  const auto& geom = geom_tabulation();
+  const auto& tab = q2_tabulation();
+  return parallel_reduce_sum(num_elements(), [&](Index e) {
+    Real xe[kQ1NodesPerEl][3];
+    element_corner_coords(e, xe);
+    Real vol = 0.0;
+    for (int q = 0; q < kQuadPerEl; ++q) {
+      Mat3 J{};
+      for (int v = 0; v < kQ1NodesPerEl; ++v)
+        for (int r = 0; r < 3; ++r)
+          for (int d = 0; d < 3; ++d)
+            J[3 * r + d] += xe[v][r] * geom.dN[q][v][d];
+      vol += tab.w[q] * det3(J);
+    }
+    return vol;
+  });
+}
+
+} // namespace ptatin

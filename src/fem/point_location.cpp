@@ -1,0 +1,125 @@
+#include "fem/point_location.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fem/basis.hpp"
+
+namespace ptatin {
+
+bool invert_trilinear_map(const StructuredMesh& mesh, Index e, const Vec3& x,
+                          Vec3& xi, Real tol, int max_it) {
+  Real xe[kQ1NodesPerEl][3];
+  mesh.element_corner_coords(e, xe);
+
+  xi = {0, 0, 0};
+  for (int it = 0; it < max_it; ++it) {
+    Real N[kQ1NodesPerEl], dN[kQ1NodesPerEl][3];
+    const Real p[3] = {xi[0], xi[1], xi[2]};
+    q1_eval(p, N);
+    q1_eval_deriv(p, dN);
+
+    Vec3 r{-x[0], -x[1], -x[2]};
+    Mat3 J{};
+    for (int v = 0; v < kQ1NodesPerEl; ++v) {
+      for (int d = 0; d < 3; ++d) {
+        r[d] += N[v] * xe[v][d];
+        for (int c = 0; c < 3; ++c) J[3 * d + c] += xe[v][d] * dN[v][c];
+      }
+    }
+    const Real rn = norm3(r);
+    if (rn < tol) return true;
+
+    const Real det = det3(J);
+    if (std::abs(det) < Real(1e-300)) return false;
+    const Mat3 Ji = inv3(J, det);
+    const Vec3 dx = matvec3(Ji, r);
+    for (int d = 0; d < 3; ++d) xi[d] -= dx[d];
+    // Keep the iterate in a sane trust region; overshoots signal a wrong
+    // element, which the walk handles.
+    for (int d = 0; d < 3; ++d) xi[d] = std::clamp(xi[d], Real(-3), Real(3));
+  }
+  return false;
+}
+
+namespace {
+
+/// Initial element guess assuming an approximately regular lattice inside the
+/// mesh bounding box.
+Index lattice_guess(const StructuredMesh& mesh, const Vec3& x) {
+  // Bounding box from the domain corner vertices.
+  const Vec3 lo = mesh.node_coord(mesh.node_index(0, 0, 0));
+  const Vec3 hi = mesh.node_coord(
+      mesh.node_index(mesh.nx() - 1, mesh.ny() - 1, mesh.nz() - 1));
+  Index e[3];
+  const Index m[3] = {mesh.mx(), mesh.my(), mesh.mz()};
+  for (int d = 0; d < 3; ++d) {
+    const Real span = hi[d] - lo[d];
+    Real frac = span > 0 ? (x[d] - lo[d]) / span : 0.0;
+    e[d] = std::clamp(static_cast<Index>(std::floor(frac * Real(m[d]))),
+                      Index(0), m[d] - 1);
+  }
+  return mesh.element_index(e[0], e[1], e[2]);
+}
+
+} // namespace
+
+PointLocation locate_point(const StructuredMesh& mesh, const Vec3& x,
+                           Index hint) {
+  PointLocation loc;
+  Index e = (hint >= 0 && hint < mesh.num_elements()) ? hint
+                                                      : lattice_guess(mesh, x);
+  constexpr Real kInTol = 1.0 + 1e-10;
+  const Index max_walk =
+      2 * (mesh.mx() + mesh.my() + mesh.mz()); // generous walk budget
+
+  Index prev = -1;
+  for (Index step = 0; step < max_walk; ++step) {
+    Vec3 xi;
+    const bool converged = invert_trilinear_map(mesh, e, x, xi);
+    // A non-converged Newton iterate with a large |xi| still points toward
+    // the containing element (the map is nearly affine far away); only a
+    // converged in-range xi counts as "found".
+    if (converged && std::abs(xi[0]) <= kInTol && std::abs(xi[1]) <= kInTol &&
+        std::abs(xi[2]) <= kInTol) {
+      loc.found = true;
+      loc.element = e;
+      for (int d = 0; d < 3; ++d) loc.xi[d] = std::clamp(xi[d], Real(-1), Real(1));
+      return loc;
+    }
+
+    // Walk one lattice step in each overshooting direction.
+    Index ei, ej, ek;
+    mesh.element_ijk(e, ei, ej, ek);
+    Index ne[3] = {ei, ej, ek};
+    const Index m[3] = {mesh.mx(), mesh.my(), mesh.mz()};
+    bool moved = false;
+    const Real over[3] = {xi[0], xi[1], xi[2]};
+    for (int d = 0; d < 3; ++d) {
+      if (over[d] > kInTol && ne[d] + 1 < m[d]) {
+        ++ne[d];
+        moved = true;
+      } else if (over[d] < -kInTol && ne[d] > 0) {
+        --ne[d];
+        moved = true;
+      }
+    }
+    if (!moved) return loc; // point is outside the mesh (or degenerate cell)
+
+    const Index next = mesh.element_index(ne[0], ne[1], ne[2]);
+    if (next == prev && converged) {
+      // Oscillation between two cells (point on a face of a deformed pair):
+      // accept the current cell with clamped coordinates.
+      loc.found = true;
+      loc.element = e;
+      for (int d = 0; d < 3; ++d)
+        loc.xi[d] = std::clamp(over[d], Real(-1), Real(1));
+      return loc;
+    }
+    prev = e;
+    e = next;
+  }
+  return loc;
+}
+
+} // namespace ptatin

@@ -1,0 +1,34 @@
+// Point location in the deformed structured mesh.
+//
+// §II-D: "we apply a point location routine that simultaneously returns the
+// local element index containing the material point and its local coordinate
+// xi". The algorithm inverts the trilinear geometry map with Newton's method
+// and, when the point lies outside the trial element, walks through the IJK
+// lattice in the direction of the reference-coordinate overshoot.
+#pragma once
+
+#include "common/small_mat.hpp"
+#include "common/types.hpp"
+#include "fem/mesh.hpp"
+
+namespace ptatin {
+
+struct PointLocation {
+  bool found = false;
+  Index element = -1;
+  Vec3 xi{0, 0, 0}; ///< reference coordinates in [-1, 1]^3
+};
+
+/// Newton inversion of the trilinear map of element e. Returns true if the
+/// iteration converged; xi may land outside [-1,1]^3 (meaning: the point
+/// belongs to another element — the overshoot directs the walk).
+bool invert_trilinear_map(const StructuredMesh& mesh, Index e, const Vec3& x,
+                          Vec3& xi, Real tol = 1e-12, int max_it = 30);
+
+/// Locate a physical point. `hint` (optional) seeds the lattice walk with a
+/// known previous element — material points move less than one element per
+/// step, making location O(1) amortized.
+PointLocation locate_point(const StructuredMesh& mesh, const Vec3& x,
+                           Index hint = -1);
+
+} // namespace ptatin

@@ -1,0 +1,59 @@
+#include "ksp/cg.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ptatin {
+
+SolveStats cg_solve(const LinearOperator& a, const Preconditioner& pc,
+                    const Vector& b, Vector& x, const KrylovSettings& s) {
+  SolveStats stats;
+  const Index n = b.size();
+  if (x.size() != n) x.resize(n);
+
+  Vector r(n), z(n), p(n), ap(n);
+  a.residual(b, x, r);
+
+  Real rnorm = r.norm2();
+  stats.initial_residual = rnorm;
+  const Real target = std::max(s.atol, s.rtol * rnorm);
+  if (s.record_history) stats.history.push_back(rnorm);
+
+  pc.apply(r, z);
+  p.copy_from(z);
+  Real rz = r.dot(z);
+
+  int it = 0;
+  while (it < s.max_it && rnorm > target) {
+    a.apply(p, ap);
+    const Real pap = p.dot(ap);
+    if (pap <= 0.0) {
+      stats.reason = "indefinite operator (pAp <= 0)";
+      break;
+    }
+    const Real alpha = rz / pap;
+    x.axpy(alpha, p);
+    r.axpy(-alpha, ap);
+    rnorm = r.norm2();
+    ++it;
+    if (s.record_history) stats.history.push_back(rnorm);
+    if (s.monitor) s.monitor(it, rnorm, &r);
+    if (rnorm <= target) break;
+
+    pc.apply(r, z);
+    const Real rz_new = r.dot(z);
+    const Real beta = rz_new / rz;
+    rz = rz_new;
+    p.aypx(beta, z); // p = z + beta p
+  }
+
+  stats.iterations = it;
+  stats.final_residual = rnorm;
+  stats.converged = rnorm <= target;
+  if (stats.reason.empty())
+    stats.reason = stats.converged ? "rtol" : "max_it";
+  return stats;
+}
+
+} // namespace ptatin

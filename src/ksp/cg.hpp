@@ -1,0 +1,18 @@
+// Preconditioned conjugate gradients (SPD systems).
+//
+// Used for: the viscous block when solved accurately (SCR inner solves), the
+// inexact coarse-grid solve of the §V rifting configuration ("an inexact
+// Krylov method (CG), preconditioned with an algebraically defined additive
+// Schwarz method"), and the energy equation's symmetric part.
+#pragma once
+
+#include "ksp/operator.hpp"
+#include "ksp/pc.hpp"
+#include "ksp/settings.hpp"
+
+namespace ptatin {
+
+SolveStats cg_solve(const LinearOperator& a, const Preconditioner& pc,
+                    const Vector& b, Vector& x, const KrylovSettings& s);
+
+} // namespace ptatin

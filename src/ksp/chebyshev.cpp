@@ -1,0 +1,73 @@
+#include "ksp/chebyshev.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "ksp/eig_estimate.hpp"
+
+namespace ptatin {
+
+void ChebyshevSmoother::setup(const LinearOperator& a, Vector diag,
+                              const ChebyshevOptions& opt) {
+  PT_ASSERT(a.rows() == a.cols());
+  PT_ASSERT(diag.size() == a.rows());
+  a_ = &a;
+  inv_diag_ = std::move(diag);
+  Real* d = inv_diag_.data();
+  parallel_for(inv_diag_.size(), [&](Index i) {
+    PT_DEBUG_ASSERT(d[i] != 0.0);
+    d[i] = Real(1) / d[i];
+  });
+
+  lambda_max_ = estimate_lambda_max_jacobi(a, inv_diag_, opt.eig_est_iterations);
+  PT_ASSERT_MSG(lambda_max_ > 0.0, "Chebyshev: nonpositive eigenvalue estimate");
+  emin_ = opt.emin_fraction * lambda_max_;
+  emax_ = opt.emax_fraction * lambda_max_;
+}
+
+void ChebyshevSmoother::smooth(const Vector& b, Vector& x,
+                               int iterations) const {
+  PT_ASSERT(a_ != nullptr);
+  const Index n = b.size();
+  if (x.size() != n) x.resize(n, 0.0);
+
+  // Chebyshev semi-iteration on the Jacobi-preconditioned system
+  // (D^{-1}A) x = D^{-1} b, spectrum bounded by [emin_, emax_].
+  const Real theta = Real(0.5) * (emax_ + emin_);
+  const Real delta = Real(0.5) * (emax_ - emin_);
+  const Real sigma = theta / delta;
+
+  Vector r(n), z(n), p(n);
+  const Real* idg = inv_diag_.data();
+
+  // r = b - A x ; z = D^{-1} r
+  a_->residual(b, x, r);
+  {
+    const Real* rp = r.data();
+    Real* zp = z.data();
+    parallel_for(n, [&](Index i) { zp[i] = rp[i] * idg[i]; });
+  }
+
+  Real rho = Real(1) / sigma;
+  p.copy_from(z);
+  p.scale(Real(1) / theta);
+  x.axpy(1.0, p);
+
+  for (int k = 1; k < iterations; ++k) {
+    a_->residual(b, x, r);
+    {
+      const Real* rp = r.data();
+      Real* zp = z.data();
+      parallel_for(n, [&](Index i) { zp[i] = rp[i] * idg[i]; });
+    }
+    const Real rho_new = Real(1) / (Real(2) * sigma - rho);
+    // p = rho_new * rho * p + (2 rho_new / delta) z
+    p.scale(rho_new * rho);
+    p.axpy(Real(2) * rho_new / delta, z);
+    x.axpy(1.0, p);
+    rho = rho_new;
+  }
+}
+
+} // namespace ptatin

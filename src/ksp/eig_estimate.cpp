@@ -1,0 +1,38 @@
+#include "ksp/eig_estimate.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+
+namespace ptatin {
+
+Real estimate_lambda_max_jacobi(const LinearOperator& a, const Vector& inv_diag,
+                                int iterations) {
+  const Index n = a.rows();
+  PT_ASSERT(inv_diag.size() == n);
+  Vector v(n), w(n);
+
+  // Deterministic pseudo-random start vector excites all modes reproducibly.
+  Rng rng(0xC0FFEEull);
+  for (Index i = 0; i < n; ++i) v[i] = rng.uniform(-1.0, 1.0);
+  Real vnorm = v.norm2();
+  PT_ASSERT(vnorm > 0.0);
+  v.scale(Real(1) / vnorm);
+
+  Real lambda = 0.0;
+  const Real* idg = inv_diag.data();
+  for (int k = 0; k < iterations; ++k) {
+    a.apply(v, w);
+    Real* wp = w.data();
+    parallel_for(n, [&](Index i) { wp[i] *= idg[i]; });
+    lambda = w.norm2(); // Rayleigh-style growth factor for the unit vector v
+    if (!(lambda > 0.0)) return 0.0;
+    v.copy_from(w);
+    v.scale(Real(1) / lambda);
+  }
+  return lambda;
+}
+
+} // namespace ptatin

@@ -1,0 +1,18 @@
+// Largest-eigenvalue estimation for Chebyshev smoother setup.
+//
+// §III-C: "λmax is an estimate of the largest eigenvalue of the
+// Jacobi-preconditioned operator, computed by a few iterations of a Krylov
+// method."
+#pragma once
+
+#include "ksp/operator.hpp"
+#include "la/vector.hpp"
+
+namespace ptatin {
+
+/// Estimate λmax(D^{-1} A) where inv_diag holds 1/diag(A).
+/// Uses power iteration with a deterministic start vector.
+Real estimate_lambda_max_jacobi(const LinearOperator& a, const Vector& inv_diag,
+                                int iterations);
+
+} // namespace ptatin

@@ -1,0 +1,72 @@
+#include "ksp/gcr.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ptatin {
+
+SolveStats gcr_solve(const LinearOperator& a, const Preconditioner& pc,
+                     const Vector& b, Vector& x, const KrylovSettings& s) {
+  SolveStats stats;
+  const Index n = b.size();
+  if (x.size() != n) x.resize(n);
+  const int m = std::max(1, s.restart);
+
+  // Search directions s_k and their images As_k, orthonormalized in the
+  // A-image inner product: (As_i, As_j) = delta_ij.
+  std::vector<Vector> S(m), AS(m);
+
+  Vector r(n), z(n), az(n);
+  a.residual(b, x, r);
+  Real rnorm = r.norm2();
+  stats.initial_residual = rnorm;
+  const Real target = std::max(s.atol, s.rtol * rnorm);
+  if (s.record_history) stats.history.push_back(rnorm);
+  if (s.monitor) s.monitor(0, rnorm, &r);
+
+  int total_it = 0;
+  while (total_it < s.max_it && rnorm > target) {
+    for (int k = 0; k < m && total_it < s.max_it && rnorm > target; ++k) {
+      pc.apply(r, z);
+      a.apply(z, az);
+
+      // Orthogonalize (z, az) against previous directions (classical GCR).
+      for (int i = 0; i < k; ++i) {
+        const Real beta = az.dot(AS[i]);
+        z.axpy(-beta, S[i]);
+        az.axpy(-beta, AS[i]);
+      }
+      const Real aznorm = az.norm2();
+      if (!(aznorm > 0.0)) {
+        stats.reason = "breakdown: A-image of search direction vanished";
+        total_it = s.max_it; // terminate outer loop
+        break;
+      }
+      if (S[k].size() != n) S[k].resize(n);
+      if (AS[k].size() != n) AS[k].resize(n);
+      S[k].copy_from(z);
+      S[k].scale(Real(1) / aznorm);
+      AS[k].copy_from(az);
+      AS[k].scale(Real(1) / aznorm);
+
+      const Real alpha = r.dot(AS[k]);
+      x.axpy(alpha, S[k]);
+      r.axpy(-alpha, AS[k]);
+      rnorm = r.norm2();
+      ++total_it;
+      if (s.record_history) stats.history.push_back(rnorm);
+      if (s.monitor) s.monitor(total_it, rnorm, &r);
+    }
+  }
+
+  stats.iterations = total_it;
+  stats.final_residual = rnorm;
+  stats.converged = rnorm <= target;
+  if (stats.reason.empty())
+    stats.reason = stats.converged ? "rtol" : "max_it";
+  return stats;
+}
+
+} // namespace ptatin

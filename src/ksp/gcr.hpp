@@ -1,0 +1,19 @@
+// GCR(m): generalized conjugate residuals.
+//
+// The paper's preferred outer method (§III-A): flexible (tolerates nonlinear
+// preconditioners such as inner V-cycles), and — unlike GMRES — keeps the
+// current iterate and *explicit residual* available at every iteration, which
+// is what allows the per-field (momentum vs pressure) residual monitoring of
+// Figure 2 without extra operator applications.
+#pragma once
+
+#include "ksp/operator.hpp"
+#include "ksp/pc.hpp"
+#include "ksp/settings.hpp"
+
+namespace ptatin {
+
+SolveStats gcr_solve(const LinearOperator& a, const Preconditioner& pc,
+                     const Vector& b, Vector& x, const KrylovSettings& s);
+
+} // namespace ptatin

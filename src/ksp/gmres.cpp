@@ -1,0 +1,135 @@
+#include "ksp/gmres.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ptatin {
+
+namespace {
+
+/// Shared implementation of right-preconditioned (F)GMRES(m).
+/// When `flexible` is true, the preconditioned vectors Z_j are stored and the
+/// solution update uses Z (FGMRES, Saad '93); otherwise the update is
+/// x += M^{-1} (V y), valid only for a fixed (linear) preconditioner.
+SolveStats gmres_impl(const LinearOperator& a, const Preconditioner& pc,
+                      const Vector& b, Vector& x, const KrylovSettings& s,
+                      bool flexible) {
+  SolveStats stats;
+  const Index n = b.size();
+  if (x.size() != n) x.resize(n);
+  const int m = std::max(1, s.restart);
+
+  std::vector<Vector> V(m + 1);
+  std::vector<Vector> Z(flexible ? m : 0);
+  // Hessenberg in column-major (j-th column has j+2 entries).
+  std::vector<std::vector<Real>> H(m, std::vector<Real>(m + 1, 0.0));
+  std::vector<Real> cs(m), sn(m), g(m + 1);
+
+  Vector r(n), w(n), ztmp(n);
+  a.residual(b, x, r);
+  Real rnorm = r.norm2();
+  stats.initial_residual = rnorm;
+  const Real target = std::max(s.atol, s.rtol * rnorm);
+  if (s.record_history) stats.history.push_back(rnorm);
+
+  int total_it = 0;
+  while (total_it < s.max_it && rnorm > target) {
+    // --- start (restart) cycle ---
+    V[0].copy_from(r);
+    V[0].scale(Real(1) / rnorm);
+    std::fill(g.begin(), g.end(), 0.0);
+    g[0] = rnorm;
+
+    int j = 0;
+    for (; j < m && total_it < s.max_it; ++j, ++total_it) {
+      // w = A M^{-1} v_j
+      if (flexible) {
+        pc.apply(V[j], Z[j]);
+        a.apply(Z[j], w);
+      } else {
+        pc.apply(V[j], ztmp);
+        a.apply(ztmp, w);
+      }
+      // Modified Gram–Schmidt.
+      for (int i = 0; i <= j; ++i) {
+        H[j][i] = w.dot(V[i]);
+        w.axpy(-H[j][i], V[i]);
+      }
+      H[j][j + 1] = w.norm2();
+      if (V[j + 1].size() != n) V[j + 1].resize(n);
+      if (H[j][j + 1] > 0.0) {
+        V[j + 1].copy_from(w);
+        V[j + 1].scale(Real(1) / H[j][j + 1]);
+      }
+
+      // Apply accumulated Givens rotations to the new column.
+      for (int i = 0; i < j; ++i) {
+        const Real t = cs[i] * H[j][i] + sn[i] * H[j][i + 1];
+        H[j][i + 1] = -sn[i] * H[j][i] + cs[i] * H[j][i + 1];
+        H[j][i] = t;
+      }
+      // New rotation to annihilate H[j][j+1].
+      const Real denom = std::hypot(H[j][j], H[j][j + 1]);
+      PT_ASSERT_MSG(denom > 0.0, "GMRES breakdown: zero Hessenberg column");
+      cs[j] = H[j][j] / denom;
+      sn[j] = H[j][j + 1] / denom;
+      H[j][j] = denom;
+      H[j][j + 1] = 0.0;
+      g[j + 1] = -sn[j] * g[j];
+      g[j] = cs[j] * g[j];
+
+      rnorm = std::abs(g[j + 1]);
+      if (s.record_history) stats.history.push_back(rnorm);
+      if (s.monitor) s.monitor(total_it + 1, rnorm, nullptr);
+      if (rnorm <= target) {
+        ++j;
+        ++total_it;
+        break;
+      }
+    }
+
+    // Solve the j x j triangular system H y = g.
+    std::vector<Real> y(j, 0.0);
+    for (int i = j - 1; i >= 0; --i) {
+      Real sum = g[i];
+      for (int k = i + 1; k < j; ++k) sum -= H[k][i] * y[k];
+      y[i] = sum / H[i][i];
+    }
+    // Update solution.
+    if (flexible) {
+      for (int i = 0; i < j; ++i) x.axpy(y[i], Z[i]);
+    } else {
+      // x += M^{-1} (V y)
+      w.resize(n);
+      w.set_all(0.0);
+      for (int i = 0; i < j; ++i) w.axpy(y[i], V[i]);
+      pc.apply(w, ztmp);
+      x.axpy(1.0, ztmp);
+    }
+
+    a.residual(b, x, r);
+    rnorm = r.norm2();
+  }
+
+  stats.iterations = total_it;
+  stats.final_residual = rnorm;
+  stats.converged = rnorm <= target;
+  stats.reason = stats.converged ? "rtol" : "max_it";
+  return stats;
+}
+
+} // namespace
+
+SolveStats gmres_solve(const LinearOperator& a, const Preconditioner& pc,
+                       const Vector& b, Vector& x, const KrylovSettings& s) {
+  return gmres_impl(a, pc, b, x, s, /*flexible=*/false);
+}
+
+SolveStats fgmres_solve(const LinearOperator& a, const Preconditioner& pc,
+                        const Vector& b, Vector& x, const KrylovSettings& s) {
+  return gmres_impl(a, pc, b, x, s, /*flexible=*/true);
+}
+
+} // namespace ptatin

@@ -1,0 +1,22 @@
+// Restarted GMRES and flexible GMRES.
+//
+// GMRES(m) is right-preconditioned so the recurrence tracks the true
+// (unpreconditioned) residual norm — the convergence criterion used for every
+// experiment in §IV ("solved to an unpreconditioned relative tolerance of
+// 1e-5"). FGMRES stores the preconditioned directions and therefore tolerates
+// a nonlinear preconditioner (inner iterations), per §III-A.
+#pragma once
+
+#include "ksp/operator.hpp"
+#include "ksp/pc.hpp"
+#include "ksp/settings.hpp"
+
+namespace ptatin {
+
+SolveStats gmres_solve(const LinearOperator& a, const Preconditioner& pc,
+                       const Vector& b, Vector& x, const KrylovSettings& s);
+
+SolveStats fgmres_solve(const LinearOperator& a, const Preconditioner& pc,
+                        const Vector& b, Vector& x, const KrylovSettings& s);
+
+} // namespace ptatin

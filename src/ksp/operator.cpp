@@ -1,0 +1,17 @@
+#include "ksp/operator.hpp"
+
+#include "common/error.hpp"
+
+namespace ptatin {
+
+Vector LinearOperator::diagonal() const {
+  PT_THROW("LinearOperator::diagonal() not implemented for this operator");
+}
+
+void LinearOperator::residual(const Vector& b, const Vector& x,
+                              Vector& r) const {
+  apply(x, r);
+  r.aypx(-1.0, b); // r = b - A x
+}
+
+} // namespace ptatin

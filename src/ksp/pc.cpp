@@ -1,0 +1,27 @@
+#include "ksp/pc.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace ptatin {
+
+JacobiPc::JacobiPc(Vector diag) : inv_diag_(std::move(diag)) {
+  Real* d = inv_diag_.data();
+  parallel_for(inv_diag_.size(), [&](Index i) {
+    PT_DEBUG_ASSERT(d[i] != 0.0);
+    d[i] = Real(1) / d[i];
+  });
+}
+
+void JacobiPc::apply(const Vector& r, Vector& z) const {
+  PT_ASSERT(r.size() == inv_diag_.size());
+  if (z.size() != r.size()) z.resize(r.size());
+  const Real* rp = r.data();
+  const Real* dp = inv_diag_.data();
+  Real* zp = z.data();
+  parallel_for(r.size(), [&](Index i) { zp[i] = rp[i] * dp[i]; });
+}
+
+} // namespace ptatin

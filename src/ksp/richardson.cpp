@@ -1,0 +1,39 @@
+#include "ksp/richardson.hpp"
+
+#include <cmath>
+
+namespace ptatin {
+
+SolveStats richardson_solve(const LinearOperator& a, const Preconditioner& pc,
+                            const Vector& b, Vector& x, const KrylovSettings& s,
+                            Real damping) {
+  SolveStats stats;
+  const Index n = b.size();
+  if (x.size() != n) x.resize(n);
+
+  Vector r(n), z(n);
+  a.residual(b, x, r);
+  Real rnorm = r.norm2();
+  stats.initial_residual = rnorm;
+  const Real target = std::max(s.atol, s.rtol * rnorm);
+  if (s.record_history) stats.history.push_back(rnorm);
+
+  int it = 0;
+  while (it < s.max_it && rnorm > target) {
+    pc.apply(r, z);
+    x.axpy(damping, z);
+    a.residual(b, x, r);
+    rnorm = r.norm2();
+    ++it;
+    if (s.record_history) stats.history.push_back(rnorm);
+    if (s.monitor) s.monitor(it, rnorm, &r);
+  }
+
+  stats.iterations = it;
+  stats.final_residual = rnorm;
+  stats.converged = rnorm <= target;
+  stats.reason = stats.converged ? "rtol" : "max_it";
+  return stats;
+}
+
+} // namespace ptatin

@@ -1,0 +1,17 @@
+// Preconditioned Richardson iteration (x <- x + w M^{-1}(b - Ax)).
+//
+// Building block for smoother ablations and the FGMRES(2)-style inner
+// smoothers of the SAML-ii configuration.
+#pragma once
+
+#include "ksp/operator.hpp"
+#include "ksp/pc.hpp"
+#include "ksp/settings.hpp"
+
+namespace ptatin {
+
+SolveStats richardson_solve(const LinearOperator& a, const Preconditioner& pc,
+                            const Vector& b, Vector& x, const KrylovSettings& s,
+                            Real damping = 1.0);
+
+} // namespace ptatin

@@ -1,0 +1,34 @@
+// Shared Krylov solver settings, statistics, and monitoring hooks.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "la/vector.hpp"
+
+namespace ptatin {
+
+struct KrylovSettings {
+  Real rtol = 1e-5;  ///< relative (unpreconditioned) residual tolerance
+  Real atol = 1e-50; ///< absolute residual tolerance
+  int max_it = 10000;
+  int restart = 30;          ///< GMRES/FGMRES/GCR restart length
+  bool record_history = true;
+  /// Called once per iteration with (iteration, ||r||, residual-or-null).
+  /// GCR passes the explicit residual vector; GMRES variants pass nullptr
+  /// because the residual exists only through the Arnoldi recurrence (§III-A).
+  std::function<void(int, Real, const Vector*)> monitor;
+};
+
+struct SolveStats {
+  bool converged = false;
+  int iterations = 0;
+  Real initial_residual = 0.0;
+  Real final_residual = 0.0;
+  std::vector<Real> history; ///< residual norm per iteration (if recorded)
+  std::string reason;
+};
+
+} // namespace ptatin

@@ -1,0 +1,76 @@
+#include "la/block_jacobi.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace ptatin {
+
+CsrMatrix BlockJacobi::extract_block(const CsrMatrix& a, Index lo, Index hi) {
+  const Index nb = hi - lo;
+  std::vector<Index> rp(nb + 1, 0);
+  std::vector<Index> ci;
+  std::vector<Real> va;
+  for (Index i = lo; i < hi; ++i) {
+    for (Index k = a.row_ptr()[i]; k < a.row_ptr()[i + 1]; ++k) {
+      const Index j = a.col_idx()[k];
+      if (j >= lo && j < hi) {
+        ci.push_back(j - lo);
+        va.push_back(a.values()[k]);
+      }
+    }
+    rp[i - lo + 1] = static_cast<Index>(ci.size());
+  }
+  return CsrMatrix(nb, nb, std::move(rp), std::move(ci), std::move(va));
+}
+
+void BlockJacobi::setup(const CsrMatrix& a, Index nblocks, SubdomainSolve solve,
+                        Index overlap) {
+  PT_ASSERT(a.rows() == a.cols());
+  n_ = a.rows();
+  nblocks = std::max<Index>(1, std::min(nblocks, n_));
+  blocks_.assign(nblocks, Block{});
+
+  const Index chunk = (n_ + nblocks - 1) / nblocks;
+  for (Index b = 0; b < nblocks; ++b) {
+    Block& blk = blocks_[b];
+    blk.begin = b * chunk;
+    blk.end = std::min(n_, blk.begin + chunk);
+    blk.lo = std::max<Index>(0, blk.begin - overlap);
+    blk.hi = std::min(n_, blk.end + overlap);
+    blk.solve = solve;
+    if (blk.begin >= blk.end) { // empty tail block
+      blk.lo = blk.hi = blk.begin;
+      continue;
+    }
+    CsrMatrix sub = extract_block(a, blk.lo, blk.hi);
+    if (solve == SubdomainSolve::kLu) {
+      blk.lu.factor(DenseMatrix::from_csr(sub));
+    } else {
+      blk.ilu.factor(sub);
+    }
+  }
+}
+
+void BlockJacobi::apply(const Vector& b, Vector& x) const {
+  PT_ASSERT(b.size() == n_);
+  if (x.size() != n_) x.resize(n_);
+  const Index nb = num_blocks();
+  parallel_for(nb, [&](Index bi) {
+    const Block& blk = blocks_[bi];
+    const Index m = blk.hi - blk.lo;
+    if (m == 0) return;
+    Vector rhs(m), sol(m);
+    for (Index i = 0; i < m; ++i) rhs[i] = b[blk.lo + i];
+    if (blk.solve == SubdomainSolve::kLu) {
+      blk.lu.solve(rhs, sol);
+    } else {
+      blk.ilu.solve(rhs, sol);
+    }
+    // Restricted combine: write back only the owned rows.
+    for (Index i = blk.begin; i < blk.end; ++i) x[i] = sol[i - blk.lo];
+  });
+}
+
+} // namespace ptatin

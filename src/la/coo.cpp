@@ -1,0 +1,58 @@
+#include "la/coo.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "la/csr.hpp"
+
+namespace ptatin {
+
+void CooMatrix::add(Index i, Index j, Real v) {
+  PT_DEBUG_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+  is_.push_back(i);
+  js_.push_back(j);
+  vals_.push_back(v);
+}
+
+void CooMatrix::reserve(std::size_t n) {
+  is_.reserve(n);
+  js_.reserve(n);
+  vals_.reserve(n);
+}
+
+CsrMatrix CooMatrix::to_csr() const {
+  const std::size_t n = vals_.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return is_[a] != is_[b] ? is_[a] < is_[b] : js_[a] < js_[b];
+  });
+
+  std::vector<Index> ci;
+  std::vector<Real> va;
+  std::vector<Index> row_count(rows_, 0);
+  ci.reserve(n);
+  va.reserve(n);
+
+  Index last_i = -1, last_j = -1;
+  for (std::size_t t = 0; t < n; ++t) {
+    const std::size_t k = order[t];
+    const Index i = is_[k], j = js_[k];
+    if (i == last_i && j == last_j) {
+      va.back() += vals_[k]; // duplicate entry: sum
+    } else {
+      ci.push_back(j);
+      va.push_back(vals_[k]);
+      ++row_count[i];
+      last_i = i;
+      last_j = j;
+    }
+  }
+
+  std::vector<Index> rp(rows_ + 1, 0);
+  for (Index i = 0; i < rows_; ++i) rp[i + 1] = rp[i] + row_count[i];
+  return CsrMatrix(rows_, cols_, std::move(rp), std::move(ci), std::move(va));
+}
+
+} // namespace ptatin

@@ -1,0 +1,36 @@
+// Triplet (COO) accumulator used to build general sparse matrices.
+//
+// FEM block assembly uses the pattern-based path in fem/assembler; COO is the
+// general-purpose builder for interpolation operators, AMG prolongators, and
+// tests. Duplicate (i,j) entries are summed on conversion to CSR.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ptatin {
+
+class CsrMatrix;
+
+class CooMatrix {
+public:
+  CooMatrix(Index rows, Index cols) : rows_(rows), cols_(cols) {}
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Index nnz() const { return static_cast<Index>(vals_.size()); }
+
+  void add(Index i, Index j, Real v);
+  void reserve(std::size_t n);
+
+  /// Sort by (row, col), merge duplicates (summing), and emit CSR.
+  CsrMatrix to_csr() const;
+
+private:
+  Index rows_, cols_;
+  std::vector<Index> is_, js_;
+  std::vector<Real> vals_;
+};
+
+} // namespace ptatin

@@ -1,0 +1,262 @@
+#include "la/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace ptatin {
+
+CsrMatrix::CsrMatrix(Index rows, Index cols, std::vector<Index> row_ptr,
+                     std::vector<Index> col_idx, std::vector<Real> vals)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      vals_(std::move(vals)) {
+  PT_ASSERT(static_cast<Index>(row_ptr_.size()) == rows_ + 1);
+  PT_ASSERT(col_idx_.size() == vals_.size());
+  PT_ASSERT(row_ptr_.back() == static_cast<Index>(vals_.size()));
+}
+
+void CsrMatrix::mult(const Vector& x, Vector& y) const {
+  PT_ASSERT(x.size() == cols_);
+  if (y.size() != rows_) y.resize(rows_);
+  const Index* rp = row_ptr_.data();
+  const Index* ci = col_idx_.data();
+  const Real* va = vals_.data();
+  const Real* xp = x.data();
+  Real* yp = y.data();
+  parallel_for(rows_, [&](Index i) {
+    Real sum = 0.0;
+    for (Index k = rp[i]; k < rp[i + 1]; ++k) sum += va[k] * xp[ci[k]];
+    yp[i] = sum;
+  });
+}
+
+void CsrMatrix::mult_add(const Vector& x, Vector& y) const {
+  PT_ASSERT(x.size() == cols_ && y.size() == rows_);
+  const Index* rp = row_ptr_.data();
+  const Index* ci = col_idx_.data();
+  const Real* va = vals_.data();
+  const Real* xp = x.data();
+  Real* yp = y.data();
+  parallel_for(rows_, [&](Index i) {
+    Real sum = 0.0;
+    for (Index k = rp[i]; k < rp[i + 1]; ++k) sum += va[k] * xp[ci[k]];
+    yp[i] += sum;
+  });
+}
+
+void CsrMatrix::mult_transpose(const Vector& x, Vector& y) const {
+  PT_ASSERT(x.size() == rows_);
+  if (y.size() != cols_) y.resize(cols_);
+  y.set_all(0.0);
+  Real* yp = y.data();
+  for (Index i = 0; i < rows_; ++i) {
+    const Real xi = x[i];
+    if (xi == 0.0) continue;
+    for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+      yp[col_idx_[k]] += vals_[k] * xi;
+  }
+}
+
+Vector CsrMatrix::diagonal() const {
+  Vector d(rows_, 0.0);
+  parallel_for(rows_, [&](Index i) {
+    for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      if (col_idx_[k] == i) {
+        d[i] = vals_[k];
+        break;
+      }
+    }
+  });
+  return d;
+}
+
+Real* CsrMatrix::find(Index i, Index j) {
+  PT_DEBUG_ASSERT(i >= 0 && i < rows_);
+  const Index lo = row_ptr_[i], hi = row_ptr_[i + 1];
+  auto begin = col_idx_.begin() + lo;
+  auto end = col_idx_.begin() + hi;
+  auto it = std::lower_bound(begin, end, j);
+  if (it == end || *it != j) return nullptr;
+  return &vals_[static_cast<std::size_t>(lo + (it - begin))];
+}
+
+const Real* CsrMatrix::find(Index i, Index j) const {
+  return const_cast<CsrMatrix*>(this)->find(i, j);
+}
+
+void CsrMatrix::add_value(Index i, Index j, Real v) {
+  Real* p = find(i, j);
+  PT_ASSERT_MSG(p != nullptr, "add_value: entry not in CSR pattern");
+  *p += v;
+}
+
+void CsrMatrix::zero_values() { std::fill(vals_.begin(), vals_.end(), 0.0); }
+
+void CsrMatrix::zero_row_set_identity(Index i) {
+  for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+    vals_[k] = (col_idx_[k] == i) ? 1.0 : 0.0;
+}
+
+CsrMatrix CsrMatrix::transpose() const {
+  std::vector<Index> rp(cols_ + 1, 0);
+  for (Index k = 0; k < nnz(); ++k) ++rp[col_idx_[k] + 1];
+  for (Index j = 0; j < cols_; ++j) rp[j + 1] += rp[j];
+  std::vector<Index> ci(nnz());
+  std::vector<Real> va(nnz());
+  std::vector<Index> next(rp.begin(), rp.end() - 1);
+  for (Index i = 0; i < rows_; ++i) {
+    for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      const Index j = col_idx_[k];
+      const Index dst = next[j]++;
+      ci[dst] = i;
+      va[dst] = vals_[k];
+    }
+  }
+  // Rows of the transpose are produced in increasing original-row order, so
+  // the column indices within each row are already sorted.
+  return CsrMatrix(cols_, rows_, std::move(rp), std::move(ci), std::move(va));
+}
+
+namespace {
+
+/// Sparse accumulator (SPA) for one output row of an SpGEMM.
+struct SparseAccumulator {
+  explicit SparseAccumulator(Index ncols)
+      : value(ncols, 0.0), marker(ncols, -1) {}
+
+  void scatter(Index col, Real v, Index row_id, std::vector<Index>& cols_out) {
+    if (marker[col] != row_id) {
+      marker[col] = row_id;
+      cols_out.push_back(col);
+      value[col] = v;
+    } else {
+      value[col] += v;
+    }
+  }
+
+  std::vector<Real> value;
+  std::vector<Index> marker;
+};
+
+} // namespace
+
+CsrMatrix CsrMatrix::multiply(const CsrMatrix& a, const CsrMatrix& b) {
+  PT_ASSERT(a.cols() == b.rows());
+  const Index m = a.rows();
+  const Index n = b.cols();
+
+  std::vector<Index> rp(m + 1, 0);
+  std::vector<std::vector<Index>> row_cols(m);
+  std::vector<std::vector<Real>> row_vals(m);
+
+#ifdef _OPENMP
+#pragma omp parallel
+#endif
+  {
+    SparseAccumulator spa(n);
+    std::vector<Index> cols;
+#ifdef _OPENMP
+#pragma omp for schedule(dynamic, 64)
+#endif
+    for (Index i = 0; i < m; ++i) {
+      cols.clear();
+      for (Index ka = a.row_ptr_[i]; ka < a.row_ptr_[i + 1]; ++ka) {
+        const Index k = a.col_idx_[ka];
+        const Real av = a.vals_[ka];
+        if (av == 0.0) continue;
+        for (Index kb = b.row_ptr_[k]; kb < b.row_ptr_[k + 1]; ++kb)
+          spa.scatter(b.col_idx_[kb], av * b.vals_[kb], i, cols);
+      }
+      std::sort(cols.begin(), cols.end());
+      row_cols[i].assign(cols.begin(), cols.end());
+      row_vals[i].resize(cols.size());
+      for (std::size_t t = 0; t < cols.size(); ++t)
+        row_vals[i][t] = spa.value[cols[t]];
+      rp[i + 1] = static_cast<Index>(cols.size());
+    }
+  }
+
+  for (Index i = 0; i < m; ++i) rp[i + 1] += rp[i];
+  std::vector<Index> ci(rp[m]);
+  std::vector<Real> va(rp[m]);
+  parallel_for(m, [&](Index i) {
+    std::copy(row_cols[i].begin(), row_cols[i].end(), ci.begin() + rp[i]);
+    std::copy(row_vals[i].begin(), row_vals[i].end(), va.begin() + rp[i]);
+  });
+  return CsrMatrix(m, n, std::move(rp), std::move(ci), std::move(va));
+}
+
+CsrMatrix CsrMatrix::ptap(const CsrMatrix& a, const CsrMatrix& p) {
+  PT_ASSERT(a.rows() == a.cols());
+  PT_ASSERT(a.cols() == p.rows());
+  CsrMatrix pt = p.transpose();
+  CsrMatrix ap = multiply(a, p);
+  return multiply(pt, ap);
+}
+
+CsrMatrix CsrMatrix::add(Real alpha, const CsrMatrix& a, const CsrMatrix& b) {
+  PT_ASSERT(a.rows() == b.rows() && a.cols() == b.cols());
+  const Index m = a.rows();
+  std::vector<Index> rp(m + 1, 0);
+  std::vector<Index> ci;
+  std::vector<Real> va;
+  ci.reserve(a.nnz() + b.nnz());
+  va.reserve(a.nnz() + b.nnz());
+  for (Index i = 0; i < m; ++i) {
+    Index ka = a.row_ptr_[i], kb = b.row_ptr_[i];
+    const Index ea = a.row_ptr_[i + 1], eb = b.row_ptr_[i + 1];
+    while (ka < ea || kb < eb) {
+      Index ja = ka < ea ? a.col_idx_[ka] : a.cols();
+      Index jb = kb < eb ? b.col_idx_[kb] : a.cols();
+      if (ja == jb) {
+        ci.push_back(ja);
+        va.push_back(alpha * a.vals_[ka++] + b.vals_[kb++]);
+      } else if (ja < jb) {
+        ci.push_back(ja);
+        va.push_back(alpha * a.vals_[ka++]);
+      } else {
+        ci.push_back(jb);
+        va.push_back(b.vals_[kb++]);
+      }
+    }
+    rp[i + 1] = static_cast<Index>(ci.size());
+  }
+  return CsrMatrix(m, a.cols(), std::move(rp), std::move(ci), std::move(va));
+}
+
+Real CsrMatrix::frobenius_norm() const {
+  Real s = 0.0;
+  for (Real v : vals_) s += v * v;
+  return std::sqrt(s);
+}
+
+void CsrPattern::add_row_entries(Index row, const Index* cols, Index n) {
+  PT_DEBUG_ASSERT(row >= 0 && row < rows_);
+  auto& rc = row_cols_[row];
+  rc.insert(rc.end(), cols, cols + n);
+}
+
+CsrMatrix CsrPattern::finalize() {
+  std::vector<Index> rp(rows_ + 1, 0);
+  parallel_for(rows_, [&](Index i) {
+    auto& rc = row_cols_[i];
+    std::sort(rc.begin(), rc.end());
+    rc.erase(std::unique(rc.begin(), rc.end()), rc.end());
+  });
+  for (Index i = 0; i < rows_; ++i)
+    rp[i + 1] = rp[i] + static_cast<Index>(row_cols_[i].size());
+  std::vector<Index> ci(rp[rows_]);
+  std::vector<Real> va(rp[rows_], 0.0);
+  parallel_for(rows_, [&](Index i) {
+    std::copy(row_cols_[i].begin(), row_cols_[i].end(), ci.begin() + rp[i]);
+  });
+  row_cols_.clear();
+  return CsrMatrix(rows_, cols_, std::move(rp), std::move(ci), std::move(va));
+}
+
+} // namespace ptatin

@@ -1,0 +1,106 @@
+// Compressed sparse row matrix: the assembled-operator (Mat) analogue.
+//
+// This is the back-end for the "Asmb" rows of Tables I–IV, for Galerkin
+// coarse-grid operators (R A P), and for every AMG level. SpMV is threaded by
+// row block. Products (SpGEMM, transpose, PtAP) use classical row-merge with
+// a per-thread sparse accumulator.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "la/vector.hpp"
+
+namespace ptatin {
+
+class CsrMatrix {
+public:
+  CsrMatrix() = default;
+  CsrMatrix(Index rows, Index cols) : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {}
+
+  /// Adopt raw CSR arrays (row_ptr has rows+1 entries; cols/vals have nnz).
+  CsrMatrix(Index rows, Index cols, std::vector<Index> row_ptr,
+            std::vector<Index> col_idx, std::vector<Real> vals);
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Index nnz() const { return row_ptr_.empty() ? 0 : row_ptr_.back(); }
+
+  const std::vector<Index>& row_ptr() const { return row_ptr_; }
+  const std::vector<Index>& col_idx() const { return col_idx_; }
+  const std::vector<Real>& values() const { return vals_; }
+  std::vector<Real>& values() { return vals_; }
+
+  /// y <- A x.
+  void mult(const Vector& x, Vector& y) const;
+  /// y <- y + A x.
+  void mult_add(const Vector& x, Vector& y) const;
+  /// y <- A^T x (serial scatter; used in setup paths only).
+  void mult_transpose(const Vector& x, Vector& y) const;
+
+  /// Extract the diagonal (missing diagonal entries read as 0).
+  Vector diagonal() const;
+
+  /// Add v to entry (i, j); the entry must exist in the pattern.
+  void add_value(Index i, Index j, Real v);
+  /// Find entry (i, j) by binary search; nullptr if not in pattern.
+  Real* find(Index i, Index j);
+  const Real* find(Index i, Index j) const;
+
+  /// Zero all stored values, keeping the pattern.
+  void zero_values();
+
+  /// Replace row i with e_i^T (diag=1, off-diag=0). Used for strong Dirichlet.
+  void zero_row_set_identity(Index i);
+
+  CsrMatrix transpose() const;
+
+  /// C <- A * B (classical SpGEMM).
+  static CsrMatrix multiply(const CsrMatrix& a, const CsrMatrix& b);
+
+  /// Galerkin triple product: C <- P^T A P.
+  static CsrMatrix ptap(const CsrMatrix& a, const CsrMatrix& p);
+
+  /// C <- alpha*A + B with union pattern (A, B same shape).
+  static CsrMatrix add(Real alpha, const CsrMatrix& a, const CsrMatrix& b);
+
+  /// Estimated memory footprint in bytes (values + column indices + row ptr).
+  double memory_bytes() const {
+    return double(vals_.size()) * sizeof(Real) +
+           double(col_idx_.size()) * sizeof(Index) +
+           double(row_ptr_.size()) * sizeof(Index);
+  }
+
+  /// Frobenius norm (used by tests).
+  Real frobenius_norm() const;
+
+private:
+  Index rows_ = 0, cols_ = 0;
+  std::vector<Index> row_ptr_;
+  std::vector<Index> col_idx_;
+  std::vector<Real> vals_;
+
+  friend class CooMatrix;
+  friend class CsrPattern;
+};
+
+/// Symbolic CSR pattern builder: rows are assembled from sorted unique column
+/// lists (produced by mesh connectivity), then numeric assembly scatters
+/// element matrices with binary search — the MatSetValues-with-preallocation
+/// pattern from PETSc that avoids COO's triplet memory blow-up.
+class CsrPattern {
+public:
+  CsrPattern(Index rows, Index cols) : rows_(rows), cols_(cols), row_cols_(rows) {}
+
+  /// Register columns for a row (duplicates allowed; compressed in finalize).
+  void add_row_entries(Index row, const Index* cols, Index n);
+
+  /// Produce a zero-valued CSR matrix with the accumulated pattern.
+  CsrMatrix finalize();
+
+private:
+  Index rows_, cols_;
+  std::vector<std::vector<Index>> row_cols_;
+};
+
+} // namespace ptatin

@@ -1,0 +1,90 @@
+#include "la/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "la/csr.hpp"
+
+namespace ptatin {
+
+DenseMatrix DenseMatrix::from_csr(const CsrMatrix& a) {
+  DenseMatrix d(a.rows(), a.cols());
+  for (Index i = 0; i < a.rows(); ++i)
+    for (Index k = a.row_ptr()[i]; k < a.row_ptr()[i + 1]; ++k)
+      d(i, a.col_idx()[k]) = a.values()[k];
+  return d;
+}
+
+void DenseMatrix::mult(const Vector& x, Vector& y) const {
+  PT_ASSERT(x.size() == cols_);
+  if (y.size() != rows_) y.resize(rows_);
+  for (Index i = 0; i < rows_; ++i) {
+    Real s = 0.0;
+    for (Index j = 0; j < cols_; ++j) s += (*this)(i, j) * x[j];
+    y[i] = s;
+  }
+}
+
+void LuFactor::factor(const DenseMatrix& a) {
+  PT_ASSERT(a.rows() == a.cols());
+  n_ = a.rows();
+  lu_.resize(n_ * n_);
+  piv_.resize(n_);
+  for (Index i = 0; i < n_; ++i)
+    for (Index j = 0; j < n_; ++j) lu_[i * n_ + j] = a(i, j);
+
+  for (Index k = 0; k < n_; ++k) {
+    // Partial pivot.
+    Index p = k;
+    Real pmax = std::abs(lu_[k * n_ + k]);
+    for (Index i = k + 1; i < n_; ++i) {
+      const Real v = std::abs(lu_[i * n_ + k]);
+      if (v > pmax) {
+        pmax = v;
+        p = i;
+      }
+    }
+    PT_ASSERT_MSG(pmax > 0.0, "LU: singular matrix");
+    piv_[k] = p;
+    if (p != k)
+      for (Index j = 0; j < n_; ++j)
+        std::swap(lu_[k * n_ + j], lu_[p * n_ + j]);
+
+    const Real inv_akk = Real(1) / lu_[k * n_ + k];
+    for (Index i = k + 1; i < n_; ++i) {
+      const Real lik = lu_[i * n_ + k] * inv_akk;
+      lu_[i * n_ + k] = lik;
+      for (Index j = k + 1; j < n_; ++j)
+        lu_[i * n_ + j] -= lik * lu_[k * n_ + j];
+    }
+  }
+}
+
+void LuFactor::solve(const Real* b, Real* x) const {
+  PT_ASSERT(factored());
+  if (x != b) std::copy(b, b + n_, x);
+  // Apply row permutation.
+  for (Index k = 0; k < n_; ++k)
+    if (piv_[k] != k) std::swap(x[k], x[piv_[k]]);
+  // Forward substitution (unit lower).
+  for (Index i = 1; i < n_; ++i) {
+    Real s = x[i];
+    for (Index j = 0; j < i; ++j) s -= lu_[i * n_ + j] * x[j];
+    x[i] = s;
+  }
+  // Back substitution.
+  for (Index i = n_ - 1; i >= 0; --i) {
+    Real s = x[i];
+    for (Index j = i + 1; j < n_; ++j) s -= lu_[i * n_ + j] * x[j];
+    x[i] = s / lu_[i * n_ + i];
+  }
+}
+
+void LuFactor::solve(const Vector& b, Vector& x) const {
+  PT_ASSERT(b.size() == n_);
+  if (x.size() != n_) x.resize(n_);
+  solve(b.data(), x.data());
+}
+
+} // namespace ptatin

@@ -1,0 +1,59 @@
+// Dense matrix with LU factorization (partial pivoting).
+//
+// Used for: element-level pressure mass-matrix inverses (P1disc blocks are
+// 4x4 and block-diagonal), block-Jacobi subdomain solves, and the exact
+// coarsest-level solve inside the AMG (the paper's "block Jacobi with an
+// exact LU factorization applied on each of the subdomains").
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "la/vector.hpp"
+
+namespace ptatin {
+
+class CsrMatrix;
+
+class DenseMatrix {
+public:
+  DenseMatrix() = default;
+  DenseMatrix(Index rows, Index cols) : rows_(rows), cols_(cols), a_(rows * cols, 0.0) {}
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+
+  Real& operator()(Index i, Index j) { return a_[i * cols_ + j]; }
+  Real operator()(Index i, Index j) const { return a_[i * cols_ + j]; }
+
+  /// Densify a CSR matrix (small systems only).
+  static DenseMatrix from_csr(const CsrMatrix& a);
+
+  void mult(const Vector& x, Vector& y) const;
+
+private:
+  Index rows_ = 0, cols_ = 0;
+  std::vector<Real> a_;
+};
+
+/// LU factorization with partial pivoting; solve() is reusable.
+class LuFactor {
+public:
+  LuFactor() = default;
+  explicit LuFactor(const DenseMatrix& a) { factor(a); }
+
+  void factor(const DenseMatrix& a);
+  /// x <- A^{-1} b. b and x may alias.
+  void solve(const Real* b, Real* x) const;
+  void solve(const Vector& b, Vector& x) const;
+
+  Index size() const { return n_; }
+  bool factored() const { return n_ > 0; }
+
+private:
+  Index n_ = 0;
+  std::vector<Real> lu_;
+  std::vector<Index> piv_;
+};
+
+} // namespace ptatin

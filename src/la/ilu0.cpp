@@ -1,0 +1,67 @@
+#include "la/ilu0.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ptatin {
+
+void Ilu0::factor(const CsrMatrix& a) {
+  PT_ASSERT(a.rows() == a.cols());
+  n_ = a.rows();
+  row_ptr_ = a.row_ptr();
+  col_idx_ = a.col_idx();
+  vals_ = a.values();
+  diag_ptr_.assign(n_, -1);
+
+  for (Index i = 0; i < n_; ++i) {
+    for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+      if (col_idx_[k] == i) diag_ptr_[i] = k;
+    PT_ASSERT_MSG(diag_ptr_[i] >= 0, "ILU(0): missing diagonal entry");
+  }
+
+  // IKJ-variant incomplete factorization restricted to the existing pattern.
+  std::vector<Index> pos(n_, -1); // column -> value slot for the current row
+  for (Index i = 0; i < n_; ++i) {
+    for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+      pos[col_idx_[k]] = k;
+
+    for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      const Index j = col_idx_[k]; // eliminate using pivot row j < i
+      if (j >= i) break;           // columns are sorted
+      const Real pivot = vals_[diag_ptr_[j]];
+      PT_ASSERT_MSG(std::abs(pivot) > 0.0, "ILU(0): zero pivot");
+      const Real lij = vals_[k] / pivot;
+      vals_[k] = lij;
+      for (Index kk = diag_ptr_[j] + 1; kk < row_ptr_[j + 1]; ++kk) {
+        const Index slot = pos[col_idx_[kk]];
+        if (slot >= 0) vals_[slot] -= lij * vals_[kk];
+      }
+    }
+
+    for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+      pos[col_idx_[k]] = -1;
+  }
+}
+
+void Ilu0::solve(const Vector& b, Vector& x) const {
+  PT_ASSERT(factored() && b.size() == n_);
+  if (x.size() != n_) x.resize(n_);
+  // Forward solve L y = b (unit diagonal L stored below the diagonal).
+  for (Index i = 0; i < n_; ++i) {
+    Real s = b[i];
+    for (Index k = row_ptr_[i]; k < diag_ptr_[i]; ++k)
+      s -= vals_[k] * x[col_idx_[k]];
+    x[i] = s;
+  }
+  // Backward solve U x = y.
+  for (Index i = n_ - 1; i >= 0; --i) {
+    Real s = x[i];
+    for (Index k = diag_ptr_[i] + 1; k < row_ptr_[i + 1]; ++k)
+      s -= vals_[k] * x[col_idx_[k]];
+    x[i] = s / vals_[diag_ptr_[i]];
+  }
+}
+
+} // namespace ptatin

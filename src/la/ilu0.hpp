@@ -1,0 +1,35 @@
+// ILU(0): incomplete LU with zero fill-in on the CSR pattern.
+//
+// Used as the subdomain smoother in the SAML-ii configuration (§IV-C:
+// "FGMRES(2) preconditioned with block Jacobi-ILU(0)") and in the
+// additive-Schwarz coarse solver of the rifting runs (§V-A: "subdomain solves
+// defined via a single application of ILU(0)").
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "la/csr.hpp"
+#include "la/vector.hpp"
+
+namespace ptatin {
+
+class Ilu0 {
+public:
+  Ilu0() = default;
+  explicit Ilu0(const CsrMatrix& a) { factor(a); }
+
+  void factor(const CsrMatrix& a);
+
+  /// x <- (LU)^{-1} b.
+  void solve(const Vector& b, Vector& x) const;
+
+  bool factored() const { return n_ > 0; }
+
+private:
+  Index n_ = 0;
+  std::vector<Index> row_ptr_, col_idx_, diag_ptr_;
+  std::vector<Real> vals_;
+};
+
+} // namespace ptatin

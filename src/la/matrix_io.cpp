@@ -1,0 +1,98 @@
+#include "la/matrix_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "la/coo.hpp"
+
+namespace ptatin {
+
+namespace {
+
+std::string read_nonempty_line(std::istream& is) {
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line[0] != '%') return line;
+  }
+  return {};
+}
+
+} // namespace
+
+void write_matrix_market(const std::string& path, const CsrMatrix& a) {
+  std::ofstream os(path);
+  PT_ASSERT_MSG(os.good(), "matrix market: cannot open " + path);
+  os << "%%MatrixMarket matrix coordinate real general\n";
+  os << "% written by ptatin3d\n";
+  os << a.rows() << " " << a.cols() << " " << a.nnz() << "\n";
+  os.precision(17);
+  for (Index i = 0; i < a.rows(); ++i)
+    for (Index k = a.row_ptr()[i]; k < a.row_ptr()[i + 1]; ++k)
+      os << (i + 1) << " " << (a.col_idx()[k] + 1) << " " << a.values()[k]
+         << "\n";
+  PT_ASSERT_MSG(os.good(), "matrix market: write failed");
+}
+
+CsrMatrix read_matrix_market(const std::string& path) {
+  std::ifstream is(path);
+  PT_ASSERT_MSG(is.good(), "matrix market: cannot open " + path);
+
+  std::string header;
+  PT_ASSERT_MSG(bool(std::getline(is, header)), "matrix market: empty file");
+  PT_ASSERT_MSG(header.rfind("%%MatrixMarket", 0) == 0,
+                "matrix market: missing banner");
+  PT_ASSERT_MSG(header.find("coordinate") != std::string::npos &&
+                    header.find("real") != std::string::npos,
+                "matrix market: only 'coordinate real' is supported");
+
+  std::istringstream dims(read_nonempty_line(is));
+  Index rows = 0, cols = 0, nnz = 0;
+  dims >> rows >> cols >> nnz;
+  PT_ASSERT_MSG(rows > 0 && cols > 0 && nnz >= 0,
+                "matrix market: bad dimension line");
+
+  CooMatrix coo(rows, cols);
+  coo.reserve(nnz);
+  for (Index k = 0; k < nnz; ++k) {
+    Index i = 0, j = 0;
+    Real v = 0;
+    is >> i >> j >> v;
+    PT_ASSERT_MSG(bool(is), "matrix market: truncated entries");
+    PT_ASSERT_MSG(i >= 1 && i <= rows && j >= 1 && j <= cols,
+                  "matrix market: entry out of range");
+    coo.add(i - 1, j - 1, v);
+  }
+  return coo.to_csr();
+}
+
+void write_vector_market(const std::string& path, const Vector& v) {
+  std::ofstream os(path);
+  PT_ASSERT_MSG(os.good(), "matrix market: cannot open " + path);
+  os << "%%MatrixMarket matrix array real general\n";
+  os << v.size() << " 1\n";
+  os.precision(17);
+  for (Index i = 0; i < v.size(); ++i) os << v[i] << "\n";
+}
+
+Vector read_vector_market(const std::string& path) {
+  std::ifstream is(path);
+  PT_ASSERT_MSG(is.good(), "matrix market: cannot open " + path);
+  std::string header;
+  PT_ASSERT_MSG(bool(std::getline(is, header)) &&
+                    header.rfind("%%MatrixMarket", 0) == 0 &&
+                    header.find("array") != std::string::npos,
+                "matrix market: expected an array-format file");
+  std::istringstream dims(read_nonempty_line(is));
+  Index rows = 0, cols = 0;
+  dims >> rows >> cols;
+  PT_ASSERT_MSG(rows > 0 && cols == 1, "matrix market: expected a column");
+  Vector v(rows);
+  for (Index i = 0; i < rows; ++i) {
+    is >> v[i];
+    PT_ASSERT_MSG(bool(is), "matrix market: truncated vector");
+  }
+  return v;
+}
+
+} // namespace ptatin

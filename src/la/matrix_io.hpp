@@ -1,0 +1,29 @@
+// MatrixMarket import/export for CSR matrices and vectors.
+//
+// Debugging aid for the solver stack: any operator in the hierarchy can be
+// dumped and inspected in Octave/SciPy, and regression matrices can be read
+// back. Supports the "coordinate real general" and "array real general"
+// MatrixMarket formats.
+#pragma once
+
+#include <string>
+
+#include "la/csr.hpp"
+#include "la/vector.hpp"
+
+namespace ptatin {
+
+/// Write a CSR matrix in MatrixMarket coordinate format (1-based indices).
+void write_matrix_market(const std::string& path, const CsrMatrix& a);
+
+/// Read a MatrixMarket coordinate file (real, general) into CSR. Duplicate
+/// entries are summed. Throws Error on malformed input.
+CsrMatrix read_matrix_market(const std::string& path);
+
+/// Write a vector in MatrixMarket array format.
+void write_vector_market(const std::string& path, const Vector& v);
+
+/// Read a MatrixMarket array file into a Vector.
+Vector read_vector_market(const std::string& path);
+
+} // namespace ptatin

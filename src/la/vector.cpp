@@ -1,0 +1,88 @@
+#include "la/vector.hpp"
+
+#include <cmath>
+
+#include "common/parallel.hpp"
+
+namespace ptatin {
+
+void Vector::set_all(Real alpha) {
+  parallel_for(size(), [&](Index i) { data_[i] = alpha; });
+}
+
+void Vector::axpy(Real alpha, const Vector& x) {
+  PT_ASSERT(x.size() == size());
+  const Real* xp = x.data();
+  Real* yp = data();
+  parallel_for(size(), [&](Index i) { yp[i] += alpha * xp[i]; });
+}
+
+void Vector::aypx(Real alpha, const Vector& x) {
+  PT_ASSERT(x.size() == size());
+  const Real* xp = x.data();
+  Real* yp = data();
+  parallel_for(size(), [&](Index i) { yp[i] = alpha * yp[i] + xp[i]; });
+}
+
+void Vector::waxpy(Real alpha, const Vector& y, const Vector& x) {
+  PT_ASSERT(x.size() == y.size());
+  if (size() != x.size()) resize(x.size());
+  const Real* xp = x.data();
+  const Real* yp = y.data();
+  Real* wp = data();
+  parallel_for(size(), [&](Index i) { wp[i] = xp[i] + alpha * yp[i]; });
+}
+
+void Vector::scale(Real alpha) {
+  Real* p = data();
+  parallel_for(size(), [&](Index i) { p[i] *= alpha; });
+}
+
+void Vector::copy_from(const Vector& x) {
+  if (size() != x.size()) resize(x.size());
+  const Real* xp = x.data();
+  Real* yp = data();
+  parallel_for(size(), [&](Index i) { yp[i] = xp[i]; });
+}
+
+void Vector::pointwise_mult(const Vector& x) {
+  PT_ASSERT(x.size() == size());
+  const Real* xp = x.data();
+  Real* yp = data();
+  parallel_for(size(), [&](Index i) { yp[i] *= xp[i]; });
+}
+
+void Vector::pointwise_div(const Vector& x) {
+  PT_ASSERT(x.size() == size());
+  const Real* xp = x.data();
+  Real* yp = data();
+  parallel_for(size(), [&](Index i) { yp[i] /= xp[i]; });
+}
+
+Real Vector::dot(const Vector& x) const {
+  PT_ASSERT(x.size() == size());
+  const Real* xp = x.data();
+  const Real* yp = data();
+  return parallel_reduce_sum(size(), [&](Index i) { return xp[i] * yp[i]; });
+}
+
+Real Vector::norm2() const { return std::sqrt(dot(*this)); }
+
+Real Vector::norm_inf() const {
+  const Real* p = data();
+  return parallel_reduce_max(size(), [&](Index i) { return std::abs(p[i]); });
+}
+
+Real Vector::sum() const {
+  const Real* p = data();
+  return parallel_reduce_sum(size(), [&](Index i) { return p[i]; });
+}
+
+void Vector::remove_constant() {
+  if (size() == 0) return;
+  const Real mean = sum() / static_cast<Real>(size());
+  Real* p = data();
+  parallel_for(size(), [&](Index i) { p[i] -= mean; });
+}
+
+} // namespace ptatin

@@ -1,0 +1,46 @@
+#include "mg/coarsen.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "fem/quadrature.hpp"
+
+namespace ptatin {
+
+QuadCoefficients restrict_coefficients(const StructuredMesh& fine,
+                                       const QuadCoefficients& fine_coeff,
+                                       const StructuredMesh& coarse) {
+  PT_ASSERT(fine.mx() == 2 * coarse.mx() && fine.my() == 2 * coarse.my() &&
+            fine.mz() == 2 * coarse.mz());
+  QuadCoefficients cc(coarse.num_elements());
+
+  parallel_for(coarse.num_elements(), [&](Index ce) {
+    Index ci, cj, ck;
+    coarse.element_ijk(ce, ci, cj, ck);
+    for (int q = 0; q < kQuadPerEl; ++q) {
+      const auto xi = QuadQ2::point(q);
+      // The coarse reference cube splits into 8 fine sub-cubes at xi_d = 0;
+      // the coarse quadrature point takes the ARITHMETIC MEAN of its fine
+      // sub-element's values. Averaging (rather than point sampling) keeps
+      // the rediscretized coarse operator a usable smoother target when the
+      // viscosity jumps by many orders of magnitude within an element patch
+      // (the same smoothing the MPM projection applies on the fine level).
+      Index sub[3];
+      const Real xic[3] = {xi[0], xi[1], xi[2]};
+      for (int d = 0; d < 3; ++d) sub[d] = xic[d] >= 0 ? 1 : 0;
+      const Index fe = fine.element_index(2 * ci + sub[0], 2 * cj + sub[1],
+                                          2 * ck + sub[2]);
+      Real eta = 0.0, rho = 0.0;
+      for (int fq = 0; fq < kQuadPerEl; ++fq) {
+        eta += fine_coeff.eta(fe, fq);
+        rho += fine_coeff.rho(fe, fq);
+      }
+      cc.eta(ce, q) = eta / kQuadPerEl;
+      cc.rho(ce, q) = rho / kQuadPerEl;
+    }
+  });
+  return cc;
+}
+
+} // namespace ptatin

@@ -1,0 +1,20 @@
+// Coefficient restriction for rediscretized coarse operators.
+//
+// §III-C: "Coarse level operators are defined by either rediscretization of A
+// on the coarse level mesh, or via the Galerkin approximation". For
+// rediscretization the coarse quadrature points sample the viscosity of the
+// fine sub-element they fall in.
+#pragma once
+
+#include "fem/mesh.hpp"
+#include "stokes/coefficient.hpp"
+
+namespace ptatin {
+
+/// Restrict quadrature coefficients from the fine mesh to the coarse mesh
+/// (nearest fine-quadrature-point sampling within the covering sub-element).
+QuadCoefficients restrict_coefficients(const StructuredMesh& fine,
+                                       const QuadCoefficients& fine_coeff,
+                                       const StructuredMesh& coarse);
+
+} // namespace ptatin

@@ -1,0 +1,170 @@
+#include "mg/gmg.hpp"
+
+#include "common/perf.hpp"
+#include "common/timing.hpp"
+
+namespace ptatin {
+
+namespace {
+
+std::unique_ptr<ViscousOperatorBase> make_elem_op(FineOperatorType type,
+                                                  const StructuredMesh& mesh,
+                                                  const QuadCoefficients& coeff,
+                                                  const DirichletBc* bc) {
+  switch (type) {
+    case FineOperatorType::kAssembled:
+      return std::make_unique<AsmbViscousOperator>(mesh, coeff, bc);
+    case FineOperatorType::kMatrixFree:
+      return std::make_unique<MfViscousOperator>(mesh, coeff, bc);
+    case FineOperatorType::kTensor:
+      return std::make_unique<TensorViscousOperator>(mesh, coeff, bc);
+    case FineOperatorType::kTensorC:
+      return std::make_unique<TensorCViscousOperator>(mesh, coeff, bc);
+  }
+  PT_THROW("unknown fine operator type");
+}
+
+} // namespace
+
+GmgHierarchy::GmgHierarchy(const StructuredMesh& fine_mesh,
+                           const QuadCoefficients& fine_coeff,
+                           const DirichletBc& fine_bc, const GmgOptions& opts,
+                           const BcFactory& bc_factory,
+                           const CoarseSolverFactory& coarse_factory)
+    : opts_(opts) {
+  PT_ASSERT(opts.levels >= 1);
+  const int L = opts.levels;
+  levels_.resize(L);
+
+  // --- build meshes / coefficients / BCs top-down ---------------------------
+  Level& finest = levels_[L - 1];
+  finest.mesh = fine_mesh;
+  finest.coeff = fine_coeff;
+  finest.bc = fine_bc;
+  for (int l = L - 2; l >= 0; --l) {
+    const Level& finer = levels_[l + 1];
+    PT_ASSERT_MSG(finer.mesh.can_coarsen(),
+                  "mesh not coarsenable to requested depth");
+    levels_[l].mesh = finer.mesh.coarsen();
+    levels_[l].coeff =
+        restrict_coefficients(finer.mesh, finer.coeff, levels_[l].mesh);
+    levels_[l].bc = bc_factory(levels_[l].mesh);
+  }
+  for (int l = 0; l < L; ++l)
+    levels_[l].ndofs = num_velocity_dofs(levels_[l].mesh);
+
+  // --- prolongations ----------------------------------------------------------
+  for (int l = 0; l < L - 1; ++l)
+    levels_[l].prolongation = build_velocity_prolongation(
+        levels_[l + 1].mesh, levels_[l].mesh, &levels_[l + 1].bc);
+
+  // --- operators ----------------------------------------------------------------
+  finest.elem_op =
+      make_elem_op(opts.fine_type, finest.mesh, finest.coeff, &finest.bc);
+  finest.op = finest.elem_op.get();
+
+  for (int l = L - 2; l >= 0; --l) {
+    Level& lev = levels_[l];
+    const Level& finer = levels_[l + 1];
+    // A Galerkin product needs an assembled finer matrix: either a coarse
+    // assembled level, or an assembled finest level (GMG-i/ii of Table IV).
+    const CsrMatrix* finer_mat = finer.assembled.get();
+    if (finer_mat == nullptr && finer.elem_op != nullptr) {
+      if (const auto* asmb =
+              dynamic_cast<const AsmbViscousOperator*>(finer.elem_op.get()))
+        finer_mat = &asmb->matrix();
+    }
+    const bool use_galerkin =
+        opts.coarse_type == CoarseOperatorType::kGalerkin &&
+        finer_mat != nullptr;
+    if (use_galerkin) {
+      Timer t;
+      lev.assembled = std::make_unique<CsrMatrix>(
+          CsrMatrix::ptap(*finer_mat, lev.prolongation));
+      lev.bc.apply_to_matrix_symmetric(*lev.assembled);
+      galerkin_seconds_ += t.seconds();
+    } else {
+      // First level below a matrix-free finest (or rediscretize-all):
+      // assemble from restricted coefficients.
+      lev.assembled = std::make_unique<CsrMatrix>(
+          assemble_viscous_matrix(lev.mesh, lev.coeff));
+      lev.bc.apply_to_matrix_symmetric(*lev.assembled);
+    }
+    lev.mat_op = std::make_unique<MatrixOperator>(lev.assembled.get());
+    lev.op = lev.mat_op.get();
+  }
+
+  // --- smoothers (all levels except the coarsest, which gets the solver) ----
+  for (int l = 1; l < L; ++l) {
+    Level& lev = levels_[l];
+    lev.smoother.setup(*lev.op, lev.op->diagonal(), opts.chebyshev);
+    lev.r.resize(lev.ndofs);
+    lev.e.resize(lev.ndofs);
+  }
+  levels_[0].r.resize(levels_[0].ndofs);
+  levels_[0].e.resize(levels_[0].ndofs);
+
+  // --- coarse solver ---------------------------------------------------------
+  if (L == 1) {
+    // Degenerate single-level "hierarchy": smoother-only preconditioner.
+    levels_[0].smoother.setup(*levels_[0].op, levels_[0].op->diagonal(),
+                              opts.chebyshev);
+  } else {
+    PT_ASSERT_MSG(coarse_factory != nullptr, "coarse solver factory required");
+    coarse_solver_ = coarse_factory(*levels_[0].assembled);
+  }
+}
+
+void GmgHierarchy::apply(const Vector& r, Vector& z) const {
+  PerfScope perf("PCApply(GMG)");
+  if (z.size() != r.size()) z.resize(r.size());
+  z.set_all(0.0);
+  for (int c = 0; c < opts_.cycles_per_apply; ++c) vcycle(r, z);
+}
+
+void GmgHierarchy::vcycle(const Vector& b, Vector& x) const {
+  cycle(static_cast<int>(levels_.size()) - 1, b, x);
+}
+
+void GmgHierarchy::cycle(int level, const Vector& b, Vector& x) const {
+  const Level& lev = levels_[level];
+
+  if (level == 0) {
+    PerfScope perf("MGCoarseSolve");
+    if (coarse_solver_) {
+      coarse_solver_->apply(b, x);
+    } else {
+      lev.smoother.smooth(b, x, opts_.smooth_pre + opts_.smooth_post);
+    }
+    return;
+  }
+
+  // Pre-smooth.
+  lev.smoother.smooth(b, x, opts_.smooth_pre);
+
+  // Residual and restriction (R = P^T). The prolongation between this level
+  // and the next coarser one is stored on the COARSE level.
+  lev.op->residual(b, x, lev.r);
+  const Level& coarse = levels_[level - 1];
+  Vector rc;
+  coarse.prolongation.mult_transpose(lev.r, rc);
+
+  // Coarse Dirichlet rows carry no residual equation.
+  coarse.bc.zero_constrained(rc);
+
+  // Recurse from a zero initial guess; gamma > 1 gives a W-cycle (repeating
+  // the recursion refines the coarse correction on intermediate levels; on
+  // the coarsest level the solve is idempotent, so run it once).
+  Vector ec(coarse.ndofs, 0.0);
+  const int gamma = (level - 1 == 0) ? 1 : std::max(1, opts_.cycle_gamma);
+  for (int g = 0; g < gamma; ++g) cycle(level - 1, rc, ec);
+
+  // Prolongate and correct.
+  coarse.prolongation.mult(ec, lev.e);
+  x.axpy(1.0, lev.e);
+
+  // Post-smooth.
+  lev.smoother.smooth(b, x, opts_.smooth_post);
+}
+
+} // namespace ptatin

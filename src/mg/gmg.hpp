@@ -1,0 +1,123 @@
+// Geometric multigrid hierarchy for the viscous block J_uu (§III-C).
+//
+// The production configuration of the paper: the finest level is applied
+// matrix-free (MF / Tens / TensC), the next level is assembled by
+// rediscretization, levels below it are Galerkin triple products of the
+// assembled level, and the coarsest level is handed to a pluggable coarse
+// solver (block-Jacobi+LU, smoothed-aggregation AMG, or an inexact Krylov
+// solve — §IV-A, §IV-C, §V-A). Every level smooths with Jacobi-preconditioned
+// Chebyshev targeting [0.2 λmax, 1.1 λmax].
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fem/bc.hpp"
+#include "fem/mesh.hpp"
+#include "ksp/chebyshev.hpp"
+#include "ksp/pc.hpp"
+#include "mg/coarsen.hpp"
+#include "mg/prolongation.hpp"
+#include "stokes/viscous_ops.hpp"
+
+namespace ptatin {
+
+enum class FineOperatorType { kAssembled, kMatrixFree, kTensor, kTensorC };
+
+/// How operators below the finest level are built.
+enum class CoarseOperatorType {
+  kGalerkin,       ///< assemble level L-2 by rediscretization, RAP below
+  kRediscretized,  ///< rediscretize (and assemble) every coarse level
+};
+
+struct GmgOptions {
+  int levels = 3;
+  FineOperatorType fine_type = FineOperatorType::kTensor;
+  CoarseOperatorType coarse_type = CoarseOperatorType::kGalerkin;
+  int smooth_pre = 2;  ///< V(2,2) by default (§IV-A)
+  int smooth_post = 2;
+  ChebyshevOptions chebyshev;
+  /// Number of V-cycles per preconditioner application (paper: 1).
+  int cycles_per_apply = 1;
+  /// Recursion count per level: 1 = V-cycle (the paper's choice), 2 =
+  /// W-cycle (ablation; more coarse work per application).
+  int cycle_gamma = 1;
+};
+
+/// Deepest usable hierarchy for an m^3 element mesh: coarsen while the
+/// element count stays even and the coarse level keeps >= 3 elements per
+/// direction (a 2^3 coarsest level is too small to help).
+inline int suggest_gmg_levels(Index m, int max_levels = 3) {
+  int levels = 1;
+  while (levels < max_levels && m % 2 == 0 && m / 2 >= 3) {
+    m /= 2;
+    ++levels;
+  }
+  return levels;
+}
+
+/// Factory building the coarsest-level solver from the coarsest assembled
+/// matrix (wired by the caller; an AMG factory lives in src/amg).
+using CoarseSolverFactory =
+    std::function<std::unique_ptr<Preconditioner>(const CsrMatrix&)>;
+
+/// Factory recreating the problem's boundary conditions on a coarse mesh.
+using BcFactory = std::function<DirichletBc(const StructuredMesh&)>;
+
+class GmgHierarchy : public Preconditioner {
+public:
+  /// Build the hierarchy. The finest mesh/coefficients/BC are borrowed and
+  /// must outlive the hierarchy.
+  GmgHierarchy(const StructuredMesh& fine_mesh,
+               const QuadCoefficients& fine_coeff, const DirichletBc& fine_bc,
+               const GmgOptions& opts, const BcFactory& bc_factory,
+               const CoarseSolverFactory& coarse_factory);
+
+  /// Preconditioner interface: z ~ A^{-1} r via cycles_per_apply V-cycles
+  /// from a zero initial guess.
+  void apply(const Vector& r, Vector& z) const override;
+
+  /// One V-cycle updating x in place (nonzero initial guess allowed).
+  void vcycle(const Vector& b, Vector& x) const;
+
+  /// The finest-level operator (the smoother operator; its apply is the MG
+  /// residual kernel timed as "MG res" in Table III).
+  const ViscousOperatorBase& fine_operator() const {
+    return *levels_.back().elem_op;
+  }
+
+  int num_levels() const { return static_cast<int>(levels_.size()); }
+
+  /// Setup time spent assembling Galerkin products (reported in Table IV as
+  /// the extra R^T A R cost).
+  double galerkin_setup_seconds() const { return galerkin_seconds_; }
+
+  Index level_dofs(int level) const { return levels_[level].ndofs; }
+
+private:
+  struct Level {
+    StructuredMesh mesh;    ///< owned copy (fine level included)
+    QuadCoefficients coeff; ///< rediscretized coefficients
+    DirichletBc bc;
+    /// Finest level: a typed element-kernel operator (Asmb/MF/Tens/TensC).
+    std::unique_ptr<ViscousOperatorBase> elem_op;
+    /// Coarse levels: assembled matrix (rediscretized or Galerkin).
+    std::unique_ptr<CsrMatrix> assembled;
+    std::unique_ptr<MatrixOperator> mat_op;
+    const LinearOperator* op = nullptr; ///< operator the smoother uses
+    CsrMatrix prolongation; ///< to the next finer level (absent on finest)
+    ChebyshevSmoother smoother;
+    Index ndofs = 0;
+    mutable Vector r, e, rc; // workspace
+  };
+
+  void cycle(int level, const Vector& b, Vector& x) const;
+
+  std::vector<Level> levels_; ///< [0] = coarsest ... [L-1] = finest
+  std::unique_ptr<Preconditioner> coarse_solver_;
+  GmgOptions opts_;
+  double galerkin_seconds_ = 0.0;
+};
+
+} // namespace ptatin

@@ -1,0 +1,25 @@
+// Velocity prolongation between nodally nested Q2 levels.
+//
+// §III-C: "The prolongation of the velocity field from level k (coarse) to
+// k+1 (fine) uses trilinear interpolation (i.e., associated with an embedded
+// Q1 finite element space on the nodes of the Q2 discretization).
+// Restriction is then defined by R = P^T."
+//
+// On the node lattice the rule is purely parity-based: an even fine index
+// coincides with a coarse node (weight 1); an odd index averages its two
+// lattice neighbors (weights 1/2 each). Rows of constrained fine dofs are
+// zeroed so corrections never violate the boundary conditions.
+#pragma once
+
+#include "fem/bc.hpp"
+#include "fem/mesh.hpp"
+#include "la/csr.hpp"
+
+namespace ptatin {
+
+/// P: (3 * fine nodes) x (3 * coarse nodes). `fine_bc` may be null.
+CsrMatrix build_velocity_prolongation(const StructuredMesh& fine,
+                                      const StructuredMesh& coarse,
+                                      const DirichletBc* fine_bc);
+
+} // namespace ptatin

@@ -1,0 +1,95 @@
+#include "mpm/points.hpp"
+
+#include "common/parallel.hpp"
+#include "fem/point_location.hpp"
+
+namespace ptatin {
+
+void MaterialPoints::reserve(Index n) {
+  x_.reserve(3 * n);
+  xi_.reserve(3 * n);
+  el_.reserve(n);
+  lith_.reserve(n);
+  eps_p_.reserve(n);
+}
+
+Index MaterialPoints::add(const Vec3& x, int lithology, Real plastic_strain) {
+  x_.insert(x_.end(), {x[0], x[1], x[2]});
+  xi_.insert(xi_.end(), {0.0, 0.0, 0.0});
+  el_.push_back(-1);
+  lith_.push_back(lithology);
+  eps_p_.push_back(plastic_strain);
+  return size() - 1;
+}
+
+void MaterialPoints::remove(Index i) {
+  PT_DEBUG_ASSERT(i >= 0 && i < size());
+  const Index last = size() - 1;
+  if (i != last) {
+    for (int d = 0; d < 3; ++d) {
+      x_[3 * i + d] = x_[3 * last + d];
+      xi_[3 * i + d] = xi_[3 * last + d];
+    }
+    el_[i] = el_[last];
+    lith_[i] = lith_[last];
+    eps_p_[i] = eps_p_[last];
+  }
+  x_.resize(3 * last);
+  xi_.resize(3 * last);
+  el_.pop_back();
+  lith_.pop_back();
+  eps_p_.pop_back();
+}
+
+void MaterialPoints::clear() {
+  x_.clear();
+  xi_.clear();
+  el_.clear();
+  lith_.clear();
+  eps_p_.clear();
+}
+
+void layout_points(const StructuredMesh& mesh, int per_dim,
+                   const std::function<int(const Vec3&)>& lithology_of,
+                   MaterialPoints& points, Real jitter, std::uint64_t seed) {
+  PT_ASSERT(per_dim >= 1);
+  Rng rng(seed);
+  points.reserve(points.size() +
+                 mesh.num_elements() * per_dim * per_dim * per_dim);
+  const Real cell = Real(2) / per_dim;
+  for (Index e = 0; e < mesh.num_elements(); ++e) {
+    for (int c = 0; c < per_dim; ++c)
+      for (int b = 0; b < per_dim; ++b)
+        for (int a = 0; a < per_dim; ++a) {
+          Vec3 xi{-1 + (a + Real(0.5)) * cell, -1 + (b + Real(0.5)) * cell,
+                  -1 + (c + Real(0.5)) * cell};
+          if (jitter > 0) {
+            for (int d = 0; d < 3; ++d)
+              xi[d] += rng.uniform(-jitter, jitter) * cell * Real(0.5);
+          }
+          const Vec3 x = mesh.map_to_physical(e, xi);
+          const Index i = points.add(x, lithology_of(x));
+          points.set_location(i, e, xi);
+        }
+  }
+}
+
+Index locate_all(const StructuredMesh& mesh, MaterialPoints& points) {
+  const Index n = points.size();
+  std::vector<std::uint8_t> lost(n, 0);
+  parallel_for(n, [&](Index i) {
+    const PointLocation loc =
+        locate_point(mesh, points.position(i), points.element(i));
+    if (loc.found) {
+      points.set_location(i, loc.element, loc.xi);
+    } else {
+      points.invalidate_location(i);
+      lost[i] = 1;
+    }
+  });
+  Index nlost = 0;
+  for (Index i = 0; i < n; ++i) nlost += lost[i];
+  return nlost;
+}
+
+} // namespace ptatin

@@ -1,0 +1,75 @@
+// Material point storage (§II-C).
+//
+// Lagrangian points carry the rock lithology Phi and its history variables
+// (accumulated plastic strain). Storage is struct-of-arrays; removal is
+// swap-with-last, so indices are not stable across removals.
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/small_mat.hpp"
+#include "common/types.hpp"
+#include "fem/mesh.hpp"
+
+namespace ptatin {
+
+class MaterialPoints {
+public:
+  Index size() const { return static_cast<Index>(lith_.size()); }
+
+  void reserve(Index n);
+  /// Append a point; returns its index.
+  Index add(const Vec3& x, int lithology, Real plastic_strain = 0.0);
+  /// Swap-remove point i (the last point takes index i).
+  void remove(Index i);
+  void clear();
+
+  Vec3 position(Index i) const {
+    return Vec3{x_[3 * i], x_[3 * i + 1], x_[3 * i + 2]};
+  }
+  void set_position(Index i, const Vec3& x) {
+    x_[3 * i] = x[0];
+    x_[3 * i + 1] = x[1];
+    x_[3 * i + 2] = x[2];
+  }
+
+  int lithology(Index i) const { return lith_[i]; }
+  Real& plastic_strain(Index i) { return eps_p_[i]; }
+  Real plastic_strain(Index i) const { return eps_p_[i]; }
+
+  /// Last known containing element (location hint; -1 = unknown).
+  Index element(Index i) const { return el_[i]; }
+  Vec3 local_coord(Index i) const {
+    return Vec3{xi_[3 * i], xi_[3 * i + 1], xi_[3 * i + 2]};
+  }
+  void set_location(Index i, Index element, const Vec3& xi) {
+    el_[i] = element;
+    xi_[3 * i] = xi[0];
+    xi_[3 * i + 1] = xi[1];
+    xi_[3 * i + 2] = xi[2];
+  }
+  void invalidate_location(Index i) { el_[i] = -1; }
+
+private:
+  std::vector<Real> x_;   ///< 3*n positions
+  std::vector<Real> xi_;  ///< 3*n local coordinates (valid when el_ >= 0)
+  std::vector<Index> el_; ///< containing element or -1
+  std::vector<int> lith_;
+  std::vector<Real> eps_p_;
+};
+
+/// Regular initial layout: `per_dim`^3 points per element at equispaced
+/// reference positions, optionally jittered. The lithology of each point is
+/// assigned by the callback from its physical position.
+void layout_points(const StructuredMesh& mesh, int per_dim,
+                   const std::function<int(const Vec3&)>& lithology_of,
+                   MaterialPoints& points, Real jitter = 0.0,
+                   std::uint64_t seed = 7);
+
+/// (Re)locate every point; returns the number of points NOT found inside the
+/// mesh (their element hint becomes -1).
+Index locate_all(const StructuredMesh& mesh, MaterialPoints& points);
+
+} // namespace ptatin

@@ -1,0 +1,120 @@
+#include "mpm/population.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace ptatin {
+
+PopulationStats control_population_sweep(const StructuredMesh& mesh,
+                                         const PopulationOptions& opts,
+                                         MaterialPoints& points) {
+  PopulationStats stats;
+
+  // Bucket points by element (all must be located).
+  std::vector<std::vector<Index>> buckets(mesh.num_elements());
+  for (Index i = 0; i < points.size(); ++i) {
+    const Index e = points.element(i);
+    if (e >= 0) buckets[e].push_back(i);
+  }
+
+  // Removal first (so injection indices stay valid afterwards): collect
+  // surplus point indices and delete from highest index down.
+  std::vector<Index> to_remove;
+  for (Index e = 0; e < mesh.num_elements(); ++e) {
+    const auto& b = buckets[e];
+    if (static_cast<Index>(b.size()) > opts.max_per_element) {
+      for (std::size_t t = opts.max_per_element; t < b.size(); ++t)
+        to_remove.push_back(b[t]);
+    }
+  }
+  std::sort(to_remove.begin(), to_remove.end(), std::greater<Index>());
+  for (Index i : to_remove) {
+    points.remove(i);
+    ++stats.removed;
+  }
+
+  // Re-bucket after removals (swap-remove invalidates indices).
+  if (!to_remove.empty()) {
+    for (auto& b : buckets) b.clear();
+    for (Index i = 0; i < points.size(); ++i) {
+      const Index e = points.element(i);
+      if (e >= 0) buckets[e].push_back(i);
+    }
+  }
+
+  // Injection into deficient elements.
+  const int pd = opts.inject_per_dim;
+  const Real cell = Real(2) / pd;
+  for (Index e = 0; e < mesh.num_elements(); ++e) {
+    if (static_cast<Index>(buckets[e].size()) >= opts.min_per_element)
+      continue;
+    ++stats.deficient_elements;
+
+    // Gather donor candidates: this element's points plus the points of the
+    // 26 lattice neighbors.
+    std::vector<Index> donors = buckets[e];
+    Index ei, ej, ek;
+    mesh.element_ijk(e, ei, ej, ek);
+    for (Index dk = -1; dk <= 1; ++dk)
+      for (Index dj = -1; dj <= 1; ++dj)
+        for (Index di = -1; di <= 1; ++di) {
+          if (di == 0 && dj == 0 && dk == 0) continue;
+          const Index ni = ei + di, nj = ej + dj, nk = ek + dk;
+          if (ni < 0 || ni >= mesh.mx() || nj < 0 || nj >= mesh.my() ||
+              nk < 0 || nk >= mesh.mz())
+            continue;
+          const auto& nb = buckets[mesh.element_index(ni, nj, nk)];
+          donors.insert(donors.end(), nb.begin(), nb.end());
+        }
+    if (donors.empty()) continue; // nothing to clone from
+
+    for (int c = 0; c < pd; ++c)
+      for (int b = 0; b < pd; ++b)
+        for (int a = 0; a < pd; ++a) {
+          const Vec3 xi{-1 + (a + Real(0.5)) * cell,
+                        -1 + (b + Real(0.5)) * cell,
+                        -1 + (c + Real(0.5)) * cell};
+          const Vec3 x = mesh.map_to_physical(e, xi);
+          // Nearest donor (preserves the local lithology interface).
+          Index best = donors[0];
+          Real best_d2 = std::numeric_limits<Real>::max();
+          for (Index d : donors) {
+            const Vec3 y = points.position(d);
+            const Real d2 = (y[0] - x[0]) * (y[0] - x[0]) +
+                            (y[1] - x[1]) * (y[1] - x[1]) +
+                            (y[2] - x[2]) * (y[2] - x[2]);
+            if (d2 < best_d2) {
+              best_d2 = d2;
+              best = d;
+            }
+          }
+          const Index j = points.add(x, points.lithology(best),
+                                     points.plastic_strain(best));
+          points.set_location(j, e, xi);
+          ++stats.injected;
+        }
+  }
+  return stats;
+}
+
+PopulationStats control_population(const StructuredMesh& mesh,
+                                   const PopulationOptions& opts,
+                                   MaterialPoints& points) {
+  PopulationStats total;
+  // Each sweep can only fill elements adjacent to populated ones; iterate
+  // until all deficient cells are filled or no further progress is possible.
+  const Index max_sweeps = mesh.mx() + mesh.my() + mesh.mz();
+  for (Index s = 0; s < max_sweeps; ++s) {
+    const PopulationStats st = control_population_sweep(mesh, opts, points);
+    total.injected += st.injected;
+    total.removed += st.removed;
+    total.deficient_elements = st.deficient_elements;
+    if (st.injected == 0) break;
+  }
+  return total;
+}
+
+} // namespace ptatin

@@ -1,0 +1,39 @@
+// Material point population control.
+//
+// Large deformation drains points from stretched regions and crowds them in
+// compressed ones. Cells below `min_per_element` receive new points cloned
+// from the nearest existing point (preserving lithology and history); cells
+// above `max_per_element` lose their newest points.
+#pragma once
+
+#include "fem/mesh.hpp"
+#include "mpm/points.hpp"
+
+namespace ptatin {
+
+struct PopulationOptions {
+  Index min_per_element = 4;
+  Index max_per_element = 64;
+  int inject_per_dim = 2; ///< injected points per direction in deficient cells
+};
+
+struct PopulationStats {
+  Index injected = 0;
+  Index removed = 0;
+  Index deficient_elements = 0;
+};
+
+/// One injection/removal sweep. Injection requires donors in the 27-element
+/// neighborhood, so a single sweep only grows the populated region by one
+/// element ring.
+PopulationStats control_population_sweep(const StructuredMesh& mesh,
+                                         const PopulationOptions& opts,
+                                         MaterialPoints& points);
+
+/// Repeated sweeps until every element meets the minimum (or no donor can
+/// reach the remaining deficient cells).
+PopulationStats control_population(const StructuredMesh& mesh,
+                                   const PopulationOptions& opts,
+                                   MaterialPoints& points);
+
+} // namespace ptatin

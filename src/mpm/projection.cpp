@@ -1,0 +1,54 @@
+#include "mpm/projection.hpp"
+
+#include "common/error.hpp"
+#include "fem/basis.hpp"
+#include "stokes/fields.hpp"
+
+namespace ptatin {
+
+ProjectionResult project_to_vertices(const StructuredMesh& mesh,
+                                     const MaterialPoints& points,
+                                     const std::vector<Real>& values,
+                                     Real fallback) {
+  PT_ASSERT(static_cast<Index>(values.size()) == points.size());
+  ProjectionResult res;
+  res.vertex_values.resize(mesh.num_vertices(), 0.0);
+  Vector weight(mesh.num_vertices(), 0.0);
+
+  // Scatter: serial accumulation (points scatter to arbitrary vertices).
+  for (Index pidx = 0; pidx < points.size(); ++pidx) {
+    const Index e = points.element(pidx);
+    if (e < 0) continue;
+    Index verts[kQ1NodesPerEl];
+    mesh.element_corner_vertices(e, verts);
+    const Vec3 xi = points.local_coord(pidx);
+    Real N[kQ1NodesPerEl];
+    const Real xiarr[3] = {xi[0], xi[1], xi[2]};
+    q1_eval(xiarr, N);
+    for (int v = 0; v < kQ1NodesPerEl; ++v) {
+      res.vertex_values[verts[v]] += N[v] * values[pidx];
+      weight[verts[v]] += N[v];
+    }
+  }
+
+  for (Index v = 0; v < mesh.num_vertices(); ++v) {
+    if (weight[v] > 0) {
+      res.vertex_values[v] /= weight[v];
+    } else {
+      res.vertex_values[v] = fallback;
+      ++res.empty_vertices;
+    }
+  }
+  return res;
+}
+
+void project_to_quadrature(const StructuredMesh& mesh,
+                           const MaterialPoints& points,
+                           const std::vector<Real>& values,
+                           std::vector<Real>& out, Real fallback) {
+  const ProjectionResult pr =
+      project_to_vertices(mesh, points, values, fallback);
+  evaluate_vertex_field_at_quadrature(mesh, pr.vertex_values, out);
+}
+
+} // namespace ptatin

@@ -1,0 +1,38 @@
+// Local L2 projection of material point properties (§II-C, Eq. 12-13).
+//
+//   f_i = (sum_p N_i(x_p) f_p) / (sum_p N_i(x_p))
+//
+// where N_i is the trilinear interpolant of corner vertex i (the Q1 mesh
+// defined by the corner vertices of each Q2 element). The projected field is
+// then interpolated to the quadrature points (Eq. 13).
+#pragma once
+
+#include <vector>
+
+#include "fem/mesh.hpp"
+#include "la/vector.hpp"
+#include "mpm/points.hpp"
+
+namespace ptatin {
+
+struct ProjectionResult {
+  Vector vertex_values; ///< f_i on the corner-vertex lattice
+  Index empty_vertices = 0; ///< vertices with no point in support
+};
+
+/// Project the per-point values (size = points.size()) to the vertex lattice.
+/// Vertices with zero accumulated weight take `fallback`. All points must be
+/// located (element >= 0); unlocated points are skipped.
+ProjectionResult project_to_vertices(const StructuredMesh& mesh,
+                                     const MaterialPoints& points,
+                                     const std::vector<Real>& values,
+                                     Real fallback = 0.0);
+
+/// Convenience: project point values and interpolate to quadrature points
+/// (out[e*27+q]), fusing Eq. 12 and Eq. 13.
+void project_to_quadrature(const StructuredMesh& mesh,
+                           const MaterialPoints& points,
+                           const std::vector<Real>& values,
+                           std::vector<Real>& out, Real fallback = 0.0);
+
+} // namespace ptatin

@@ -1,0 +1,144 @@
+#include "nonlin/newton.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace ptatin {
+
+NonlinearStokesSolver::NonlinearStokesSolver(const StructuredMesh& mesh,
+                                             const DirichletBc& bc,
+                                             const NonlinearOptions& opts)
+    : mesh_(mesh), bc_(bc), opts_(opts) {
+  b_full_ = assemble_gradient_block(mesh);
+}
+
+void NonlinearStokesSolver::residual(const QuadCoefficients& coeff,
+                                     const Vector& f, const Vector& u,
+                                     const Vector& p, Vector& fu,
+                                     Vector& fp) const {
+  // F_u = A(eta) u + B p - f, with the raw (unmasked) bilinear form: u
+  // carries the boundary values, so constrained rows are simply zeroed (the
+  // boundary equation u_bc = g_bc is satisfied by construction).
+  TensorViscousOperator a_raw(mesh_, coeff, nullptr);
+  a_raw.apply(u, fu);
+  Vector bp;
+  b_full_.mult(p, bp);
+  fu.axpy(1.0, bp);
+  fu.axpy(-1.0, f);
+  bc_.zero_constrained(fu);
+
+  // F_p = B^T u.
+  b_full_.mult_transpose(u, fp);
+}
+
+NonlinearResult NonlinearStokesSolver::solve(
+    const CoefficientUpdater& update_coefficients, const Vector& f, Vector& u,
+    Vector& p) const {
+  NonlinearResult res;
+  const Index nu = num_velocity_dofs(mesh_);
+  const Index np = num_pressure_dofs(mesh_);
+  PT_ASSERT(u.size() == nu);
+  if (p.size() != np) p.resize(np);
+
+  QuadCoefficients coeff(mesh_.num_elements());
+  Vector fu, fp;
+
+  auto residual_norm = [&](const Vector& uu, const Vector& pp,
+                           QuadCoefficients& cc) {
+    update_coefficients(uu, pp, false, cc);
+    residual(cc, f, uu, pp, fu, fp);
+    const Real nrm_u = fu.norm2();
+    const Real nrm_p = fp.norm2();
+    return std::sqrt(nrm_u * nrm_u + nrm_p * nrm_p);
+  };
+
+  Real fnorm = residual_norm(u, p, coeff);
+  const Real f0 = fnorm;
+  res.residual_history.push_back(fnorm);
+  const Real target = std::max(opts_.rtol * f0, opts_.atol);
+  Real lin_rtol = opts_.eisenstat_walker ? opts_.ew_rtol0
+                                         : opts_.linear.krylov.rtol;
+  Real fnorm_prev = fnorm;
+  Real lin_rtol_prev = lin_rtol;
+
+  int it = 0;
+  for (; it < opts_.max_it && fnorm > target; ++it) {
+    const bool newton_step =
+        opts_.use_newton && it >= opts_.picard_iterations;
+
+    // Refresh coefficients at the current state (with Newton terms when the
+    // Krylov operator should carry them).
+    update_coefficients(u, p, newton_step, coeff);
+
+    // Linear solver + preconditioner setup on the fresh Picard coefficients.
+    StokesSolverOptions lopts = opts_.linear;
+    lopts.newton_operator = newton_step;
+    if (opts_.eisenstat_walker) lopts.krylov.rtol = lin_rtol;
+    StokesSolver linear(mesh_, coeff, bc_, lopts);
+
+    // Right-hand side: -F with homogeneous constrained rows.
+    residual(coeff, f, u, p, fu, fp);
+    fu.scale(-1.0);
+    fp.scale(-1.0);
+    Vector rhs;
+    linear.op().combine(fu, fp, rhs);
+
+    StokesSolveResult lin = linear.solve_stacked(rhs);
+    res.total_krylov_iterations += lin.stats.iterations;
+    res.krylov_per_iteration.push_back(lin.stats.iterations);
+
+    // Backtracking line search on ||F||.
+    Real lambda = 1.0;
+    Real fnorm_new = fnorm;
+    Vector u_trial(nu), p_trial(np);
+    QuadCoefficients coeff_trial(mesh_.num_elements());
+    bool accepted = false;
+    for (int ls = 0; ls <= opts_.line_search_max; ++ls) {
+      u_trial.copy_from(u);
+      u_trial.axpy(lambda, lin.u);
+      p_trial.copy_from(p);
+      p_trial.axpy(lambda, lin.p);
+      fnorm_new = residual_norm(u_trial, p_trial, coeff_trial);
+      if (fnorm_new <= (1.0 - opts_.line_search_alpha * lambda) * fnorm) {
+        accepted = true;
+        break;
+      }
+      lambda *= 0.5;
+    }
+    // Accept the last trial even without sufficient decrease (the next
+    // iteration's Picard refresh often recovers).
+    u.copy_from(u_trial);
+    p.copy_from(p_trial);
+    res.step_lengths.push_back(lambda);
+
+    fnorm_prev = fnorm;
+    fnorm = fnorm_new;
+    res.residual_history.push_back(fnorm);
+    log_debug("nonlinear it ", it + 1, ": |F| = ", fnorm,
+              " lambda = ", lambda, accepted ? "" : " (forced)");
+
+    // Eisenstat-Walker choice 2 forcing for the next solve.
+    if (opts_.eisenstat_walker && fnorm_prev > 0) {
+      Real eta = opts_.ew_gamma *
+                 std::pow(fnorm / fnorm_prev, opts_.ew_alpha);
+      const Real safeguard =
+          opts_.ew_gamma * std::pow(lin_rtol_prev, opts_.ew_alpha);
+      if (safeguard > 0.1) eta = std::max(eta, safeguard);
+      lin_rtol_prev = lin_rtol;
+      lin_rtol = std::clamp(eta, opts_.ew_rtol_min, opts_.ew_rtol_max);
+    }
+  }
+
+  res.iterations = it;
+  res.converged = fnorm <= target;
+  res.u = std::move(u);
+  res.p = std::move(p);
+  // Keep caller copies in sync (u/p were moved out).
+  u.copy_from(res.u);
+  p.copy_from(res.p);
+  return res;
+}
+
+} // namespace ptatin

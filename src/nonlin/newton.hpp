@@ -1,0 +1,80 @@
+// Nonlinear Stokes solver: Picard and Newton iterations (§III-A).
+//
+// "A Picard iteration involves successive solves with eta(D(u)) taken from
+// the previous iteration. Picard linearization is observed to stagnate in
+// many plasticity models, so we turn to a Newton method which provides much
+// faster convergence in the terminal phase. ... we use the true Newton
+// linearization only when applying the Krylov operator in the (approximate)
+// solves at each Newton step. For the preconditioner, which is the primary
+// cost, we use the Picard linearization. Newton iterations are guarded by a
+// backtracking line search, and tolerances for the linear solve are
+// adaptively set by using the Eisenstat-Walker method."
+#pragma once
+
+#include <functional>
+
+#include "saddle/stokes_solver.hpp"
+
+namespace ptatin {
+
+/// Fills the quadrature coefficients (eta, rho, and — when `newton_terms` —
+/// deta and D0) from the current state. Provided by the model driver, which
+/// combines MPM lithology, rheology laws, temperature, and strain rates.
+using CoefficientUpdater = std::function<void(
+    const Vector& u, const Vector& p, bool newton_terms, QuadCoefficients&)>;
+
+struct NonlinearOptions {
+  int max_it = 20;
+  Real rtol = 1e-4;   ///< relative nonlinear tolerance (||F|| / ||F_0||)
+  Real atol = 1e-12;
+  int picard_iterations = 1; ///< initial Picard steps before Newton
+  bool use_newton = true;    ///< false: pure Picard throughout
+  // Eisenstat-Walker (choice 2) forcing terms.
+  bool eisenstat_walker = true;
+  Real ew_gamma = 0.9;
+  Real ew_alpha = 2.0;
+  Real ew_rtol0 = 0.1;
+  Real ew_rtol_min = 1e-6;
+  Real ew_rtol_max = 0.5;
+  // Backtracking line search.
+  int line_search_max = 8;
+  Real line_search_alpha = 1e-4; ///< sufficient-decrease constant
+  StokesSolverOptions linear;    ///< linear solver / preconditioner config
+};
+
+struct NonlinearResult {
+  bool converged = false;
+  int iterations = 0;
+  long total_krylov_iterations = 0;
+  std::vector<Real> residual_history; ///< ||F|| per nonlinear iteration
+  std::vector<int> krylov_per_iteration;
+  std::vector<Real> step_lengths;
+  Vector u, p;
+};
+
+class NonlinearStokesSolver {
+public:
+  /// Geometry-dependent setup (the gradient block) happens once here.
+  NonlinearStokesSolver(const StructuredMesh& mesh, const DirichletBc& bc,
+                        const NonlinearOptions& opts);
+
+  /// Solve F(u,p) = 0 with body force f (velocity space). `u` and `p` carry
+  /// the initial guess in and the solution out; u must satisfy the Dirichlet
+  /// values on entry (call bc.set_values(u) for a fresh start).
+  NonlinearResult solve(const CoefficientUpdater& update_coefficients,
+                        const Vector& f, Vector& u, Vector& p) const;
+
+  /// Nonlinear residual F = [A(eta) u + B p - f ; B^T u] with constrained
+  /// rows zeroed (u assumed to satisfy the boundary values).
+  void residual(const QuadCoefficients& coeff, const Vector& f,
+                const Vector& u, const Vector& p, Vector& fu,
+                Vector& fp) const;
+
+private:
+  const StructuredMesh& mesh_;
+  const DirichletBc& bc_;
+  NonlinearOptions opts_;
+  CsrMatrix b_full_;
+};
+
+} // namespace ptatin

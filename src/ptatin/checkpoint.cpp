@@ -1,0 +1,138 @@
+#include "ptatin/checkpoint.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "ptatin/context.hpp"
+
+namespace ptatin {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x70543344636B7074ull; // "pT3Dckpt"
+constexpr std::uint32_t kVersion = 1;
+
+template <class T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <class T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  PT_ASSERT_MSG(bool(is), "checkpoint: unexpected end of file");
+  return v;
+}
+
+void write_reals(std::ostream& os, const Real* data, std::uint64_t n) {
+  write_pod(os, n);
+  os.write(reinterpret_cast<const char*>(data),
+           static_cast<std::streamsize>(n * sizeof(Real)));
+}
+
+std::vector<Real> read_reals(std::istream& is) {
+  const std::uint64_t n = read_pod<std::uint64_t>(is);
+  std::vector<Real> v(n);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(Real)));
+  PT_ASSERT_MSG(bool(is), "checkpoint: truncated array");
+  return v;
+}
+
+void write_vector(std::ostream& os, const Vector& v) {
+  write_reals(os, v.data(), static_cast<std::uint64_t>(v.size()));
+}
+
+void read_vector_into(std::istream& is, Vector& v, const char* what) {
+  const std::vector<Real> data = read_reals(is);
+  PT_ASSERT_MSG(static_cast<Index>(data.size()) == v.size(),
+                std::string("checkpoint: size mismatch for ") + what);
+  for (Index i = 0; i < v.size(); ++i) v[i] = data[i];
+}
+
+} // namespace
+
+void save_checkpoint(const std::string& path, const PtatinContext& ctx) {
+  std::ofstream os(path, std::ios::binary);
+  PT_ASSERT_MSG(os.good(), "checkpoint: cannot open " + path);
+
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
+
+  // Mesh: dimensions + (possibly ALE-deformed) coordinates.
+  const StructuredMesh& mesh = ctx.mesh();
+  write_pod<std::int64_t>(os, mesh.mx());
+  write_pod<std::int64_t>(os, mesh.my());
+  write_pod<std::int64_t>(os, mesh.mz());
+  write_reals(os, mesh.coords().data(),
+              static_cast<std::uint64_t>(mesh.coords().size()));
+
+  // Fields.
+  write_vector(os, ctx.velocity());
+  write_vector(os, ctx.pressure());
+  write_vector(os, ctx.temperature()); // may be empty (no energy equation)
+
+  // Material points.
+  const MaterialPoints& pts = ctx.points();
+  write_pod<std::uint64_t>(os, static_cast<std::uint64_t>(pts.size()));
+  for (Index i = 0; i < pts.size(); ++i) {
+    const Vec3 x = pts.position(i);
+    write_pod(os, x[0]);
+    write_pod(os, x[1]);
+    write_pod(os, x[2]);
+    write_pod<std::int32_t>(os, pts.lithology(i));
+    write_pod(os, pts.plastic_strain(i));
+  }
+  PT_ASSERT_MSG(os.good(), "checkpoint: write failed for " + path);
+}
+
+void load_checkpoint(const std::string& path, PtatinContext& ctx) {
+  std::ifstream is(path, std::ios::binary);
+  PT_ASSERT_MSG(is.good(), "checkpoint: cannot open " + path);
+
+  PT_ASSERT_MSG(read_pod<std::uint64_t>(is) == kMagic,
+                "checkpoint: bad magic (not a pTatin3D checkpoint)");
+  PT_ASSERT_MSG(read_pod<std::uint32_t>(is) == kVersion,
+                "checkpoint: unsupported version");
+
+  StructuredMesh& mesh = ctx.mutable_mesh();
+  const auto mx = read_pod<std::int64_t>(is);
+  const auto my = read_pod<std::int64_t>(is);
+  const auto mz = read_pod<std::int64_t>(is);
+  PT_ASSERT_MSG(mx == mesh.mx() && my == mesh.my() && mz == mesh.mz(),
+                "checkpoint: mesh dimensions do not match the model");
+  const std::vector<Real> coords = read_reals(is);
+  PT_ASSERT_MSG(coords.size() == mesh.coords().size(),
+                "checkpoint: coordinate array size mismatch");
+  mesh.coords() = coords;
+
+  read_vector_into(is, ctx.mutable_velocity(), "velocity");
+  read_vector_into(is, ctx.mutable_pressure(), "pressure");
+  {
+    const std::vector<Real> t = read_reals(is);
+    Vector& T = ctx.mutable_temperature();
+    PT_ASSERT_MSG(static_cast<Index>(t.size()) == T.size(),
+                  "checkpoint: temperature size mismatch");
+    for (Index i = 0; i < T.size(); ++i) T[i] = t[i];
+  }
+
+  MaterialPoints& pts = ctx.points();
+  pts.clear();
+  const std::uint64_t n = read_pod<std::uint64_t>(is);
+  pts.reserve(static_cast<Index>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Vec3 x;
+    x[0] = read_pod<Real>(is);
+    x[1] = read_pod<Real>(is);
+    x[2] = read_pod<Real>(is);
+    const auto lith = read_pod<std::int32_t>(is);
+    const Real eps = read_pod<Real>(is);
+    pts.add(x, lith, eps);
+  }
+  locate_all(mesh, pts);
+}
+
+} // namespace ptatin

@@ -1,0 +1,29 @@
+// Binary checkpoint / restart of the time-stepping state.
+//
+// Long-term lithospheric runs are 1500-2000 time steps (§V-A); production
+// use requires saving and resuming the full model state: mesh geometry (ALE
+// deformed), velocity/pressure/temperature fields, and every material point
+// with its history variables.
+//
+// Format: little-endian binary, magic + version header, length-prefixed
+// arrays. The ModelSetup (materials, BCs, callbacks) is code, not data — a
+// restart constructs the same model and then loads the state into it.
+#pragma once
+
+#include <string>
+
+namespace ptatin {
+
+class PtatinContext;
+
+/// Write the full mutable state of `ctx` to `path`. Throws Error on I/O
+/// failure.
+void save_checkpoint(const std::string& path, const PtatinContext& ctx);
+
+/// Restore state saved by save_checkpoint into a context built from the
+/// same model setup. Validates mesh dimensions and field sizes; throws
+/// Error on mismatch or corruption. Material points are re-located after
+/// loading.
+void load_checkpoint(const std::string& path, PtatinContext& ctx);
+
+} // namespace ptatin

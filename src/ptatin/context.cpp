@@ -1,0 +1,133 @@
+#include "ptatin/context.hpp"
+
+#include "common/timing.hpp"
+#include "stokes/fields.hpp"
+
+namespace ptatin {
+
+PtatinContext::PtatinContext(ModelSetup setup, const PtatinOptions& opts)
+    : setup_(std::move(setup)), opts_(opts) {
+  PT_ASSERT(setup_.lithology_of != nullptr);
+
+  // Material points.
+  layout_points(setup_.mesh, opts.points_per_dim, setup_.lithology_of,
+                points_, opts.point_jitter);
+  if (setup_.initial_damage) {
+    for (Index i = 0; i < points_.size(); ++i)
+      points_.plastic_strain(i) = setup_.initial_damage(points_.position(i));
+  }
+
+  // Fields.
+  u_.resize(num_velocity_dofs(setup_.mesh), 0.0);
+  setup_.bc.set_values(u_);
+  p_.resize(num_pressure_dofs(setup_.mesh), 0.0);
+  coeff_ = QuadCoefficients(setup_.mesh.num_elements());
+
+  if (setup_.use_energy) {
+    T_.resize(setup_.mesh.num_vertices(), 0.0);
+    if (setup_.initial_temperature) {
+      for (Index vk = 0; vk < setup_.mesh.vz(); ++vk)
+        for (Index vj = 0; vj < setup_.mesh.vy(); ++vj)
+          for (Index vi = 0; vi < setup_.mesh.vx(); ++vi) {
+            const Index v = setup_.mesh.vertex_index(vi, vj, vk);
+            const Vec3 x = setup_.mesh.node_coord(
+                setup_.mesh.vertex_to_node(vi, vj, vk));
+            T_[v] = setup_.initial_temperature(x);
+          }
+    }
+    temperature_bc_ = VertexBc(setup_.mesh.num_vertices());
+    if (setup_.temperature_bc) setup_.temperature_bc(setup_.mesh, temperature_bc_);
+    energy_ = std::make_unique<EnergySolver>(setup_.mesh, setup_.kappa);
+  }
+
+  // Nonlinear solver: coarse-level BCs come from the model's factory.
+  NonlinearOptions nl = opts_.nonlinear;
+  if (setup_.bc_factory) nl.linear.bc_factory = setup_.bc_factory;
+  nonlinear_ = std::make_unique<NonlinearStokesSolver>(setup_.mesh, setup_.bc,
+                                                       nl);
+}
+
+CoefficientUpdater PtatinContext::coefficient_updater() {
+  return [this](const Vector& u, const Vector& p, bool newton_terms,
+                QuadCoefficients& coeff) {
+    update_coefficients_from_points(
+        setup_.mesh, setup_.materials, points_, u, p,
+        setup_.use_energy ? &T_ : nullptr, newton_terms, opts_.pipeline,
+        coeff);
+  };
+}
+
+StepReport PtatinContext::step(Real dt) {
+  StepReport report;
+  Timer timer;
+
+  // 1. Nonlinear Stokes solve (coefficients re-evaluated from points every
+  //    nonlinear iteration). Refresh rho at quadrature points first: the
+  //    body force is built from the projected density.
+  update_coefficients_from_points(setup_.mesh, setup_.materials, points_, u_,
+                                  p_, setup_.use_energy ? &T_ : nullptr,
+                                  false, opts_.pipeline, coeff_);
+  const Vector f = assemble_body_force(setup_.mesh, coeff_, setup_.gravity);
+
+  setup_.bc.set_values(u_);
+  report.nonlinear = nonlinear_->solve(coefficient_updater(), f, u_, p_);
+
+  // 2. Plastic strain accumulation on yielded points.
+  report.yielded_points = accumulate_plastic_strain(
+      setup_.mesh, setup_.materials, u_, p_,
+      setup_.use_energy ? &T_ : nullptr, dt, points_);
+
+  // 3. Energy equation (with optional shear heating from the converged
+  //    flow: source = 2 eta D:D / (rho c), element-averaged).
+  if (setup_.use_energy) {
+    if (setup_.shear_heating) {
+      std::vector<StrainRateSample> sr;
+      evaluate_strain_rates(setup_.mesh, u_, sr);
+      std::vector<Real> source(setup_.mesh.num_elements(), 0.0);
+      for (Index e = 0; e < setup_.mesh.num_elements(); ++e) {
+        Real acc = 0;
+        for (int q = 0; q < kQuadPerEl; ++q)
+          acc += 2.0 * coeff_.eta(e, q) * 2.0 * sr[e * kQuadPerEl + q].j2;
+        source[e] = acc / (kQuadPerEl * setup_.heat_capacity);
+      }
+      report.energy = energy_->step(u_, dt, temperature_bc_, T_, &source);
+    } else {
+      report.energy = energy_->step(u_, dt, temperature_bc_, T_);
+    }
+  }
+
+  // 4. Material point advection + population control.
+  report.advection = advect_points_rk2(setup_.mesh, u_, dt, points_);
+  // Drop points that left the domain (outflow deletion, §II-D).
+  for (Index i = 0; i < points_.size();) {
+    if (points_.element(i) < 0) {
+      points_.remove(i);
+    } else {
+      ++i;
+    }
+  }
+  report.population =
+      control_population(setup_.mesh, opts_.population, points_);
+
+  // 5. ALE mesh update; all point locations change with the mesh.
+  if (opts_.update_mesh) {
+    report.ale = update_mesh_free_surface(setup_.mesh, u_, dt, opts_.ale);
+    locate_all(setup_.mesh, points_);
+    for (Index i = 0; i < points_.size();) {
+      if (points_.element(i) < 0) {
+        points_.remove(i);
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  report.seconds = timer.seconds();
+  return report;
+}
+
+Real PtatinContext::suggest_dt(Real cfl) const {
+  return compute_cfl_dt(setup_.mesh, u_, cfl);
+}
+
+} // namespace ptatin

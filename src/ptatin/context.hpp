@@ -1,0 +1,82 @@
+// The pTatin3D time-stepping driver.
+//
+// One time step (§V-A lists these stages): solve the nonlinear Stokes
+// problem, update material point history variables (plastic strain), solve
+// the energy equation, advect material points and apply population control,
+// and update the ALE mesh.
+#pragma once
+
+#include <memory>
+
+#include "ale/mesh_update.hpp"
+#include "energy/supg.hpp"
+#include "mpm/advection.hpp"
+#include "mpm/points.hpp"
+#include "mpm/population.hpp"
+#include "nonlin/newton.hpp"
+#include "ptatin/coefficients.hpp"
+#include "ptatin/model.hpp"
+
+namespace ptatin {
+
+struct PtatinOptions {
+  int points_per_dim = 3;        ///< initial material points per direction
+  Real point_jitter = 0.3;
+  NonlinearOptions nonlinear;
+  PopulationOptions population;
+  AleOptions ale;
+  bool update_mesh = true;       ///< ALE free-surface update
+  CoefficientPipelineOptions pipeline;
+};
+
+struct StepReport {
+  NonlinearResult nonlinear;
+  AdvectionStats advection;
+  PopulationStats population;
+  AleStats ale;
+  EnergySolveStats energy;
+  Index yielded_points = 0;
+  double seconds = 0.0;
+};
+
+class PtatinContext {
+public:
+  PtatinContext(ModelSetup setup, const PtatinOptions& opts);
+
+  /// Advance the model by dt. Returns per-stage statistics.
+  StepReport step(Real dt);
+
+  /// CFL-limited time step from the last velocity solution.
+  Real suggest_dt(Real cfl = 0.5) const;
+
+  // --- state access ----------------------------------------------------------
+  const StructuredMesh& mesh() const { return setup_.mesh; }
+  const MaterialPoints& points() const { return points_; }
+  MaterialPoints& points() { return points_; }
+  const Vector& velocity() const { return u_; }
+  const Vector& pressure() const { return p_; }
+  const Vector& temperature() const { return T_; }
+  const ModelSetup& setup() const { return setup_; }
+  const QuadCoefficients& coefficients() const { return coeff_; }
+
+  /// The coefficient updater closure handed to the nonlinear solver.
+  CoefficientUpdater coefficient_updater();
+
+  // --- mutable state access (checkpoint restore, custom initial states) ----
+  StructuredMesh& mutable_mesh() { return setup_.mesh; }
+  Vector& mutable_velocity() { return u_; }
+  Vector& mutable_pressure() { return p_; }
+  Vector& mutable_temperature() { return T_; }
+
+private:
+  ModelSetup setup_;
+  PtatinOptions opts_;
+  MaterialPoints points_;
+  Vector u_, p_, T_;
+  QuadCoefficients coeff_;
+  std::unique_ptr<NonlinearStokesSolver> nonlinear_;
+  std::unique_ptr<EnergySolver> energy_;
+  VertexBc temperature_bc_;
+};
+
+} // namespace ptatin

@@ -1,0 +1,128 @@
+#include "ptatin/diagnostics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "fem/basis.hpp"
+#include "fem/dofmap.hpp"
+#include "stokes/fields.hpp"
+#include "stokes/geometry.hpp"
+
+namespace ptatin {
+
+TopographyField extract_topography(const StructuredMesh& mesh,
+                                   int vertical_axis) {
+  PT_ASSERT(vertical_axis >= 0 && vertical_axis < 3);
+  const int va = vertical_axis;
+  TopographyField topo;
+  topo.n1 = va == 0 ? mesh.ny() : mesh.nx();
+  topo.n2 = va == 2 ? mesh.ny() : mesh.nz();
+  const Index nv = va == 0 ? mesh.nx() : (va == 1 ? mesh.ny() : mesh.nz());
+  topo.height.resize(topo.n1 * topo.n2);
+
+  auto node_at = [&](Index i1, Index i2) {
+    switch (va) {
+      case 0: return mesh.node_index(nv - 1, i1, i2);
+      case 1: return mesh.node_index(i1, nv - 1, i2);
+      default: return mesh.node_index(i1, i2, nv - 1);
+    }
+  };
+
+  Real mn = 1e300, mx = -1e300, sum = 0;
+  for (Index i2 = 0; i2 < topo.n2; ++i2)
+    for (Index i1 = 0; i1 < topo.n1; ++i1) {
+      const Real h = mesh.node_coord(node_at(i1, i2))[va];
+      topo.height[i1 + topo.n1 * i2] = h;
+      mn = std::min(mn, h);
+      mx = std::max(mx, h);
+      sum += h;
+    }
+  topo.min = mn;
+  topo.max = mx;
+  topo.mean = sum / Real(topo.n1 * topo.n2);
+  return topo;
+}
+
+Real viscous_dissipation(const StructuredMesh& mesh,
+                         const QuadCoefficients& coeff, const Vector& u) {
+  std::vector<StrainRateSample> sr;
+  evaluate_strain_rates(mesh, u, sr);
+  return parallel_reduce_sum(mesh.num_elements(), [&](Index e) {
+    ElementGeometry g;
+    element_geometry(mesh, e, g);
+    Real acc = 0;
+    for (int q = 0; q < kQuadPerEl; ++q)
+      acc += g.wdetj[q] * 2.0 * coeff.eta(e, q) * 2.0 *
+             sr[e * kQuadPerEl + q].j2; // 2 eta D:D = 2 eta * (2 j2)
+    return acc;
+  });
+}
+
+Real rms_velocity(const StructuredMesh& mesh, const Vector& u) {
+  PT_ASSERT(u.size() == num_velocity_dofs(mesh));
+  const auto& tab = q2_tabulation();
+  Real vol = 0, integral = 0;
+  for (Index e = 0; e < mesh.num_elements(); ++e) {
+    ElementGeometry g;
+    element_geometry(mesh, e, g);
+    Index nodes[kQ2NodesPerEl];
+    mesh.element_nodes(e, nodes);
+    for (int q = 0; q < kQuadPerEl; ++q) {
+      Real v[3] = {0, 0, 0};
+      for (int i = 0; i < kQ2NodesPerEl; ++i)
+        for (int c = 0; c < 3; ++c)
+          v[c] += tab.N[q][i] * u[velocity_dof(nodes[i], c)];
+      integral += g.wdetj[q] * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]);
+      vol += g.wdetj[q];
+    }
+  }
+  return std::sqrt(integral / vol);
+}
+
+std::vector<Real> strain_rate_invariant_field(const StructuredMesh& mesh,
+                                              const Vector& u) {
+  std::vector<StrainRateSample> sr;
+  evaluate_strain_rates(mesh, u, sr);
+  std::vector<Real> out(mesh.num_elements(), 0.0);
+  parallel_for(mesh.num_elements(), [&](Index e) {
+    Real acc = 0;
+    for (int q = 0; q < kQuadPerEl; ++q)
+      acc += std::sqrt(std::max(sr[e * kQuadPerEl + q].j2, Real(0)));
+    out[e] = acc / kQuadPerEl;
+  });
+  return out;
+}
+
+std::vector<Real> element_mean_viscosity(const QuadCoefficients& coeff) {
+  std::vector<Real> out(coeff.num_elements(), 0.0);
+  parallel_for(coeff.num_elements(), [&](Index e) {
+    Real acc = 0;
+    for (int q = 0; q < kQuadPerEl; ++q) acc += coeff.eta(e, q);
+    out[e] = acc / kQuadPerEl;
+  });
+  return out;
+}
+
+std::vector<Real> element_mean_density(const QuadCoefficients& coeff) {
+  std::vector<Real> out(coeff.num_elements(), 0.0);
+  parallel_for(coeff.num_elements(), [&](Index e) {
+    Real acc = 0;
+    for (int q = 0; q < kQuadPerEl; ++q) acc += coeff.rho(e, q);
+    out[e] = acc / kQuadPerEl;
+  });
+  return out;
+}
+
+FlowStats compute_flow_stats(const StructuredMesh& mesh,
+                             const QuadCoefficients& coeff, const Vector& u) {
+  FlowStats s;
+  s.u_rms = rms_velocity(mesh, u);
+  s.u_max = u.norm_inf();
+  s.dissipation = viscous_dissipation(mesh, coeff, u);
+  s.divergence_l2 = divergence_l2(mesh, u);
+  return s;
+}
+
+} // namespace ptatin

@@ -1,0 +1,54 @@
+// Post-processing diagnostics: the observables geodynamics studies report
+// (surface topography, dissipation, RMS velocities, strain-rate fields).
+#pragma once
+
+#include <vector>
+
+#include "fem/mesh.hpp"
+#include "la/vector.hpp"
+#include "stokes/coefficient.hpp"
+
+namespace ptatin {
+
+/// Surface topography: heights of the free-surface nodes along the vertical
+/// axis, returned as a (n1 x n2) row-major grid of the lateral lattice.
+struct TopographyField {
+  Index n1 = 0, n2 = 0;
+  std::vector<Real> height;
+  Real min = 0, max = 0, mean = 0;
+
+  Real at(Index i1, Index i2) const { return height[i1 + n1 * i2]; }
+};
+
+TopographyField extract_topography(const StructuredMesh& mesh,
+                                   int vertical_axis);
+
+/// Viscous dissipation Phi = int 2 eta D(u):D(u) dV — the energy release
+/// rate of the flow (a standard convergence/benchmark observable).
+Real viscous_dissipation(const StructuredMesh& mesh,
+                         const QuadCoefficients& coeff, const Vector& u);
+
+/// Volume-weighted RMS velocity sqrt(int |u|^2 dV / |Omega|).
+Real rms_velocity(const StructuredMesh& mesh, const Vector& u);
+
+/// Per-element mean of the strain-rate second invariant sqrt(j2)
+/// (size num_elements; useful as VTK cell data to visualize shear zones).
+std::vector<Real> strain_rate_invariant_field(const StructuredMesh& mesh,
+                                              const Vector& u);
+
+/// Per-element mean viscosity / density (VTK cell data helpers).
+std::vector<Real> element_mean_viscosity(const QuadCoefficients& coeff);
+std::vector<Real> element_mean_density(const QuadCoefficients& coeff);
+
+/// Basic flow statistics bundle.
+struct FlowStats {
+  Real u_rms = 0;
+  Real u_max = 0;
+  Real dissipation = 0;
+  Real divergence_l2 = 0;
+};
+
+FlowStats compute_flow_stats(const StructuredMesh& mesh,
+                             const QuadCoefficients& coeff, const Vector& u);
+
+} // namespace ptatin

@@ -1,0 +1,139 @@
+#include "ptatin/models_rifting.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "common/rng.hpp"
+
+namespace ptatin {
+
+namespace {
+
+DirichletBc rifting_bc_pattern(const StructuredMesh& mesh, Real vx, Real vz) {
+  // Symmetric extension in x; free slip on z faces (or weak shortening);
+  // free slip bottom; free surface top (y max).
+  DirichletBc bc(num_velocity_dofs(mesh));
+  constrain_face_component(mesh, MeshFace::kXMin, 0, -vx, bc);
+  constrain_face_component(mesh, MeshFace::kXMax, 0, +vx, bc);
+  constrain_face_component(mesh, MeshFace::kZMin, 2, 0.0, bc);
+  constrain_face_component(mesh, MeshFace::kZMax, 2, -vz, bc);
+  constrain_face_component(mesh, MeshFace::kYMin, 1, 0.0, bc);
+  // y max: free surface (no constraint).
+  return bc;
+}
+
+} // namespace
+
+ModelSetup make_rifting_model(const RiftingParams& p) {
+  ModelSetup m;
+  m.name = "continental-rifting";
+  m.mesh = StructuredMesh::box(p.mx, p.my, p.mz, {0, 0, 0},
+                               {p.lx, p.ly, p.lz});
+  if (p.initial_topography > 0) {
+    // Perturb the free surface and redistribute each vertical column, so the
+    // first solves start from out-of-equilibrium topography (§V).
+    Rng trng(p.seed + 1);
+    const Index ny = m.mesh.ny();
+    for (Index k = 0; k < m.mesh.nz(); ++k)
+      for (Index i = 0; i < m.mesh.nx(); ++i) {
+        const Real dy =
+            p.initial_topography * p.ly * trng.uniform(-1.0, 1.0);
+        const Real lo =
+            m.mesh.node_coord(m.mesh.node_index(i, 0, k))[1];
+        const Real hi = p.ly + dy;
+        for (Index j = 1; j < ny; ++j) {
+          const Index n = m.mesh.node_index(i, j, k);
+          Vec3 x = m.mesh.node_coord(n);
+          x[1] = lo + (hi - lo) * Real(j) / Real(ny - 1);
+          m.mesh.set_node_coord(n, x);
+        }
+      }
+  }
+
+  m.bc = rifting_bc_pattern(m.mesh, p.extension_rate, p.shortening_rate);
+  m.bc_factory = [](const StructuredMesh& mesh) {
+    // Homogeneous version of the same constraint pattern for MG levels.
+    return rifting_bc_pattern(mesh, 0.0, 0.0);
+  };
+  m.gravity = {0, -9.8, 0};
+  m.vertical_axis = 1;
+
+  // --- rheology ----------------------------------------------------------------
+  // Mantle: temperature-dependent Newtonian creep (no yield near surface).
+  ArrheniusParams mantle;
+  mantle.eta0 = p.eta_mantle;
+  mantle.n = 1.0;
+  mantle.E = 30.0;
+  mantle.R = 1.0;
+  mantle.T_ref = 1.0;
+  mantle.eta_min = 1e-4;
+  mantle.eta_max = 1e4;
+  mantle.rho0 = 1.0;
+  mantle.alpha = 0.05;
+  mantle.T0 = 1.0;
+  m.materials.add(std::make_shared<ArrheniusLaw>(mantle));
+
+  // Weak crust: power-law creep + Drucker-Prager.
+  ArrheniusParams weak = mantle;
+  weak.eta0 = p.eta_weak_crust;
+  weak.n = 3.0;
+  weak.E = 20.0;
+  weak.T_ref = 0.5;
+  weak.rho0 = 0.9;
+  DruckerPragerParams dp;
+  dp.cohesion = p.cohesion;
+  dp.cohesion_softened = p.cohesion_softened;
+  dp.softening_strain = 1.0;
+  dp.friction_angle = p.friction_angle;
+  dp.eta_min = 1e-4;
+  m.materials.add(std::make_shared<ViscoPlasticLaw>(
+      std::make_shared<ArrheniusLaw>(weak), dp));
+
+  // Strong crust: stiffer creep, same brittle envelope.
+  ArrheniusParams strong = weak;
+  strong.eta0 = p.eta_strong_crust;
+  strong.rho0 = 0.92;
+  m.materials.add(std::make_shared<ViscoPlasticLaw>(
+      std::make_shared<ArrheniusLaw>(strong), dp));
+
+  const Real mantle_top = p.mantle_depth * p.ly;
+  const Real weak_top = p.weak_crust_top * p.ly;
+  m.lithology_of = [mantle_top, weak_top](const Vec3& x) {
+    if (x[1] < mantle_top) return 0; // mantle
+    if (x[1] < weak_top) return 1;   // weak crust
+    return 2;                        // strong crust
+  };
+
+  // Damage seed: random plastic strain in a central zone along the back
+  // face (z = 0), §V-A / Figure 3.
+  const Real xc = Real(0.5) * p.lx;
+  const Real hw = p.damage_half_width;
+  const Real zext = p.damage_z_extent;
+  const Real amp = p.damage_amplitude;
+  const Real mtop = mantle_top;
+  auto rng = std::make_shared<Rng>(p.seed);
+  m.initial_damage = [xc, hw, zext, amp, mtop, rng](const Vec3& x) {
+    if (std::abs(x[0] - xc) > hw) return Real(0);
+    if (x[2] > zext) return Real(0);
+    if (x[1] < mtop) return Real(0); // damage only in the crust
+    return amp * rng->uniform(0.0, 1.0);
+  };
+
+  // --- energy ------------------------------------------------------------------
+  m.use_energy = true;
+  m.kappa = p.kappa;
+  const Real ly = p.ly;
+  m.initial_temperature = [ly](const Vec3& x) {
+    return Real(1) - x[1] / ly; // hot bottom (T=1) to cold surface (T=0)
+  };
+  m.temperature_bc = [ly](const StructuredMesh& mesh, VertexBc& bc) {
+    for (Index vk = 0; vk < mesh.vz(); ++vk)
+      for (Index vi = 0; vi < mesh.vx(); ++vi) {
+        bc.constrain(mesh.vertex_index(vi, 0, vk), 1.0);
+        bc.constrain(mesh.vertex_index(vi, mesh.vy() - 1, vk), 0.0);
+      }
+  };
+  return m;
+}
+
+} // namespace ptatin

@@ -1,0 +1,98 @@
+#include "ptatin/models_sinker.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "stokes/geometry.hpp"
+
+namespace ptatin {
+
+std::vector<Vec3> sinker_sphere_centers(const SinkerParams& p) {
+  Rng rng(p.seed);
+  std::vector<Vec3> centers;
+  const Real margin = p.radius * 1.05;
+  int attempts = 0;
+  while (static_cast<Index>(centers.size()) < p.num_spheres &&
+         attempts < 100000) {
+    ++attempts;
+    const Vec3 c{rng.uniform(margin, 1 - margin),
+                 rng.uniform(margin, 1 - margin),
+                 rng.uniform(margin, 1 - margin)};
+    bool ok = true;
+    for (const Vec3& o : centers) {
+      const Real d2 = (c[0] - o[0]) * (c[0] - o[0]) +
+                      (c[1] - o[1]) * (c[1] - o[1]) +
+                      (c[2] - o[2]) * (c[2] - o[2]);
+      if (d2 < 4 * p.radius * p.radius * Real(1.1)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) centers.push_back(c);
+  }
+  PT_ASSERT_MSG(static_cast<Index>(centers.size()) == p.num_spheres,
+                "could not place nonintersecting spheres");
+  return centers;
+}
+
+namespace {
+
+bool inside_any_sphere(const std::vector<Vec3>& centers, Real r2,
+                       const Vec3& x) {
+  for (const Vec3& c : centers) {
+    const Real d2 = (x[0] - c[0]) * (x[0] - c[0]) +
+                    (x[1] - c[1]) * (x[1] - c[1]) +
+                    (x[2] - c[2]) * (x[2] - c[2]);
+    if (d2 < r2) return true;
+  }
+  return false;
+}
+
+} // namespace
+
+ModelSetup make_sinker_model(const SinkerParams& p) {
+  ModelSetup m;
+  m.name = "sinker";
+  m.mesh = StructuredMesh::box(p.mx, p.my, p.mz, {0, 0, 0}, {1, 1, 1});
+  m.bc = sinker_boundary_conditions(m.mesh);
+  m.bc_factory = [](const StructuredMesh& mesh) {
+    return sinker_boundary_conditions(mesh);
+  };
+  m.gravity = {0, 0, -9.8};
+  m.vertical_axis = 2;
+
+  // Lithology 0: ambient, 1: sphere material.
+  const int ambient = m.materials.add(std::make_shared<ConstantViscosityLaw>(
+      Real(1) / p.contrast, /*rho0=*/1.0));
+  (void)ambient;
+  m.materials.add(
+      std::make_shared<ConstantViscosityLaw>(1.0, p.sphere_density));
+
+  auto centers = sinker_sphere_centers(p);
+  const Real r2 = p.radius * p.radius;
+  m.lithology_of = [centers, r2](const Vec3& x) {
+    return inside_any_sphere(centers, r2, x) ? 1 : 0;
+  };
+  return m;
+}
+
+QuadCoefficients sinker_coefficients(const StructuredMesh& mesh,
+                                     const SinkerParams& p) {
+  QuadCoefficients c(mesh.num_elements());
+  auto centers = sinker_sphere_centers(p);
+  const Real r2 = p.radius * p.radius;
+  for (Index e = 0; e < mesh.num_elements(); ++e) {
+    ElementGeometry g;
+    element_geometry(mesh, e, g);
+    for (int q = 0; q < kQuadPerEl; ++q) {
+      const Vec3 x{g.xq[q][0], g.xq[q][1], g.xq[q][2]};
+      const bool in = inside_any_sphere(centers, r2, x);
+      c.eta(e, q) = in ? 1.0 : Real(1) / p.contrast;
+      c.rho(e, q) = in ? p.sphere_density : 1.0;
+    }
+  }
+  return c;
+}
+
+} // namespace ptatin

@@ -1,0 +1,37 @@
+// The §IV-A sedimentation ("sinker") benchmark model.
+//
+// "We populate the cubic domain [0,1]^3 with N_c randomly-placed
+// nonintersecting spheres of radius R_c. Flow is driven by density
+// variations between the spheres and background material. ... The ambient
+// fluid has viscosity (Delta eta)^{-1} and density 1, while the spheres have
+// viscosity 1 and density 1.2. Slip boundary conditions are imposed at the
+// walls and a free surface at the top (z = 1)."
+#pragma once
+
+#include <vector>
+
+#include "ptatin/model.hpp"
+
+namespace ptatin {
+
+struct SinkerParams {
+  Index mx = 16, my = 16, mz = 16;
+  Index num_spheres = 8;   ///< N_c
+  Real radius = 0.1;       ///< R_c
+  Real contrast = 1e4;     ///< Delta eta
+  Real sphere_density = 1.2;
+  std::uint64_t seed = 2014;
+};
+
+/// Random nonintersecting sphere centers inside [margin, 1-margin]^3.
+std::vector<Vec3> sinker_sphere_centers(const SinkerParams& p);
+
+ModelSetup make_sinker_model(const SinkerParams& p);
+
+/// Quadrature coefficients sampled directly from the analytic geometry
+/// (bypassing material points; used by the solver-only benchmarks of §IV so
+/// the Stokes timings are not mixed with MPM projection costs).
+QuadCoefficients sinker_coefficients(const StructuredMesh& mesh,
+                                     const SinkerParams& p);
+
+} // namespace ptatin

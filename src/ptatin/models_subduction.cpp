@@ -1,0 +1,84 @@
+#include "ptatin/models_subduction.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "mpm/points.hpp"
+
+namespace ptatin {
+
+namespace {
+
+/// Is x inside the plate+slab region? The plate is a horizontal layer under
+/// the surface for x < plate_extent; the slab continues from the plate's end
+/// along a dipping segment of the same thickness.
+bool inside_slab(const SubductionParams& p, const Vec3& x) {
+  const Real top = p.lz;
+  // Horizontal plate layer.
+  if (x[0] <= p.plate_extent && x[2] >= top - p.plate_thickness) return true;
+  // Dipping segment: distance from the line starting at the plate hinge
+  // (plate_extent, top - thickness/2) going down-dip.
+  const Real hx = p.plate_extent;
+  const Real hz = top - Real(0.5) * p.plate_thickness;
+  const Real dirx = std::sin(p.slab_dip_angle);
+  const Real dirz = -std::cos(p.slab_dip_angle);
+  const Real relx = x[0] - hx, relz = x[2] - hz;
+  const Real along = relx * dirx + relz * dirz;
+  if (along < 0 || along > p.slab_dip_depth) return false;
+  const Real perp = std::abs(relx * (-dirz) + relz * dirx);
+  return perp <= Real(0.5) * p.plate_thickness;
+}
+
+} // namespace
+
+ModelSetup make_subduction_model(const SubductionParams& p) {
+  ModelSetup m;
+  m.name = "slab-subduction";
+  m.mesh = StructuredMesh::box(p.mx, p.my, p.mz, {0, 0, 0},
+                               {p.lx, p.ly, p.lz});
+  // Closed box (free-slip on all six faces): the standard community setup
+  // for slab benchmarks — without a free surface the isostatic transient is
+  // absent and the slab-pull signal dominates from step one.
+  auto closed_box = [](const StructuredMesh& mesh) {
+    DirichletBc bc(num_velocity_dofs(mesh));
+    for (auto f : {MeshFace::kXMin, MeshFace::kXMax, MeshFace::kYMin,
+                   MeshFace::kYMax, MeshFace::kZMin, MeshFace::kZMax})
+      constrain_free_slip(mesh, f, bc);
+    return bc;
+  };
+  m.bc = closed_box(m.mesh);
+  m.bc_factory = closed_box;
+  m.gravity = {0, 0, -9.8};
+  m.vertical_axis = 2;
+
+  // Lithology 0: mantle (weak, Newtonian).
+  m.materials.add(
+      std::make_shared<ConstantViscosityLaw>(p.eta_mantle, p.rho_mantle));
+  // Lithology 1: plate/slab (stiff visco-plastic so it can bend and neck).
+  DruckerPragerParams dp;
+  dp.cohesion = p.cohesion;
+  dp.cohesion_softened = Real(0.5) * p.cohesion;
+  dp.softening_strain = 1.0;
+  dp.friction_angle = p.friction_angle;
+  dp.eta_min = p.eta_mantle;
+  m.materials.add(std::make_shared<ViscoPlasticLaw>(
+      std::make_shared<ConstantViscosityLaw>(p.eta_plate, p.rho_plate), dp));
+
+  const SubductionParams params = p;
+  m.lithology_of = [params](const Vec3& x) {
+    return inside_slab(params, x) ? 1 : 0;
+  };
+  return m;
+}
+
+Real slab_tip_depth(const ModelSetup& setup, const MaterialPoints& pts) {
+  (void)setup;
+  Real zmin = 1e300;
+  for (Index i = 0; i < pts.size(); ++i) {
+    if (pts.lithology(i) != 1) continue;
+    zmin = std::min(zmin, pts.position(i)[2]);
+  }
+  return zmin;
+}
+
+} // namespace ptatin

@@ -1,0 +1,34 @@
+// Slab subduction model: the second §I motivating application (alongside
+// rifting). A stiff, dense lithospheric plate with a dipping slab segment
+// hangs in a weak mantle; negative buoyancy drives subduction and rollback.
+// A standard community benchmark geometry (cf. the "sinking slab" setups of
+// the geodynamics literature referenced in §I).
+#pragma once
+
+#include "ptatin/model.hpp"
+
+namespace ptatin {
+
+struct SubductionParams {
+  Index mx = 16, my = 8, mz = 8;
+  Real lx = 4.0, ly = 2.0, lz = 2.0; ///< z is vertical
+  Real plate_thickness = 0.2;        ///< horizontal plate layer below surface
+  Real plate_extent = 2.4;           ///< x-extent of the surface plate
+  Real slab_dip_depth = 0.8;         ///< how deep the initial slab hangs
+  Real slab_dip_angle = 0.6;         ///< radians from vertical-ish descent
+  Real eta_mantle = 1e-2;
+  Real eta_plate = 1.0;
+  Real rho_mantle = 1.0;
+  Real rho_plate = 1.15;
+  /// Plasticity of the plate (enables bending/necking).
+  Real cohesion = 2.0;
+  Real friction_angle = 0.5;
+};
+
+ModelSetup make_subduction_model(const SubductionParams& p);
+
+/// Deepest vertical position reached by slab-lithology material points
+/// (the slab-tip depth observable).
+Real slab_tip_depth(const ModelSetup& setup, const class MaterialPoints& pts);
+
+} // namespace ptatin

@@ -1,0 +1,78 @@
+#include "ptatin/vtk.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+#include "fem/dofmap.hpp"
+
+namespace ptatin {
+
+void write_vtk_structured(const std::string& path, const StructuredMesh& mesh,
+                          const Vector& u, const Vector& p,
+                          const QuadCoefficients* coeff) {
+  std::ofstream os(path);
+  PT_ASSERT_MSG(os.good(), "cannot open VTK output file: " + path);
+
+  const Index nn = mesh.num_nodes();
+  os << "# vtk DataFile Version 3.0\n"
+     << "pTatin3D structured output\nASCII\nDATASET STRUCTURED_GRID\n"
+     << "DIMENSIONS " << mesh.nx() << " " << mesh.ny() << " " << mesh.nz()
+     << "\nPOINTS " << nn << " double\n";
+  for (Index n = 0; n < nn; ++n) {
+    const Vec3 x = mesh.node_coord(n);
+    os << x[0] << " " << x[1] << " " << x[2] << "\n";
+  }
+
+  if (u.size() == num_velocity_dofs(mesh)) {
+    os << "POINT_DATA " << nn << "\nVECTORS velocity double\n";
+    for (Index n = 0; n < nn; ++n)
+      os << u[3 * n] << " " << u[3 * n + 1] << " " << u[3 * n + 2] << "\n";
+  }
+
+  const bool have_p = p.size() == num_pressure_dofs(mesh);
+  const bool have_c = coeff != nullptr;
+  if (have_p || have_c) {
+    os << "CELL_DATA " << mesh.num_elements() << "\n";
+    if (have_p) {
+      os << "SCALARS pressure double 1\nLOOKUP_TABLE default\n";
+      for (Index e = 0; e < mesh.num_elements(); ++e)
+        os << p[pressure_dof(e, 0)] << "\n"; // element-mean mode
+    }
+    if (have_c) {
+      os << "SCALARS viscosity double 1\nLOOKUP_TABLE default\n";
+      for (Index e = 0; e < mesh.num_elements(); ++e) {
+        Real avg = 0;
+        for (int q = 0; q < kQuadPerEl; ++q) avg += coeff->eta(e, q);
+        os << avg / kQuadPerEl << "\n";
+      }
+      os << "SCALARS density double 1\nLOOKUP_TABLE default\n";
+      for (Index e = 0; e < mesh.num_elements(); ++e) {
+        Real avg = 0;
+        for (int q = 0; q < kQuadPerEl; ++q) avg += coeff->rho(e, q);
+        os << avg / kQuadPerEl << "\n";
+      }
+    }
+  }
+}
+
+void write_vtk_points(const std::string& path, const MaterialPoints& points) {
+  std::ofstream os(path);
+  PT_ASSERT_MSG(os.good(), "cannot open VTK output file: " + path);
+
+  const Index n = points.size();
+  os << "# vtk DataFile Version 3.0\n"
+     << "pTatin3D material points\nASCII\nDATASET POLYDATA\n"
+     << "POINTS " << n << " double\n";
+  for (Index i = 0; i < n; ++i) {
+    const Vec3 x = points.position(i);
+    os << x[0] << " " << x[1] << " " << x[2] << "\n";
+  }
+  os << "VERTICES " << n << " " << 2 * n << "\n";
+  for (Index i = 0; i < n; ++i) os << "1 " << i << "\n";
+  os << "POINT_DATA " << n << "\nSCALARS lithology int 1\nLOOKUP_TABLE default\n";
+  for (Index i = 0; i < n; ++i) os << points.lithology(i) << "\n";
+  os << "SCALARS plastic_strain double 1\nLOOKUP_TABLE default\n";
+  for (Index i = 0; i < n; ++i) os << points.plastic_strain(i) << "\n";
+}
+
+} // namespace ptatin

@@ -1,0 +1,24 @@
+// Legacy VTK output: structured-grid fields and material-point clouds for
+// visualization (Figures 1 and 3).
+#pragma once
+
+#include <string>
+
+#include "fem/mesh.hpp"
+#include "la/vector.hpp"
+#include "mpm/points.hpp"
+#include "stokes/coefficient.hpp"
+
+namespace ptatin {
+
+/// Write the Q2 node lattice as a VTK structured grid with point-data
+/// velocity and cell-averaged viscosity/density/pressure.
+/// `u` may be empty (geometry-only output); `p` may be empty.
+void write_vtk_structured(const std::string& path, const StructuredMesh& mesh,
+                          const Vector& u, const Vector& p,
+                          const QuadCoefficients* coeff);
+
+/// Write material points as VTK polydata with lithology and plastic strain.
+void write_vtk_points(const std::string& path, const MaterialPoints& points);
+
+} // namespace ptatin

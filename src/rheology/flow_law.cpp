@@ -1,0 +1,71 @@
+#include "rheology/flow_law.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ptatin {
+
+ViscosityEval ArrheniusLaw::viscosity(const RheologyState& s) const {
+  // eps_II = sqrt(j2); guard against the zero-strain-rate singularity of
+  // power-law creep with a floor tied to the reference rate.
+  const Real j2 = std::max(s.j2, Real(1e-32));
+  const Real eps_II = std::sqrt(j2);
+
+  const Real expo = (Real(1) - p_.n) / p_.n; // (1-n)/n
+  const Real rate_factor = std::pow(eps_II / p_.eps0, expo);
+
+  Real thermal_factor = 1.0;
+  if (p_.E != 0.0 || p_.V != 0.0) {
+    const Real T = std::max(s.temperature, Real(1e-8));
+    thermal_factor = std::exp((p_.E + s.pressure * p_.V) / (p_.n * p_.R * T) -
+                              p_.E / (p_.n * p_.R * p_.T_ref));
+  }
+
+  Real eta = p_.eta0 * rate_factor * thermal_factor;
+
+  // d(eta)/d(j2): eta ~ j2^(expo/2)  =>  deta/dj2 = eta * expo / (2 j2).
+  Real deta = eta * expo / (Real(2) * j2);
+
+  if (eta < p_.eta_min) {
+    eta = p_.eta_min;
+    deta = 0.0;
+  } else if (eta > p_.eta_max) {
+    eta = p_.eta_max;
+    deta = 0.0;
+  }
+  return {eta, deta, false};
+}
+
+Real ViscoPlasticLaw::yield_stress(const RheologyState& s) const {
+  const Real frac =
+      std::clamp(s.plastic_strain / dp_.softening_strain, Real(0), Real(1));
+  const Real c =
+      dp_.cohesion + frac * (dp_.cohesion_softened - dp_.cohesion);
+  const Real tau =
+      c * std::cos(dp_.friction_angle) +
+      std::max(s.pressure, Real(0)) * std::sin(dp_.friction_angle);
+  return std::max(tau, dp_.tau_min);
+}
+
+ViscosityEval ViscoPlasticLaw::viscosity(const RheologyState& s) const {
+  ViscosityEval ve = viscous_->viscosity(s);
+
+  const Real j2 = std::max(s.j2, Real(1e-32));
+  const Real eps_II = std::sqrt(j2);
+  const Real tau_y = yield_stress(s);
+  const Real eta_y = tau_y / (Real(2) * eps_II);
+
+  if (eta_y < ve.eta) {
+    // Yielded: eta = tau_y / (2 sqrt(j2)) => deta/dj2 = -eta/(2 j2).
+    Real eta = eta_y;
+    Real deta = -eta / (Real(2) * j2);
+    if (eta < dp_.eta_min) {
+      eta = dp_.eta_min;
+      deta = 0.0;
+    }
+    return {eta, deta, true};
+  }
+  return ve;
+}
+
+} // namespace ptatin

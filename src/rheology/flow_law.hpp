@@ -1,0 +1,143 @@
+// Rheology: effective viscosity and density of each lithology.
+//
+// §V-A: "The flow law used in each lithology consists of a temperature,
+// pressure, and strain-rate-dependent viscosity defined by an Arrhenius type
+// law. The effective viscosity involves a Drucker-Prager stress limiter that
+// parametrizes the brittle behavior of rocks ... All lithologies are assumed
+// to have buoyancy variations defined by the Boussinesq equations."
+//
+// Conventions: the strain-rate state is carried as j2 = 1/2 D(u):D(u)
+// (the square of the second invariant, eps_II = sqrt(j2)). Each law returns
+// both eta and d(eta)/d(j2) — the scalar eta' of the Newton linearization
+// eta*I + eta' D(u) (x) D(u) of §III-A.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ptatin {
+
+/// Local state a flow law may depend on.
+struct RheologyState {
+  Real j2 = 0.0;            ///< 1/2 D:D (second invariant squared)
+  Real pressure = 0.0;      ///< dynamic pressure
+  Real temperature = 0.0;   ///< temperature (Boussinesq / Arrhenius)
+  Real plastic_strain = 0.0;///< accumulated plastic strain (softening)
+};
+
+/// Viscosity evaluation result: value and derivative for Newton.
+struct ViscosityEval {
+  Real eta = 1.0;
+  Real deta_dj2 = 0.0; ///< d(eta)/d(j2); < 0 for shear-thinning / yielding
+  bool yielded = false;
+};
+
+class FlowLaw {
+public:
+  virtual ~FlowLaw() = default;
+  virtual ViscosityEval viscosity(const RheologyState& s) const = 0;
+  virtual Real density(const RheologyState& s) const = 0;
+};
+
+/// Linear (Newtonian) material: constant viscosity, Boussinesq density.
+class ConstantViscosityLaw : public FlowLaw {
+public:
+  ConstantViscosityLaw(Real eta, Real rho0, Real alpha = 0.0, Real T0 = 0.0)
+      : eta_(eta), rho0_(rho0), alpha_(alpha), T0_(T0) {}
+
+  ViscosityEval viscosity(const RheologyState&) const override {
+    return {eta_, 0.0, false};
+  }
+  Real density(const RheologyState& s) const override {
+    return rho0_ * (Real(1) - alpha_ * (s.temperature - T0_));
+  }
+
+private:
+  Real eta_, rho0_, alpha_, T0_;
+};
+
+/// Arrhenius-type creep law with power-law strain-rate dependence:
+///   eta = eta0 * (eps_II/eps0)^((1-n)/n) * exp[(E + p V)/(n R T) - E/(n R T_ref)]
+/// clamped to [eta_min, eta_max]. n = 1 recovers temperature-dependent
+/// Newtonian creep.
+struct ArrheniusParams {
+  Real eta0 = 1.0;       ///< reference viscosity at (eps0, T_ref, p=0)
+  Real n = 1.0;          ///< stress exponent
+  Real E = 0.0;          ///< activation energy
+  Real V = 0.0;          ///< activation volume
+  Real T_ref = 1.0;      ///< reference temperature
+  Real eps0 = 1.0;       ///< reference strain rate (second invariant)
+  Real R = 8.314;        ///< gas constant
+  Real eta_min = 1e-6;
+  Real eta_max = 1e6;
+  Real rho0 = 1.0;       ///< reference density
+  Real alpha = 0.0;      ///< thermal expansivity (Boussinesq)
+  Real T0 = 0.0;         ///< buoyancy reference temperature
+};
+
+class ArrheniusLaw : public FlowLaw {
+public:
+  explicit ArrheniusLaw(const ArrheniusParams& p) : p_(p) {}
+
+  ViscosityEval viscosity(const RheologyState& s) const override;
+  Real density(const RheologyState& s) const override {
+    return p_.rho0 * (Real(1) - p_.alpha * (s.temperature - p_.T0));
+  }
+
+  const ArrheniusParams& params() const { return p_; }
+
+private:
+  ArrheniusParams p_;
+};
+
+/// Drucker–Prager stress limiter wrapped around a viscous law:
+///   tau_y = C(eps_p) cos(phi) + p sin(phi)   (clamped >= tau_min)
+///   eta_y = tau_y / (2 eps_II)
+///   eta   = min(eta_viscous, eta_y)
+/// Cohesion softens linearly from C0 to C_inf as plastic strain accumulates
+/// over [0, eps_soft].
+struct DruckerPragerParams {
+  Real cohesion = 1.0;
+  Real cohesion_softened = 0.5;
+  Real softening_strain = 1.0; ///< plastic strain over which C decays
+  Real friction_angle = 0.5;   ///< radians
+  Real tau_min = 1e-12;
+  Real eta_min = 1e-6;
+};
+
+class ViscoPlasticLaw : public FlowLaw {
+public:
+  ViscoPlasticLaw(std::shared_ptr<FlowLaw> viscous,
+                  const DruckerPragerParams& dp)
+      : viscous_(std::move(viscous)), dp_(dp) {}
+
+  ViscosityEval viscosity(const RheologyState& s) const override;
+  Real density(const RheologyState& s) const override {
+    return viscous_->density(s);
+  }
+
+  Real yield_stress(const RheologyState& s) const;
+  const DruckerPragerParams& params() const { return dp_; }
+
+private:
+  std::shared_ptr<FlowLaw> viscous_;
+  DruckerPragerParams dp_;
+};
+
+/// Material table: lithology index -> flow law (and body-force density).
+class MaterialTable {
+public:
+  int add(std::shared_ptr<FlowLaw> law) {
+    laws_.push_back(std::move(law));
+    return static_cast<int>(laws_.size()) - 1;
+  }
+  const FlowLaw& law(int lithology) const { return *laws_.at(lithology); }
+  int size() const { return static_cast<int>(laws_.size()); }
+
+private:
+  std::vector<std::shared_ptr<FlowLaw>> laws_;
+};
+
+} // namespace ptatin

@@ -1,0 +1,69 @@
+// The coupled Stokes saddle-point operator (Eq. 14):
+//
+//   [ J_uu  J_up ] [du]   [ F_u ]
+//   [ J_pu   0   ] [dp] = [ F_p ]
+//
+// J_uu is any of the viscous back-ends (optionally with the Newton term:
+// "we use the true Newton linearization only when applying the Krylov
+// operator ... For the preconditioner ... we use the Picard linearization",
+// §III-A). J_up = B is always assembled (it has only 4 columns per element);
+// J_pu = B^T. Dirichlet constraints are imposed by masking; inhomogeneous
+// values enter through build_rhs (lifting).
+#pragma once
+
+#include <memory>
+
+#include "fem/bc.hpp"
+#include "ksp/operator.hpp"
+#include "la/csr.hpp"
+#include "stokes/blocks.hpp"
+#include "stokes/viscous_ops.hpp"
+
+namespace ptatin {
+
+class StokesOperator : public LinearOperator {
+public:
+  /// `a` is borrowed (must outlive this). B blocks are assembled here.
+  StokesOperator(const StructuredMesh& mesh, ViscousOperatorBase& a,
+                 const DirichletBc& bc);
+
+  Index rows() const override { return nu_ + np_; }
+  Index cols() const override { return nu_ + np_; }
+  Index num_velocity() const { return nu_; }
+  Index num_pressure() const { return np_; }
+
+  void apply(const Vector& x, Vector& y) const override;
+
+  /// Coupled right-hand side with boundary lifting: given the body-force
+  /// vector f (velocity space), returns [f - A g ; -B^T g] with constrained
+  /// rows replaced by the boundary values.
+  Vector build_rhs(const Vector& f) const;
+
+  /// Residual norms split by field (for the Figure 2 monitors).
+  void split_norms(const Vector& r, Real& unorm, Real& pnorm) const;
+
+  // --- views ---------------------------------------------------------------
+  ViscousOperatorBase& viscous() { return a_; }
+  const ViscousOperatorBase& viscous() const { return a_; }
+  const CsrMatrix& gradient() const { return b_masked_; }
+  const CsrMatrix& divergence() const { return bt_masked_; }
+  const DirichletBc& bc() const { return bc_; }
+  const StructuredMesh& mesh() const { return mesh_; }
+
+  /// Split / combine helpers for the stacked layout [u; p].
+  void extract_u(const Vector& x, Vector& u) const;
+  void extract_p(const Vector& x, Vector& p) const;
+  void combine(const Vector& u, const Vector& p, Vector& x) const;
+
+private:
+  const StructuredMesh& mesh_;
+  ViscousOperatorBase& a_;
+  const DirichletBc& bc_;
+  Index nu_ = 0, np_ = 0;
+  CsrMatrix b_full_;   ///< gradient block before BC masking (for lifting)
+  CsrMatrix b_masked_; ///< rows at constrained velocity dofs zeroed
+  CsrMatrix bt_masked_;
+  mutable Vector xu_, xp_, yu_, yp_;
+};
+
+} // namespace ptatin

@@ -1,0 +1,173 @@
+#include "saddle/stokes_solver.hpp"
+
+#include "amg/rbm.hpp"
+#include "common/timing.hpp"
+#include "ksp/cg.hpp"
+#include "ksp/gcr.hpp"
+#include "ksp/gmres.hpp"
+
+namespace ptatin {
+
+namespace {
+
+std::unique_ptr<ViscousOperatorBase> make_backend(FineOperatorType type,
+                                                  const StructuredMesh& mesh,
+                                                  const QuadCoefficients& coeff,
+                                                  const DirichletBc* bc) {
+  switch (type) {
+    case FineOperatorType::kAssembled:
+      return std::make_unique<AsmbViscousOperator>(mesh, coeff, bc);
+    case FineOperatorType::kMatrixFree:
+      return std::make_unique<MfViscousOperator>(mesh, coeff, bc);
+    case FineOperatorType::kTensor:
+      return std::make_unique<TensorViscousOperator>(mesh, coeff, bc);
+    case FineOperatorType::kTensorC:
+      return std::make_unique<TensorCViscousOperator>(mesh, coeff, bc);
+  }
+  PT_THROW("unknown backend");
+}
+
+} // namespace
+
+StokesSolver::StokesSolver(const StructuredMesh& mesh,
+                           const QuadCoefficients& coeff,
+                           const DirichletBc& bc,
+                           const StokesSolverOptions& opts)
+    : mesh_(mesh), bc_(bc), opts_(opts) {
+  Timer t;
+
+  a_ = make_backend(opts.backend, mesh, coeff, &bc);
+  if (opts.newton_operator) a_->set_newton(true);
+  op_ = std::make_unique<StokesOperator>(mesh, *a_, bc);
+  schur_ = std::make_unique<PressureMassSchur>(mesh, coeff);
+
+  if (opts.velocity_pc == VelocityPcType::kGmg) {
+    // The preconditioner always smooths with the Picard operator (§III-A):
+    // build the hierarchy from the same coefficients (no Newton term — the
+    // hierarchy constructs its own element operators).
+    BcFactory bc_factory = opts.bc_factory
+                               ? opts.bc_factory
+                               : BcFactory([](const StructuredMesh& m) {
+                                   return sinker_boundary_conditions(m);
+                                 });
+    // Precompute the coarsest mesh for rigid-body modes; restrict the modes
+    // to the unconstrained dofs (nonzero near-nullspace entries at Dirichlet
+    // rows pollute the aggregate bases near boundaries).
+    StructuredMesh coarsest = mesh;
+    for (int l = 1; l < opts.gmg.levels; ++l) coarsest = coarsest.coarsen();
+    const DirichletBc coarsest_bc = bc_factory(coarsest);
+    const AmgOptions amg_opts = opts.amg;
+    const GmgCoarseSolve cs = opts.coarse_solve;
+    const Index nblocks = opts.coarse_bjacobi_blocks;
+    double* coarse_setup = &coarse_setup_seconds_;
+
+    CoarseSolverFactory coarse_factory =
+        [coarsest, coarsest_bc, amg_opts, cs, nblocks,
+         coarse_setup](const CsrMatrix& a) -> std::unique_ptr<Preconditioner> {
+      Timer ct;
+      std::unique_ptr<Preconditioner> pc;
+      switch (cs) {
+        case GmgCoarseSolve::kAmg: {
+          std::vector<Vector> rbm = rigid_body_modes(coarsest);
+          for (auto& mode : rbm) coarsest_bc.zero_constrained(mode);
+          pc = std::make_unique<SaAmg>(a, rbm, amg_opts);
+          break;
+        }
+        case GmgCoarseSolve::kBJacobiLu:
+          pc = std::make_unique<BlockJacobiPc>(a, nblocks,
+                                               SubdomainSolve::kLu);
+          break;
+        case GmgCoarseSolve::kAsmCg: {
+          // §V-A: CG preconditioned with ASM(ILU0, overlap 4), stopped at 25
+          // iterations or 1e-4 reduction. Wrapped as a (nonlinear) PC shell.
+          auto asm_pc = std::make_shared<BlockJacobiPc>(
+              a, nblocks, SubdomainSolve::kIlu0, /*overlap=*/4);
+          auto op = std::make_shared<MatrixOperator>(&a);
+          pc = std::make_unique<ShellPc>(
+              [asm_pc, op](const Vector& r, Vector& z) {
+                z.resize(r.size());
+                z.set_all(0.0);
+                KrylovSettings s;
+                s.rtol = 1e-4;
+                s.max_it = 25;
+                s.record_history = false;
+                cg_solve(*op, *asm_pc, r, z, s);
+              });
+          break;
+        }
+      }
+      *coarse_setup += ct.seconds();
+      return pc;
+    };
+
+    gmg_ = std::make_unique<GmgHierarchy>(mesh, coeff, bc, opts.gmg,
+                                          bc_factory, coarse_factory);
+    vpc_ = gmg_.get();
+  } else {
+    // Standalone SA-AMG on the assembled fine matrix (SA-i / SAML configs).
+    const AsmbViscousOperator* asmb =
+        dynamic_cast<const AsmbViscousOperator*>(a_.get());
+    std::unique_ptr<AsmbViscousOperator> owned;
+    if (asmb == nullptr) {
+      owned = std::make_unique<AsmbViscousOperator>(mesh, coeff, &bc);
+      asmb = owned.get();
+    }
+    amg_ = std::make_unique<SaAmg>(asmb->matrix(), rigid_body_modes(mesh),
+                                   opts.amg);
+    vpc_ = amg_.get();
+  }
+
+  pc_ = std::make_unique<BlockTriangularPc>(*op_, *vpc_, *schur_,
+                                            opts.block_pc);
+  setup_seconds_ = t.seconds();
+}
+
+StokesSolveResult StokesSolver::solve(const Vector& f,
+                                      const Vector* x0) const {
+  Vector rhs = op_->build_rhs(f);
+  return solve_stacked(rhs, x0);
+}
+
+StokesSolveResult StokesSolver::solve_stacked(const Vector& rhs,
+                                              const Vector* x0) const {
+  StokesSolveResult res;
+  Vector x(op_->rows(), 0.0);
+  if (x0 != nullptr) x.copy_from(*x0);
+
+  KrylovSettings s = opts_.krylov;
+  auto user_monitor = s.monitor;
+  s.monitor = [&](int it, Real rnorm, const Vector* r) {
+    if (r != nullptr) {
+      Real un, pn;
+      op_->split_norms(*r, un, pn);
+      res.momentum_residuals.push_back(un);
+      res.pressure_residuals.push_back(pn);
+    }
+    if (user_monitor) user_monitor(it, rnorm, r);
+  };
+
+  Timer t;
+  if (opts_.outer == OuterKrylov::kGcr) {
+    res.stats = gcr_solve(*op_, *pc_, rhs, x, s);
+  } else {
+    res.stats = fgmres_solve(*op_, *pc_, rhs, x, s);
+  }
+  res.solve_seconds = t.seconds();
+  res.setup_seconds = setup_seconds_;
+
+  op_->extract_u(x, res.u);
+  op_->extract_p(x, res.p);
+  return res;
+}
+
+ScrStats StokesSolver::solve_scr(const Vector& f, Vector& u, Vector& p,
+                                 const ScrOptions& scr_opts) const {
+  Vector rhs = op_->build_rhs(f);
+  Vector x;
+  ScrStats st = scr_solve(*op_, *vpc_, *schur_, rhs, x, scr_opts);
+  op_->extract_u(x, u);
+  op_->extract_p(x, p);
+  return st;
+}
+
+} // namespace ptatin

@@ -1,0 +1,15 @@
+#include "stokes/coefficient.hpp"
+
+#include <algorithm>
+
+namespace ptatin {
+
+Real QuadCoefficients::eta_min() const {
+  return eta_.empty() ? 0.0 : *std::min_element(eta_.begin(), eta_.end());
+}
+
+Real QuadCoefficients::eta_max() const {
+  return eta_.empty() ? 0.0 : *std::max_element(eta_.begin(), eta_.end());
+}
+
+} // namespace ptatin

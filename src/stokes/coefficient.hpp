@@ -1,0 +1,71 @@
+// Quadrature-point coefficient storage for the Stokes operator.
+//
+// The MPM projection (§II-C) delivers effective viscosity and density at the
+// 27 quadrature points of every element; all operator back-ends (assembled,
+// matrix-free, tensor) read the same arrays. The Newton fields (deta, D0)
+// hold the linearization state of §III-A: the Krylov operator applies
+//   delta_sigma = 2 eta D(du) + 2 eta' (D0 : D(du)) D0,
+// while the preconditioner uses only the Picard part (eta).
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "fem/mesh.hpp"
+
+namespace ptatin {
+
+/// Symmetric 3x3 tensor storage order: xx, yy, zz, xy, xz, yz.
+inline constexpr int kSymSize = 6;
+
+class QuadCoefficients {
+public:
+  QuadCoefficients() = default;
+  explicit QuadCoefficients(Index num_elements)
+      : nel_(num_elements),
+        eta_(num_elements * kQuadPerEl, 1.0),
+        rho_(num_elements * kQuadPerEl, 0.0) {}
+
+  Index num_elements() const { return nel_; }
+
+  Real& eta(Index e, int q) { return eta_[e * kQuadPerEl + q]; }
+  Real eta(Index e, int q) const { return eta_[e * kQuadPerEl + q]; }
+  Real& rho(Index e, int q) { return rho_[e * kQuadPerEl + q]; }
+  Real rho(Index e, int q) const { return rho_[e * kQuadPerEl + q]; }
+
+  const std::vector<Real>& eta_data() const { return eta_; }
+  std::vector<Real>& eta_data() { return eta_; }
+
+  // --- Newton linearization state (allocated on demand) ---------------------
+  bool has_newton() const { return !deta_.empty(); }
+  void allocate_newton() {
+    deta_.assign(nel_ * kQuadPerEl, 0.0);
+    d0_.assign(nel_ * kQuadPerEl * kSymSize, 0.0);
+  }
+  Real& deta(Index e, int q) {
+    PT_DEBUG_ASSERT(has_newton());
+    return deta_[e * kQuadPerEl + q];
+  }
+  Real deta(Index e, int q) const { return deta_[e * kQuadPerEl + q]; }
+  /// D0: reference strain-rate (symmetric, 6 components) at the qpoint.
+  Real* d0(Index e, int q) {
+    PT_DEBUG_ASSERT(has_newton());
+    return &d0_[(e * kQuadPerEl + q) * kSymSize];
+  }
+  const Real* d0(Index e, int q) const {
+    return &d0_[(e * kQuadPerEl + q) * kSymSize];
+  }
+
+  Real eta_min() const;
+  Real eta_max() const;
+
+private:
+  Index nel_ = 0;
+  std::vector<Real> eta_;
+  std::vector<Real> rho_;
+  std::vector<Real> deta_;
+  std::vector<Real> d0_;
+};
+
+} // namespace ptatin

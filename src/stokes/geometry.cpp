@@ -1,0 +1,59 @@
+#include "stokes/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ptatin {
+
+void compute_element_geometry(const Real xe[kQ1NodesPerEl][3],
+                              ElementGeometry& g) {
+  const auto& geom = geom_tabulation();
+  const auto& tab = q2_tabulation();
+  for (int q = 0; q < kQuadPerEl; ++q) {
+    // J_rd = d x_r / d xi_d = sum_v xe[v][r] dN_v/dxi_d.
+    Mat3 J{};
+    Real xq[3] = {0, 0, 0};
+    for (int v = 0; v < kQ1NodesPerEl; ++v) {
+      for (int r = 0; r < 3; ++r) {
+        xq[r] += geom.N[q][v] * xe[v][r];
+        for (int d = 0; d < 3; ++d) J[3 * r + d] += xe[v][r] * geom.dN[q][v][d];
+      }
+    }
+    const Real det = det3(J);
+    PT_DEBUG_ASSERT(det > 0.0);
+    g.gamma[q] = inv3(J, det); // gamma_dr = d xi_d / d x_r
+    g.wdetj[q] = tab.w[q] * det;
+    for (int r = 0; r < 3; ++r) g.xq[q][r] = xq[r];
+  }
+}
+
+P1Frame compute_p1_frame(const Real xe[kQ1NodesPerEl][3]) {
+  P1Frame f{};
+  for (int d = 0; d < 3; ++d) {
+    Real lo = xe[0][d], hi = xe[0][d];
+    for (int v = 1; v < kQ1NodesPerEl; ++v) {
+      lo = std::min(lo, xe[v][d]);
+      hi = std::max(hi, xe[v][d]);
+    }
+    f.center[d] = Real(0.5) * (lo + hi);
+    const Real half = Real(0.5) * (hi - lo);
+    f.scale[d] = half > 0 ? Real(1) / half : Real(1);
+  }
+  return f;
+}
+
+void element_geometry(const StructuredMesh& mesh, Index e, ElementGeometry& g) {
+  Real xe[kQ1NodesPerEl][3];
+  mesh.element_corner_coords(e, xe);
+  compute_element_geometry(xe, g);
+}
+
+P1Frame element_p1_frame(const StructuredMesh& mesh, Index e) {
+  Real xe[kQ1NodesPerEl][3];
+  mesh.element_corner_coords(e, xe);
+  return compute_p1_frame(xe);
+}
+
+} // namespace ptatin

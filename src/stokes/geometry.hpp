@@ -1,0 +1,39 @@
+// Per-element isoparametric geometry evaluation shared by all kernels.
+//
+// §III-D: "To compute the physical gradient matrices on isoparametrically
+// mapped elements, one computes the coordinate gradient ... Inverting these
+// and then taking determinants produces the gradients ∇ξ and quadrature
+// weighting for physical elements." Geometry is trilinear (8 corners).
+#pragma once
+
+#include "common/small_mat.hpp"
+#include "common/types.hpp"
+#include "fem/basis.hpp"
+#include "fem/mesh.hpp"
+
+namespace ptatin {
+
+/// Metric terms of one element at all 27 quadrature points.
+struct ElementGeometry {
+  /// gamma[q] = (d xi / d x) at quadrature point q, row-major 3x3.
+  Mat3 gamma[kQuadPerEl];
+  /// wdetj[q] = quadrature weight * |det(dx/dxi)|.
+  Real wdetj[kQuadPerEl];
+  /// Physical coordinates of the quadrature points.
+  Real xq[kQuadPerEl][3];
+};
+
+/// Compute geometry from the element's 8 corner coordinates.
+void compute_element_geometry(const Real xe[kQ1NodesPerEl][3],
+                              ElementGeometry& g);
+
+/// Element frame for the physical-coordinate P1disc pressure basis (§II-B):
+/// barycenter and inverse half-extents from the corner bounding box.
+P1Frame compute_p1_frame(const Real xe[kQ1NodesPerEl][3]);
+
+/// Convenience: gather corners and compute geometry for element e.
+void element_geometry(const StructuredMesh& mesh, Index e, ElementGeometry& g);
+
+P1Frame element_p1_frame(const StructuredMesh& mesh, Index e);
+
+} // namespace ptatin

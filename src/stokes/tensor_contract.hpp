@@ -1,0 +1,81 @@
+// One-dimensional contraction kernels shared by the tensor-product operators.
+//
+// The 3^3 nodal lattice of a Q2 element is contracted axis-by-axis with the
+// 3x3 one-dimensional basis (B̂) and derivative (D̂) matrices — the sum
+// factorization of §III-D that applies the 81x27 reference gradient in
+// 3 * 2 * 3^4 = 4374 flops instead of 13122.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace ptatin {
+namespace tensor_kernel {
+
+/// Contract a 27-value lattice along one axis with a 3x3 matrix:
+/// out[q over axis] = sum_a M[q][a] in[a over axis]. `Transpose` applies M^T.
+template <bool Transpose>
+inline void contract_axis(const Real M[3][3], int axis, const Real* in,
+                          Real* out) {
+  const int stride = axis == 0 ? 1 : (axis == 1 ? 3 : 9);
+  const int s1 = axis == 0 ? 3 : 1;
+  const int s2 = axis == 2 ? 3 : 9;
+  for (int l2 = 0; l2 < 3; ++l2)
+    for (int l1 = 0; l1 < 3; ++l1) {
+      const int base = l1 * s1 + l2 * s2;
+      const Real v0 = in[base + 0 * stride];
+      const Real v1 = in[base + 1 * stride];
+      const Real v2 = in[base + 2 * stride];
+      for (int q = 0; q < 3; ++q) {
+        const Real m0 = Transpose ? M[0][q] : M[q][0];
+        const Real m1 = Transpose ? M[1][q] : M[q][1];
+        const Real m2 = Transpose ? M[2][q] : M[q][2];
+        out[base + q * stride] = m0 * v0 + m1 * v1 + m2 * v2;
+      }
+    }
+}
+
+/// Forward gradient: nodal values (27) -> three reference derivatives at the
+/// 27 tensorized quadrature points.
+inline void tensor_gradient(const Real B[3][3], const Real D[3][3],
+                            const Real* u, Real* gx, Real* gy, Real* gz) {
+  Real t1[27], t2[27], t3[27];
+  contract_axis<false>(D, 0, u, t1);
+  contract_axis<false>(B, 1, t1, t2);
+  contract_axis<false>(B, 2, t2, gx);
+  contract_axis<false>(B, 0, u, t1);
+  contract_axis<false>(D, 1, t1, t2);
+  contract_axis<false>(B, 2, t2, gy);
+  contract_axis<false>(B, 1, t1, t3); // t1 = B_x u reused
+  contract_axis<false>(D, 2, t3, gz);
+}
+
+/// Adjoint of tensor_gradient: accumulate nodal residuals from the three
+/// reference-stress fields at quadrature points.
+inline void tensor_gradient_transpose(const Real B[3][3], const Real D[3][3],
+                                      const Real* sx, const Real* sy,
+                                      const Real* sz, Real* y) {
+  Real t1[27], t2[27], t3[27];
+  contract_axis<true>(B, 2, sx, t1);
+  contract_axis<true>(B, 1, t1, t2);
+  contract_axis<true>(D, 0, t2, t3);
+  for (int i = 0; i < 27; ++i) y[i] += t3[i];
+  contract_axis<true>(B, 2, sy, t1);
+  contract_axis<true>(D, 1, t1, t2);
+  contract_axis<true>(B, 0, t2, t3);
+  for (int i = 0; i < 27; ++i) y[i] += t3[i];
+  contract_axis<true>(D, 2, sz, t1);
+  contract_axis<true>(B, 1, t1, t2);
+  contract_axis<true>(B, 0, t2, t3);
+  for (int i = 0; i < 27; ++i) y[i] += t3[i];
+}
+
+/// Interpolate nodal values to quadrature points: out = (B⊗B⊗B) u.
+inline void tensor_interpolate(const Real B[3][3], const Real* u, Real* out) {
+  Real t1[27], t2[27];
+  contract_axis<false>(B, 0, u, t1);
+  contract_axis<false>(B, 1, t1, t2);
+  contract_axis<false>(B, 2, t2, out);
+}
+
+} // namespace tensor_kernel
+} // namespace ptatin

@@ -1,0 +1,91 @@
+// Assembled viscous operator: CSR assembly + SpMV back-end.
+//
+// This is the baseline the paper measures against: between 81 and 375
+// nonzeros per row (average 192 for interior nodes), all streamed through
+// the memory bus on every application (§III-D, Table I "Assembled").
+#include "stokes/viscous_ops.hpp"
+
+namespace ptatin {
+
+namespace {
+
+/// Element stiffness: K[(i,c)(j,c')] = sum_q w detJ eta
+/// (delta_cc' g_i.g_j + g_i[c'] g_j[c]), the Picard form.
+void element_stiffness(const StructuredMesh& mesh, const QuadCoefficients& coeff,
+                       Index e, Real Ke[3 * kQ2NodesPerEl][3 * kQ2NodesPerEl]) {
+  const auto& tab = q2_tabulation();
+  ElementGeometry g;
+  element_geometry(mesh, e, g);
+
+  for (int a = 0; a < 3 * kQ2NodesPerEl; ++a)
+    for (int b = 0; b < 3 * kQ2NodesPerEl; ++b) Ke[a][b] = 0.0;
+
+  for (int q = 0; q < kQuadPerEl; ++q) {
+    const Mat3& ga = g.gamma[q];
+    const Real scale = g.wdetj[q] * coeff.eta(e, q);
+    Real gphys[kQ2NodesPerEl][3];
+    for (int i = 0; i < kQ2NodesPerEl; ++i)
+      for (int r = 0; r < 3; ++r)
+        gphys[i][r] = tab.dN[q][i][0] * ga[0 + r] +
+                      tab.dN[q][i][1] * ga[3 + r] + tab.dN[q][i][2] * ga[6 + r];
+
+    for (int i = 0; i < kQ2NodesPerEl; ++i)
+      for (int j = 0; j < kQ2NodesPerEl; ++j) {
+        const Real gg = gphys[i][0] * gphys[j][0] + gphys[i][1] * gphys[j][1] +
+                        gphys[i][2] * gphys[j][2];
+        for (int c = 0; c < 3; ++c)
+          for (int cp = 0; cp < 3; ++cp) {
+            const Real v =
+                scale * ((c == cp ? gg : Real(0)) + gphys[i][cp] * gphys[j][c]);
+            Ke[3 * i + c][3 * j + cp] += v;
+          }
+      }
+  }
+}
+
+} // namespace
+
+CsrMatrix assemble_viscous_matrix(const StructuredMesh& mesh,
+                                  const QuadCoefficients& coeff) {
+  const Index nv = num_velocity_dofs(mesh);
+
+  // Symbolic pattern: union of element dof couplings per row.
+  CsrPattern pattern(nv, nv);
+  {
+    Index dofs[3 * kQ2NodesPerEl];
+    for (Index e = 0; e < mesh.num_elements(); ++e) {
+      element_velocity_dofs(mesh, e, dofs);
+      for (int a = 0; a < 3 * kQ2NodesPerEl; ++a)
+        pattern.add_row_entries(dofs[a], dofs, 3 * kQ2NodesPerEl);
+    }
+  }
+  CsrMatrix a = pattern.finalize();
+
+  // Numeric assembly: element colors prevent concurrent writes to a row.
+  for_each_element_colored(mesh, [&](Index e) {
+    Real Ke[3 * kQ2NodesPerEl][3 * kQ2NodesPerEl];
+    element_stiffness(mesh, coeff, e, Ke);
+    Index dofs[3 * kQ2NodesPerEl];
+    element_velocity_dofs(mesh, e, dofs);
+    for (int r = 0; r < 3 * kQ2NodesPerEl; ++r)
+      for (int c = 0; c < 3 * kQ2NodesPerEl; ++c)
+        if (Ke[r][c] != 0.0) a.add_value(dofs[r], dofs[c], Ke[r][c]);
+  });
+  return a;
+}
+
+AsmbViscousOperator::AsmbViscousOperator(const StructuredMesh& mesh,
+                                         const QuadCoefficients& coeff,
+                                         const DirichletBc* bc)
+    : ViscousOperatorBase(mesh, coeff, bc),
+      a_(assemble_viscous_matrix(mesh, coeff)) {
+  if (bc_ != nullptr) bc_->apply_to_matrix_symmetric(a_);
+}
+
+OperatorCostModel AsmbViscousOperator::cost_model() const {
+  // §III-D analytic model: 4608 nnz/element => 2 flops each; 37248 B
+  // streamed per element with perfect vector caching.
+  return {9216.0, 37248.0, 37248.0};
+}
+
+} // namespace ptatin

@@ -1,0 +1,107 @@
+// Non-tensor matrix-free viscous operator (§III-D, Eq. 18).
+//
+// The reference matrix-free implementation: per element, gather the 81
+// velocity values, recompute the metric terms at each of the 27 quadrature
+// points, form physical basis gradients from the full dN table (the implicit
+// 81x27 D_e matrix), evaluate the stress, and scatter the weak-form residual.
+#include "stokes/viscous_ops.hpp"
+
+namespace ptatin {
+
+namespace {
+
+/// Add the (optionally Newton-augmented) stress at one quadrature point.
+/// G is the physical velocity gradient; returns sigma (full 3x3, scaled).
+inline void stress_at_point(const Real G[3][3], Real eta, Real scale,
+                            bool newton, Real deta, const Real* d0,
+                            Real sigma[3][3]) {
+  // D = sym(G); sigma = 2 eta D.
+  const Real Dxx = G[0][0], Dyy = G[1][1], Dzz = G[2][2];
+  const Real Dxy = Real(0.5) * (G[0][1] + G[1][0]);
+  const Real Dxz = Real(0.5) * (G[0][2] + G[2][0]);
+  const Real Dyz = Real(0.5) * (G[1][2] + G[2][1]);
+
+  Real sxx = 2 * eta * Dxx, syy = 2 * eta * Dyy, szz = 2 * eta * Dzz;
+  Real sxy = 2 * eta * Dxy, sxz = 2 * eta * Dxz, syz = 2 * eta * Dyz;
+
+  if (newton) {
+    // delta_sigma += 2 eta' (D0 : D(du)) D0 with D0 stored symmetric
+    // (xx,yy,zz,xy,xz,yz).
+    const Real dd = d0[0] * Dxx + d0[1] * Dyy + d0[2] * Dzz +
+                    2 * (d0[3] * Dxy + d0[4] * Dxz + d0[5] * Dyz);
+    const Real f = 2 * deta * dd;
+    sxx += f * d0[0];
+    syy += f * d0[1];
+    szz += f * d0[2];
+    sxy += f * d0[3];
+    sxz += f * d0[4];
+    syz += f * d0[5];
+  }
+
+  sigma[0][0] = scale * sxx;
+  sigma[1][1] = scale * syy;
+  sigma[2][2] = scale * szz;
+  sigma[0][1] = sigma[1][0] = scale * sxy;
+  sigma[0][2] = sigma[2][0] = scale * sxz;
+  sigma[1][2] = sigma[2][1] = scale * syz;
+}
+
+} // namespace
+
+void MfViscousOperator::apply_unmasked(const Vector& x, Vector& y) const {
+  const auto& tab = q2_tabulation();
+  y.set_all(0.0);
+  const Real* xp = x.data();
+  Real* yp = y.data();
+
+  for_each_element_colored(mesh_, [&](Index e) {
+    Index nodes[kQ2NodesPerEl];
+    mesh_.element_nodes(e, nodes);
+
+    Real ue[kQ2NodesPerEl][3];
+    for (int i = 0; i < kQ2NodesPerEl; ++i)
+      for (int c = 0; c < 3; ++c) ue[i][c] = xp[velocity_dof(nodes[i], c)];
+
+    ElementGeometry g;
+    element_geometry(mesh_, e, g);
+
+    Real ye[kQ2NodesPerEl][3] = {};
+    for (int q = 0; q < kQuadPerEl; ++q) {
+      const Mat3& ga = g.gamma[q];
+      // Physical basis gradients gphys[i][r].
+      Real gphys[kQ2NodesPerEl][3];
+      for (int i = 0; i < kQ2NodesPerEl; ++i)
+        for (int r = 0; r < 3; ++r)
+          gphys[i][r] = tab.dN[q][i][0] * ga[0 + r] +
+                        tab.dN[q][i][1] * ga[3 + r] +
+                        tab.dN[q][i][2] * ga[6 + r];
+
+      // Velocity gradient G[c][r] = sum_i ue[i][c] gphys[i][r].
+      Real G[3][3] = {};
+      for (int i = 0; i < kQ2NodesPerEl; ++i)
+        for (int c = 0; c < 3; ++c)
+          for (int r = 0; r < 3; ++r) G[c][r] += ue[i][c] * gphys[i][r];
+
+      Real sigma[3][3];
+      stress_at_point(G, coeff_.eta(e, q), g.wdetj[q], newton_,
+                      newton_ ? coeff_.deta(e, q) : Real(0),
+                      newton_ ? coeff_.d0(e, q) : nullptr, sigma);
+
+      // Scatter: ye[i][c] += sum_r sigma[c][r] gphys[i][r].
+      for (int i = 0; i < kQ2NodesPerEl; ++i)
+        for (int c = 0; c < 3; ++c)
+          ye[i][c] += sigma[c][0] * gphys[i][0] + sigma[c][1] * gphys[i][1] +
+                      sigma[c][2] * gphys[i][2];
+    }
+
+    for (int i = 0; i < kQ2NodesPerEl; ++i)
+      for (int c = 0; c < 3; ++c) yp[velocity_dof(nodes[i], c)] += ye[i][c];
+  });
+}
+
+OperatorCostModel MfViscousOperator::cost_model() const {
+  // §III-D analytic model: 53622 flops; 1008 B perfect / 2376 B pessimal.
+  return {53622.0, 1008.0, 2376.0};
+}
+
+} // namespace ptatin

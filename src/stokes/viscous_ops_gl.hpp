@@ -1,0 +1,28 @@
+// Gauss-Lobatto collocated variant of the tensor-product operator (see
+// viscous_gl.cpp and §III-D's spectral-element remark). NOT spectrally
+// equivalent to the Galerkin operator on deformed meshes — provided as an
+// ablation, not a production back-end.
+#pragma once
+
+#include "stokes/viscous_ops.hpp"
+
+namespace ptatin {
+
+/// NOTE: the coefficient array is interpreted AT the Lobatto points (which
+/// coincide with the Q2 nodes), not at the Gauss points; for smooth or
+/// constant viscosity the distinction is immaterial, which is all the
+/// ablation needs.
+class TensorGLViscousOperator : public ViscousOperatorBase {
+public:
+  using ViscousOperatorBase::ViscousOperatorBase;
+  std::string name() const override { return "TensGL"; }
+  OperatorCostModel cost_model() const override;
+  void set_newton(bool on) override {
+    PT_ASSERT_MSG(!on, "GL ablation back-end is Picard-only");
+  }
+
+protected:
+  void apply_unmasked(const Vector& x, Vector& y) const override;
+};
+
+} // namespace ptatin

@@ -1,0 +1,105 @@
+// Sum-factorized tensor-product viscous operator (§III-D, Eq. 19).
+//
+// The reference gradient D_e is never formed: it is applied as the three
+// Kronecker factors (D̂⊗B̂⊗B̂, B̂⊗D̂⊗B̂, B̂⊗B̂⊗D̂) through one-dimensional
+// contractions ("sum factorization"), reducing the gradient cost by ~3x and
+// shrinking per-element state to a few cache lines — the property that lets
+// the paper vectorize over elements and reach >30% of peak.
+#include "stokes/tensor_contract.hpp"
+#include "stokes/viscous_ops.hpp"
+
+namespace ptatin {
+
+using tensor_kernel::tensor_gradient;
+using tensor_kernel::tensor_gradient_transpose;
+
+void TensorViscousOperator::apply_unmasked(const Vector& x, Vector& y) const {
+  const auto& tab = q2_tabulation();
+  y.set_all(0.0);
+  const Real* xp = x.data();
+  Real* yp = y.data();
+
+  for_each_element_colored(mesh_, [&](Index e) {
+    Index nodes[kQ2NodesPerEl];
+    mesh_.element_nodes(e, nodes);
+
+    // Component-major local state: u[c][27].
+    Real u[3][kQ2NodesPerEl];
+    for (int i = 0; i < kQ2NodesPerEl; ++i)
+      for (int c = 0; c < 3; ++c) u[c][i] = xp[velocity_dof(nodes[i], c)];
+
+    ElementGeometry g;
+    element_geometry(mesh_, e, g);
+
+    // Reference gradients of all three components at all quadrature points.
+    Real gref[3][3][kQuadPerEl]; // [component][ref-direction][q]
+    for (int c = 0; c < 3; ++c)
+      tensor_gradient(tab.B1, tab.D1, u[c], gref[c][0], gref[c][1],
+                      gref[c][2]);
+
+    // Quadrature loop: map to physical, stress, map back to reference.
+    Real sref[3][3][kQuadPerEl]; // [component][ref-direction][q]
+    for (int q = 0; q < kQuadPerEl; ++q) {
+      const Mat3& ga = g.gamma[q]; // gamma[3d + r] = dxi_d/dx_r
+      Real G[3][3];                // physical gradient
+      for (int c = 0; c < 3; ++c)
+        for (int r = 0; r < 3; ++r)
+          G[c][r] = gref[c][0][q] * ga[0 + r] + gref[c][1][q] * ga[3 + r] +
+                    gref[c][2][q] * ga[6 + r];
+
+      const Real eta = coeff_.eta(e, q);
+      const Real scale = g.wdetj[q];
+      const Real Dxx = G[0][0], Dyy = G[1][1], Dzz = G[2][2];
+      const Real Dxy = Real(0.5) * (G[0][1] + G[1][0]);
+      const Real Dxz = Real(0.5) * (G[0][2] + G[2][0]);
+      const Real Dyz = Real(0.5) * (G[1][2] + G[2][1]);
+
+      Real s[3][3];
+      s[0][0] = 2 * eta * Dxx;
+      s[1][1] = 2 * eta * Dyy;
+      s[2][2] = 2 * eta * Dzz;
+      s[0][1] = s[1][0] = 2 * eta * Dxy;
+      s[0][2] = s[2][0] = 2 * eta * Dxz;
+      s[1][2] = s[2][1] = 2 * eta * Dyz;
+
+      if (newton_) {
+        const Real* d0 = coeff_.d0(e, q);
+        const Real dd = d0[0] * Dxx + d0[1] * Dyy + d0[2] * Dzz +
+                        2 * (d0[3] * Dxy + d0[4] * Dxz + d0[5] * Dyz);
+        const Real f = 2 * coeff_.deta(e, q) * dd;
+        s[0][0] += f * d0[0];
+        s[1][1] += f * d0[1];
+        s[2][2] += f * d0[2];
+        s[0][1] += f * d0[3];
+        s[1][0] += f * d0[3];
+        s[0][2] += f * d0[4];
+        s[2][0] += f * d0[4];
+        s[1][2] += f * d0[5];
+        s[2][1] += f * d0[5];
+      }
+
+      // Reference stress: sref[c][d] = scale * sum_r s[c][r] gamma[d][r].
+      for (int c = 0; c < 3; ++c)
+        for (int d = 0; d < 3; ++d)
+          sref[c][d][q] = scale * (s[c][0] * ga[3 * d + 0] +
+                                   s[c][1] * ga[3 * d + 1] +
+                                   s[c][2] * ga[3 * d + 2]);
+    }
+
+    // Transpose contractions and scatter.
+    Real ye[3][kQ2NodesPerEl] = {};
+    for (int c = 0; c < 3; ++c)
+      tensor_gradient_transpose(tab.B1, tab.D1, sref[c][0], sref[c][1],
+                                sref[c][2], ye[c]);
+
+    for (int i = 0; i < kQ2NodesPerEl; ++i)
+      for (int c = 0; c < 3; ++c) yp[velocity_dof(nodes[i], c)] += ye[c][i];
+  });
+}
+
+OperatorCostModel TensorViscousOperator::cost_model() const {
+  // §III-D analytic model: 15228 flops; bytes as for MF.
+  return {15228.0, 1008.0, 2376.0};
+}
+
+} // namespace ptatin

@@ -1,0 +1,147 @@
+// Unit tests for the common utilities module.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "common/aligned.hpp"
+#include "common/error.hpp"
+#include "common/options.hpp"
+#include "common/parallel.hpp"
+#include "common/perf.hpp"
+#include "common/rng.hpp"
+#include "common/small_mat.hpp"
+#include "common/timing.hpp"
+
+namespace ptatin {
+namespace {
+
+TEST(Error, AssertThrowsWithLocation) {
+  try {
+    PT_ASSERT_MSG(false, "context message");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("context message"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_common.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, AssertPassesOnTrue) { EXPECT_NO_THROW(PT_ASSERT(1 + 1 == 2)); }
+
+TEST(Aligned, VectorIsAligned) {
+  AlignedVector<double> v(100, 1.0);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kSimdAlign, 0u);
+}
+
+TEST(Aligned, EmptyAllocation) {
+  AlignedVector<double> v;
+  EXPECT_TRUE(v.empty());
+  v.resize(3, 2.0);
+  EXPECT_EQ(v[2], 2.0);
+}
+
+TEST(Parallel, ForCoversAllIndices) {
+  std::vector<int> hit(1000, 0);
+  parallel_for(1000, [&](Index i) { hit[i] += 1; });
+  for (int h : hit) EXPECT_EQ(h, 1);
+}
+
+TEST(Parallel, ReduceSumMatchesSerial) {
+  const Index n = 12345;
+  Real s = parallel_reduce_sum(n, [](Index i) { return Real(i); });
+  EXPECT_DOUBLE_EQ(s, Real(n) * Real(n - 1) / 2.0);
+}
+
+TEST(Parallel, ReduceMaxFindsMax) {
+  Real m = parallel_reduce_max(100, [](Index i) { return i == 57 ? 9.5 : 1.0; });
+  EXPECT_DOUBLE_EQ(m, 9.5);
+}
+
+TEST(Timing, TimerIsMonotonic) {
+  Timer t;
+  const double t0 = t.seconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_GT(t.seconds(), t0);
+}
+
+TEST(Timing, AccumTimerCountsIntervals) {
+  AccumTimer at;
+  for (int i = 0; i < 3; ++i) {
+    ScopedTimer s(at);
+  }
+  EXPECT_EQ(at.count(), 3);
+  EXPECT_GE(at.total(), 0.0);
+}
+
+TEST(Perf, EventAccumulatesFlops) {
+  auto& reg = PerfRegistry::instance();
+  reg.event("unit-test-ev").reset();
+  {
+    PerfScope p("unit-test-ev", 1000.0);
+  }
+  {
+    PerfScope p("unit-test-ev", 500.0);
+  }
+  EXPECT_DOUBLE_EQ(reg.event("unit-test-ev").flops, 1500.0);
+  EXPECT_EQ(reg.event("unit-test-ev").calls(), 2);
+}
+
+TEST(Options, ParsesKeyValueAndFlags) {
+  const char* argv[] = {"prog", "-mx", "16", "-contrast", "1e4", "-verbose"};
+  Options o = Options::from_args(6, argv);
+  EXPECT_EQ(o.get_index("mx", 0), 16);
+  EXPECT_DOUBLE_EQ(o.get_real("contrast", 0.0), 1e4);
+  EXPECT_TRUE(o.get_bool("verbose", false));
+  EXPECT_EQ(o.get_index("absent", 7), 7);
+}
+
+TEST(Options, SetOverridesDefaults) {
+  Options o;
+  o.set("smoother_its", "3");
+  EXPECT_EQ(o.get_int("smoother_its", 2), 3);
+  EXPECT_TRUE(o.has("smoother_its"));
+  EXPECT_FALSE(o.has("other"));
+}
+
+TEST(SmallMat, DetAndInverseOfIdentity) {
+  Mat3 eye{1, 0, 0, 0, 1, 0, 0, 0, 1};
+  EXPECT_DOUBLE_EQ(det3(eye), 1.0);
+  Mat3 inv = inv3(eye, 1.0);
+  for (int i = 0; i < 9; ++i) EXPECT_DOUBLE_EQ(inv[i], eye[i]);
+}
+
+TEST(SmallMat, InverseTimesMatrixIsIdentity) {
+  Mat3 m{2, 1, 0, 1, 3, 1, 0, 1, 4};
+  const Real d = det3(m);
+  ASSERT_NE(d, 0.0);
+  Mat3 mi = inv3(m, d);
+  // Check M * M^{-1} = I column by column.
+  for (int c = 0; c < 3; ++c) {
+    Vec3 col{mi[c], mi[3 + c], mi[6 + c]};
+    Vec3 r = matvec3(m, col);
+    for (int i = 0; i < 3; ++i)
+      EXPECT_NEAR(r[i], i == c ? 1.0 : 0.0, 1e-14);
+  }
+}
+
+TEST(SmallMat, DetOfScaledIdentity) {
+  Mat3 m{2, 0, 0, 0, 3, 0, 0, 0, 4};
+  EXPECT_DOUBLE_EQ(det3(m), 24.0);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    Real v = r.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+} // namespace
+} // namespace ptatin

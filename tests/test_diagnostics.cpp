@@ -1,0 +1,207 @@
+// Tests for post-processing diagnostics, the subduction model, and
+// MatrixMarket I/O.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "la/coo.hpp"
+#include "la/matrix_io.hpp"
+#include "ptatin/context.hpp"
+#include "ptatin/diagnostics.hpp"
+#include "ptatin/models_subduction.hpp"
+
+namespace ptatin {
+namespace {
+
+// --- topography ------------------------------------------------------------------
+
+TEST(Topography, FlatSurface) {
+  StructuredMesh mesh = StructuredMesh::box(3, 3, 3, {0, 0, 0}, {1, 1, 2});
+  TopographyField t = extract_topography(mesh, 2);
+  EXPECT_EQ(t.n1, mesh.nx());
+  EXPECT_EQ(t.n2, mesh.ny());
+  EXPECT_DOUBLE_EQ(t.min, 2.0);
+  EXPECT_DOUBLE_EQ(t.max, 2.0);
+  EXPECT_DOUBLE_EQ(t.mean, 2.0);
+}
+
+TEST(Topography, CapturesDeformedSurface) {
+  StructuredMesh mesh = StructuredMesh::box(4, 4, 4, {0, 0, 0}, {1, 1, 1});
+  mesh.deform([](const Vec3& x) {
+    return Vec3{x[0], x[1],
+                x[2] * (1.0 + 0.1 * std::sin(M_PI * x[0]))};
+  });
+  TopographyField t = extract_topography(mesh, 2);
+  EXPECT_GT(t.max, 1.05);
+  EXPECT_NEAR(t.min, 1.0, 1e-12);
+  EXPECT_GT(t.at(t.n1 / 2, 0), t.at(0, 0)); // bump in the middle
+}
+
+TEST(Topography, VerticalAxisY) {
+  StructuredMesh mesh = StructuredMesh::box(2, 3, 4, {0, 0, 0}, {1, 2, 1});
+  TopographyField t = extract_topography(mesh, 1);
+  EXPECT_EQ(t.n1, mesh.nx());
+  EXPECT_EQ(t.n2, mesh.nz());
+  EXPECT_DOUBLE_EQ(t.mean, 2.0);
+}
+
+// --- dissipation / RMS -------------------------------------------------------------
+
+TEST(Diagnostics, DissipationOfShearFlow) {
+  // u = (z, 0, 0) on the unit box: D_xz = 1/2, 2 eta D:D = 2*eta*(2*(1/4))
+  // = eta; dissipation = eta * |Omega|.
+  StructuredMesh mesh = StructuredMesh::box(3, 3, 3, {0, 0, 0}, {1, 1, 1});
+  QuadCoefficients coeff(mesh.num_elements());
+  for (Index e = 0; e < mesh.num_elements(); ++e)
+    for (int q = 0; q < kQuadPerEl; ++q) coeff.eta(e, q) = 4.0;
+  Vector u(num_velocity_dofs(mesh), 0.0);
+  for (Index n = 0; n < mesh.num_nodes(); ++n)
+    u[3 * n + 0] = mesh.node_coord(n)[2];
+  EXPECT_NEAR(viscous_dissipation(mesh, coeff, u), 4.0, 1e-10);
+}
+
+TEST(Diagnostics, RmsOfConstantField) {
+  StructuredMesh mesh = StructuredMesh::box(2, 2, 2, {0, 0, 0}, {2, 1, 1});
+  Vector u(num_velocity_dofs(mesh), 0.0);
+  for (Index n = 0; n < mesh.num_nodes(); ++n) {
+    u[3 * n + 0] = 3.0;
+    u[3 * n + 1] = 4.0;
+  }
+  EXPECT_NEAR(rms_velocity(mesh, u), 5.0, 1e-12);
+}
+
+TEST(Diagnostics, StrainRateFieldHighlightsShearZone) {
+  // Shear confined to the top half: the invariant field is larger there.
+  StructuredMesh mesh = StructuredMesh::box(2, 2, 4, {0, 0, 0}, {1, 1, 1});
+  Vector u(num_velocity_dofs(mesh), 0.0);
+  for (Index n = 0; n < mesh.num_nodes(); ++n) {
+    const Real z = mesh.node_coord(n)[2];
+    u[3 * n + 0] = z > 0.5 ? 2 * (z - 0.5) : 0.0;
+  }
+  auto field = strain_rate_invariant_field(mesh, u);
+  const Index low = mesh.element_index(0, 0, 0);
+  const Index high = mesh.element_index(0, 0, 3);
+  EXPECT_GT(field[high], 10 * field[low]);
+}
+
+TEST(Diagnostics, FlowStatsBundleConsistent) {
+  StructuredMesh mesh = StructuredMesh::box(2, 2, 2, {0, 0, 0}, {1, 1, 1});
+  QuadCoefficients coeff(mesh.num_elements());
+  Vector u(num_velocity_dofs(mesh), 0.0);
+  for (Index n = 0; n < mesh.num_nodes(); ++n)
+    u[3 * n + 1] = mesh.node_coord(n)[2];
+  FlowStats fs = compute_flow_stats(mesh, coeff, u);
+  EXPECT_NEAR(fs.u_max, 1.0, 1e-14);
+  EXPECT_GT(fs.dissipation, 0.0);
+  EXPECT_LT(fs.divergence_l2, 1e-10); // shear flow is divergence-free
+}
+
+TEST(Diagnostics, ElementMeansMatchConstants) {
+  QuadCoefficients coeff(3);
+  for (Index e = 0; e < 3; ++e)
+    for (int q = 0; q < kQuadPerEl; ++q) {
+      coeff.eta(e, q) = Real(e + 1);
+      coeff.rho(e, q) = 10.0 * Real(e + 1);
+    }
+  auto ev = element_mean_viscosity(coeff);
+  auto dv = element_mean_density(coeff);
+  for (Index e = 0; e < 3; ++e) {
+    EXPECT_DOUBLE_EQ(ev[e], Real(e + 1));
+    EXPECT_DOUBLE_EQ(dv[e], 10.0 * Real(e + 1));
+  }
+}
+
+// --- subduction model ------------------------------------------------------------
+
+TEST(Subduction, GeometryClassification) {
+  SubductionParams p;
+  ModelSetup setup = make_subduction_model(p);
+  EXPECT_EQ(setup.materials.size(), 2);
+  // Inside the surface plate.
+  EXPECT_EQ(setup.lithology_of({1.0, 1.0, 1.95}), 1);
+  // Mantle below the plate.
+  EXPECT_EQ(setup.lithology_of({1.0, 1.0, 1.0}), 0);
+  // Beyond the plate's x-extent (no plate).
+  EXPECT_EQ(setup.lithology_of({3.5, 1.0, 1.95}), 0);
+  // On the dipping slab segment just below the hinge.
+  const Real hx = p.plate_extent, hz = p.lz - 0.5 * p.plate_thickness;
+  const Vec3 on_slab{hx + 0.3 * std::sin(p.slab_dip_angle), 1.0,
+                     hz - 0.3 * std::cos(p.slab_dip_angle)};
+  EXPECT_EQ(setup.lithology_of(on_slab), 1);
+}
+
+TEST(Subduction, SlabSinksOverSteps) {
+  SubductionParams p;
+  p.mx = 8;
+  p.my = 2;
+  p.mz = 4;
+  ModelSetup setup = make_subduction_model(p);
+  PtatinOptions opts;
+  opts.points_per_dim = 2;
+  opts.update_mesh = false;
+  opts.nonlinear.max_it = 2;
+  opts.nonlinear.rtol = 1e-2;
+  opts.nonlinear.linear.gmg.levels = 2;
+  opts.nonlinear.linear.coarse_solve = GmgCoarseSolve::kBJacobiLu;
+  opts.nonlinear.linear.coarse_bjacobi_blocks = 1;
+  PtatinContext ctx(std::move(setup), opts);
+
+  const Real tip0 = slab_tip_depth(ctx.setup(), ctx.points());
+  for (int s = 0; s < 3; ++s) {
+    Real dt = std::min(ctx.suggest_dt(0.25), Real(0.3));
+    if (s == 0) dt = 0.01;
+    ctx.step(dt);
+  }
+  EXPECT_LT(slab_tip_depth(ctx.setup(), ctx.points()), tip0);
+}
+
+// --- MatrixMarket I/O ---------------------------------------------------------------
+
+TEST(MatrixMarket, CsrRoundTrip) {
+  Rng rng(1);
+  CooMatrix coo(10, 8);
+  for (int k = 0; k < 25; ++k)
+    coo.add(rng.uniform_index(0, 9), rng.uniform_index(0, 7),
+            rng.uniform(-2, 2));
+  CsrMatrix a = coo.to_csr();
+
+  const std::string path = "/tmp/pt_test_mm.mtx";
+  write_matrix_market(path, a);
+  CsrMatrix b = read_matrix_market(path);
+  EXPECT_EQ(b.rows(), a.rows());
+  EXPECT_EQ(b.cols(), a.cols());
+  EXPECT_EQ(b.nnz(), a.nnz());
+  Vector x(8), y1, y2;
+  for (Index i = 0; i < 8; ++i) x[i] = rng.uniform(-1, 1);
+  a.mult(x, y1);
+  b.mult(x, y2);
+  for (Index i = 0; i < 10; ++i) EXPECT_NEAR(y2[i], y1[i], 1e-14);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixMarket, VectorRoundTrip) {
+  Vector v(7);
+  for (Index i = 0; i < 7; ++i) v[i] = std::pow(-1.0, Real(i)) * Real(i) / 3;
+  const std::string path = "/tmp/pt_test_mmv.mtx";
+  write_vector_market(path, v);
+  Vector w = read_vector_market(path);
+  ASSERT_EQ(w.size(), 7);
+  for (Index i = 0; i < 7; ++i) EXPECT_NEAR(w[i], v[i], 1e-15);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixMarket, RejectsGarbage) {
+  const std::string path = "/tmp/pt_test_mm_bad.mtx";
+  {
+    std::FILE* fp = std::fopen(path.c_str(), "w");
+    std::fputs("this is not a matrix market file\n1 2 3\n", fp);
+    std::fclose(fp);
+  }
+  EXPECT_THROW(read_matrix_market(path), Error);
+  std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace ptatin

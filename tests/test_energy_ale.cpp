@@ -1,0 +1,176 @@
+// Unit tests for the energy equation (Q1 SUPG) and the ALE mesh update.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ale/mesh_update.hpp"
+#include "energy/supg.hpp"
+#include "fem/dofmap.hpp"
+
+namespace ptatin {
+namespace {
+
+Vector zero_velocity(const StructuredMesh& mesh) {
+  return Vector(num_velocity_dofs(mesh), 0.0);
+}
+
+Vector uniform_velocity(const StructuredMesh& mesh, const Vec3& v) {
+  Vector u(num_velocity_dofs(mesh), 0.0);
+  for (Index n = 0; n < mesh.num_nodes(); ++n)
+    for (int c = 0; c < 3; ++c) u[3 * n + c] = v[c];
+  return u;
+}
+
+// --- energy -------------------------------------------------------------------
+
+TEST(Energy, SteadyStateLinearProfile) {
+  // Pure diffusion with T=1 at bottom, T=0 at top: steady state is linear.
+  StructuredMesh mesh = StructuredMesh::box(2, 2, 4, {0, 0, 0}, {1, 1, 1});
+  EnergySolver solver(mesh, /*kappa=*/1.0);
+  VertexBc bc(mesh.num_vertices());
+  for (Index vj = 0; vj < mesh.vy(); ++vj)
+    for (Index vi = 0; vi < mesh.vx(); ++vi) {
+      bc.constrain(mesh.vertex_index(vi, vj, 0), 1.0);
+      bc.constrain(mesh.vertex_index(vi, vj, mesh.vz() - 1), 0.0);
+    }
+  Vector T(mesh.num_vertices(), 0.5);
+  Vector u = zero_velocity(mesh);
+  // March to steady state with large steps.
+  for (int s = 0; s < 30; ++s) solver.step(u, 10.0, bc, T);
+
+  for (Index vk = 0; vk < mesh.vz(); ++vk) {
+    const Real z = Real(vk) / Real(mesh.vz() - 1);
+    EXPECT_NEAR(T[mesh.vertex_index(1, 1, vk)], 1.0 - z, 1e-6);
+  }
+}
+
+TEST(Energy, ConservesUniformTemperature) {
+  // T constant with matching BCs stays constant under any flow.
+  StructuredMesh mesh = StructuredMesh::box(3, 3, 3, {0, 0, 0}, {1, 1, 1});
+  EnergySolver solver(mesh, 0.01);
+  VertexBc bc(mesh.num_vertices());
+  for (Index vj = 0; vj < mesh.vy(); ++vj)
+    for (Index vi = 0; vi < mesh.vx(); ++vi) {
+      bc.constrain(mesh.vertex_index(vi, vj, 0), 2.0);
+      bc.constrain(mesh.vertex_index(vi, vj, mesh.vz() - 1), 2.0);
+    }
+  Vector T(mesh.num_vertices(), 2.0);
+  Vector u = uniform_velocity(mesh, {0.3, -0.2, 0.0}); // tangential flow
+  solver.step(u, 0.1, bc, T);
+  for (Index v = 0; v < mesh.num_vertices(); ++v)
+    EXPECT_NEAR(T[v], 2.0, 1e-9);
+}
+
+TEST(Energy, AdvectionTransportsFront) {
+  // Advect a step profile in +x; the downstream temperature must rise.
+  StructuredMesh mesh = StructuredMesh::box(8, 2, 2, {0, 0, 0}, {1, 1, 1});
+  EnergySolver solver(mesh, 1e-6);
+  VertexBc bc(mesh.num_vertices());
+  // Inflow boundary (x=0): hot.
+  for (Index vk = 0; vk < mesh.vz(); ++vk)
+    for (Index vj = 0; vj < mesh.vy(); ++vj)
+      bc.constrain(mesh.vertex_index(0, vj, vk), 1.0);
+
+  Vector T(mesh.num_vertices(), 0.0);
+  for (Index vk = 0; vk < mesh.vz(); ++vk)
+    for (Index vj = 0; vj < mesh.vy(); ++vj)
+      T[mesh.vertex_index(0, vj, vk)] = 1.0;
+
+  Vector u = uniform_velocity(mesh, {1.0, 0, 0});
+  for (int s = 0; s < 4; ++s) solver.step(u, 0.1, bc, T);
+
+  // After t=0.4, the front (x ~ 0.4) has passed the vertex at x=0.25.
+  const Index probe_up = mesh.vertex_index(2, 1, 1);   // x = 0.25
+  const Index probe_down = mesh.vertex_index(7, 1, 1); // x = 0.875
+  EXPECT_GT(T[probe_up], 0.5);
+  EXPECT_LT(T[probe_down], 0.3);
+}
+
+TEST(Energy, SupgSuppressesOscillations) {
+  // Strongly advective transport of a sharp front: solution stays within
+  // physical bounds (small overshoot tolerated, catastrophic wiggles not).
+  StructuredMesh mesh = StructuredMesh::box(10, 2, 2, {0, 0, 0}, {1, 1, 1});
+  EnergySolver solver(mesh, 1e-8); // Pe >> 1
+  VertexBc bc(mesh.num_vertices());
+  for (Index vk = 0; vk < mesh.vz(); ++vk)
+    for (Index vj = 0; vj < mesh.vy(); ++vj)
+      bc.constrain(mesh.vertex_index(0, vj, vk), 1.0);
+  Vector T(mesh.num_vertices(), 0.0);
+  Vector u = uniform_velocity(mesh, {1.0, 0, 0});
+  EnergySolveStats st{};
+  for (int s = 0; s < 5; ++s) st = solver.step(u, 0.05, bc, T);
+  EXPECT_GT(st.tau_max, 0.0); // stabilization active
+  for (Index v = 0; v < mesh.num_vertices(); ++v) {
+    EXPECT_GT(T[v], -0.15);
+    EXPECT_LT(T[v], 1.15);
+  }
+}
+
+// --- ALE -----------------------------------------------------------------------
+
+TEST(Ale, SurfaceRisesWithUpwardFlow) {
+  StructuredMesh mesh = StructuredMesh::box(4, 4, 4, {0, 0, 0}, {1, 1, 1});
+  Vector u = uniform_velocity(mesh, {0, 0, 0.1});
+  AleOptions opts;
+  opts.vertical_axis = 2;
+  AleStats st = update_mesh_free_surface(mesh, u, 0.5, opts);
+  EXPECT_NEAR(st.max_surface_displacement, 0.05, 1e-12);
+  // Top nodes moved to z = 1.05; interior redistributed uniformly.
+  const Index top = mesh.node_index(4, 4, mesh.nz() - 1);
+  EXPECT_NEAR(mesh.node_coord(top)[2], 1.05, 1e-12);
+  const Index mid = mesh.node_index(4, 4, (mesh.nz() - 1) / 2);
+  EXPECT_NEAR(mesh.node_coord(mid)[2], 0.525, 1e-12);
+  EXPECT_GT(st.min_detj_after, 0.0);
+}
+
+TEST(Ale, BottomStaysFixed) {
+  StructuredMesh mesh = StructuredMesh::box(4, 4, 4, {0, 0, 0}, {1, 1, 1});
+  Vector u = uniform_velocity(mesh, {0, 0, -0.2});
+  AleOptions opts;
+  AleStats st = update_mesh_free_surface(mesh, u, 0.25, opts);
+  (void)st;
+  for (Index j = 0; j < mesh.ny(); ++j)
+    for (Index i = 0; i < mesh.nx(); ++i)
+      EXPECT_DOUBLE_EQ(mesh.node_coord(mesh.node_index(i, j, 0))[2], 0.0);
+}
+
+TEST(Ale, NonUniformSurfaceVelocityCreatesTopography) {
+  StructuredMesh mesh = StructuredMesh::box(4, 4, 4, {0, 0, 0}, {1, 1, 1});
+  Vector u(num_velocity_dofs(mesh), 0.0);
+  // Upwelling in the center.
+  for (Index n = 0; n < mesh.num_nodes(); ++n) {
+    const Vec3 x = mesh.node_coord(n);
+    u[3 * n + 2] = std::sin(M_PI * x[0]) * std::sin(M_PI * x[1]);
+  }
+  AleOptions opts;
+  update_mesh_free_surface(mesh, u, 0.1, opts);
+  const Real z_center =
+      mesh.node_coord(mesh.node_index(4, 4, mesh.nz() - 1))[2];
+  const Real z_edge = mesh.node_coord(mesh.node_index(0, 0, mesh.nz() - 1))[2];
+  EXPECT_GT(z_center, z_edge + 0.05);
+  EXPECT_NEAR(z_edge, 1.0, 1e-12);
+}
+
+TEST(Ale, VerticalAxisY) {
+  // The rifting model uses y as the vertical axis (§V-A).
+  StructuredMesh mesh = StructuredMesh::box(3, 3, 3, {0, 0, 0}, {1, 1, 1});
+  Vector u(num_velocity_dofs(mesh), 0.0);
+  for (Index n = 0; n < mesh.num_nodes(); ++n) u[3 * n + 1] = 0.2;
+  AleOptions opts;
+  opts.vertical_axis = 1;
+  update_mesh_free_surface(mesh, u, 0.5, opts);
+  const Index top = mesh.node_index(3, mesh.ny() - 1, 3);
+  EXPECT_NEAR(mesh.node_coord(top)[1], 1.1, 1e-12);
+}
+
+TEST(Ale, MinJacobianDetectsHealthyMesh) {
+  StructuredMesh mesh = StructuredMesh::box(3, 3, 3, {0, 0, 0}, {1, 1, 1});
+  EXPECT_GT(min_jacobian_determinant(mesh), 0.0);
+  mesh.deform([](const Vec3& x) {
+    return Vec3{x[0] + 0.1 * x[1], x[1], x[2]};
+  });
+  EXPECT_GT(min_jacobian_determinant(mesh), 0.0);
+}
+
+} // namespace
+} // namespace ptatin

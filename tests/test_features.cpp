@@ -1,0 +1,202 @@
+// Tests for the production features added beyond the core reproduction:
+// Neumann traction assembly (Eq. 5/10 boundary term), binary checkpoint /
+// restart, and CLI parsing of negative values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/options.hpp"
+#include "ptatin/checkpoint.hpp"
+#include "ptatin/context.hpp"
+#include "ptatin/models_sinker.hpp"
+#include "stokes/blocks.hpp"
+
+namespace ptatin {
+namespace {
+
+// --- options parser -------------------------------------------------------------
+
+TEST(Options, NegativeNumbersAreValues) {
+  const char* argv[] = {"prog", "-gz", "-9.8", "-offset", "-3", "-flag"};
+  Options o = Options::from_args(6, argv);
+  EXPECT_DOUBLE_EQ(o.get_real("gz", 0.0), -9.8);
+  EXPECT_EQ(o.get_int("offset", 0), -3);
+  EXPECT_TRUE(o.get_bool("flag", false));
+}
+
+TEST(Options, ScientificNegativeValue) {
+  const char* argv[] = {"prog", "-eps", "-1e-4"};
+  Options o = Options::from_args(3, argv);
+  EXPECT_DOUBLE_EQ(o.get_real("eps", 0.0), -1e-4);
+}
+
+// --- traction assembly ----------------------------------------------------------
+
+TEST(Traction, ConstantTractionIntegratesToForceTimesArea) {
+  // Partition of unity on the surface: sum_i f[(i,c)] = t_c * area.
+  StructuredMesh mesh = StructuredMesh::box(3, 3, 3, {0, 0, 0}, {2, 1, 1});
+  const Vec3 t{1.5, -0.5, 2.0};
+  Vector f = assemble_traction_force(mesh, MeshFace::kZMax,
+                                     [&](const Vec3&) { return t; });
+  Real sum[3] = {0, 0, 0};
+  for (Index n = 0; n < mesh.num_nodes(); ++n)
+    for (int c = 0; c < 3; ++c) sum[c] += f[3 * n + c];
+  const Real area = 2.0; // 2 x 1 top face
+  for (int c = 0; c < 3; ++c) EXPECT_NEAR(sum[c], t[c] * area, 1e-12);
+}
+
+TEST(Traction, SupportOnlyOnTheFace) {
+  StructuredMesh mesh = StructuredMesh::box(2, 2, 2, {0, 0, 0}, {1, 1, 1});
+  Vector f = assemble_traction_force(mesh, MeshFace::kXMin,
+                                     [](const Vec3&) { return Vec3{1, 0, 0}; });
+  for (Index k = 0; k < mesh.nz(); ++k)
+    for (Index j = 0; j < mesh.ny(); ++j)
+      for (Index i = 0; i < mesh.nx(); ++i) {
+        const Index n = mesh.node_index(i, j, k);
+        if (i == 0) continue; // face nodes may be loaded
+        for (int c = 0; c < 3; ++c)
+          EXPECT_DOUBLE_EQ(f[3 * n + c], 0.0) << "node off the face loaded";
+      }
+}
+
+TEST(Traction, LinearTractionExact) {
+  // int over [0,1]^2 of (x1 * x2) = 1/4 (3x3 Gauss is exact for this).
+  StructuredMesh mesh = StructuredMesh::box(2, 2, 2, {0, 0, 0}, {1, 1, 1});
+  Vector f = assemble_traction_force(mesh, MeshFace::kZMax, [](const Vec3& x) {
+    return Vec3{x[0] * x[1], 0, 0};
+  });
+  Real sum = 0;
+  for (Index n = 0; n < mesh.num_nodes(); ++n) sum += f[3 * n + 0];
+  EXPECT_NEAR(sum, 0.25, 1e-13);
+}
+
+TEST(Traction, DeformedSurfaceAreaScaling) {
+  // Stretching the top face doubles the area integral of a unit traction.
+  StructuredMesh mesh = StructuredMesh::box(2, 2, 2, {0, 0, 0}, {1, 1, 1});
+  mesh.deform([](const Vec3& x) {
+    return Vec3{2 * x[0], x[1], x[2]}; // area of z-faces doubles
+  });
+  Vector f = assemble_traction_force(mesh, MeshFace::kZMax,
+                                     [](const Vec3&) { return Vec3{0, 0, 1}; });
+  Real sum = 0;
+  for (Index n = 0; n < mesh.num_nodes(); ++n) sum += f[3 * n + 2];
+  EXPECT_NEAR(sum, 2.0, 1e-12);
+}
+
+TEST(Traction, AllSixFacesOfUnitBox) {
+  StructuredMesh mesh = StructuredMesh::box(2, 2, 2, {0, 0, 0}, {1, 1, 1});
+  for (auto face : {MeshFace::kXMin, MeshFace::kXMax, MeshFace::kYMin,
+                    MeshFace::kYMax, MeshFace::kZMin, MeshFace::kZMax}) {
+    Vector f = assemble_traction_force(
+        mesh, face, [](const Vec3&) { return Vec3{0, 1, 0}; });
+    Real sum = 0;
+    for (Index n = 0; n < mesh.num_nodes(); ++n) sum += f[3 * n + 1];
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "face " << int(face);
+  }
+}
+
+// --- checkpoint / restart ---------------------------------------------------------
+
+TEST(Checkpoint, RoundTripRestoresState) {
+  SinkerParams p;
+  p.mx = p.my = p.mz = 4;
+  p.num_spheres = 2;
+  p.radius = 0.15;
+  p.contrast = 1e2;
+
+  PtatinOptions opts;
+  opts.points_per_dim = 2;
+  opts.nonlinear.max_it = 2;
+  opts.nonlinear.rtol = 1e-2;
+  opts.nonlinear.linear.gmg.levels = 2;
+  opts.nonlinear.linear.coarse_solve = GmgCoarseSolve::kBJacobiLu;
+  opts.nonlinear.linear.coarse_bjacobi_blocks = 1;
+
+  PtatinContext ctx(make_sinker_model(p), opts);
+  ctx.step(0.005); // nontrivial state: deformed mesh, moved points, fields
+
+  const std::string path = "/tmp/pt_test_ckpt.bin";
+  save_checkpoint(path, ctx);
+
+  // Fresh context from the same model; state must differ, then match after
+  // loading.
+  PtatinContext fresh(make_sinker_model(p), opts);
+  EXPECT_NE(fresh.velocity().norm2(), ctx.velocity().norm2());
+
+  load_checkpoint(path, fresh);
+  EXPECT_EQ(fresh.points().size(), ctx.points().size());
+  EXPECT_NEAR(fresh.velocity().norm2(), ctx.velocity().norm2(), 1e-14);
+  EXPECT_NEAR(fresh.pressure().norm2(), ctx.pressure().norm2(), 1e-14);
+  // Mesh coordinates (ALE state) restored exactly.
+  for (std::size_t i = 0; i < ctx.mesh().coords().size(); ++i)
+    EXPECT_DOUBLE_EQ(fresh.mesh().coords()[i], ctx.mesh().coords()[i]);
+  // Per-point data restored (same order by construction).
+  for (Index i = 0; i < ctx.points().size(); ++i) {
+    EXPECT_EQ(fresh.points().lithology(i), ctx.points().lithology(i));
+    EXPECT_DOUBLE_EQ(fresh.points().plastic_strain(i),
+                     ctx.points().plastic_strain(i));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ContinuedRunMatchesUninterrupted) {
+  // step, checkpoint, step == step, step (determinism across restart).
+  SinkerParams p;
+  p.mx = p.my = p.mz = 4;
+  p.num_spheres = 1;
+  p.radius = 0.2;
+  p.contrast = 1e2;
+  PtatinOptions opts;
+  opts.points_per_dim = 2;
+  opts.nonlinear.max_it = 2;
+  opts.nonlinear.rtol = 1e-2;
+  opts.nonlinear.linear.gmg.levels = 2;
+  opts.nonlinear.linear.coarse_solve = GmgCoarseSolve::kBJacobiLu;
+  opts.nonlinear.linear.coarse_bjacobi_blocks = 1;
+
+  PtatinContext a(make_sinker_model(p), opts);
+  a.step(0.004);
+  const std::string path = "/tmp/pt_test_ckpt2.bin";
+  save_checkpoint(path, a);
+  a.step(0.004);
+
+  PtatinContext b(make_sinker_model(p), opts);
+  load_checkpoint(path, b);
+  b.step(0.004);
+
+  Vector diff;
+  diff.copy_from(b.velocity());
+  diff.axpy(-1.0, a.velocity());
+  EXPECT_LT(diff.norm2(), 1e-9 * std::max(Real(1), a.velocity().norm2()));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsCorruptAndMismatched) {
+  SinkerParams p;
+  p.mx = p.my = p.mz = 2;
+  PtatinOptions opts;
+  opts.points_per_dim = 2;
+  PtatinContext ctx(make_sinker_model(p), opts);
+
+  // Corrupt magic.
+  const std::string path = "/tmp/pt_test_ckpt3.bin";
+  {
+    std::FILE* fp = std::fopen(path.c_str(), "wb");
+    const char junk[32] = "not a checkpoint at all";
+    std::fwrite(junk, 1, sizeof junk, fp);
+    std::fclose(fp);
+  }
+  EXPECT_THROW(load_checkpoint(path, ctx), Error);
+
+  // Dimension mismatch: checkpoint from a 2^3 model into a 4^3 model.
+  save_checkpoint(path, ctx);
+  SinkerParams p4 = p;
+  p4.mx = p4.my = p4.mz = 4;
+  PtatinContext bigger(make_sinker_model(p4), opts);
+  EXPECT_THROW(load_checkpoint(path, bigger), Error);
+  std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace ptatin

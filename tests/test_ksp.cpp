@@ -1,0 +1,349 @@
+// Unit tests for the Krylov solver module (CG, GMRES, FGMRES, GCR,
+// Chebyshev, Richardson, eigenvalue estimation).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "ksp/cg.hpp"
+#include "ksp/chebyshev.hpp"
+#include "ksp/eig_estimate.hpp"
+#include "ksp/gcr.hpp"
+#include "ksp/gmres.hpp"
+#include "ksp/richardson.hpp"
+#include "la/coo.hpp"
+
+namespace ptatin {
+namespace {
+
+CsrMatrix laplacian1d(Index n) {
+  CooMatrix coo(n, n);
+  for (Index i = 0; i < n; ++i) {
+    coo.add(i, i, 2.0);
+    if (i > 0) coo.add(i, i - 1, -1.0);
+    if (i + 1 < n) coo.add(i, i + 1, -1.0);
+  }
+  return coo.to_csr();
+}
+
+/// Nonsymmetric convection-diffusion style matrix.
+CsrMatrix convdiff1d(Index n, Real peclet) {
+  CooMatrix coo(n, n);
+  for (Index i = 0; i < n; ++i) {
+    coo.add(i, i, 2.0);
+    if (i > 0) coo.add(i, i - 1, -1.0 - peclet);
+    if (i + 1 < n) coo.add(i, i + 1, -1.0 + peclet);
+  }
+  return coo.to_csr();
+}
+
+struct Problem {
+  CsrMatrix a;
+  Vector b, xe;
+};
+
+Problem make_problem(CsrMatrix a, unsigned seed = 11) {
+  Problem p{std::move(a), Vector(), Vector()};
+  const Index n = p.a.rows();
+  p.xe.resize(n);
+  Rng rng(seed);
+  for (Index i = 0; i < n; ++i) p.xe[i] = rng.uniform(-1, 1);
+  p.a.mult(p.xe, p.b);
+  return p;
+}
+
+Real error_norm(const Vector& x, const Vector& xe) {
+  Vector e;
+  e.copy_from(x);
+  e.axpy(-1.0, xe);
+  return e.norm2();
+}
+
+// --- CG ----------------------------------------------------------------
+
+TEST(Cg, ConvergesOnLaplacian) {
+  Problem p = make_problem(laplacian1d(100));
+  Vector x;
+  KrylovSettings s;
+  s.rtol = 1e-10;
+  IdentityPc pc;
+  SolveStats st = cg_solve(MatrixOperator(&p.a), pc, p.b, x, s);
+  EXPECT_TRUE(st.converged);
+  EXPECT_LT(error_norm(x, p.xe), 1e-7);
+}
+
+TEST(Cg, JacobiPreconditioningReducesIterations) {
+  // Symmetrically scaled Laplacian A = D L D with exponentially growing D:
+  // ill-conditioned for plain CG, but Jacobi recovers Laplacian-like
+  // conditioning.
+  const Index n = 80;
+  CooMatrix coo(n, n);
+  auto d = [&](Index i) { return std::pow(10.0, 3.0 * Real(i) / Real(n)); };
+  for (Index i = 0; i < n; ++i) {
+    coo.add(i, i, 2.0 * d(i) * d(i));
+    if (i > 0) coo.add(i, i - 1, -d(i) * d(i - 1));
+    if (i + 1 < n) coo.add(i, i + 1, -d(i) * d(i + 1));
+  }
+  Problem p = make_problem(coo.to_csr());
+  MatrixOperator op(&p.a);
+  KrylovSettings s;
+  s.rtol = 1e-8;
+
+  Vector x1, x2;
+  IdentityPc id;
+  JacobiPc jac(p.a.diagonal());
+  SolveStats st_id = cg_solve(op, id, p.b, x1, s);
+  SolveStats st_jac = cg_solve(op, jac, p.b, x2, s);
+  EXPECT_TRUE(st_jac.converged);
+  EXPECT_LT(st_jac.iterations, st_id.iterations);
+}
+
+TEST(Cg, HistoryIsMonotoneForLaplacian) {
+  Problem p = make_problem(laplacian1d(50));
+  Vector x;
+  KrylovSettings s;
+  s.rtol = 1e-8;
+  IdentityPc pc;
+  SolveStats st = cg_solve(MatrixOperator(&p.a), pc, p.b, x, s);
+  ASSERT_GE(st.history.size(), 2u);
+  EXPECT_LT(st.history.back(), st.history.front());
+}
+
+// --- GMRES / FGMRES ------------------------------------------------------
+
+TEST(Gmres, ConvergesOnNonsymmetric) {
+  Problem p = make_problem(convdiff1d(100, 0.4));
+  Vector x;
+  KrylovSettings s;
+  s.rtol = 1e-10;
+  s.restart = 30;
+  IdentityPc pc;
+  SolveStats st = gmres_solve(MatrixOperator(&p.a), pc, p.b, x, s);
+  EXPECT_TRUE(st.converged);
+  EXPECT_LT(error_norm(x, p.xe), 1e-6);
+}
+
+TEST(Gmres, RestartStillConverges) {
+  Problem p = make_problem(convdiff1d(120, 0.3));
+  Vector x;
+  KrylovSettings s;
+  s.rtol = 1e-8;
+  s.restart = 5; // aggressive restart
+  s.max_it = 2000;
+  IdentityPc pc;
+  SolveStats st = gmres_solve(MatrixOperator(&p.a), pc, p.b, x, s);
+  EXPECT_TRUE(st.converged);
+}
+
+TEST(Gmres, TracksTrueResidualNorm) {
+  // Right preconditioning: reported residual must equal the true
+  // unpreconditioned residual at convergence.
+  Problem p = make_problem(laplacian1d(60));
+  Vector x;
+  KrylovSettings s;
+  s.rtol = 1e-9;
+  JacobiPc pc(p.a.diagonal());
+  SolveStats st = gmres_solve(MatrixOperator(&p.a), pc, p.b, x, s);
+  Vector r;
+  MatrixOperator(&p.a).residual(p.b, x, r);
+  EXPECT_NEAR(r.norm2(), st.final_residual, 1e-8 * st.initial_residual);
+}
+
+TEST(Fgmres, ToleratesNonlinearPreconditioner) {
+  // Preconditioner = few CG iterations (iteration count varies => nonlinear).
+  Problem p = make_problem(laplacian1d(150));
+  MatrixOperator op(&p.a);
+  IdentityPc inner_pc;
+  ShellPc pc([&](const Vector& r, Vector& z) {
+    z.resize(r.size());
+    z.set_all(0.0);
+    KrylovSettings is;
+    is.rtol = 1e-2;
+    is.max_it = 50;
+    cg_solve(op, inner_pc, r, z, is);
+  });
+  Vector x;
+  KrylovSettings s;
+  s.rtol = 1e-9;
+  SolveStats st = fgmres_solve(op, pc, p.b, x, s);
+  EXPECT_TRUE(st.converged);
+  EXPECT_LT(error_norm(x, p.xe), 1e-4);
+}
+
+// --- GCR ------------------------------------------------------------------
+
+TEST(Gcr, ConvergesOnNonsymmetric) {
+  Problem p = make_problem(convdiff1d(100, 0.4));
+  Vector x;
+  KrylovSettings s;
+  s.rtol = 1e-9;
+  IdentityPc pc;
+  SolveStats st = gcr_solve(MatrixOperator(&p.a), pc, p.b, x, s);
+  EXPECT_TRUE(st.converged);
+  EXPECT_LT(error_norm(x, p.xe), 1e-5);
+}
+
+TEST(Gcr, MonitorReceivesExplicitResidual) {
+  // The reason the paper prefers GCR (§III-A): the residual vector is
+  // explicitly available every iteration.
+  Problem p = make_problem(laplacian1d(40));
+  MatrixOperator op(&p.a);
+  Vector x;
+  KrylovSettings s;
+  s.rtol = 1e-8;
+  int calls_with_residual = 0;
+  s.monitor = [&](int, Real rnorm, const Vector* r) {
+    ASSERT_NE(r, nullptr);
+    // Check the monitor's vector really is the residual.
+    EXPECT_NEAR(r->norm2(), rnorm, 1e-12 + 1e-12 * rnorm);
+    ++calls_with_residual;
+  };
+  IdentityPc pc;
+  gcr_solve(op, pc, p.b, x, s);
+  EXPECT_GT(calls_with_residual, 1);
+}
+
+TEST(Gcr, FlexibleWithInnerIterations) {
+  Problem p = make_problem(convdiff1d(80, 0.2));
+  MatrixOperator op(&p.a);
+  IdentityPc inner_pc;
+  ShellPc pc([&](const Vector& r, Vector& z) {
+    z.resize(r.size());
+    z.set_all(0.0);
+    KrylovSettings is;
+    is.rtol = 1e-1;
+    is.max_it = 20;
+    gmres_solve(op, inner_pc, r, z, is);
+  });
+  Vector x;
+  KrylovSettings s;
+  s.rtol = 1e-8;
+  SolveStats st = gcr_solve(op, pc, p.b, x, s);
+  EXPECT_TRUE(st.converged);
+}
+
+TEST(Gcr, AgreesWithGmresIterationsOnEasyProblem) {
+  // Both minimize the residual over the same Krylov space with identity PC,
+  // so iteration counts should be close.
+  Problem p = make_problem(laplacian1d(64));
+  MatrixOperator op(&p.a);
+  IdentityPc pc;
+  KrylovSettings s;
+  s.rtol = 1e-8;
+  s.restart = 64;
+  Vector x1, x2;
+  SolveStats g = gmres_solve(op, pc, p.b, x1, s);
+  SolveStats c = gcr_solve(op, pc, p.b, x2, s);
+  EXPECT_TRUE(g.converged);
+  EXPECT_TRUE(c.converged);
+  EXPECT_NEAR(Real(g.iterations), Real(c.iterations), 2.0);
+}
+
+// --- Eigenvalue estimate & Chebyshev ---------------------------------------
+
+TEST(EigEstimate, LaplacianLambdaMax) {
+  // Jacobi-preconditioned 1D Laplacian has λmax -> 2 as n grows.
+  CsrMatrix a = laplacian1d(100);
+  Vector inv_diag = a.diagonal();
+  for (Index i = 0; i < 100; ++i) inv_diag[i] = 1.0 / inv_diag[i];
+  MatrixOperator op(&a);
+  Real lmax = estimate_lambda_max_jacobi(op, inv_diag, 30);
+  EXPECT_GT(lmax, 1.8);
+  EXPECT_LT(lmax, 2.01);
+}
+
+TEST(Chebyshev, SmootherReducesResidual) {
+  CsrMatrix a = laplacian1d(128);
+  MatrixOperator op(&a);
+  ChebyshevSmoother cheb;
+  cheb.setup(op, a.diagonal(), ChebyshevOptions{});
+  Vector b(128, 1.0), x(128, 0.0);
+  Vector r0;
+  op.residual(b, x, r0);
+  cheb.smooth(b, x, 10);
+  Vector r;
+  op.residual(b, x, r);
+  EXPECT_LT(r.norm2(), r0.norm2());
+}
+
+TEST(Chebyshev, TargetsUpperSpectrum) {
+  // Chebyshev targeting [0.2λ, 1.1λ] must strongly damp a high-frequency
+  // error mode while barely touching the smoothest mode — the property that
+  // makes it an MG smoother (§III-C).
+  const Index n = 128;
+  CsrMatrix a = laplacian1d(n);
+  MatrixOperator op(&a);
+  ChebyshevSmoother cheb;
+  cheb.setup(op, a.diagonal(), ChebyshevOptions{});
+
+  auto mode_decay = [&](int mode) {
+    Vector x(n), b(n, 0.0);
+    for (Index i = 0; i < n; ++i)
+      x[i] = std::sin(M_PI * Real(mode) * Real(i + 1) / Real(n + 1));
+    const Real e0 = x.norm2();
+    cheb.smooth(b, x, 2); // error satisfies homogeneous equation
+    return x.norm2() / e0;
+  };
+
+  const Real high = mode_decay(120); // near λmax
+  const Real low = mode_decay(1);    // near λmin
+  EXPECT_LT(high, 0.1); // strongly damped
+  EXPECT_GT(low, 0.7);  // nearly untouched
+}
+
+TEST(Chebyshev, IntervalMatchesPaperFractions) {
+  CsrMatrix a = laplacian1d(64);
+  MatrixOperator op(&a);
+  ChebyshevSmoother cheb;
+  cheb.setup(op, a.diagonal(), ChebyshevOptions{});
+  EXPECT_NEAR(cheb.interval_min() / cheb.lambda_max(), 0.2, 1e-12);
+  EXPECT_NEAR(cheb.interval_max() / cheb.lambda_max(), 1.1, 1e-12);
+}
+
+// --- Richardson -------------------------------------------------------------
+
+TEST(Richardson, ConvergesWithGoodPreconditioner) {
+  CsrMatrix a = laplacian1d(30);
+  Problem p = make_problem(laplacian1d(30));
+  MatrixOperator op(&p.a);
+  // Preconditioner: exact solve => converges in one iteration.
+  BlockJacobiPc pc(p.a, 1, SubdomainSolve::kLu);
+  Vector x;
+  KrylovSettings s;
+  s.rtol = 1e-12;
+  s.max_it = 5;
+  SolveStats st = richardson_solve(op, pc, p.b, x, s);
+  EXPECT_TRUE(st.converged);
+  EXPECT_LE(st.iterations, 2);
+}
+
+TEST(Richardson, DampingStabilizes) {
+  CsrMatrix a = laplacian1d(40);
+  Vector b(40, 1.0);
+  MatrixOperator op(&a);
+  JacobiPc pc(a.diagonal());
+  KrylovSettings s;
+  s.max_it = 50;
+  s.rtol = 1e-3;
+  Vector x1;
+  SolveStats st = richardson_solve(op, pc, b, x1, s, 0.8);
+  // Damped Jacobi on the Laplacian must not diverge.
+  EXPECT_LT(st.final_residual, st.initial_residual);
+}
+
+// --- Zero RHS edge case ------------------------------------------------------
+
+TEST(Krylov, ZeroRhsReturnsZero) {
+  CsrMatrix a = laplacian1d(10);
+  MatrixOperator op(&a);
+  IdentityPc pc;
+  Vector b(10, 0.0), x(10, 0.0);
+  KrylovSettings s;
+  SolveStats st = cg_solve(op, pc, b, x, s);
+  EXPECT_TRUE(st.converged);
+  EXPECT_EQ(st.iterations, 0);
+  EXPECT_DOUBLE_EQ(x.norm2(), 0.0);
+}
+
+} // namespace
+} // namespace ptatin

@@ -1,0 +1,214 @@
+// Property-based sweeps (parameterized gtest): randomized meshes,
+// coefficient fields, and vectors probing the invariants every module must
+// hold regardless of input.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "fem/point_location.hpp"
+#include "la/coo.hpp"
+#include "la/ilu0.hpp"
+#include "mg/prolongation.hpp"
+#include "mpm/projection.hpp"
+#include "stokes/viscous_ops.hpp"
+
+namespace ptatin {
+namespace {
+
+// --- randomized operator properties over (seed, deformation amplitude) ------
+
+class OperatorProps
+    : public ::testing::TestWithParam<std::tuple<unsigned, double>> {
+protected:
+  void SetUp() override {
+    const unsigned seed = std::get<0>(GetParam());
+    const Real amp = std::get<1>(GetParam());
+    mesh_ = StructuredMesh::box(3, 3, 3, {0, 0, 0}, {1, 1, 1});
+    Rng rng(seed);
+    const Real f1 = rng.uniform(1, 4), f2 = rng.uniform(1, 4);
+    mesh_.deform([amp, f1, f2](const Vec3& x) {
+      return Vec3{x[0] + amp * std::sin(f1 * x[1]),
+                  x[1] + amp * std::cos(f2 * x[2]),
+                  x[2] + amp * x[0] * x[1]};
+    });
+    coeff_ = QuadCoefficients(mesh_.num_elements());
+    for (Index e = 0; e < mesh_.num_elements(); ++e)
+      for (int q = 0; q < kQuadPerEl; ++q)
+        coeff_.eta(e, q) = std::pow(10.0, rng.uniform(-3, 3));
+    seed_ = seed;
+  }
+  StructuredMesh mesh_;
+  QuadCoefficients coeff_;
+  unsigned seed_ = 0;
+};
+
+TEST_P(OperatorProps, TensorMatchesMf) {
+  MfViscousOperator mf(mesh_, coeff_, nullptr);
+  TensorViscousOperator tens(mesh_, coeff_, nullptr);
+  Rng rng(seed_ + 1000);
+  Vector x(mf.rows());
+  for (Index i = 0; i < x.size(); ++i) x[i] = rng.uniform(-1, 1);
+  Vector y1, y2;
+  mf.apply(x, y1);
+  tens.apply(x, y2);
+  const Real scale = y1.norm_inf() + 1e-300;
+  for (Index i = 0; i < y1.size(); ++i)
+    ASSERT_NEAR(y2[i], y1[i], 1e-10 * scale);
+}
+
+TEST_P(OperatorProps, SymmetricAndSemidefinite) {
+  TensorViscousOperator op(mesh_, coeff_, nullptr);
+  Rng rng(seed_ + 2000);
+  Vector x(op.rows()), y(op.rows());
+  for (Index i = 0; i < x.size(); ++i) {
+    x[i] = rng.uniform(-1, 1);
+    y[i] = rng.uniform(-1, 1);
+  }
+  Vector ax, ay;
+  op.apply(x, ax);
+  op.apply(y, ay);
+  EXPECT_NEAR(y.dot(ax), x.dot(ay), 1e-9 * std::abs(y.dot(ax)) + 1e-11);
+  EXPECT_GE(x.dot(ax), -1e-10);
+}
+
+TEST_P(OperatorProps, DiagonalIsPositive) {
+  TensorViscousOperator op(mesh_, coeff_, nullptr);
+  Vector d = compute_viscous_diagonal(mesh_, coeff_);
+  for (Index i = 0; i < d.size(); ++i) ASSERT_GT(d[i], 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OperatorProps,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u),
+                       ::testing::Values(0.0, 0.04, 0.08)));
+
+// --- prolongation properties over mesh sizes --------------------------------
+
+class ProlongationProps : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProlongationProps, AdjointIdentity) {
+  // <P xc, yf> == <xc, P^T yf> for random vectors — R = P^T holds exactly.
+  const Index m = GetParam();
+  StructuredMesh fine = StructuredMesh::box(m, m, m, {0, 0, 0}, {1, 1, 1});
+  StructuredMesh coarse = fine.coarsen();
+  CsrMatrix P = build_velocity_prolongation(fine, coarse, nullptr);
+  Rng rng(10 + m);
+  Vector xc(P.cols()), yf(P.rows());
+  for (Index i = 0; i < xc.size(); ++i) xc[i] = rng.uniform(-1, 1);
+  for (Index i = 0; i < yf.size(); ++i) yf[i] = rng.uniform(-1, 1);
+  Vector pxc, pty;
+  P.mult(xc, pxc);
+  P.mult_transpose(yf, pty);
+  EXPECT_NEAR(pxc.dot(yf), xc.dot(pty), 1e-10 * std::abs(pxc.dot(yf)));
+}
+
+TEST_P(ProlongationProps, RowsAreConvexCombinations) {
+  const Index m = GetParam();
+  StructuredMesh fine = StructuredMesh::box(m, m, m, {0, 0, 0}, {1, 1, 1});
+  StructuredMesh coarse = fine.coarsen();
+  CsrMatrix P = build_velocity_prolongation(fine, coarse, nullptr);
+  for (Index r = 0; r < P.rows(); ++r) {
+    Real sum = 0;
+    for (Index k = P.row_ptr()[r]; k < P.row_ptr()[r + 1]; ++k) {
+      ASSERT_GE(P.values()[k], 0.0);
+      ASSERT_LE(P.values()[k], 1.0);
+      sum += P.values()[k];
+    }
+    ASSERT_NEAR(sum, 1.0, 1e-14);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ProlongationProps, ::testing::Values(2, 4, 6));
+
+// --- projection properties over point densities ------------------------------
+
+class ProjectionProps : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProjectionProps, MaximumPrincipleHolds) {
+  // Eq. 12 is a convex combination: vertex values stay within the range of
+  // the point data for any point density.
+  const int ppd = GetParam();
+  StructuredMesh mesh = StructuredMesh::box(3, 3, 3, {0, 0, 0}, {1, 1, 1});
+  MaterialPoints pts;
+  layout_points(mesh, ppd, [](const Vec3&) { return 0; }, pts, 0.4,
+                /*seed=*/ppd);
+  Rng rng(100 + ppd);
+  std::vector<Real> vals(pts.size());
+  Real lo = 1e300, hi = -1e300;
+  for (Index i = 0; i < pts.size(); ++i) {
+    vals[i] = rng.uniform(-5, 7);
+    lo = std::min(lo, vals[i]);
+    hi = std::max(hi, vals[i]);
+  }
+  ProjectionResult pr = project_to_vertices(mesh, pts, vals);
+  EXPECT_EQ(pr.empty_vertices, 0);
+  for (Index v = 0; v < mesh.num_vertices(); ++v) {
+    ASSERT_GE(pr.vertex_values[v], lo - 1e-12);
+    ASSERT_LE(pr.vertex_values[v], hi + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, ProjectionProps,
+                         ::testing::Values(1, 2, 3, 4));
+
+// --- point location over deformation amplitudes ------------------------------
+
+class LocationProps : public ::testing::TestWithParam<double> {};
+
+TEST_P(LocationProps, RoundTripThroughMapping) {
+  const Real amp = GetParam();
+  StructuredMesh mesh = StructuredMesh::box(5, 5, 5, {0, 0, 0}, {1, 1, 1});
+  mesh.deform([amp](const Vec3& x) {
+    return Vec3{x[0] + amp * std::sin(2 * x[1]) * x[2],
+                x[1] + amp * std::cos(3 * x[0]), x[2] + amp * x[0] * x[1]};
+  });
+  Rng rng(int(amp * 1000) + 3);
+  for (int t = 0; t < 60; ++t) {
+    const Index e = rng.uniform_index(0, mesh.num_elements() - 1);
+    const Vec3 xi{rng.uniform(-0.9, 0.9), rng.uniform(-0.9, 0.9),
+                  rng.uniform(-0.9, 0.9)};
+    const Vec3 x = mesh.map_to_physical(e, xi);
+    const PointLocation loc = locate_point(mesh, x);
+    ASSERT_TRUE(loc.found) << "amp " << amp;
+    const Vec3 y = mesh.map_to_physical(loc.element, loc.xi);
+    for (int d = 0; d < 3; ++d) ASSERT_NEAR(y[d], x[d], 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Amplitudes, LocationProps,
+                         ::testing::Values(0.0, 0.02, 0.05, 0.08));
+
+// --- ILU(0) / CSR over random sparsity ---------------------------------------
+
+class IluProps : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(IluProps, PreconditionedResidualContracts) {
+  Rng rng(GetParam());
+  const Index n = 50;
+  CooMatrix coo(n, n);
+  for (Index i = 0; i < n; ++i) {
+    Real rowsum = 0;
+    for (Index j = 0; j < n; ++j) {
+      if (i == j || rng.uniform() > 0.1) continue;
+      const Real v = rng.uniform(-1, 1);
+      coo.add(i, j, v);
+      rowsum += std::abs(v);
+    }
+    coo.add(i, i, rowsum + 1.0);
+  }
+  CsrMatrix a = coo.to_csr();
+  Ilu0 ilu(a);
+  Vector b(n, 1.0), x, r;
+  ilu.solve(b, x);
+  a.mult(x, r);
+  r.aypx(-1.0, b);
+  EXPECT_LT(r.norm2(), 0.9 * b.norm2());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IluProps,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+} // namespace
+} // namespace ptatin

@@ -1,0 +1,191 @@
+// Unit tests for the rheology module (flow laws, yield limiter, softening).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "rheology/flow_law.hpp"
+
+namespace ptatin {
+namespace {
+
+TEST(ConstantLaw, ViscosityAndBoussinesqDensity) {
+  ConstantViscosityLaw law(5.0, 2.0, 0.1, 1.0);
+  RheologyState s;
+  s.temperature = 3.0;
+  EXPECT_DOUBLE_EQ(law.viscosity(s).eta, 5.0);
+  EXPECT_DOUBLE_EQ(law.viscosity(s).deta_dj2, 0.0);
+  // rho = rho0 (1 - alpha (T - T0)) = 2 (1 - 0.1*2) = 1.6.
+  EXPECT_DOUBLE_EQ(law.density(s), 1.6);
+}
+
+TEST(ArrheniusLaw, NewtonianLimit) {
+  // n = 1: no strain-rate dependence.
+  ArrheniusParams p;
+  p.eta0 = 3.0;
+  p.n = 1.0;
+  ArrheniusLaw law(p);
+  RheologyState s;
+  s.j2 = 0.5;
+  EXPECT_DOUBLE_EQ(law.viscosity(s).eta, 3.0);
+  EXPECT_DOUBLE_EQ(law.viscosity(s).deta_dj2, 0.0);
+  s.j2 = 100.0;
+  EXPECT_DOUBLE_EQ(law.viscosity(s).eta, 3.0);
+}
+
+TEST(ArrheniusLaw, PowerLawShearThinning) {
+  ArrheniusParams p;
+  p.eta0 = 1.0;
+  p.n = 3.0;
+  p.eps0 = 1.0;
+  ArrheniusLaw law(p);
+  RheologyState s;
+  s.j2 = 1.0; // eps_II = 1 => eta = eta0
+  const auto v1 = law.viscosity(s);
+  EXPECT_NEAR(v1.eta, 1.0, 1e-14);
+  EXPECT_LT(v1.deta_dj2, 0.0); // shear thinning: eta' < 0 (§III-A)
+
+  s.j2 = 4.0; // eps_II = 2 => eta = 2^((1-3)/3) = 2^(-2/3)
+  const auto v2 = law.viscosity(s);
+  EXPECT_NEAR(v2.eta, std::pow(2.0, -2.0 / 3.0), 1e-14);
+  EXPECT_LT(v2.eta, v1.eta);
+}
+
+TEST(ArrheniusLaw, DerivativeMatchesFiniteDifference) {
+  ArrheniusParams p;
+  p.eta0 = 2.0;
+  p.n = 4.0;
+  p.eps0 = 0.7;
+  ArrheniusLaw law(p);
+  RheologyState s;
+  s.j2 = 2.5;
+  const Real h = 1e-6;
+  RheologyState sp = s, sm = s;
+  sp.j2 += h;
+  sm.j2 -= h;
+  const Real fd =
+      (law.viscosity(sp).eta - law.viscosity(sm).eta) / (2 * h);
+  EXPECT_NEAR(law.viscosity(s).deta_dj2, fd, 1e-6 * std::abs(fd) + 1e-12);
+}
+
+TEST(ArrheniusLaw, TemperatureDependence) {
+  ArrheniusParams p;
+  p.eta0 = 1.0;
+  p.n = 1.0;
+  p.E = 100.0;
+  p.R = 1.0;
+  p.T_ref = 1.0;
+  p.eta_max = 1e30;
+  p.eta_min = 1e-30;
+  ArrheniusLaw law(p);
+  RheologyState hot, cold;
+  hot.temperature = 2.0;
+  cold.temperature = 0.5;
+  // Hotter is weaker.
+  EXPECT_LT(law.viscosity(hot).eta, 1.0);
+  EXPECT_GT(law.viscosity(cold).eta, 1.0);
+  RheologyState ref;
+  ref.temperature = 1.0;
+  EXPECT_NEAR(law.viscosity(ref).eta, 1.0, 1e-12);
+}
+
+TEST(ArrheniusLaw, ClampsDisableDerivative) {
+  ArrheniusParams p;
+  p.eta0 = 1.0;
+  p.n = 5.0;
+  p.eta_min = 0.5;
+  ArrheniusLaw law(p);
+  RheologyState s;
+  s.j2 = 1e12; // drives power-law eta below the floor
+  const auto v = law.viscosity(s);
+  EXPECT_DOUBLE_EQ(v.eta, 0.5);
+  EXPECT_DOUBLE_EQ(v.deta_dj2, 0.0);
+}
+
+TEST(ViscoPlastic, YieldCapsViscosity) {
+  auto visc = std::make_shared<ConstantViscosityLaw>(100.0, 1.0);
+  DruckerPragerParams dp;
+  dp.cohesion = 1.0;
+  dp.cohesion_softened = 1.0;
+  dp.friction_angle = 0.0; // tau_y = C
+  ViscoPlasticLaw law(visc, dp);
+
+  RheologyState slow;
+  slow.j2 = 1e-8; // eta_y = C/(2 eps) huge -> viscous branch
+  const auto v_slow = law.viscosity(slow);
+  EXPECT_DOUBLE_EQ(v_slow.eta, 100.0);
+  EXPECT_FALSE(v_slow.yielded);
+
+  RheologyState fast;
+  fast.j2 = 1.0; // eps_II = 1, eta_y = 0.5 < 100 -> yields
+  const auto v_fast = law.viscosity(fast);
+  EXPECT_TRUE(v_fast.yielded);
+  EXPECT_NEAR(v_fast.eta, 0.5, 1e-14);
+  EXPECT_LT(v_fast.deta_dj2, 0.0); // flattening direction (§III-A)
+}
+
+TEST(ViscoPlastic, PressureStrengthens) {
+  auto visc = std::make_shared<ConstantViscosityLaw>(1e6, 1.0);
+  DruckerPragerParams dp;
+  dp.cohesion = 1.0;
+  dp.cohesion_softened = 1.0;
+  dp.friction_angle = 0.5;
+  ViscoPlasticLaw law(visc, dp);
+  RheologyState lo, hi;
+  lo.j2 = hi.j2 = 1.0;
+  lo.pressure = 0.0;
+  hi.pressure = 10.0;
+  EXPECT_GT(law.viscosity(hi).eta, law.viscosity(lo).eta);
+  // Negative pressure (tension) must not weaken below the cohesive strength.
+  RheologyState neg = lo;
+  neg.pressure = -5.0;
+  EXPECT_DOUBLE_EQ(law.viscosity(neg).eta, law.viscosity(lo).eta);
+}
+
+TEST(ViscoPlastic, SofteningReducesYieldStress) {
+  auto visc = std::make_shared<ConstantViscosityLaw>(1e6, 1.0);
+  DruckerPragerParams dp;
+  dp.cohesion = 2.0;
+  dp.cohesion_softened = 1.0;
+  dp.softening_strain = 1.0;
+  dp.friction_angle = 0.0;
+  ViscoPlasticLaw law(visc, dp);
+  RheologyState fresh, damaged, saturated;
+  fresh.plastic_strain = 0.0;
+  damaged.plastic_strain = 0.5;
+  saturated.plastic_strain = 5.0;
+  EXPECT_DOUBLE_EQ(law.yield_stress(fresh), 2.0);
+  EXPECT_DOUBLE_EQ(law.yield_stress(damaged), 1.5);
+  EXPECT_DOUBLE_EQ(law.yield_stress(saturated), 1.0); // clamped at C_inf
+}
+
+TEST(ViscoPlastic, DerivativeMatchesFiniteDifferenceAcrossYield) {
+  auto visc = std::make_shared<ConstantViscosityLaw>(10.0, 1.0);
+  DruckerPragerParams dp;
+  dp.cohesion = 1.0;
+  dp.cohesion_softened = 1.0;
+  dp.friction_angle = 0.0;
+  ViscoPlasticLaw law(visc, dp);
+  RheologyState s;
+  s.j2 = 1.0; // well inside the yielded branch
+  const Real h = 1e-7;
+  RheologyState sp = s, sm = s;
+  sp.j2 += h;
+  sm.j2 -= h;
+  const Real fd = (law.viscosity(sp).eta - law.viscosity(sm).eta) / (2 * h);
+  EXPECT_NEAR(law.viscosity(s).deta_dj2, fd, 1e-5);
+}
+
+TEST(MaterialTable, LithologyLookup) {
+  MaterialTable table;
+  const int a = table.add(std::make_shared<ConstantViscosityLaw>(1.0, 1.0));
+  const int b = table.add(std::make_shared<ConstantViscosityLaw>(2.0, 1.2));
+  EXPECT_EQ(table.size(), 2);
+  RheologyState s;
+  EXPECT_DOUBLE_EQ(table.law(a).viscosity(s).eta, 1.0);
+  EXPECT_DOUBLE_EQ(table.law(b).viscosity(s).eta, 2.0);
+  EXPECT_DOUBLE_EQ(table.law(b).density(s), 1.2);
+}
+
+} // namespace
+} // namespace ptatin
