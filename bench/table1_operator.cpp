@@ -14,6 +14,7 @@
 #include "bench_common.hpp"
 #include "common/rng.hpp"
 #include "fem/bc.hpp"
+#include "obs/report.hpp"
 #include "ptatin/models_sinker.hpp"
 #include "stokes/viscous_ops.hpp"
 
@@ -62,6 +63,7 @@ int main(int argc, char** argv) {
 
   const double nel = double(mesh.num_elements());
   double asmb_time = 0.0;
+  obs::JsonValue rows = obs::JsonValue::array();
   for (auto& op : ops) {
     op->apply(x, y); // warm-up (and, for Asmb, ensures assembly done)
     Timer t;
@@ -79,7 +81,29 @@ int main(int argc, char** argv) {
     tab.cell(cm.flops_per_element * nel / sec * 1e-9, "%.2f");
     tab.cell(asmb_time > 0 ? asmb_time / sec : 1.0, "%.2fx");
     tab.endrow();
+
+    obs::JsonValue row = obs::JsonValue::object();
+    row["backend"] = obs::JsonValue(op->name());
+    row["flops_per_element"] = obs::JsonValue(cm.flops_per_element);
+    row["bytes_pessimal"] = obs::JsonValue(cm.bytes_pessimal);
+    row["bytes_perfect"] = obs::JsonValue(cm.bytes_perfect);
+    row["apply_seconds"] = obs::JsonValue(sec);
+    row["gflops_per_sec"] =
+        obs::JsonValue(cm.flops_per_element * nel / sec * 1e-9);
+    row["speedup_vs_asmb"] =
+        obs::JsonValue(asmb_time > 0 ? asmb_time / sec : 1.0);
+    rows.push_back(std::move(row));
   }
+
+  obs::JsonValue run = obs::JsonValue::object();
+  run["m"] = obs::JsonValue((long long)m);
+  run["reps"] = obs::JsonValue(reps);
+  run["contrast"] = obs::JsonValue(contrast);
+  run["rows"] = std::move(rows);
+  const std::string json_path =
+      opts.get_string("json", "BENCH_table1.json");
+  if (obs::append_bench_run(json_path, "table1_operator", std::move(run)))
+    std::printf("\nrun appended to %s\n", json_path.c_str());
 
   std::printf("\npaper reference (Edison, 8 nodes): Asmb 42 ms | MF 53 ms | "
               "Tensor 15 ms | Tensor C 2.9+ ms-class entries;\n"

@@ -14,6 +14,7 @@
 
 #include "bench_common.hpp"
 #include "common/perf.hpp"
+#include "obs/report.hpp"
 #include "ptatin/models_sinker.hpp"
 #include "saddle/stokes_solver.hpp"
 
@@ -42,6 +43,7 @@ int main(int argc, char** argv) {
                     "Solve(s)"});
   tab.print_header();
 
+  obs::JsonValue rows = obs::JsonValue::array();
   for (Index m : grids) {
     SinkerParams sp;
     sp.mx = sp.my = sp.mz = m;
@@ -86,11 +88,37 @@ int main(int argc, char** argv) {
       tab.endrow();
       if (!res.stats.converged)
         std::printf("    WARNING: not converged (reached max_it)\n");
+
+      obs::JsonValue row = obs::JsonValue::object();
+      row["m"] = obs::JsonValue((long long)m);
+      row["backend"] = obs::JsonValue(
+          backend == FineOperatorType::kAssembled
+              ? "Asmb"
+              : backend == FineOperatorType::kMatrixFree ? "MF" : "Tens");
+      row["levels"] = obs::JsonValue(levels);
+      row["iterations"] = obs::JsonValue(res.stats.iterations);
+      row["converged"] = obs::JsonValue(res.stats.converged);
+      row["coarse_setup_seconds"] =
+          obs::JsonValue(solver.coarse_setup_seconds());
+      row["coarse_apply_seconds"] =
+          obs::JsonValue(reg.event("MGCoarseSolve").seconds());
+      row["solve_seconds"] = obs::JsonValue(res.solve_seconds);
+      rows.push_back(std::move(row));
     }
   }
 
   std::printf("\npaper reference shape (Table II): iterations increase "
               "mildly with resolution; Tens end-to-end ~2.7x faster than "
               "Asmb and ~1.8x faster than MF.\n");
+
+  obs::JsonValue run = obs::JsonValue::object();
+  run["grids"] = obs::JsonValue(opts.get_string("grids", "8,12"));
+  run["contrast"] = obs::JsonValue(contrast);
+  run["rtol"] = obs::JsonValue(rtol);
+  run["rows"] = std::move(rows);
+  const std::string json_path =
+      opts.get_string("json", "BENCH_table2.json");
+  if (obs::append_bench_run(json_path, "table2_scaling", std::move(run)))
+    std::printf("run appended to %s\n", json_path.c_str());
   return 0;
 }

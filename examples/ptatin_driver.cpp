@@ -17,6 +17,8 @@
 
 #include "common/log.hpp"
 #include "common/options.hpp"
+#include "obs/perf.hpp"
+#include "obs/report.hpp"
 #include "ptatin/checkpoint.hpp"
 #include "ptatin/context.hpp"
 #include "ptatin/diagnostics.hpp"
@@ -94,10 +96,15 @@ int main(int argc, char** argv) {
         "  -vtk_every N                       VTK cadence (0 = off)\n"
         "  -checkpoint_every N                checkpoint cadence (0 = off)\n"
         "  -restart FILE                      load a checkpoint before running\n"
+        "  -telemetry DIR                     write DIR/trace.json (Chrome\n"
+        "                                     trace_event) + DIR/solver_report.json\n"
         "  -verbose                           per-iteration logging\n");
     return 0;
   }
   if (o.get_bool("verbose", false)) set_log_level(LogLevel::kDebug);
+
+  const std::string telemetry_dir = o.get_string("telemetry", "");
+  if (!telemetry_dir.empty()) obs::enable_telemetry();
 
   int vertical_axis = 2;
   ModelSetup setup = build_model(o, vertical_axis);
@@ -174,5 +181,21 @@ int main(int argc, char** argv) {
   }
   std::printf("== done: %.1f s total, %.1f s/step ==\n", total,
               total / steps);
+
+  if (!telemetry_dir.empty()) {
+    auto& report = obs::SolverReport::global();
+    report.set_meta("model", name);
+    report.set_meta("steps", std::to_string(steps));
+    report.set_meta("backend", o.get_string("backend", "tens"));
+    report.set_meta("driver", "ptatin_driver");
+    if (obs::write_telemetry(telemetry_dir)) {
+      std::printf("telemetry written: %s/{trace.json,solver_report.json}\n",
+                  telemetry_dir.c_str());
+    } else {
+      std::fprintf(stderr, "warning: failed to write telemetry to %s\n",
+                   telemetry_dir.c_str());
+    }
+    std::printf("%s", PerfRegistry::instance().summary().c_str());
+  }
   return 0;
 }

@@ -21,7 +21,9 @@ Options Options::from_args(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.size() < 2 || arg[0] != '-' || is_value_token(argv[i])) continue;
-    std::string key = arg.substr(1);
+    // Accept GNU-style "--key" as a synonym for the PETSc-style "-key".
+    std::string key = arg.substr(arg[1] == '-' ? 2 : 1);
+    if (key.empty()) continue;
     // A value follows unless the next token is another option or absent.
     if (i + 1 < argc && is_value_token(argv[i + 1])) {
       opts.set(key, argv[i + 1]);

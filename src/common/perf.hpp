@@ -1,74 +1,6 @@
-// FLOP / byte accounting for the performance model of §III-D (Table I).
-//
-// The paper's Table I compares analytic flop counts and data-motion estimates
-// of the assembled, matrix-free, tensor-product, and stored-coefficient
-// operator applications. Each operator back-end registers its per-application
-// flop and byte model here; benchmarks combine these with measured wall time
-// to report GF/s and arithmetic intensity exactly as the paper does.
+// Compatibility forward: the perf registry moved into the telemetry
+// subsystem (src/obs). PerfEvent / PerfRegistry / PerfScope keep their names
+// and namespace; include "obs/perf.hpp" directly in new code.
 #pragma once
 
-#include <map>
-#include <string>
-
-#include "common/timing.hpp"
-#include "common/types.hpp"
-
-namespace ptatin {
-
-/// Per-event performance record: accumulated time, flops, and modeled bytes.
-struct PerfEvent {
-  AccumTimer timer;
-  double flops = 0.0;
-  double bytes_perfect = 0.0;  ///< modeled traffic assuming perfect cache reuse
-  double bytes_pessimal = 0.0; ///< modeled traffic assuming no vector reuse
-
-  double gflops_per_sec() const {
-    double t = timer.total();
-    return t > 0 ? flops / t * 1e-9 : 0.0;
-  }
-  double seconds() const { return timer.total(); }
-  long calls() const { return timer.count(); }
-  void reset() {
-    timer.reset();
-    flops = bytes_perfect = bytes_pessimal = 0.0;
-  }
-};
-
-/// Global registry of named performance events (e.g. "MatMult", "PCApply",
-/// "MGSmooth", "StokesSolve"). Not thread-safe for concurrent event creation;
-/// events are created during setup, accumulated from the serial control path.
-class PerfRegistry {
-public:
-  static PerfRegistry& instance();
-
-  PerfEvent& event(const std::string& name) { return events_[name]; }
-  const std::map<std::string, PerfEvent>& events() const { return events_; }
-  void reset_all();
-
-  /// Formatted summary table (name, calls, seconds, GF/s).
-  std::string summary() const;
-
-private:
-  std::map<std::string, PerfEvent> events_;
-};
-
-/// RAII scope that times into a named global event and adds a flop count.
-class PerfScope {
-public:
-  PerfScope(const std::string& name, double flops = 0.0,
-            double bytes_perfect = 0.0, double bytes_pessimal = 0.0)
-      : ev_(PerfRegistry::instance().event(name)) {
-    ev_.flops += flops;
-    ev_.bytes_perfect += bytes_perfect;
-    ev_.bytes_pessimal += bytes_pessimal;
-    ev_.timer.start();
-  }
-  ~PerfScope() { ev_.timer.stop(); }
-  PerfScope(const PerfScope&) = delete;
-  PerfScope& operator=(const PerfScope&) = delete;
-
-private:
-  PerfEvent& ev_;
-};
-
-} // namespace ptatin
+#include "obs/perf.hpp"

@@ -3,11 +3,14 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/perf.hpp"
 
 namespace ptatin {
 
 SolveStats cg_solve(const LinearOperator& a, const Preconditioner& pc,
                     const Vector& b, Vector& x, const KrylovSettings& s) {
+  PerfScope span("KSPSolve(CG)");
   SolveStats stats;
   const Index n = b.size();
   if (x.size() != n) x.resize(n);
@@ -19,6 +22,7 @@ SolveStats cg_solve(const LinearOperator& a, const Preconditioner& pc,
   stats.initial_residual = rnorm;
   const Real target = std::max(s.atol, s.rtol * rnorm);
   if (s.record_history) stats.history.push_back(rnorm);
+  if (s.monitor) s.monitor(0, rnorm, &r);
 
   pc.apply(r, z);
   p.copy_from(z);
@@ -53,6 +57,8 @@ SolveStats cg_solve(const LinearOperator& a, const Preconditioner& pc,
   stats.converged = rnorm <= target;
   if (stats.reason.empty())
     stats.reason = stats.converged ? "rtol" : "max_it";
+  obs::MetricsRegistry::instance().counter("ksp.cg.solves").inc();
+  obs::MetricsRegistry::instance().counter("ksp.cg.iterations").inc(it);
   return stats;
 }
 

@@ -4,11 +4,14 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/perf.hpp"
 
 namespace ptatin {
 
 SolveStats gcr_solve(const LinearOperator& a, const Preconditioner& pc,
                      const Vector& b, Vector& x, const KrylovSettings& s) {
+  PerfScope span("KSPSolve(GCR)");
   SolveStats stats;
   const Index n = b.size();
   if (x.size() != n) x.resize(n);
@@ -66,6 +69,8 @@ SolveStats gcr_solve(const LinearOperator& a, const Preconditioner& pc,
   stats.converged = rnorm <= target;
   if (stats.reason.empty())
     stats.reason = stats.converged ? "rtol" : "max_it";
+  obs::MetricsRegistry::instance().counter("ksp.gcr.solves").inc();
+  obs::MetricsRegistry::instance().counter("ksp.gcr.iterations").inc(total_it);
   return stats;
 }
 

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/perf.hpp"
 
 namespace ptatin {
 
@@ -16,6 +18,7 @@ namespace {
 SolveStats gmres_impl(const LinearOperator& a, const Preconditioner& pc,
                       const Vector& b, Vector& x, const KrylovSettings& s,
                       bool flexible) {
+  PerfScope span(flexible ? "KSPSolve(FGMRES)" : "KSPSolve(GMRES)");
   SolveStats stats;
   const Index n = b.size();
   if (x.size() != n) x.resize(n);
@@ -33,6 +36,7 @@ SolveStats gmres_impl(const LinearOperator& a, const Preconditioner& pc,
   stats.initial_residual = rnorm;
   const Real target = std::max(s.atol, s.rtol * rnorm);
   if (s.record_history) stats.history.push_back(rnorm);
+  if (s.monitor) s.monitor(0, rnorm, &r);
 
   int total_it = 0;
   while (total_it < s.max_it && rnorm > target) {
@@ -117,6 +121,10 @@ SolveStats gmres_impl(const LinearOperator& a, const Preconditioner& pc,
   stats.final_residual = rnorm;
   stats.converged = rnorm <= target;
   stats.reason = stats.converged ? "rtol" : "max_it";
+  auto& metrics = obs::MetricsRegistry::instance();
+  metrics.counter(flexible ? "ksp.fgmres.solves" : "ksp.gmres.solves").inc();
+  metrics.counter(flexible ? "ksp.fgmres.iterations" : "ksp.gmres.iterations")
+      .inc(total_it);
   return stats;
 }
 

@@ -2,11 +2,15 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/perf.hpp"
+
 namespace ptatin {
 
 SolveStats richardson_solve(const LinearOperator& a, const Preconditioner& pc,
                             const Vector& b, Vector& x, const KrylovSettings& s,
                             Real damping) {
+  PerfScope span("KSPSolve(Richardson)");
   SolveStats stats;
   const Index n = b.size();
   if (x.size() != n) x.resize(n);
@@ -17,6 +21,7 @@ SolveStats richardson_solve(const LinearOperator& a, const Preconditioner& pc,
   stats.initial_residual = rnorm;
   const Real target = std::max(s.atol, s.rtol * rnorm);
   if (s.record_history) stats.history.push_back(rnorm);
+  if (s.monitor) s.monitor(0, rnorm, &r);
 
   int it = 0;
   while (it < s.max_it && rnorm > target) {
@@ -33,6 +38,8 @@ SolveStats richardson_solve(const LinearOperator& a, const Preconditioner& pc,
   stats.final_residual = rnorm;
   stats.converged = rnorm <= target;
   stats.reason = stats.converged ? "rtol" : "max_it";
+  obs::MetricsRegistry::instance().counter("ksp.richardson.solves").inc();
+  obs::MetricsRegistry::instance().counter("ksp.richardson.iterations").inc(it);
   return stats;
 }
 

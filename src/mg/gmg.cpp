@@ -1,9 +1,22 @@
 #include "mg/gmg.hpp"
 
+#include <cstdio>
+
 #include "common/perf.hpp"
 #include "common/timing.hpp"
+#include "obs/metrics.hpp"
 
 namespace ptatin {
+
+namespace {
+/// Perf-event name for a per-level stage, e.g. "MGSmooth(L2)". Level 0 is
+/// the coarsest; docs/OBSERVABILITY.md documents the numbering.
+std::string level_tag(const char* stage, int level) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%s(L%d)", stage, level);
+  return buf;
+}
+} // namespace
 
 namespace {
 
@@ -123,6 +136,7 @@ void GmgHierarchy::apply(const Vector& r, Vector& z) const {
 }
 
 void GmgHierarchy::vcycle(const Vector& b, Vector& x) const {
+  obs::MetricsRegistry::instance().counter("mg.vcycles").inc();
   cycle(static_cast<int>(levels_.size()) - 1, b, x);
 }
 
@@ -140,14 +154,20 @@ void GmgHierarchy::cycle(int level, const Vector& b, Vector& x) const {
   }
 
   // Pre-smooth.
-  lev.smoother.smooth(b, x, opts_.smooth_pre);
+  {
+    PerfScope perf(level_tag("MGSmooth", level));
+    lev.smoother.smooth(b, x, opts_.smooth_pre);
+  }
 
   // Residual and restriction (R = P^T). The prolongation between this level
   // and the next coarser one is stored on the COARSE level.
-  lev.op->residual(b, x, lev.r);
   const Level& coarse = levels_[level - 1];
   Vector rc;
-  coarse.prolongation.mult_transpose(lev.r, rc);
+  {
+    PerfScope perf(level_tag("MGTransfer", level));
+    lev.op->residual(b, x, lev.r);
+    coarse.prolongation.mult_transpose(lev.r, rc);
+  }
 
   // Coarse Dirichlet rows carry no residual equation.
   coarse.bc.zero_constrained(rc);
@@ -160,11 +180,17 @@ void GmgHierarchy::cycle(int level, const Vector& b, Vector& x) const {
   for (int g = 0; g < gamma; ++g) cycle(level - 1, rc, ec);
 
   // Prolongate and correct.
-  coarse.prolongation.mult(ec, lev.e);
-  x.axpy(1.0, lev.e);
+  {
+    PerfScope perf(level_tag("MGTransfer", level));
+    coarse.prolongation.mult(ec, lev.e);
+    x.axpy(1.0, lev.e);
+  }
 
   // Post-smooth.
-  lev.smoother.smooth(b, x, opts_.smooth_post);
+  {
+    PerfScope perf(level_tag("MGSmooth", level));
+    lev.smoother.smooth(b, x, opts_.smooth_post);
+  }
 }
 
 } // namespace ptatin

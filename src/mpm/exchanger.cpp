@@ -2,6 +2,8 @@
 
 #include "common/error.hpp"
 #include "fem/point_location.hpp"
+#include "obs/metrics.hpp"
+#include "obs/perf.hpp"
 
 namespace ptatin {
 
@@ -46,6 +48,7 @@ MigrationStats migrate_points(const StructuredMesh& mesh,
                               const Decomposition& decomp,
                               std::vector<RankPoints>& ranks) {
   PT_ASSERT(static_cast<Index>(ranks.size()) == decomp.num_ranks());
+  PerfScope span("MPMMigrate");
   MigrationStats stats;
 
   // Phase 1: every rank locates its points and builds its send list L_s.
@@ -106,6 +109,14 @@ MigrationStats migrate_points(const StructuredMesh& mesh,
     for (bool a : adopted_flag)
       if (!a) ++stats.deleted;
   }
+
+  auto& metrics = obs::MetricsRegistry::instance();
+  metrics.counter("mpm.migrate.sent").inc(stats.sent);
+  metrics.counter("mpm.migrate.received").inc(stats.received);
+  metrics.counter("mpm.migrate.deleted").inc(stats.deleted);
+  auto& queue_depth = metrics.histogram("mpm.migrate.queue_depth");
+  for (const auto& ls : send_lists)
+    queue_depth.record(double(ls.size()));
   return stats;
 }
 

@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/perf.hpp"
 
 namespace ptatin {
 
@@ -103,6 +105,7 @@ PopulationStats control_population_sweep(const StructuredMesh& mesh,
 PopulationStats control_population(const StructuredMesh& mesh,
                                    const PopulationOptions& opts,
                                    MaterialPoints& points) {
+  PerfScope span("MPMPopulationControl");
   PopulationStats total;
   // Each sweep can only fill elements adjacent to populated ones; iterate
   // until all deficient cells are filled or no further progress is possible.
@@ -114,6 +117,18 @@ PopulationStats control_population(const StructuredMesh& mesh,
     total.deficient_elements = st.deficient_elements;
     if (st.injected == 0) break;
   }
+
+  auto& metrics = obs::MetricsRegistry::instance();
+  metrics.counter("mpm.population.injected").inc(total.injected);
+  metrics.counter("mpm.population.removed").inc(total.removed);
+  metrics.gauge("mpm.points").set(double(points.size()));
+  // Points-per-cell distribution after control: the paper's target band is
+  // [min_per_element, max_per_element].
+  std::vector<Index> per_cell(mesh.num_elements(), 0);
+  for (Index i = 0; i < points.size(); ++i)
+    if (points.element(i) >= 0) ++per_cell[points.element(i)];
+  auto& hist = metrics.histogram("mpm.points_per_cell");
+  for (Index n : per_cell) hist.record(double(n));
   return total;
 }
 

@@ -4,6 +4,10 @@
 #include <cmath>
 
 #include "common/log.hpp"
+#include "common/timing.hpp"
+#include "obs/metrics.hpp"
+#include "obs/perf.hpp"
+#include "obs/report.hpp"
 
 namespace ptatin {
 
@@ -36,6 +40,8 @@ void NonlinearStokesSolver::residual(const QuadCoefficients& coeff,
 NonlinearResult NonlinearStokesSolver::solve(
     const CoefficientUpdater& update_coefficients, const Vector& f, Vector& u,
     Vector& p) const {
+  PerfScope span("NonlinearSolve");
+  Timer timer;
   NonlinearResult res;
   const Index nu = num_velocity_dofs(mesh_);
   const Index np = num_pressure_dofs(mesh_);
@@ -76,6 +82,7 @@ NonlinearResult NonlinearStokesSolver::solve(
     StokesSolverOptions lopts = opts_.linear;
     lopts.newton_operator = newton_step;
     if (opts_.eisenstat_walker) lopts.krylov.rtol = lin_rtol;
+    PerfScope step_span("NewtonStep");
     StokesSolver linear(mesh_, coeff, bc_, lopts);
 
     // Right-hand side: -F with homogeneous constrained rows.
@@ -133,6 +140,23 @@ NonlinearResult NonlinearStokesSolver::solve(
 
   res.iterations = it;
   res.converged = fnorm <= target;
+
+  auto& metrics = obs::MetricsRegistry::instance();
+  metrics.counter("nonlin.solves").inc();
+  metrics.counter("nonlin.iterations").inc(it);
+  if (auto& report = obs::SolverReport::global(); report.enabled()) {
+    obs::NewtonRecord rec;
+    rec.label = opts_.use_newton ? "newton" : "picard";
+    rec.converged = res.converged;
+    rec.iterations = res.iterations;
+    rec.total_krylov_iterations = res.total_krylov_iterations;
+    rec.seconds = timer.seconds();
+    rec.residual_history = res.residual_history;
+    rec.krylov_per_iteration = res.krylov_per_iteration;
+    rec.step_lengths = res.step_lengths;
+    report.add_newton(std::move(rec));
+  }
+
   res.u = std::move(u);
   res.p = std::move(p);
   // Keep caller copies in sync (u/p were moved out).

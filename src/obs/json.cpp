@@ -1,0 +1,332 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace ptatin::obs {
+
+bool JsonValue::as_bool() const {
+  PT_ASSERT_MSG(type_ == Type::kBool, "JSON value is not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  PT_ASSERT_MSG(type_ == Type::kNumber, "JSON value is not a number");
+  return num_;
+}
+
+const std::string& JsonValue::as_string() const {
+  PT_ASSERT_MSG(type_ == Type::kString, "JSON value is not a string");
+  return str_;
+}
+
+JsonValue& JsonValue::operator[](const std::string& key) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  PT_ASSERT_MSG(type_ == Type::kObject, "JSON value is not an object");
+  for (auto& [k, v] : object_)
+    if (k == key) return v;
+  object_.emplace_back(key, JsonValue());
+  return object_.back().second;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+void JsonValue::push_back(JsonValue v) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  PT_ASSERT_MSG(type_ == Type::kArray, "JSON value is not an array");
+  array_.push_back(std::move(v));
+}
+
+std::size_t JsonValue::size() const {
+  if (type_ == Type::kArray) return array_.size();
+  if (type_ == Type::kObject) return object_.size();
+  return 0;
+}
+
+const JsonValue& JsonValue::at(std::size_t i) const {
+  PT_ASSERT_MSG(type_ == Type::kArray, "JSON value is not an array");
+  PT_ASSERT(i < array_.size());
+  return array_[i];
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += char(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null"; // JSON has no inf/nan
+  // Integers up to 2^53 print without an exponent for readability.
+  if (v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+namespace {
+
+void dump_impl(const JsonValue& v, std::string& out, int indent, int depth) {
+  const auto newline = [&](int d) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(std::size_t(indent) * d, ' ');
+  };
+  switch (v.type()) {
+    case JsonValue::Type::kNull: out += "null"; break;
+    case JsonValue::Type::kBool: out += v.as_bool() ? "true" : "false"; break;
+    case JsonValue::Type::kNumber: out += json_number(v.as_number()); break;
+    case JsonValue::Type::kString:
+      out += '"';
+      out += json_escape(v.as_string());
+      out += '"';
+      break;
+    case JsonValue::Type::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i > 0) out += ',';
+        newline(depth + 1);
+        dump_impl(v.at(i), out, indent, depth + 1);
+      }
+      if (v.size() > 0) newline(depth);
+      out += ']';
+      break;
+    }
+    case JsonValue::Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, m] : v.members()) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        out += '"';
+        out += json_escape(k);
+        out += "\":";
+        if (indent > 0) out += ' ';
+        dump_impl(m, out, indent, depth + 1);
+      }
+      if (!v.members().empty()) newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+class Parser {
+public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    PT_ASSERT_MSG(pos_ == s_.size(), "JSON: trailing characters");
+    return v;
+  }
+
+private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    PT_ASSERT_MSG(pos_ < s_.size(), "JSON: unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    PT_ASSERT_MSG(pos_ < s_.size() && s_[pos_] == c,
+                  std::string("JSON: expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return JsonValue(parse_string());
+    if (c == 't') {
+      PT_ASSERT_MSG(consume_literal("true"), "JSON: bad literal");
+      return JsonValue(true);
+    }
+    if (c == 'f') {
+      PT_ASSERT_MSG(consume_literal("false"), "JSON: bad literal");
+      return JsonValue(false);
+    }
+    if (c == 'n') {
+      PT_ASSERT_MSG(consume_literal("null"), "JSON: bad literal");
+      return JsonValue();
+    }
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue obj = JsonValue::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj[key] = parse_value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue arr = JsonValue::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      PT_ASSERT_MSG(pos_ < s_.size(), "JSON: unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      PT_ASSERT_MSG(pos_ < s_.size(), "JSON: unterminated escape");
+      char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          PT_ASSERT_MSG(pos_ + 4 <= s_.size(), "JSON: bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= unsigned(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= unsigned(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= unsigned(h - 'A' + 10);
+            else PT_THROW("JSON: bad hex digit in \\u escape");
+          }
+          // Encode the code point as UTF-8 (BMP only; surrogate pairs are
+          // not produced by our writer).
+          if (code < 0x80) {
+            out += char(code);
+          } else if (code < 0x800) {
+            out += char(0xC0 | (code >> 6));
+            out += char(0x80 | (code & 0x3F));
+          } else {
+            out += char(0xE0 | (code >> 12));
+            out += char(0x80 | ((code >> 6) & 0x3F));
+            out += char(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: PT_THROW("JSON: unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    PT_ASSERT_MSG(pos_ > start, "JSON: expected a value");
+    char* end = nullptr;
+    const std::string tok = s_.substr(start, pos_ - start);
+    const double v = std::strtod(tok.c_str(), &end);
+    PT_ASSERT_MSG(end != nullptr && *end == '\0', "JSON: malformed number");
+    return JsonValue(v);
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_impl(*this, out, indent, 0);
+  return out;
+}
+
+JsonValue JsonValue::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+} // namespace ptatin::obs

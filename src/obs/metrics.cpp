@@ -1,0 +1,130 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ptatin::obs {
+
+void Histogram::record(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  values_.push_back(v);
+}
+
+long long Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<long long>(values_.size());
+}
+
+namespace {
+double nearest_rank(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = std::ceil(p / 100.0 * double(sorted.size()));
+  const std::size_t idx =
+      std::min(sorted.size() - 1,
+               static_cast<std::size_t>(std::max(rank - 1.0, 0.0)));
+  return sorted[idx];
+}
+} // namespace
+
+double Histogram::percentile(double p) const {
+  PT_ASSERT_MSG(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
+  std::vector<double> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sorted = values_;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  return nearest_rank(sorted, p);
+}
+
+Histogram::Summary Histogram::summarize() const {
+  std::vector<double> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sorted = values_;
+  }
+  Summary s;
+  s.count = static_cast<long long>(sorted.size());
+  if (sorted.empty()) return s;
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / double(sorted.size());
+  s.p50 = nearest_rank(sorted, 50.0);
+  s.p90 = nearest_rank(sorted, 90.0);
+  s.p99 = nearest_rank(sorted, 99.0);
+  return s;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  values_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry reg;
+  return reg;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::reset_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+JsonValue MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonValue out = JsonValue::object();
+  JsonValue counters = JsonValue::object();
+  for (const auto& [name, c] : counters_)
+    if (c->value() != 0) counters[name] = JsonValue(c->value());
+  JsonValue gauges = JsonValue::object();
+  for (const auto& [name, g] : gauges_)
+    if (g->value() != 0.0) gauges[name] = JsonValue(g->value());
+  JsonValue hists = JsonValue::object();
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Summary s = h->summarize();
+    if (s.count == 0) continue;
+    JsonValue j = JsonValue::object();
+    j["count"] = JsonValue(s.count);
+    j["min"] = JsonValue(s.min);
+    j["max"] = JsonValue(s.max);
+    j["mean"] = JsonValue(s.mean);
+    j["p50"] = JsonValue(s.p50);
+    j["p90"] = JsonValue(s.p90);
+    j["p99"] = JsonValue(s.p99);
+    hists[name] = std::move(j);
+  }
+  out["counters"] = std::move(counters);
+  out["gauges"] = std::move(gauges);
+  out["histograms"] = std::move(hists);
+  return out;
+}
+
+} // namespace ptatin::obs

@@ -1,0 +1,82 @@
+#include "obs/perf.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace ptatin {
+
+PerfRegistry& PerfRegistry::instance() {
+  static PerfRegistry reg;
+  return reg;
+}
+
+PerfRegistry::ThreadDeltas& PerfRegistry::local() {
+  thread_local ThreadDeltas* td = nullptr;
+  if (td == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads_.push_back(std::make_unique<ThreadDeltas>());
+    td = threads_.back().get();
+  }
+  return *td;
+}
+
+void PerfRegistry::add_sample(const std::string& name, double seconds,
+                              double flops, double bytes_perfect,
+                              double bytes_pessimal) {
+  Delta& d = local().pending[name];
+  d.seconds += seconds;
+  d.flops += flops;
+  d.bytes_perfect += bytes_perfect;
+  d.bytes_pessimal += bytes_pessimal;
+  ++d.calls;
+}
+
+void PerfRegistry::flush_locked() const {
+  for (auto& td : threads_) {
+    for (auto& [name, d] : td->pending) {
+      PerfEvent& ev = events_[name];
+      ev.total_seconds += d.seconds;
+      ev.call_count += d.calls;
+      ev.flops += d.flops;
+      ev.bytes_perfect += d.bytes_perfect;
+      ev.bytes_pessimal += d.bytes_pessimal;
+    }
+    td->pending.clear();
+  }
+}
+
+PerfEvent& PerfRegistry::event(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  flush_locked();
+  return events_[name];
+}
+
+const std::map<std::string, PerfEvent>& PerfRegistry::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  flush_locked();
+  return events_;
+}
+
+void PerfRegistry::reset_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& td : threads_) td->pending.clear();
+  for (auto& [name, ev] : events_) ev.reset();
+}
+
+std::string PerfRegistry::summary() const {
+  const auto& evs = events(); // flushes
+  std::ostringstream os;
+  os << std::left << std::setw(24) << "Event" << std::right << std::setw(10)
+     << "Calls" << std::setw(12) << "Time (s)" << std::setw(12) << "GF/s"
+     << "\n";
+  for (const auto& [name, ev] : evs) {
+    if (ev.calls() == 0) continue;
+    os << std::left << std::setw(24) << name << std::right << std::setw(10)
+       << ev.calls() << std::setw(12) << std::fixed << std::setprecision(4)
+       << ev.seconds() << std::setw(12) << std::setprecision(2)
+       << ev.gflops_per_sec() << "\n";
+  }
+  return os.str();
+}
+
+} // namespace ptatin

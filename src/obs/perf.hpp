@@ -1,0 +1,140 @@
+// FLOP / byte accounting for the performance model of §III-D (Table I),
+// rebuilt on the telemetry subsystem's per-thread buffers.
+//
+// The original PerfRegistry accumulated flops and start/stop intervals into
+// a shared PerfEvent, which races when PerfScope is used inside OpenMP
+// regions. Now every PerfScope times itself locally and, on close, appends a
+// delta to the calling thread's private map — no shared mutation on the hot
+// path. Aggregation (event(), events(), summary(), reset_all()) flushes the
+// per-thread deltas into the global table; call those from serial sections
+// only, after parallel regions have joined (the fork/join barrier provides
+// the happens-before edge, exactly as for the trace buffers).
+//
+// When tracing is enabled (obs::Tracer), every PerfScope additionally emits
+// a trace span carrying its flop/byte payload, so wall-clock traces and the
+// analytic cost models live in one system.
+//
+// The public names (PerfEvent, PerfRegistry, PerfScope) are unchanged;
+// common/perf.hpp forwards here so existing call sites keep compiling.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "obs/trace.hpp"
+
+namespace ptatin {
+
+/// Aggregated per-event performance record: total time, calls, flops, and
+/// modeled data motion.
+struct PerfEvent {
+  double total_seconds = 0.0;
+  long call_count = 0;
+  double flops = 0.0;
+  double bytes_perfect = 0.0;  ///< modeled traffic assuming perfect cache reuse
+  double bytes_pessimal = 0.0; ///< modeled traffic assuming no vector reuse
+
+  double gflops_per_sec() const {
+    return total_seconds > 0 ? flops / total_seconds * 1e-9 : 0.0;
+  }
+  double seconds() const { return total_seconds; }
+  long calls() const { return call_count; }
+  void reset() { *this = PerfEvent{}; }
+};
+
+/// Global registry of named performance events (e.g. "MatMult(Stokes)",
+/// "PCApply(GMG)", "MGSmooth(L2)"). Sample recording is safe from any
+/// thread; the aggregate accessors are serial-section-only (see file
+/// comment).
+class PerfRegistry {
+public:
+  static PerfRegistry& instance();
+
+  /// Thread-safe hot path: fold one completed scope into the calling
+  /// thread's delta buffer.
+  void add_sample(const std::string& name, double seconds, double flops,
+                  double bytes_perfect, double bytes_pessimal);
+
+  /// Aggregated event (flushes pending per-thread deltas first).
+  PerfEvent& event(const std::string& name);
+  const std::map<std::string, PerfEvent>& events() const;
+  void reset_all();
+
+  /// Formatted summary table (name, calls, seconds, GF/s).
+  std::string summary() const;
+
+private:
+  struct Delta {
+    double seconds = 0.0, flops = 0.0;
+    double bytes_perfect = 0.0, bytes_pessimal = 0.0;
+    long calls = 0;
+  };
+  struct ThreadDeltas {
+    std::unordered_map<std::string, Delta> pending;
+  };
+
+  ThreadDeltas& local();
+  void flush_locked() const;
+
+  mutable std::mutex mu_; ///< guards thread registration and events_
+  mutable std::map<std::string, PerfEvent> events_;
+  mutable std::deque<std::unique_ptr<ThreadDeltas>> threads_;
+};
+
+/// RAII scope that times into a named global event, adds a flop/byte model,
+/// and (when tracing is enabled) emits a trace span. Safe to use inside
+/// OpenMP-parallel regions.
+class PerfScope {
+public:
+  explicit PerfScope(std::string name, double flops = 0.0,
+                     double bytes_perfect = 0.0, double bytes_pessimal = 0.0)
+      : name_(std::move(name)), flops_(flops), bytes_perfect_(bytes_perfect),
+        bytes_pessimal_(bytes_pessimal) {
+    obs::Tracer& tracer = obs::Tracer::instance();
+    traced_ = tracer.enabled();
+    if (traced_) depth_ = tracer.open_span();
+    t0_us_ = tracer.now_us();
+  }
+
+  ~PerfScope() {
+    obs::Tracer& tracer = obs::Tracer::instance();
+    const double t1_us = tracer.now_us();
+    PerfRegistry::instance().add_sample(name_, (t1_us - t0_us_) * 1e-6, flops_,
+                                        bytes_perfect_, bytes_pessimal_);
+    if (traced_) {
+      tracer.close_span();
+      obs::TraceEvent ev;
+      ev.name = std::move(name_);
+      ev.ts_us = t0_us_;
+      ev.dur_us = t1_us - t0_us_;
+      ev.tid = tracer.thread_id();
+      ev.depth = depth_;
+      ev.flops = flops_;
+      ev.bytes_perfect = bytes_perfect_;
+      ev.bytes_pessimal = bytes_pessimal_;
+      tracer.record(std::move(ev));
+    }
+  }
+
+  PerfScope(const PerfScope&) = delete;
+  PerfScope& operator=(const PerfScope&) = delete;
+
+private:
+  std::string name_;
+  double flops_, bytes_perfect_, bytes_pessimal_;
+  double t0_us_ = 0.0;
+  int depth_ = 0;
+  bool traced_ = false;
+};
+
+namespace obs {
+/// Span is the telemetry-native name for the same RAII scope.
+using Span = ::ptatin::PerfScope;
+} // namespace obs
+
+} // namespace ptatin

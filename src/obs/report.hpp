@@ -1,0 +1,113 @@
+// SolverReport: machine-readable capture of per-solve convergence data.
+//
+// Every future perf PR must prove its win against a recorded baseline; this
+// is the record. The global report (obs::SolverReport::global()) is filled
+// by the solver layers when capture is enabled: the Stokes solver appends
+// one KrylovRecord per outer solve (full residual history, history[0] = the
+// true initial residual), the nonlinear solver appends one NewtonRecord per
+// nonlinear solve, and serialization folds in the metrics registry, the perf
+// events, and a per-MG-level timing table derived from the "MGSmooth(Lk)" /
+// "MGTransfer(Lk)" perf events.
+//
+// Serialized reports are versioned ("ptatin.solver_report/1") and round-trip
+// through SolverReport::parse. The same JSON writer also maintains the
+// BENCH_*.json trajectory files ("ptatin.bench/1": one object per benchmark
+// with an appended "runs" array) via append_bench_run().
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "obs/json.hpp"
+
+namespace ptatin::obs {
+
+inline constexpr const char* kSolverReportSchema = "ptatin.solver_report/1";
+inline constexpr const char* kBenchSchema = "ptatin.bench/1";
+
+/// One Krylov solve: label identifies the call site ("stokes_outer",
+/// "scr_outer", ...), method the algorithm ("gcr", "fgmres", "cg", ...).
+struct KrylovRecord {
+  std::string label;
+  std::string method;
+  bool converged = false;
+  int iterations = 0;
+  double initial_residual = 0.0;
+  double final_residual = 0.0;
+  double seconds = 0.0;
+  std::string reason;
+  std::vector<double> history; ///< residual norm per iteration, [0] = initial
+};
+
+/// One nonlinear (Picard/Newton) solve.
+struct NewtonRecord {
+  std::string label;
+  bool converged = false;
+  int iterations = 0;
+  long total_krylov_iterations = 0;
+  double seconds = 0.0;
+  std::vector<double> residual_history; ///< ||F||, [0] = initial
+  std::vector<int> krylov_per_iteration;
+  std::vector<double> step_lengths;
+};
+
+class SolverReport {
+public:
+  SolverReport() = default;
+
+  /// The process-wide report the solver layers append to when enabled.
+  static SolverReport& global();
+
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void set_meta(const std::string& key, const std::string& value) {
+    meta_[key] = value;
+  }
+  void add_krylov(KrylovRecord r) { krylov_.push_back(std::move(r)); }
+  void add_newton(NewtonRecord r) { newton_.push_back(std::move(r)); }
+  void clear();
+
+  const std::map<std::string, std::string>& meta() const { return meta_; }
+  const std::vector<KrylovRecord>& krylov_solves() const { return krylov_; }
+  const std::vector<NewtonRecord>& newton_solves() const { return newton_; }
+
+  /// Full report including metrics / perf / MG-level sections (those are
+  /// snapshots of the global registries at serialization time).
+  JsonValue to_json() const;
+  std::string to_json_string(int indent = 1) const;
+  bool write(const std::string& path) const;
+
+  /// Rebuild meta + solve records from a serialized report. Registry
+  /// snapshot sections are not re-imported. Throws ptatin::Error on schema
+  /// mismatch or malformed input.
+  static SolverReport parse(const std::string& json_text);
+
+private:
+  bool enabled_ = false;
+  std::map<std::string, std::string> meta_;
+  std::vector<KrylovRecord> krylov_;
+  std::vector<NewtonRecord> newton_;
+};
+
+// --- telemetry facade ---------------------------------------------------------
+
+/// Master switch: turns on trace-span collection and solver-report capture.
+void enable_telemetry(bool on = true);
+bool telemetry_enabled();
+
+/// Write <dir>/trace.json (Chrome trace_event) and <dir>/solver_report.json,
+/// creating <dir> if needed. Returns false if either file failed to write.
+bool write_telemetry(const std::string& dir);
+
+// --- benchmark trajectories ---------------------------------------------------
+
+/// Append one run to a BENCH_*.json trajectory file. Creates the file with
+/// {"schema", "name", "runs": [run]} when absent or unreadable; otherwise
+/// parses it and appends to "runs". Returns false on I/O failure.
+bool append_bench_run(const std::string& path, const std::string& name,
+                      JsonValue run);
+
+} // namespace ptatin::obs

@@ -1,6 +1,7 @@
 #include "ptatin/context.hpp"
 
 #include "common/timing.hpp"
+#include "obs/perf.hpp"
 #include "stokes/fields.hpp"
 
 namespace ptatin {
@@ -58,28 +59,36 @@ CoefficientUpdater PtatinContext::coefficient_updater() {
 }
 
 StepReport PtatinContext::step(Real dt) {
+  PerfScope step_span("TimeStep");
   StepReport report;
   Timer timer;
 
   // 1. Nonlinear Stokes solve (coefficients re-evaluated from points every
   //    nonlinear iteration). Refresh rho at quadrature points first: the
   //    body force is built from the projected density.
-  update_coefficients_from_points(setup_.mesh, setup_.materials, points_, u_,
-                                  p_, setup_.use_energy ? &T_ : nullptr,
-                                  false, opts_.pipeline, coeff_);
-  const Vector f = assemble_body_force(setup_.mesh, coeff_, setup_.gravity);
+  {
+    PerfScope span("Stage(StokesSolve)");
+    update_coefficients_from_points(setup_.mesh, setup_.materials, points_, u_,
+                                    p_, setup_.use_energy ? &T_ : nullptr,
+                                    false, opts_.pipeline, coeff_);
+    const Vector f = assemble_body_force(setup_.mesh, coeff_, setup_.gravity);
 
-  setup_.bc.set_values(u_);
-  report.nonlinear = nonlinear_->solve(coefficient_updater(), f, u_, p_);
+    setup_.bc.set_values(u_);
+    report.nonlinear = nonlinear_->solve(coefficient_updater(), f, u_, p_);
+  }
 
   // 2. Plastic strain accumulation on yielded points.
-  report.yielded_points = accumulate_plastic_strain(
-      setup_.mesh, setup_.materials, u_, p_,
-      setup_.use_energy ? &T_ : nullptr, dt, points_);
+  {
+    PerfScope span("Stage(PlasticStrain)");
+    report.yielded_points = accumulate_plastic_strain(
+        setup_.mesh, setup_.materials, u_, p_,
+        setup_.use_energy ? &T_ : nullptr, dt, points_);
+  }
 
   // 3. Energy equation (with optional shear heating from the converged
   //    flow: source = 2 eta D:D / (rho c), element-averaged).
   if (setup_.use_energy) {
+    PerfScope span("Stage(Energy)");
     if (setup_.shear_heating) {
       std::vector<StrainRateSample> sr;
       evaluate_strain_rates(setup_.mesh, u_, sr);
@@ -97,20 +106,24 @@ StepReport PtatinContext::step(Real dt) {
   }
 
   // 4. Material point advection + population control.
-  report.advection = advect_points_rk2(setup_.mesh, u_, dt, points_);
-  // Drop points that left the domain (outflow deletion, §II-D).
-  for (Index i = 0; i < points_.size();) {
-    if (points_.element(i) < 0) {
-      points_.remove(i);
-    } else {
-      ++i;
+  {
+    PerfScope span("Stage(Advection)");
+    report.advection = advect_points_rk2(setup_.mesh, u_, dt, points_);
+    // Drop points that left the domain (outflow deletion, §II-D).
+    for (Index i = 0; i < points_.size();) {
+      if (points_.element(i) < 0) {
+        points_.remove(i);
+      } else {
+        ++i;
+      }
     }
+    report.population =
+        control_population(setup_.mesh, opts_.population, points_);
   }
-  report.population =
-      control_population(setup_.mesh, opts_.population, points_);
 
   // 5. ALE mesh update; all point locations change with the mesh.
   if (opts_.update_mesh) {
+    PerfScope span("Stage(ALE)");
     report.ale = update_mesh_free_surface(setup_.mesh, u_, dt, opts_.ale);
     locate_all(setup_.mesh, points_);
     for (Index i = 0; i < points_.size();) {

@@ -1,13 +1,18 @@
 #include "saddle/scr.hpp"
 
+#include "common/timing.hpp"
 #include "ksp/gcr.hpp"
 #include "ksp/gmres.hpp"
+#include "obs/perf.hpp"
+#include "obs/report.hpp"
 
 namespace ptatin {
 
 ScrStats scr_solve(const StokesOperator& op, const Preconditioner& velocity_pc,
                    const PressureMassSchur& schur, const Vector& rhs, Vector& x,
                    const ScrOptions& opts) {
+  PerfScope span("ScrSolve");
+  Timer timer;
   ScrStats stats;
   const Index nu = op.num_velocity();
   const Index np = op.num_pressure();
@@ -59,6 +64,20 @@ ScrStats scr_solve(const StokesOperator& op, const Preconditioner& velocity_pc,
   inner_solve(fu2, du);
 
   op.combine(du, dp, x);
+
+  if (auto& report = obs::SolverReport::global(); report.enabled()) {
+    obs::KrylovRecord rec;
+    rec.label = "scr_outer";
+    rec.method = "fgmres";
+    rec.converged = stats.outer.converged;
+    rec.iterations = stats.outer.iterations;
+    rec.initial_residual = stats.outer.initial_residual;
+    rec.final_residual = stats.outer.final_residual;
+    rec.seconds = timer.seconds();
+    rec.reason = stats.outer.reason;
+    rec.history = stats.outer.history;
+    report.add_krylov(std::move(rec));
+  }
   return stats;
 }
 

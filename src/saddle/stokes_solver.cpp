@@ -5,6 +5,8 @@
 #include "ksp/cg.hpp"
 #include "ksp/gcr.hpp"
 #include "ksp/gmres.hpp"
+#include "obs/perf.hpp"
+#include "obs/report.hpp"
 
 namespace ptatin {
 
@@ -147,13 +149,30 @@ StokesSolveResult StokesSolver::solve_stacked(const Vector& rhs,
   };
 
   Timer t;
-  if (opts_.outer == OuterKrylov::kGcr) {
-    res.stats = gcr_solve(*op_, *pc_, rhs, x, s);
-  } else {
-    res.stats = fgmres_solve(*op_, *pc_, rhs, x, s);
+  {
+    PerfScope span("StokesSolve");
+    if (opts_.outer == OuterKrylov::kGcr) {
+      res.stats = gcr_solve(*op_, *pc_, rhs, x, s);
+    } else {
+      res.stats = fgmres_solve(*op_, *pc_, rhs, x, s);
+    }
   }
   res.solve_seconds = t.seconds();
   res.setup_seconds = setup_seconds_;
+
+  if (auto& report = obs::SolverReport::global(); report.enabled()) {
+    obs::KrylovRecord rec;
+    rec.label = "stokes_outer";
+    rec.method = opts_.outer == OuterKrylov::kGcr ? "gcr" : "fgmres";
+    rec.converged = res.stats.converged;
+    rec.iterations = res.stats.iterations;
+    rec.initial_residual = res.stats.initial_residual;
+    rec.final_residual = res.stats.final_residual;
+    rec.seconds = res.solve_seconds;
+    rec.reason = res.stats.reason;
+    rec.history = res.stats.history;
+    report.add_krylov(std::move(rec));
+  }
 
   op_->extract_u(x, res.u);
   op_->extract_p(x, res.p);
