@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <string>
 
+#include "common/faultinject.hpp"
 #include "common/log.hpp"
 #include "common/options.hpp"
 #include "obs/perf.hpp"
@@ -22,6 +23,7 @@
 #include "ptatin/checkpoint.hpp"
 #include "ptatin/context.hpp"
 #include "ptatin/diagnostics.hpp"
+#include "ptatin/stepper.hpp"
 #include "ptatin/models_rifting.hpp"
 #include "ptatin/models_sinker.hpp"
 #include "ptatin/models_subduction.hpp"
@@ -98,6 +100,15 @@ int main(int argc, char** argv) {
         "  -restart FILE                      load a checkpoint before running\n"
         "  -telemetry DIR                     write DIR/trace.json (Chrome\n"
         "                                     trace_event) + DIR/solver_report.json\n"
+        "  -safeguard true|false              rollback/retry failed steps\n"
+        "                                     (default true, docs/ROBUSTNESS.md)\n"
+        "  -max_retries N                     dt-cut retries per step (default 3)\n"
+        "  -dt_cut_factor X                   dt multiplier per retry (default 0.5)\n"
+        "  -dt_grow X                         dt cap growth per clean step\n"
+        "  -dtol X                            Krylov divergence tolerance\n"
+        "  -picard_fallback true|false        Newton failure => Picard restart\n"
+        "  -faults SPEC                       arm fault injection, SPEC =\n"
+        "                                     site:nth[:kind[:count]],...\n"
         "  -verbose                           per-iteration logging\n");
     return 0;
   }
@@ -105,6 +116,14 @@ int main(int argc, char** argv) {
 
   const std::string telemetry_dir = o.get_string("telemetry", "");
   if (!telemetry_dir.empty()) obs::enable_telemetry();
+
+  const std::string faults = o.get_string("faults", "");
+  if (!faults.empty() &&
+      !fault::FaultInjector::instance().arm_from_spec(faults)) {
+    std::fprintf(stderr, "error: malformed -faults spec '%s'\n",
+                 faults.c_str());
+    return 2;
+  }
 
   int vertical_axis = 2;
   ModelSetup setup = build_model(o, vertical_axis);
@@ -127,6 +146,8 @@ int main(int argc, char** argv) {
   po.nonlinear.linear.amg.coarse_size = o.get_index("amg_coarse_size", 400);
   po.nonlinear.linear.krylov.rtol = o.get_real("krylov_rtol", 1e-5);
   po.nonlinear.linear.krylov.max_it = o.get_int("krylov_maxit", 500);
+  po.nonlinear.linear.krylov.dtol = o.get_real("dtol", 1e5);
+  po.nonlinear.fallback_to_picard = o.get_bool("picard_fallback", true);
 
   PtatinContext ctx(std::move(setup), po);
 
@@ -147,11 +168,37 @@ int main(int argc, char** argv) {
               name.c_str(), (long long)ctx.mesh().num_elements(),
               (long long)ctx.points().size(), steps);
 
+  const bool safeguard = o.get_bool("safeguard", true);
+  SafeguardOptions sg;
+  sg.max_retries = o.get_int("max_retries", 3);
+  sg.dt_cut_factor = o.get_real("dt_cut_factor", 0.5);
+  sg.dt_grow_factor = o.get_real("dt_grow", 1.5);
+  SafeguardedStepper stepper(ctx, sg);
+
+  bool failed = false;
   double total = 0;
   for (int s = 1; s <= steps; ++s) {
     Real dt = ctx.suggest_dt(cfl);
     if (s == 1 || dt <= 0) dt = o.get_real("dt", 0.002);
-    StepReport rep = ctx.step(dt);
+    StepReport rep;
+    if (safeguard) {
+      SafeguardedStepResult sres = stepper.advance(dt);
+      rep = std::move(sres.report);
+      dt = sres.dt_used;
+      if (sres.retries > 0 && sres.ok)
+        std::printf("          recovered after %d retr%s (dt -> %.3e)\n",
+                    sres.retries, sres.retries == 1 ? "y" : "ies", dt);
+      if (!sres.ok) {
+        std::fprintf(stderr,
+                     "error: step %d failed beyond recovery (%s)\n", s,
+                     sres.failures.empty() ? "unknown"
+                                           : sres.failures.back().c_str());
+        failed = true;
+        break;
+      }
+    } else {
+      rep = ctx.step(dt);
+    }
     total += rep.seconds;
 
     const FlowStats fs =
@@ -179,8 +226,9 @@ int main(int argc, char** argv) {
                   tag);
     }
   }
-  std::printf("== done: %.1f s total, %.1f s/step ==\n", total,
-              total / steps);
+  if (!failed)
+    std::printf("== done: %.1f s total, %.1f s/step ==\n", total,
+                total / steps);
 
   if (!telemetry_dir.empty()) {
     auto& report = obs::SolverReport::global();
@@ -197,5 +245,5 @@ int main(int argc, char** argv) {
     }
     std::printf("%s", PerfRegistry::instance().summary().c_str());
   }
-  return 0;
+  return failed ? 1 : 0;
 }

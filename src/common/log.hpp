@@ -26,6 +26,18 @@ void log_info(Args&&... args) {
   }
 }
 
+/// Warnings share the info level but carry a prefix so safeguard events
+/// (injected faults, fallbacks, dt cuts) stand out in step logs.
+template <class... Args>
+void log_warn(Args&&... args) {
+  if (log_level() >= LogLevel::kInfo) {
+    std::ostringstream os;
+    os << "warning: ";
+    (os << ... << args);
+    detail::log_write(os.str());
+  }
+}
+
 template <class... Args>
 void log_debug(Args&&... args) {
   if (log_level() >= LogLevel::kDebug) {

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/faultinject.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perf.hpp"
 
@@ -18,45 +19,50 @@ SolveStats cg_solve(const LinearOperator& a, const Preconditioner& pc,
   Vector r(n), z(n), p(n), ap(n);
   a.residual(b, x, r);
 
-  Real rnorm = r.norm2();
+  Real rnorm = fault::corrupt("ksp.rnorm", r.norm2());
   stats.initial_residual = rnorm;
-  const Real target = std::max(s.atol, s.rtol * rnorm);
+  const ConvergenceTest conv(s, rnorm);
   if (s.record_history) stats.history.push_back(rnorm);
   if (s.monitor) s.monitor(0, rnorm, &r);
 
-  pc.apply(r, z);
-  p.copy_from(z);
-  Real rz = r.dot(z);
-
   int it = 0;
-  while (it < s.max_it && rnorm > target) {
-    a.apply(p, ap);
-    const Real pap = p.dot(ap);
-    if (pap <= 0.0) {
-      stats.reason = "indefinite operator (pAp <= 0)";
-      break;
-    }
-    const Real alpha = rz / pap;
-    x.axpy(alpha, p);
-    r.axpy(-alpha, ap);
-    rnorm = r.norm2();
-    ++it;
-    if (s.record_history) stats.history.push_back(rnorm);
-    if (s.monitor) s.monitor(it, rnorm, &r);
-    if (rnorm <= target) break;
-
+  ConvergedReason reason = conv.test(rnorm, it);
+  if (reason == ConvergedReason::kIterating) {
     pc.apply(r, z);
-    const Real rz_new = r.dot(z);
-    const Real beta = rz_new / rz;
-    rz = rz_new;
-    p.aypx(beta, z); // p = z + beta p
+    p.copy_from(z);
+    Real rz = r.dot(z);
+
+    while (reason == ConvergedReason::kIterating) {
+      a.apply(p, ap);
+      Real pap = p.dot(ap);
+      if (fault::fires("ksp.breakdown")) pap = 0.0;
+      if (!(pap > 0.0) || !std::isfinite(pap)) {
+        reason = ConvergedReason::kDivergedBreakdown;
+        stats.detail = "indefinite operator (pAp <= 0)";
+        break;
+      }
+      const Real alpha = rz / pap;
+      x.axpy(alpha, p);
+      r.axpy(-alpha, ap);
+      rnorm = fault::corrupt("ksp.rnorm", r.norm2());
+      ++it;
+      if (s.record_history) stats.history.push_back(rnorm);
+      if (s.monitor) s.monitor(it, rnorm, &r);
+      reason = conv.test(rnorm, it);
+      if (reason != ConvergedReason::kIterating) break;
+
+      pc.apply(r, z);
+      const Real rz_new = r.dot(z);
+      const Real beta = rz_new / rz;
+      rz = rz_new;
+      p.aypx(beta, z); // p = z + beta p
+    }
   }
 
   stats.iterations = it;
   stats.final_residual = rnorm;
-  stats.converged = rnorm <= target;
-  if (stats.reason.empty())
-    stats.reason = stats.converged ? "rtol" : "max_it";
+  stats.reason = reason;
+  stats.converged = is_converged(reason);
   obs::MetricsRegistry::instance().counter("ksp.cg.solves").inc();
   obs::MetricsRegistry::instance().counter("ksp.cg.iterations").inc(it);
   return stats;

@@ -3,8 +3,11 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/faultinject.hpp"
+#include "common/log.hpp"
 #include "common/parallel.hpp"
 #include "ksp/eig_estimate.hpp"
+#include "obs/metrics.hpp"
 
 namespace ptatin {
 
@@ -21,7 +24,19 @@ void ChebyshevSmoother::setup(const LinearOperator& a, Vector diag,
   });
 
   lambda_max_ = estimate_lambda_max_jacobi(a, inv_diag_, opt.eig_est_iterations);
-  PT_ASSERT_MSG(lambda_max_ > 0.0, "Chebyshev: nonpositive eigenvalue estimate");
+  // A NaN/Inf or nonpositive estimate means the operator (or its diagonal)
+  // is already corrupted. Degrade to a conservative default interval rather
+  // than aborting: the smoother merely smooths badly, and the outer Krylov
+  // guards (dtol/NaN) catch a genuinely broken operator.
+  eig_fallback_ = !(std::isfinite(lambda_max_) && lambda_max_ > 0.0);
+  if (eig_fallback_) {
+    log_warn("Chebyshev: invalid eigenvalue estimate (", lambda_max_,
+             "); falling back to lambda_max = 1");
+    obs::MetricsRegistry::instance()
+        .counter("safeguard.cheb_eig_fallback")
+        .inc();
+    lambda_max_ = 1.0;
+  }
   emin_ = opt.emin_fraction * lambda_max_;
   emax_ = opt.emax_fraction * lambda_max_;
 }
@@ -68,6 +83,63 @@ void ChebyshevSmoother::smooth(const Vector& b, Vector& x,
     x.axpy(1.0, p);
     rho = rho_new;
   }
+}
+
+SolveStats ChebyshevSmoother::solve(const Vector& b, Vector& x,
+                                    const KrylovSettings& s) const {
+  PT_ASSERT(a_ != nullptr);
+  SolveStats stats;
+  const Index n = b.size();
+  if (x.size() != n) x.resize(n, 0.0);
+
+  const Real theta = Real(0.5) * (emax_ + emin_);
+  const Real delta = Real(0.5) * (emax_ - emin_);
+  const Real sigma = theta / delta;
+
+  Vector r(n), z(n), p(n);
+  const Real* idg = inv_diag_.data();
+
+  a_->residual(b, x, r);
+  Real rnorm = fault::corrupt("ksp.rnorm", r.norm2());
+  stats.initial_residual = rnorm;
+  const ConvergenceTest conv(s, rnorm);
+  if (s.record_history) stats.history.push_back(rnorm);
+  if (s.monitor) s.monitor(0, rnorm, &r);
+
+  int it = 0;
+  Real rho = Real(1) / sigma;
+  ConvergedReason reason = conv.test(rnorm, it);
+  while (reason == ConvergedReason::kIterating) {
+    {
+      const Real* rp = r.data();
+      Real* zp = z.data();
+      parallel_for(n, [&](Index i) { zp[i] = rp[i] * idg[i]; });
+    }
+    if (it == 0) {
+      p.copy_from(z);
+      p.scale(Real(1) / theta);
+    } else {
+      const Real rho_new = Real(1) / (Real(2) * sigma - rho);
+      p.scale(rho_new * rho);
+      p.axpy(Real(2) * rho_new / delta, z);
+      rho = rho_new;
+    }
+    x.axpy(1.0, p);
+    a_->residual(b, x, r);
+    rnorm = fault::corrupt("ksp.rnorm", r.norm2());
+    ++it;
+    if (s.record_history) stats.history.push_back(rnorm);
+    if (s.monitor) s.monitor(it, rnorm, &r);
+    reason = conv.test(rnorm, it);
+  }
+
+  stats.iterations = it;
+  stats.final_residual = rnorm;
+  stats.reason = reason;
+  stats.converged = is_converged(reason);
+  obs::MetricsRegistry::instance().counter("ksp.chebyshev.solves").inc();
+  obs::MetricsRegistry::instance().counter("ksp.chebyshev.iterations").inc(it);
+  return stats;
 }
 
 } // namespace ptatin

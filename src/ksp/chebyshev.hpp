@@ -35,6 +35,16 @@ public:
   /// In-place smoothing of A x = b starting from x (zero or nonzero).
   void smooth(const Vector& b, Vector& x, int iterations) const;
 
+  /// Run the same semi-iteration as a stand-alone solver with per-iteration
+  /// residual monitoring and the shared convergence/divergence guards (NaN,
+  /// dtol). The MG smoothing path stays on `smooth`, which adds no norm
+  /// reductions to the hot loop.
+  SolveStats solve(const Vector& b, Vector& x, const KrylovSettings& s) const;
+
+  /// True when setup had to fall back to a default spectral interval
+  /// because the eigenvalue estimate was NaN/Inf or nonpositive.
+  bool eig_estimate_fallback() const { return eig_fallback_; }
+
   Real lambda_max() const { return lambda_max_; }
   Real interval_min() const { return emin_; }
   Real interval_max() const { return emax_; }
@@ -43,6 +53,7 @@ private:
   const LinearOperator* a_ = nullptr;
   Vector inv_diag_;
   Real lambda_max_ = 0.0, emin_ = 0.0, emax_ = 0.0;
+  bool eig_fallback_ = false;
 };
 
 } // namespace ptatin

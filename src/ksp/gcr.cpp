@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/faultinject.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perf.hpp"
 
@@ -23,15 +24,16 @@ SolveStats gcr_solve(const LinearOperator& a, const Preconditioner& pc,
 
   Vector r(n), z(n), az(n);
   a.residual(b, x, r);
-  Real rnorm = r.norm2();
+  Real rnorm = fault::corrupt("ksp.rnorm", r.norm2());
   stats.initial_residual = rnorm;
-  const Real target = std::max(s.atol, s.rtol * rnorm);
+  const ConvergenceTest conv(s, rnorm);
   if (s.record_history) stats.history.push_back(rnorm);
   if (s.monitor) s.monitor(0, rnorm, &r);
 
   int total_it = 0;
-  while (total_it < s.max_it && rnorm > target) {
-    for (int k = 0; k < m && total_it < s.max_it && rnorm > target; ++k) {
+  ConvergedReason reason = conv.test(rnorm, total_it);
+  while (reason == ConvergedReason::kIterating) {
+    for (int k = 0; k < m && reason == ConvergedReason::kIterating; ++k) {
       pc.apply(r, z);
       a.apply(z, az);
 
@@ -41,10 +43,12 @@ SolveStats gcr_solve(const LinearOperator& a, const Preconditioner& pc,
         z.axpy(-beta, S[i]);
         az.axpy(-beta, AS[i]);
       }
-      const Real aznorm = az.norm2();
-      if (!(aznorm > 0.0)) {
-        stats.reason = "breakdown: A-image of search direction vanished";
-        total_it = s.max_it; // terminate outer loop
+      Real aznorm = az.norm2();
+      if (fault::fires("ksp.breakdown")) aznorm = 0.0;
+      if (!(aznorm > 0.0) || !std::isfinite(aznorm)) {
+        reason = std::isfinite(aznorm) ? ConvergedReason::kDivergedBreakdown
+                                       : ConvergedReason::kDivergedNanOrInf;
+        stats.detail = "A-image of search direction vanished";
         break;
       }
       if (S[k].size() != n) S[k].resize(n);
@@ -57,18 +61,18 @@ SolveStats gcr_solve(const LinearOperator& a, const Preconditioner& pc,
       const Real alpha = r.dot(AS[k]);
       x.axpy(alpha, S[k]);
       r.axpy(-alpha, AS[k]);
-      rnorm = r.norm2();
+      rnorm = fault::corrupt("ksp.rnorm", r.norm2());
       ++total_it;
       if (s.record_history) stats.history.push_back(rnorm);
       if (s.monitor) s.monitor(total_it, rnorm, &r);
+      reason = conv.test(rnorm, total_it);
     }
   }
 
   stats.iterations = total_it;
   stats.final_residual = rnorm;
-  stats.converged = rnorm <= target;
-  if (stats.reason.empty())
-    stats.reason = stats.converged ? "rtol" : "max_it";
+  stats.reason = reason;
+  stats.converged = is_converged(reason);
   obs::MetricsRegistry::instance().counter("ksp.gcr.solves").inc();
   obs::MetricsRegistry::instance().counter("ksp.gcr.iterations").inc(total_it);
   return stats;

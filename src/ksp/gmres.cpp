@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/faultinject.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perf.hpp"
 
@@ -32,22 +33,25 @@ SolveStats gmres_impl(const LinearOperator& a, const Preconditioner& pc,
 
   Vector r(n), w(n), ztmp(n);
   a.residual(b, x, r);
-  Real rnorm = r.norm2();
+  Real rnorm = fault::corrupt("ksp.rnorm", r.norm2());
   stats.initial_residual = rnorm;
-  const Real target = std::max(s.atol, s.rtol * rnorm);
+  const ConvergenceTest conv(s, rnorm);
   if (s.record_history) stats.history.push_back(rnorm);
   if (s.monitor) s.monitor(0, rnorm, &r);
 
   int total_it = 0;
-  while (total_it < s.max_it && rnorm > target) {
+  ConvergedReason reason = conv.test(rnorm, total_it);
+  while (reason == ConvergedReason::kIterating) {
     // --- start (restart) cycle ---
     V[0].copy_from(r);
     V[0].scale(Real(1) / rnorm);
     std::fill(g.begin(), g.end(), 0.0);
     g[0] = rnorm;
 
+    // j counts the completed Arnoldi columns of this cycle; a column that
+    // breaks down is abandoned and the update below uses the j good ones.
     int j = 0;
-    for (; j < m && total_it < s.max_it; ++j, ++total_it) {
+    while (j < m && reason == ConvergedReason::kIterating) {
       // w = A M^{-1} v_j
       if (flexible) {
         pc.apply(V[j], Z[j]);
@@ -74,9 +78,16 @@ SolveStats gmres_impl(const LinearOperator& a, const Preconditioner& pc,
         H[j][i + 1] = -sn[i] * H[j][i] + cs[i] * H[j][i + 1];
         H[j][i] = t;
       }
-      // New rotation to annihilate H[j][j+1].
-      const Real denom = std::hypot(H[j][j], H[j][j + 1]);
-      PT_ASSERT_MSG(denom > 0.0, "GMRES breakdown: zero Hessenberg column");
+      // New rotation to annihilate H[j][j+1]. A vanishing column is a hard
+      // breakdown: exit with the columns accumulated so far instead of
+      // producing a singular triangular solve.
+      Real denom = std::hypot(H[j][j], H[j][j + 1]);
+      if (fault::fires("ksp.breakdown")) denom = 0.0;
+      if (!(denom > 0.0) || !std::isfinite(denom)) {
+        reason = ConvergedReason::kDivergedBreakdown;
+        stats.detail = "zero Hessenberg column";
+        break;
+      }
       cs[j] = H[j][j] / denom;
       sn[j] = H[j][j + 1] / denom;
       H[j][j] = denom;
@@ -84,14 +95,12 @@ SolveStats gmres_impl(const LinearOperator& a, const Preconditioner& pc,
       g[j + 1] = -sn[j] * g[j];
       g[j] = cs[j] * g[j];
 
-      rnorm = std::abs(g[j + 1]);
+      rnorm = fault::corrupt("ksp.rnorm", std::abs(g[j + 1]));
+      ++j;
+      ++total_it;
       if (s.record_history) stats.history.push_back(rnorm);
-      if (s.monitor) s.monitor(total_it + 1, rnorm, nullptr);
-      if (rnorm <= target) {
-        ++j;
-        ++total_it;
-        break;
-      }
+      if (s.monitor) s.monitor(total_it, rnorm, nullptr);
+      reason = conv.test(rnorm, total_it);
     }
 
     // Solve the j x j triangular system H y = g.
@@ -104,7 +113,7 @@ SolveStats gmres_impl(const LinearOperator& a, const Preconditioner& pc,
     // Update solution.
     if (flexible) {
       for (int i = 0; i < j; ++i) x.axpy(y[i], Z[i]);
-    } else {
+    } else if (j > 0) {
       // x += M^{-1} (V y)
       w.resize(n);
       w.set_all(0.0);
@@ -115,12 +124,16 @@ SolveStats gmres_impl(const LinearOperator& a, const Preconditioner& pc,
 
     a.residual(b, x, r);
     rnorm = r.norm2();
+    // Re-test against the explicit residual: the Arnoldi recurrence can
+    // disagree near convergence, and a max_it exit may actually have met
+    // the target. Fatal reasons (NaN, dtol, breakdown) stand.
+    if (!is_fatal(reason)) reason = conv.test(rnorm, total_it);
   }
 
   stats.iterations = total_it;
   stats.final_residual = rnorm;
-  stats.converged = rnorm <= target;
-  stats.reason = stats.converged ? "rtol" : "max_it";
+  stats.reason = reason;
+  stats.converged = is_converged(reason);
   auto& metrics = obs::MetricsRegistry::instance();
   metrics.counter(flexible ? "ksp.fgmres.solves" : "ksp.gmres.solves").inc();
   metrics.counter(flexible ? "ksp.fgmres.iterations" : "ksp.gmres.iterations")

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/faultinject.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perf.hpp"
 
@@ -17,27 +18,29 @@ SolveStats richardson_solve(const LinearOperator& a, const Preconditioner& pc,
 
   Vector r(n), z(n);
   a.residual(b, x, r);
-  Real rnorm = r.norm2();
+  Real rnorm = fault::corrupt("ksp.rnorm", r.norm2());
   stats.initial_residual = rnorm;
-  const Real target = std::max(s.atol, s.rtol * rnorm);
+  const ConvergenceTest conv(s, rnorm);
   if (s.record_history) stats.history.push_back(rnorm);
   if (s.monitor) s.monitor(0, rnorm, &r);
 
   int it = 0;
-  while (it < s.max_it && rnorm > target) {
+  ConvergedReason reason = conv.test(rnorm, it);
+  while (reason == ConvergedReason::kIterating) {
     pc.apply(r, z);
     x.axpy(damping, z);
     a.residual(b, x, r);
-    rnorm = r.norm2();
+    rnorm = fault::corrupt("ksp.rnorm", r.norm2());
     ++it;
     if (s.record_history) stats.history.push_back(rnorm);
     if (s.monitor) s.monitor(it, rnorm, &r);
+    reason = conv.test(rnorm, it);
   }
 
   stats.iterations = it;
   stats.final_residual = rnorm;
-  stats.converged = rnorm <= target;
-  stats.reason = stats.converged ? "rtol" : "max_it";
+  stats.reason = reason;
+  stats.converged = is_converged(reason);
   obs::MetricsRegistry::instance().counter("ksp.richardson.solves").inc();
   obs::MetricsRegistry::instance().counter("ksp.richardson.iterations").inc(it);
   return stats;

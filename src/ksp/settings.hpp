@@ -1,6 +1,13 @@
 // Shared Krylov solver settings, statistics, and monitoring hooks.
+//
+// Every Krylov method and smoother reports a typed ConvergedReason (the
+// PETSc KSPConvergedReason analogue) instead of throwing or spinning: NaN or
+// Inf in the residual, divergence past dtol * ||r_0||, and algorithmic
+// breakdowns all terminate the iteration with a machine-checkable reason the
+// nonlinear and timestep safeguard tiers act on (docs/ROBUSTNESS.md).
 #pragma once
 
+#include <cmath>
 #include <functional>
 #include <string>
 #include <vector>
@@ -10,9 +17,49 @@
 
 namespace ptatin {
 
+/// Why a Krylov iteration stopped. Converged reasons are successes;
+/// diverged reasons feed the safeguard escalation chain.
+enum class ConvergedReason {
+  kIterating = 0,      ///< not stopped (internal sentinel)
+  kConvergedRtol,      ///< ||r|| <= rtol * ||r_0||
+  kConvergedAtol,      ///< ||r|| <= atol
+  kDivergedDtol,       ///< ||r|| > dtol * ||r_0|| (residual blow-up)
+  kDivergedNanOrInf,   ///< NaN or Inf entered the iteration
+  kDivergedBreakdown,  ///< algorithmic breakdown (zero pivot / indefinite)
+  kDivergedMaxIt,      ///< iteration cap reached without convergence
+};
+
+constexpr const char* to_string(ConvergedReason r) {
+  switch (r) {
+    case ConvergedReason::kIterating: return "iterating";
+    case ConvergedReason::kConvergedRtol: return "converged_rtol";
+    case ConvergedReason::kConvergedAtol: return "converged_atol";
+    case ConvergedReason::kDivergedDtol: return "diverged_dtol";
+    case ConvergedReason::kDivergedNanOrInf: return "diverged_nanorinf";
+    case ConvergedReason::kDivergedBreakdown: return "diverged_breakdown";
+    case ConvergedReason::kDivergedMaxIt: return "diverged_max_it";
+  }
+  return "unknown";
+}
+
+constexpr bool is_converged(ConvergedReason r) {
+  return r == ConvergedReason::kConvergedRtol ||
+         r == ConvergedReason::kConvergedAtol;
+}
+
+/// Divergence that signals a *broken* solve (garbage or poisoned iterate),
+/// as opposed to kDivergedMaxIt which inexact outer methods tolerate.
+constexpr bool is_fatal(ConvergedReason r) {
+  return r == ConvergedReason::kDivergedDtol ||
+         r == ConvergedReason::kDivergedNanOrInf ||
+         r == ConvergedReason::kDivergedBreakdown;
+}
+
 struct KrylovSettings {
   Real rtol = 1e-5;  ///< relative (unpreconditioned) residual tolerance
   Real atol = 1e-50; ///< absolute residual tolerance
+  Real dtol = 1e5;   ///< divergence ratio: ||r|| > dtol * ||r_0|| aborts
+                     ///< (<= 0 disables the guard)
   int max_it = 10000;
   int restart = 30;          ///< GMRES/FGMRES/GCR restart length
   bool record_history = true;
@@ -24,11 +71,51 @@ struct KrylovSettings {
 
 struct SolveStats {
   bool converged = false;
+  ConvergedReason reason = ConvergedReason::kIterating;
+  std::string detail; ///< optional human-readable annotation (breakdown cause)
   int iterations = 0;
   Real initial_residual = 0.0;
   Real final_residual = 0.0;
   std::vector<Real> history; ///< residual norm per iteration (if recorded)
-  std::string reason;
+
+  const char* reason_str() const { return to_string(reason); }
+  /// "reason (detail)" — the string recorded in telemetry.
+  std::string reason_message() const {
+    std::string s = reason_str();
+    if (!detail.empty()) s += " (" + detail + ")";
+    return s;
+  }
+};
+
+/// The stateless convergence/divergence test every Krylov loop shares.
+/// Evaluate after each residual-norm update; iterate while it returns
+/// kIterating. NaN/Inf is checked first so a poisoned norm can never
+/// satisfy (or keep failing) a comparison-based exit.
+class ConvergenceTest {
+public:
+  ConvergenceTest(const KrylovSettings& s, Real rnorm0)
+      : atol_(s.atol),
+        target_(std::max(s.atol, s.rtol * rnorm0)),
+        divergence_(s.dtol > 0 && std::isfinite(rnorm0) ? s.dtol * rnorm0
+                                                        : Real(0)),
+        max_it_(s.max_it) {}
+
+  Real target() const { return target_; }
+
+  ConvergedReason test(Real rnorm, int it) const {
+    if (!std::isfinite(rnorm)) return ConvergedReason::kDivergedNanOrInf;
+    if (rnorm <= target_)
+      return rnorm <= atol_ ? ConvergedReason::kConvergedAtol
+                            : ConvergedReason::kConvergedRtol;
+    if (divergence_ > 0 && rnorm > divergence_)
+      return ConvergedReason::kDivergedDtol;
+    if (it >= max_it_) return ConvergedReason::kDivergedMaxIt;
+    return ConvergedReason::kIterating;
+  }
+
+private:
+  Real atol_, target_, divergence_;
+  int max_it_;
 };
 
 } // namespace ptatin

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/faultinject.hpp"
 #include "common/log.hpp"
 #include "common/timing.hpp"
 #include "obs/metrics.hpp"
@@ -60,94 +61,163 @@ NonlinearResult NonlinearStokesSolver::solve(
     return std::sqrt(nrm_u * nrm_u + nrm_p * nrm_p);
   };
 
-  Real fnorm = residual_norm(u, p, coeff);
+  Real fnorm = fault::corrupt("nonlin.rnorm", residual_norm(u, p, coeff));
   const Real f0 = fnorm;
   res.residual_history.push_back(fnorm);
   const Real target = std::max(opts_.rtol * f0, opts_.atol);
   Real lin_rtol = opts_.eisenstat_walker ? opts_.ew_rtol0
                                          : opts_.linear.krylov.rtol;
-  Real fnorm_prev = fnorm;
   Real lin_rtol_prev = lin_rtol;
+  int total_it = 0;
 
-  int it = 0;
-  for (; it < opts_.max_it && fnorm > target; ++it) {
-    const bool newton_step =
-        opts_.use_newton && it >= opts_.picard_iterations;
+  // One pass of the Picard/Newton iteration with a fresh iteration budget.
+  // Returns kNone on convergence or an exhausted budget; any other value is
+  // a detected failure the escalation policy below acts on.
+  auto attempt = [&](bool with_newton, bool with_ew) -> NonlinearFailure {
+    int stagnant = 0;
+    for (int it = 0; it < opts_.max_it && fnorm > target; ++it) {
+      const bool newton_step =
+          with_newton && total_it >= opts_.picard_iterations;
 
-    // Refresh coefficients at the current state (with Newton terms when the
-    // Krylov operator should carry them).
-    update_coefficients(u, p, newton_step, coeff);
+      // Refresh coefficients at the current state (with Newton terms when
+      // the Krylov operator should carry them).
+      update_coefficients(u, p, newton_step, coeff);
 
-    // Linear solver + preconditioner setup on the fresh Picard coefficients.
-    StokesSolverOptions lopts = opts_.linear;
-    lopts.newton_operator = newton_step;
-    if (opts_.eisenstat_walker) lopts.krylov.rtol = lin_rtol;
-    PerfScope step_span("NewtonStep");
-    StokesSolver linear(mesh_, coeff, bc_, lopts);
+      // Linear solver + preconditioner setup on the fresh Picard
+      // coefficients.
+      StokesSolverOptions lopts = opts_.linear;
+      lopts.newton_operator = newton_step;
+      if (with_ew) lopts.krylov.rtol = lin_rtol;
+      PerfScope step_span("NewtonStep");
+      StokesSolver linear(mesh_, coeff, bc_, lopts);
 
-    // Right-hand side: -F with homogeneous constrained rows.
-    residual(coeff, f, u, p, fu, fp);
-    fu.scale(-1.0);
-    fp.scale(-1.0);
-    Vector rhs;
-    linear.op().combine(fu, fp, rhs);
+      // Right-hand side: -F with homogeneous constrained rows.
+      residual(coeff, f, u, p, fu, fp);
+      fu.scale(-1.0);
+      fp.scale(-1.0);
+      Vector rhs;
+      linear.op().combine(fu, fp, rhs);
 
-    StokesSolveResult lin = linear.solve_stacked(rhs);
-    res.total_krylov_iterations += lin.stats.iterations;
-    res.krylov_per_iteration.push_back(lin.stats.iterations);
+      StokesSolveResult lin = linear.solve_stacked(rhs);
+      res.total_krylov_iterations += lin.stats.iterations;
+      res.krylov_per_iteration.push_back(lin.stats.iterations);
 
-    // Backtracking line search on ||F||.
-    Real lambda = 1.0;
-    Real fnorm_new = fnorm;
-    Vector u_trial(nu), p_trial(np);
-    QuadCoefficients coeff_trial(mesh_.num_elements());
-    bool accepted = false;
-    for (int ls = 0; ls <= opts_.line_search_max; ++ls) {
-      u_trial.copy_from(u);
-      u_trial.axpy(lambda, lin.u);
-      p_trial.copy_from(p);
-      p_trial.axpy(lambda, lin.p);
-      fnorm_new = residual_norm(u_trial, p_trial, coeff_trial);
-      if (fnorm_new <= (1.0 - opts_.line_search_alpha * lambda) * fnorm) {
-        accepted = true;
-        break;
+      // A fatally diverged inner solve (NaN, dtol blow-up, breakdown)
+      // produced a garbage direction: stop before it poisons the state.
+      // kDivergedMaxIt is fine — inexact Newton tolerates truncated solves.
+      if (is_fatal(lin.stats.reason) || fault::fires("nonlin.linsolve")) {
+        res.failure_detail =
+            std::string("linear solve: ") + lin.stats.reason_message();
+        return NonlinearFailure::kLinearFailure;
       }
-      lambda *= 0.5;
-    }
-    // Accept the last trial even without sufficient decrease (the next
-    // iteration's Picard refresh often recovers).
-    u.copy_from(u_trial);
-    p.copy_from(p_trial);
-    res.step_lengths.push_back(lambda);
 
-    fnorm_prev = fnorm;
-    fnorm = fnorm_new;
-    res.residual_history.push_back(fnorm);
-    log_debug("nonlinear it ", it + 1, ": |F| = ", fnorm,
-              " lambda = ", lambda, accepted ? "" : " (forced)");
+      // Backtracking line search on ||F||.
+      Real lambda = 1.0;
+      Real fnorm_new = fnorm;
+      Vector u_trial(nu), p_trial(np);
+      QuadCoefficients coeff_trial(mesh_.num_elements());
+      bool accepted = false;
+      for (int ls = 0; ls <= opts_.line_search_max; ++ls) {
+        u_trial.copy_from(u);
+        u_trial.axpy(lambda, lin.u);
+        p_trial.copy_from(p);
+        p_trial.axpy(lambda, lin.p);
+        fnorm_new = residual_norm(u_trial, p_trial, coeff_trial);
+        if (fnorm_new <= (1.0 - opts_.line_search_alpha * lambda) * fnorm) {
+          accepted = true;
+          break;
+        }
+        lambda *= 0.5;
+      }
+      // Accept the last trial even without sufficient decrease (the next
+      // iteration's Picard refresh often recovers).
+      u.copy_from(u_trial);
+      p.copy_from(p_trial);
+      res.step_lengths.push_back(lambda);
 
-    // Eisenstat-Walker choice 2 forcing for the next solve.
-    if (opts_.eisenstat_walker && fnorm_prev > 0) {
-      Real eta = opts_.ew_gamma *
-                 std::pow(fnorm / fnorm_prev, opts_.ew_alpha);
-      const Real safeguard =
-          opts_.ew_gamma * std::pow(lin_rtol_prev, opts_.ew_alpha);
-      if (safeguard > 0.1) eta = std::max(eta, safeguard);
-      lin_rtol_prev = lin_rtol;
-      lin_rtol = std::clamp(eta, opts_.ew_rtol_min, opts_.ew_rtol_max);
+      const Real fnorm_prev = fnorm;
+      fnorm = fault::corrupt("nonlin.rnorm", fnorm_new);
+      res.residual_history.push_back(fnorm);
+      ++total_it;
+      log_debug("nonlinear it ", total_it, ": |F| = ", fnorm,
+                " lambda = ", lambda, accepted ? "" : " (forced)");
+
+      if (!std::isfinite(fnorm)) {
+        res.failure_detail = "nonlinear residual is NaN/Inf";
+        return NonlinearFailure::kNanResidual;
+      }
+      if (opts_.divtol > 0 && fnorm > opts_.divtol * f0) {
+        res.failure_detail = "||F|| exceeded divtol * ||F_0||";
+        return NonlinearFailure::kDiverged;
+      }
+      stagnant = (!accepted && fnorm >= fnorm_prev) ? stagnant + 1 : 0;
+      if (opts_.stagnation_window > 0 &&
+          stagnant >= opts_.stagnation_window) {
+        res.failure_detail = "line search made no progress";
+        return NonlinearFailure::kStagnation;
+      }
+
+      // Eisenstat-Walker choice 2 forcing for the next solve.
+      if (with_ew && fnorm_prev > 0) {
+        Real eta = opts_.ew_gamma *
+                   std::pow(fnorm / fnorm_prev, opts_.ew_alpha);
+        const Real safeguard =
+            opts_.ew_gamma * std::pow(lin_rtol_prev, opts_.ew_alpha);
+        if (safeguard > 0.1) eta = std::max(eta, safeguard);
+        lin_rtol_prev = lin_rtol;
+        lin_rtol = std::clamp(eta, opts_.ew_rtol_min, opts_.ew_rtol_max);
+      }
     }
+    return NonlinearFailure::kNone;
+  };
+
+  NonlinearFailure failure = NonlinearFailure::kNone;
+  if (std::isfinite(fnorm)) {
+    failure = attempt(opts_.use_newton, opts_.eisenstat_walker);
+  } else {
+    res.failure_detail = "initial nonlinear residual is NaN/Inf";
+    failure = NonlinearFailure::kNanResidual;
   }
 
-  res.iterations = it;
-  res.converged = fnorm <= target;
+  // Escalation policy: a failed Newton path restarts as Picard with tight,
+  // fixed linear forcing — the robust (if slow) linearization. NaN is not
+  // retried here: the state itself is poisoned, and recovery belongs to the
+  // timestep tier (rollback + smaller dt).
+  if (failure != NonlinearFailure::kNone &&
+      failure != NonlinearFailure::kNanResidual && opts_.fallback_to_picard &&
+      opts_.use_newton) {
+    log_warn("nonlinear solve: ", to_string(failure), " (",
+             res.failure_detail, ") — restarting with Picard");
+    obs::MetricsRegistry::instance()
+        .counter("safeguard.newton_fallbacks")
+        .inc();
+    res.picard_fallbacks = 1;
+    res.failure_detail.clear();
+    failure = attempt(/*with_newton=*/false, /*with_ew=*/false);
+  }
+
+  res.iterations = total_it;
+  res.converged = std::isfinite(fnorm) && fnorm <= target;
+  res.failure = res.converged ? NonlinearFailure::kNone : failure;
+  if (res.failure != NonlinearFailure::kNone)
+    obs::MetricsRegistry::instance()
+        .counter("safeguard.nonlin_failures")
+        .inc();
 
   auto& metrics = obs::MetricsRegistry::instance();
   metrics.counter("nonlin.solves").inc();
-  metrics.counter("nonlin.iterations").inc(it);
+  metrics.counter("nonlin.iterations").inc(total_it);
   if (auto& report = obs::SolverReport::global(); report.enabled()) {
     obs::NewtonRecord rec;
     rec.label = opts_.use_newton ? "newton" : "picard";
     rec.converged = res.converged;
+    rec.failure = res.failure == NonlinearFailure::kNone
+                      ? ""
+                      : res.failure_detail.empty()
+                            ? std::string(to_string(res.failure))
+                            : std::string(to_string(res.failure)) + " (" +
+                                  res.failure_detail + ")";
+    rec.fallbacks = res.picard_fallbacks;
     rec.iterations = res.iterations;
     rec.total_krylov_iterations = res.total_krylov_iterations;
     rec.seconds = timer.seconds();

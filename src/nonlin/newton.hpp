@@ -23,12 +23,40 @@ namespace ptatin {
 using CoefficientUpdater = std::function<void(
     const Vector& u, const Vector& p, bool newton_terms, QuadCoefficients&)>;
 
+/// Why a nonlinear solve failed (kNone covers success *and* plain
+/// running-out-of-iterations, which inexact time-stepping tolerates).
+/// Fatal reasons feed the timestep safeguard tier (docs/ROBUSTNESS.md).
+enum class NonlinearFailure {
+  kNone = 0,
+  kNanResidual,    ///< ||F|| became NaN/Inf — state is poisoned
+  kDiverged,       ///< ||F|| > divtol * ||F_0||
+  kStagnation,     ///< repeated failed line searches without decrease
+  kLinearFailure,  ///< inner linear solve reported a fatal divergence
+};
+
+constexpr const char* to_string(NonlinearFailure f) {
+  switch (f) {
+    case NonlinearFailure::kNone: return "none";
+    case NonlinearFailure::kNanResidual: return "nan_residual";
+    case NonlinearFailure::kDiverged: return "diverged";
+    case NonlinearFailure::kStagnation: return "stagnation";
+    case NonlinearFailure::kLinearFailure: return "linear_failure";
+  }
+  return "unknown";
+}
+
 struct NonlinearOptions {
   int max_it = 20;
   Real rtol = 1e-4;   ///< relative nonlinear tolerance (||F|| / ||F_0||)
   Real atol = 1e-12;
   int picard_iterations = 1; ///< initial Picard steps before Newton
   bool use_newton = true;    ///< false: pure Picard throughout
+  // Safeguards (docs/ROBUSTNESS.md): divergence / stagnation detection and
+  // the Newton -> Picard escalation policy.
+  Real divtol = 1e4;             ///< fail when ||F|| > divtol * ||F_0||
+  int stagnation_window = 3;     ///< consecutive forced, non-decreasing steps
+  bool fallback_to_picard = true; ///< Newton failure => Picard restart with
+                                  ///< tight (non-EW) linear forcing
   // Eisenstat-Walker (choice 2) forcing terms.
   bool eisenstat_walker = true;
   Real ew_gamma = 0.9;
@@ -44,6 +72,9 @@ struct NonlinearOptions {
 
 struct NonlinearResult {
   bool converged = false;
+  NonlinearFailure failure = NonlinearFailure::kNone;
+  std::string failure_detail; ///< human-readable cause (inner reason, ...)
+  int picard_fallbacks = 0;   ///< Newton -> Picard escalations taken
   int iterations = 0;
   long total_krylov_iterations = 0;
   std::vector<Real> residual_history; ///< ||F|| per nonlinear iteration

@@ -22,6 +22,7 @@ void SolverReport::clear() {
   meta_.clear();
   krylov_.clear();
   newton_.clear();
+  safeguards_.clear();
 }
 
 namespace {
@@ -59,9 +60,23 @@ JsonValue newton_to_json(const NewtonRecord& r) {
   j["iterations"] = JsonValue(r.iterations);
   j["total_krylov_iterations"] = JsonValue((long long)r.total_krylov_iterations);
   j["seconds"] = JsonValue(r.seconds);
+  j["failure"] = JsonValue(r.failure);
+  j["fallbacks"] = JsonValue(r.fallbacks);
   j["residual_history"] = to_json_array(r.residual_history);
   j["krylov_per_iteration"] = to_json_array(r.krylov_per_iteration);
   j["step_lengths"] = to_json_array(r.step_lengths);
+  return j;
+}
+
+JsonValue safeguard_to_json(const SafeguardRecord& r) {
+  JsonValue j = JsonValue::object();
+  j["step"] = JsonValue(r.step);
+  j["recovered"] = JsonValue(r.recovered);
+  j["retries"] = JsonValue(r.retries);
+  j["dt_history"] = to_json_array(r.dt_history);
+  JsonValue fails = JsonValue::array();
+  for (const auto& f : r.failures) fails.push_back(JsonValue(f));
+  j["failures"] = std::move(fails);
   return j;
 }
 
@@ -144,6 +159,10 @@ JsonValue SolverReport::to_json() const {
   for (const auto& r : newton_) newton.push_back(newton_to_json(r));
   j["newton"] = std::move(newton);
 
+  JsonValue safeguards = JsonValue::array();
+  for (const auto& r : safeguards_) safeguards.push_back(safeguard_to_json(r));
+  j["safeguards"] = std::move(safeguards);
+
   j["mg_levels"] = mg_levels_json();
   j["metrics"] = MetricsRegistry::instance().to_json();
 
@@ -208,11 +227,28 @@ SolverReport SolverReport::parse(const std::string& json_text) {
       rec.total_krylov_iterations =
           long(number_or(r, "total_krylov_iterations", 0));
       rec.seconds = number_or(r, "seconds", 0);
+      rec.failure = string_or(r, "failure", "");
+      rec.fallbacks = int(number_or(r, "fallbacks", 0));
       rec.residual_history = number_array(r.find("residual_history"));
       for (double v : number_array(r.find("krylov_per_iteration")))
         rec.krylov_per_iteration.push_back(int(v));
       rec.step_lengths = number_array(r.find("step_lengths"));
       rep.newton_.push_back(std::move(rec));
+    }
+
+  if (const JsonValue* sg = j.find("safeguards"); sg != nullptr)
+    for (std::size_t i = 0; i < sg->size(); ++i) {
+      const JsonValue& r = sg->at(i);
+      SafeguardRecord rec;
+      rec.step = int(number_or(r, "step", 0));
+      rec.recovered = bool_or(r, "recovered", false);
+      rec.retries = int(number_or(r, "retries", 0));
+      rec.dt_history = number_array(r.find("dt_history"));
+      if (const JsonValue* fails = r.find("failures");
+          fails != nullptr && fails->is_array())
+        for (std::size_t k = 0; k < fails->size(); ++k)
+          rec.failures.push_back(fails->at(k).as_string());
+      rep.safeguards_.push_back(std::move(rec));
     }
   return rep;
 }

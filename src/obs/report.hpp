@@ -48,9 +48,22 @@ struct NewtonRecord {
   int iterations = 0;
   long total_krylov_iterations = 0;
   double seconds = 0.0;
+  std::string failure;  ///< nonlinear failure reason ("" = none)
+  int fallbacks = 0;    ///< Newton -> Picard escalations taken
   std::vector<double> residual_history; ///< ||F||, [0] = initial
   std::vector<int> krylov_per_iteration;
   std::vector<double> step_lengths;
+};
+
+/// One safeguarded time step that needed (or failed) recovery: the
+/// timestep tier records every retry sequence here so rollbacks are visible
+/// in telemetry, not silent (docs/ROBUSTNESS.md).
+struct SafeguardRecord {
+  int step = 0;                       ///< 1-based step index
+  bool recovered = false;             ///< a retry ultimately succeeded
+  int retries = 0;                    ///< rollback/retry attempts taken
+  std::vector<double> dt_history;     ///< dt per attempt (first = requested)
+  std::vector<std::string> failures;  ///< failure reason per failed attempt
 };
 
 class SolverReport {
@@ -68,11 +81,17 @@ public:
   }
   void add_krylov(KrylovRecord r) { krylov_.push_back(std::move(r)); }
   void add_newton(NewtonRecord r) { newton_.push_back(std::move(r)); }
+  void add_safeguard(SafeguardRecord r) {
+    safeguards_.push_back(std::move(r));
+  }
   void clear();
 
   const std::map<std::string, std::string>& meta() const { return meta_; }
   const std::vector<KrylovRecord>& krylov_solves() const { return krylov_; }
   const std::vector<NewtonRecord>& newton_solves() const { return newton_; }
+  const std::vector<SafeguardRecord>& safeguard_events() const {
+    return safeguards_;
+  }
 
   /// Full report including metrics / perf / MG-level sections (those are
   /// snapshots of the global registries at serialization time).
@@ -90,6 +109,7 @@ private:
   std::map<std::string, std::string> meta_;
   std::vector<KrylovRecord> krylov_;
   std::vector<NewtonRecord> newton_;
+  std::vector<SafeguardRecord> safeguards_;
 };
 
 // --- telemetry facade ---------------------------------------------------------

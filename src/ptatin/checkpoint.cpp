@@ -2,9 +2,11 @@
 
 #include <cstdint>
 #include <fstream>
+#include <sstream>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/faultinject.hpp"
 #include "ptatin/context.hpp"
 
 namespace ptatin {
@@ -55,10 +57,8 @@ void read_vector_into(std::istream& is, Vector& v, const char* what) {
 
 } // namespace
 
-void save_checkpoint(const std::string& path, const PtatinContext& ctx) {
-  std::ofstream os(path, std::ios::binary);
-  PT_ASSERT_MSG(os.good(), "checkpoint: cannot open " + path);
-
+void save_checkpoint_stream(std::ostream& os, const PtatinContext& ctx) {
+  fault::maybe_fail("checkpoint.write");
   write_pod(os, kMagic);
   write_pod(os, kVersion);
 
@@ -86,13 +86,10 @@ void save_checkpoint(const std::string& path, const PtatinContext& ctx) {
     write_pod<std::int32_t>(os, pts.lithology(i));
     write_pod(os, pts.plastic_strain(i));
   }
-  PT_ASSERT_MSG(os.good(), "checkpoint: write failed for " + path);
+  PT_ASSERT_MSG(os.good(), "checkpoint: write failed");
 }
 
-void load_checkpoint(const std::string& path, PtatinContext& ctx) {
-  std::ifstream is(path, std::ios::binary);
-  PT_ASSERT_MSG(is.good(), "checkpoint: cannot open " + path);
-
+void load_checkpoint_stream(std::istream& is, PtatinContext& ctx) {
   PT_ASSERT_MSG(read_pod<std::uint64_t>(is) == kMagic,
                 "checkpoint: bad magic (not a pTatin3D checkpoint)");
   PT_ASSERT_MSG(read_pod<std::uint32_t>(is) == kVersion,
@@ -133,6 +130,31 @@ void load_checkpoint(const std::string& path, PtatinContext& ctx) {
     pts.add(x, lith, eps);
   }
   locate_all(mesh, pts);
+}
+
+void save_checkpoint(const std::string& path, const PtatinContext& ctx) {
+  std::ofstream os(path, std::ios::binary);
+  PT_ASSERT_MSG(os.good(), "checkpoint: cannot open " + path);
+  save_checkpoint_stream(os, ctx);
+  PT_ASSERT_MSG(os.good(), "checkpoint: write failed for " + path);
+}
+
+void load_checkpoint(const std::string& path, PtatinContext& ctx) {
+  std::ifstream is(path, std::ios::binary);
+  PT_ASSERT_MSG(is.good(), "checkpoint: cannot open " + path);
+  load_checkpoint_stream(is, ctx);
+}
+
+void MemoryCheckpoint::capture(const PtatinContext& ctx) {
+  std::ostringstream os(std::ios::binary);
+  save_checkpoint_stream(os, ctx);
+  data_ = os.str();
+}
+
+void MemoryCheckpoint::restore(PtatinContext& ctx) const {
+  PT_ASSERT_MSG(valid(), "checkpoint: restore without a captured snapshot");
+  std::istringstream is(data_, std::ios::binary);
+  load_checkpoint_stream(is, ctx);
 }
 
 } // namespace ptatin

@@ -8,8 +8,15 @@
 // Format: little-endian binary, magic + version header, length-prefixed
 // arrays. The ModelSetup (materials, BCs, callbacks) is code, not data — a
 // restart constructs the same model and then loads the state into it.
+//
+// Two transports share the format: files (save/load_checkpoint) and
+// std::iostream streams (the *_stream variants). MemoryCheckpoint layers an
+// in-memory snapshot on the stream path so the timestep safeguard tier can
+// roll a failed step back without touching the filesystem
+// (docs/ROBUSTNESS.md).
 #pragma once
 
+#include <iosfwd>
 #include <string>
 
 namespace ptatin {
@@ -25,5 +32,30 @@ void save_checkpoint(const std::string& path, const PtatinContext& ctx);
 /// Error on mismatch or corruption. Material points are re-located after
 /// loading.
 void load_checkpoint(const std::string& path, PtatinContext& ctx);
+
+/// Stream-level transport behind the file API. Throws Error on stream
+/// failure (fault site "checkpoint.write" can force one, see
+/// common/faultinject.hpp).
+void save_checkpoint_stream(std::ostream& os, const PtatinContext& ctx);
+void load_checkpoint_stream(std::istream& is, PtatinContext& ctx);
+
+/// In-memory snapshot of a context's mutable state, used by the timestep
+/// safeguard tier to roll back a failed step. capture() may throw (e.g.
+/// under fault injection); restore() requires a prior successful capture.
+class MemoryCheckpoint {
+public:
+  /// Snapshot the full state of `ctx`. Replaces any previous snapshot.
+  void capture(const PtatinContext& ctx);
+
+  /// Restore the captured state into `ctx`. Throws Error if nothing was
+  /// captured or the snapshot does not match the model.
+  void restore(PtatinContext& ctx) const;
+
+  bool valid() const { return !data_.empty(); }
+  std::size_t size_bytes() const { return data_.size(); }
+
+private:
+  std::string data_;
+};
 
 } // namespace ptatin

@@ -1,0 +1,127 @@
+#include "ptatin/stepper.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "ptatin/checkpoint.hpp"
+
+namespace ptatin {
+
+namespace {
+
+bool all_finite(const Vector& v) {
+  for (Index i = 0; i < v.size(); ++i)
+    if (!std::isfinite(v[i])) return false;
+  return true;
+}
+
+} // namespace
+
+SafeguardedStepper::SafeguardedStepper(PtatinContext& ctx,
+                                       const SafeguardOptions& opts)
+    : ctx_(ctx), opts_(opts) {}
+
+std::string SafeguardedStepper::diagnose(const StepReport& report) const {
+  if (report.nonlinear.failure != NonlinearFailure::kNone) {
+    std::string msg =
+        std::string("nonlinear: ") + to_string(report.nonlinear.failure);
+    if (!report.nonlinear.failure_detail.empty())
+      msg += " (" + report.nonlinear.failure_detail + ")";
+    return msg;
+  }
+  if (opts_.check_fields &&
+      (!all_finite(ctx_.velocity()) || !all_finite(ctx_.pressure()) ||
+       !all_finite(ctx_.temperature())))
+    return "non-finite values in solution fields";
+  return {};
+}
+
+SafeguardedStepResult SafeguardedStepper::advance(Real dt) {
+  auto& metrics = obs::MetricsRegistry::instance();
+  SafeguardedStepResult res;
+  ++step_index_;
+  dt = clamp_dt(dt);
+
+  // Snapshot for rollback. A failed snapshot (full disk has no analogue in
+  // memory, but fault injection and OOM do) degrades to an unguarded step
+  // rather than refusing to advance.
+  MemoryCheckpoint snapshot;
+  try {
+    snapshot.capture(ctx_);
+  } catch (const Error& e) {
+    metrics.counter("safeguard.snapshot_failures").inc();
+    log_warn("safeguard: state snapshot failed (", e.what(),
+             ") — stepping without rollback protection");
+  }
+
+  for (int attempt = 0;; ++attempt) {
+    res.dt_used = dt;
+    std::string failure;
+    try {
+      res.report = ctx_.step(dt);
+      failure = diagnose(res.report);
+    } catch (const Error& e) {
+      failure = std::string("exception: ") + e.what();
+    }
+
+    if (failure.empty()) {
+      res.ok = true;
+      res.retries = attempt;
+      break;
+    }
+
+    metrics.counter("safeguard.step_failures").inc();
+    res.failures.push_back(failure);
+    log_warn("safeguard: step ", step_index_, " attempt ", attempt + 1,
+             " failed (", failure, ") at dt = ", dt);
+
+    const Real dt_next = dt * opts_.dt_cut_factor;
+    if (!snapshot.valid() || attempt >= opts_.max_retries ||
+        !(dt_next > opts_.dt_min)) {
+      res.retries = attempt;
+      break; // unrecoverable: report failure to the caller
+    }
+
+    snapshot.restore(ctx_);
+    dt = dt_next;
+    metrics.counter("safeguard.rollbacks").inc();
+    metrics.counter("safeguard.dt_cuts").inc();
+    metrics.counter("safeguard.retries").inc();
+  }
+
+  // Step-size recovery: a retried step leaves a cap at the dt that worked;
+  // clean steps relax it geometrically until it disappears.
+  if (res.ok && res.retries > 0) {
+    dt_cap_ = res.dt_used;
+  } else if (res.ok && std::isfinite(dt_cap_)) {
+    dt_cap_ *= opts_.dt_grow_factor;
+    if (dt_cap_ >= res.dt_used * opts_.dt_grow_factor)
+      dt_cap_ = std::numeric_limits<Real>::infinity();
+  }
+
+  if (auto& report = obs::SolverReport::global();
+      report.enabled() && (!res.ok || res.retries > 0)) {
+    obs::SafeguardRecord rec;
+    rec.step = step_index_;
+    rec.recovered = res.ok;
+    rec.retries = res.retries;
+    // Reconstruct the attempted dt sequence (every retry applied one cut,
+    // so walk back up from the final attempt's dt).
+    const std::size_t attempts = res.failures.size() + (res.ok ? 1u : 0u);
+    rec.dt_history.assign(attempts, 0.0);
+    Real d = res.dt_used;
+    for (std::size_t i = attempts; i-- > 0;) {
+      rec.dt_history[i] = d;
+      d /= opts_.dt_cut_factor;
+    }
+    rec.failures = res.failures;
+    report.add_safeguard(std::move(rec));
+  }
+  if (!res.ok) metrics.counter("safeguard.unrecovered_steps").inc();
+  return res;
+}
+
+} // namespace ptatin

@@ -1,0 +1,73 @@
+// Timestep safeguard tier: checkpoint rollback + adaptive-dt retry.
+//
+// Long runs (1500-2000 steps, §V-A) cannot afford to die on one bad step.
+// SafeguardedStepper wraps PtatinContext::step: it snapshots the full model
+// state in memory before each step, detects failure afterwards (nonlinear
+// failure report, thrown Error, or non-finite fields), and on failure rolls
+// the state back and retries with dt * dt_cut_factor, up to max_retries
+// times. After a successful recovery the step size grows back gradually
+// (dt_grow_factor per clean step) instead of jumping straight to the CFL
+// suggestion that just failed. Full taxonomy and knobs: docs/ROBUSTNESS.md.
+//
+// Plain iteration-budget exhaustion is NOT treated as failure — loosely
+// converged steps are business as usual for inexact time stepping; only
+// fatal diagnoses (NaN, divergence, stagnation, linear breakdown) trigger a
+// rollback.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "ptatin/context.hpp"
+
+namespace ptatin {
+
+struct SafeguardOptions {
+  int max_retries = 3;       ///< rollback/retry attempts per step
+  Real dt_cut_factor = 0.5;  ///< dt multiplier per retry
+  Real dt_grow_factor = 1.5; ///< cap growth per clean step after a cut
+  Real dt_min = 0.0;         ///< give up when the retry dt would drop below
+  bool check_fields = true;  ///< NaN/Inf scan of u/p/T after each step
+};
+
+/// Outcome of one safeguarded step (possibly several attempts).
+struct SafeguardedStepResult {
+  bool ok = false;    ///< some attempt completed cleanly
+  Real dt_used = 0.0; ///< dt of the final attempt
+  int retries = 0;    ///< rollbacks taken before success / giving up
+  StepReport report;  ///< per-stage stats of the final attempt
+  std::vector<std::string> failures; ///< failure reason per failed attempt
+};
+
+class SafeguardedStepper {
+public:
+  explicit SafeguardedStepper(PtatinContext& ctx,
+                              const SafeguardOptions& opts = {});
+
+  /// Advance by (at most) dt, retrying with smaller steps on failure. The
+  /// requested dt is first clamped by the recovery cap left behind by
+  /// earlier failures.
+  SafeguardedStepResult advance(Real dt);
+
+  /// The requested dt after applying the recovery cap (what advance() will
+  /// actually attempt first).
+  Real clamp_dt(Real dt) const { return dt < dt_cap_ ? dt : dt_cap_; }
+
+  /// Current recovery cap (infinity when no failure is being recovered
+  /// from).
+  Real dt_cap() const { return dt_cap_; }
+
+  int steps_taken() const { return step_index_; }
+
+private:
+  /// Empty string = clean step; otherwise the failure diagnosis.
+  std::string diagnose(const StepReport& report) const;
+
+  PtatinContext& ctx_;
+  SafeguardOptions opts_;
+  Real dt_cap_ = std::numeric_limits<Real>::infinity();
+  int step_index_ = 0; ///< 1-based, counts advance() calls
+};
+
+} // namespace ptatin

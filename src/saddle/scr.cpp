@@ -3,6 +3,7 @@
 #include "common/timing.hpp"
 #include "ksp/gcr.hpp"
 #include "ksp/gmres.hpp"
+#include "obs/metrics.hpp"
 #include "obs/perf.hpp"
 #include "obs/report.hpp"
 
@@ -28,6 +29,13 @@ ScrStats scr_solve(const StokesOperator& op, const Preconditioner& velocity_pc,
         gcr_solve(op.viscous(), velocity_pc, b, u, opts.inner);
     ++stats.inner_solves;
     stats.inner_iterations += st.iterations;
+    if (is_fatal(st.reason) &&
+        stats.inner_failure == ConvergedReason::kIterating) {
+      stats.inner_failure = st.reason;
+      obs::MetricsRegistry::instance()
+          .counter("safeguard.scr_inner_failures")
+          .inc();
+    }
   };
 
   // Schur RHS: J_pu J_uu^{-1} F_u - F_p.
@@ -74,7 +82,10 @@ ScrStats scr_solve(const StokesOperator& op, const Preconditioner& velocity_pc,
     rec.initial_residual = stats.outer.initial_residual;
     rec.final_residual = stats.outer.final_residual;
     rec.seconds = timer.seconds();
-    rec.reason = stats.outer.reason;
+    rec.reason = stats.inner_failure != ConvergedReason::kIterating
+                     ? stats.outer.reason_message() + "; inner: " +
+                           to_string(stats.inner_failure)
+                     : stats.outer.reason_message();
     rec.history = stats.outer.history;
     report.add_krylov(std::move(rec));
   }

@@ -31,6 +31,11 @@ struct ScrStats {
   SolveStats outer;
   long inner_solves = 0;
   long inner_iterations = 0;
+  /// First fatal divergence reason seen by an inner velocity solve
+  /// (kIterating when all inner solves were healthy). The outer solve
+  /// usually diverges too once an inner solve is poisoned; this field tells
+  /// the caller *why* — the inner breakdown, not the outer symptom.
+  ConvergedReason inner_failure = ConvergedReason::kIterating;
 };
 
 /// Solve the coupled system given a velocity preconditioner and the pressure

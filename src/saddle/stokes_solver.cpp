@@ -1,10 +1,12 @@
 #include "saddle/stokes_solver.hpp"
 
 #include "amg/rbm.hpp"
+#include "common/log.hpp"
 #include "common/timing.hpp"
 #include "ksp/cg.hpp"
 #include "ksp/gcr.hpp"
 #include "ksp/gmres.hpp"
+#include "obs/metrics.hpp"
 #include "obs/perf.hpp"
 #include "obs/report.hpp"
 
@@ -93,7 +95,16 @@ StokesSolver::StokesSolver(const StructuredMesh& mesh,
                 s.rtol = 1e-4;
                 s.max_it = 25;
                 s.record_history = false;
-                cg_solve(*op, *asm_pc, r, z, s);
+                SolveStats st = cg_solve(*op, *asm_pc, r, z, s);
+                // A fatal inner reason (pAp <= 0, NaN) must not vanish into
+                // the preconditioner: count it so the outer layers and
+                // telemetry can see *why* the enclosing solve degraded.
+                if (is_fatal(st.reason)) {
+                  obs::MetricsRegistry::instance()
+                      .counter("safeguard.coarse_solve_failures")
+                      .inc();
+                  log_warn("coarse CG solve failed: ", st.reason_message());
+                }
               });
           break;
         }
@@ -169,7 +180,7 @@ StokesSolveResult StokesSolver::solve_stacked(const Vector& rhs,
     rec.initial_residual = res.stats.initial_residual;
     rec.final_residual = res.stats.final_residual;
     rec.seconds = res.solve_seconds;
-    rec.reason = res.stats.reason;
+    rec.reason = res.stats.reason_message();
     rec.history = res.stats.history;
     report.add_krylov(std::move(rec));
   }

@@ -1,0 +1,460 @@
+// Robustness tests: fault injection, divergence guards in every Krylov
+// method, checkpoint rollback, nonlinear escalation, and the safeguarded
+// stepper (docs/ROBUSTNESS.md). Every recovery path is driven by a
+// deterministic injected fault, so the paths are proven to fire.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/faultinject.hpp"
+#include "ksp/cg.hpp"
+#include "ksp/chebyshev.hpp"
+#include "ksp/gcr.hpp"
+#include "ksp/gmres.hpp"
+#include "ksp/richardson.hpp"
+#include "la/coo.hpp"
+#include "nonlin/newton.hpp"
+#include "obs/report.hpp"
+#include "ptatin/checkpoint.hpp"
+#include "ptatin/context.hpp"
+#include "ptatin/models_sinker.hpp"
+#include "ptatin/stepper.hpp"
+#include "rheology/flow_law.hpp"
+#include "stokes/fields.hpp"
+
+namespace ptatin {
+namespace {
+
+/// Every test starts and ends with no armed faults; a failing test must not
+/// leak its faults into the next one.
+class Robustness : public ::testing::Test {
+protected:
+  void SetUp() override { fault::FaultInjector::instance().disarm_all(); }
+  void TearDown() override { fault::FaultInjector::instance().disarm_all(); }
+};
+
+CsrMatrix spd_diag(Index n) {
+  CooMatrix coo(n, n);
+  for (Index i = 0; i < n; ++i) coo.add(i, i, Real(i + 1));
+  return coo.to_csr();
+}
+
+// --- fault injector ----------------------------------------------------------
+
+TEST_F(Robustness, SpecParsingAcceptsValidRejectsMalformed) {
+  auto& fi = fault::FaultInjector::instance();
+  EXPECT_TRUE(fi.arm_from_spec("ksp.rnorm:3"));
+  fi.disarm_all();
+  EXPECT_TRUE(fi.arm_from_spec("a:2:inf:5,b:1:zero:*"));
+  fi.disarm_all();
+  EXPECT_FALSE(fi.arm_from_spec(""));
+  EXPECT_FALSE(fi.arm_from_spec("a"));
+  EXPECT_FALSE(fi.arm_from_spec("a:x"));
+  EXPECT_FALSE(fi.arm_from_spec("a:0"));
+  EXPECT_FALSE(fi.arm_from_spec("a:1:bogus"));
+  EXPECT_FALSE(fi.arm_from_spec("a:1:nan:0"));
+  EXPECT_FALSE(fi.enabled());
+}
+
+TEST_F(Robustness, NthCallWindowIsDeterministic) {
+  auto& fi = fault::FaultInjector::instance();
+  ASSERT_TRUE(fi.arm_from_spec("t.site:3:nan:2"));
+  EXPECT_EQ(fault::corrupt("t.site", 7.0), 7.0); // call 1
+  EXPECT_EQ(fault::corrupt("t.site", 7.0), 7.0); // call 2
+  EXPECT_TRUE(std::isnan(fault::corrupt("t.site", 7.0))); // call 3 fires
+  EXPECT_TRUE(std::isnan(fault::corrupt("t.site", 7.0))); // call 4 fires
+  EXPECT_EQ(fault::corrupt("t.site", 7.0), 7.0); // call 5: window over
+  EXPECT_EQ(fault::corrupt("t.other", 7.0), 7.0); // other sites untouched
+  EXPECT_EQ(fi.injected(), 2);
+}
+
+TEST_F(Robustness, ErrorKindThrowsOnNthCall) {
+  auto& fi = fault::FaultInjector::instance();
+  ASSERT_TRUE(fi.arm_from_spec("t.io:2:error"));
+  EXPECT_NO_THROW(fault::maybe_fail("t.io"));
+  EXPECT_THROW(fault::maybe_fail("t.io"), Error);
+}
+
+// --- KSP NaN guards: no solver throws or spins on a poisoned residual -------
+
+/// Arm a NaN on the second residual norm and expect the solver to return
+/// kDivergedNanOrInf promptly instead of iterating on garbage.
+template <class Solve>
+void expect_nan_exit(Solve&& solve) {
+  auto& fi = fault::FaultInjector::instance();
+  fi.disarm_all();
+  ASSERT_TRUE(fi.arm_from_spec("ksp.rnorm:2:nan:*"));
+  SolveStats st;
+  ASSERT_NO_THROW(st = solve());
+  EXPECT_FALSE(st.converged);
+  EXPECT_EQ(st.reason, ConvergedReason::kDivergedNanOrInf);
+  EXPECT_LE(st.iterations, 2); // detected at once, not after max_it
+  fi.disarm_all();
+}
+
+TEST_F(Robustness, AllSolversExitOnNanResidual) {
+  const Index n = 16;
+  CsrMatrix a = spd_diag(n);
+  MatrixOperator op(&a);
+  IdentityPc pc;
+  Vector b(n, 1.0);
+  KrylovSettings s;
+  s.max_it = 50;
+
+  expect_nan_exit([&] { Vector x; return cg_solve(op, pc, b, x, s); });
+  expect_nan_exit([&] { Vector x; return gmres_solve(op, pc, b, x, s); });
+  expect_nan_exit([&] { Vector x; return fgmres_solve(op, pc, b, x, s); });
+  expect_nan_exit([&] { Vector x; return gcr_solve(op, pc, b, x, s); });
+  expect_nan_exit(
+      [&] { Vector x; return richardson_solve(op, pc, b, x, s); });
+  expect_nan_exit([&] {
+    ChebyshevSmoother cheb;
+    Vector diag(n);
+    for (Index i = 0; i < n; ++i) diag[i] = Real(i + 1);
+    cheb.setup(op, std::move(diag), {});
+    Vector x;
+    return cheb.solve(b, x, s);
+  });
+}
+
+TEST_F(Robustness, RichardsonHitsDtolOnDivergence) {
+  // Overdamped Richardson on an SPD system diverges geometrically; the dtol
+  // guard must stop it long before max_it.
+  const Index n = 8;
+  CsrMatrix a = spd_diag(n);
+  MatrixOperator op(&a);
+  IdentityPc pc;
+  Vector b(n, 1.0), x;
+  KrylovSettings s;
+  s.max_it = 10000;
+  s.dtol = 100.0;
+  SolveStats st = richardson_solve(op, pc, b, x, s, /*damping=*/2.0);
+  EXPECT_FALSE(st.converged);
+  EXPECT_EQ(st.reason, ConvergedReason::kDivergedDtol);
+  EXPECT_LT(st.iterations, 100);
+  EXPECT_TRUE(is_fatal(st.reason));
+}
+
+TEST_F(Robustness, CgReportsBreakdownOnIndefiniteOperator) {
+  // diag(1, -1): the first pAp vanishes — formerly a PT_ASSERT abort.
+  CooMatrix coo(2, 2);
+  coo.add(0, 0, 1.0);
+  coo.add(1, 1, -1.0);
+  CsrMatrix a = coo.to_csr();
+  MatrixOperator op(&a);
+  IdentityPc pc;
+  Vector b(2, 1.0), x;
+  KrylovSettings s;
+  SolveStats st;
+  ASSERT_NO_THROW(st = cg_solve(op, pc, b, x, s));
+  EXPECT_FALSE(st.converged);
+  EXPECT_EQ(st.reason, ConvergedReason::kDivergedBreakdown);
+}
+
+TEST_F(Robustness, GmresSurvivesForcedHessenbergBreakdown) {
+  const Index n = 12;
+  CsrMatrix a = spd_diag(n);
+  MatrixOperator op(&a);
+  IdentityPc pc;
+  Vector b(n, 1.0);
+  for (const char* which : {"gmres", "fgmres"}) {
+    auto& fi = fault::FaultInjector::instance();
+    fi.disarm_all();
+    ASSERT_TRUE(fi.arm_from_spec("ksp.breakdown:1:zero"));
+    Vector x;
+    KrylovSettings s;
+    SolveStats st;
+    if (std::string(which) == "gmres") {
+      ASSERT_NO_THROW(st = gmres_solve(op, pc, b, x, s));
+    } else {
+      ASSERT_NO_THROW(st = fgmres_solve(op, pc, b, x, s));
+    }
+    EXPECT_FALSE(st.converged) << which;
+    EXPECT_EQ(st.reason, ConvergedReason::kDivergedBreakdown) << which;
+  }
+}
+
+TEST_F(Robustness, CleanSolvesStillConvergeWithGuardsArmedElsewhere) {
+  // Guards must not change behaviour when the armed site never fires.
+  auto& fi = fault::FaultInjector::instance();
+  ASSERT_TRUE(fi.arm_from_spec("unused.site:1:nan:*"));
+  const Index n = 16;
+  CsrMatrix a = spd_diag(n);
+  MatrixOperator op(&a);
+  IdentityPc pc;
+  Vector b(n, 1.0), x;
+  KrylovSettings s;
+  s.rtol = 1e-10;
+  SolveStats st = cg_solve(op, pc, b, x, s);
+  EXPECT_TRUE(st.converged);
+  EXPECT_EQ(st.reason, ConvergedReason::kConvergedRtol);
+}
+
+// --- nonlinear tier ----------------------------------------------------------
+
+CoefficientUpdater power_law_updater(const StructuredMesh& mesh, Real n_exp) {
+  ArrheniusParams ap;
+  ap.eta0 = 1.0;
+  ap.n = n_exp;
+  ap.eps0 = 1.0;
+  ap.eta_min = 1e-4;
+  ap.eta_max = 1e4;
+  auto law = std::make_shared<ArrheniusLaw>(ap);
+  return [&mesh, law](const Vector& u, const Vector&, bool newton,
+                      QuadCoefficients& coeff) {
+    std::vector<StrainRateSample> s;
+    evaluate_strain_rates(mesh, u, s);
+    if (newton && !coeff.has_newton()) coeff.allocate_newton();
+    for (Index e = 0; e < mesh.num_elements(); ++e)
+      for (int q = 0; q < kQuadPerEl; ++q) {
+        const auto& sq = s[e * kQuadPerEl + q];
+        RheologyState st;
+        st.j2 = sq.j2;
+        const ViscosityEval ve = law->viscosity(st);
+        coeff.eta(e, q) = ve.eta;
+        coeff.rho(e, q) = 1.0;
+        if (newton) {
+          coeff.deta(e, q) = ve.deta_dj2;
+          for (int t = 0; t < kSymSize; ++t) coeff.d0(e, q)[t] = sq.d[t];
+        }
+      }
+  };
+}
+
+DirichletBc lid_bc(const StructuredMesh& mesh, Real lid_speed) {
+  DirichletBc bc(num_velocity_dofs(mesh));
+  for (auto f : {MeshFace::kXMin, MeshFace::kXMax, MeshFace::kYMin,
+                 MeshFace::kYMax, MeshFace::kZMin})
+    constrain_no_slip(mesh, f, bc);
+  constrain_face_component(mesh, MeshFace::kZMax, 0, lid_speed, bc);
+  constrain_face_component(mesh, MeshFace::kZMax, 1, 0.0, bc);
+  constrain_face_component(mesh, MeshFace::kZMax, 2, 0.0, bc);
+  return bc;
+}
+
+NonlinearOptions shear_options() {
+  NonlinearOptions o;
+  o.linear.gmg.levels = 2;
+  o.linear.coarse_solve = GmgCoarseSolve::kBJacobiLu;
+  o.linear.coarse_bjacobi_blocks = 1;
+  o.linear.bc_factory = [](const StructuredMesh& m) { return lid_bc(m, 0.0); };
+  // Loose enough that the Picard fallback can finish the job: Picard
+  // stagnates on shear-thinning problems near tight tolerances (§III-A),
+  // which is exactly why Newton exists.
+  o.rtol = 1e-2;
+  return o;
+}
+
+TEST_F(Robustness, NewtonFallsBackToPicardOnLinearFailure) {
+  StructuredMesh mesh = StructuredMesh::box(4, 4, 4, {0, 0, 0}, {1, 1, 1});
+  DirichletBc bc = lid_bc(mesh, 1.0);
+  NonlinearOptions opts = shear_options();
+  NonlinearStokesSolver solver(mesh, bc, opts);
+
+  // Fail the second inner linear solve once: the Newton attempt aborts,
+  // the Picard restart (fault consumed) carries the solve to convergence.
+  // Mild shear thinning (n = 1.5) keeps Picard convergent on its own.
+  auto& fi = fault::FaultInjector::instance();
+  ASSERT_TRUE(fi.arm_from_spec("nonlin.linsolve:2:error:1"));
+
+  Vector u(num_velocity_dofs(mesh), 0.0), p;
+  bc.set_values(u);
+  Vector f(num_velocity_dofs(mesh), 0.0);
+  NonlinearResult res = solver.solve(power_law_updater(mesh, 1.5), f, u, p);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.failure, NonlinearFailure::kNone);
+  EXPECT_EQ(res.picard_fallbacks, 1);
+  EXPECT_EQ(fi.injected(), 1);
+}
+
+TEST_F(Robustness, NanResidualIsNotRetriedAtNonlinearTier) {
+  // A poisoned state cannot be salvaged by changing linearization; the
+  // failure must surface (for the timestep tier) instead of a Picard retry.
+  StructuredMesh mesh = StructuredMesh::box(4, 4, 4, {0, 0, 0}, {1, 1, 1});
+  DirichletBc bc = lid_bc(mesh, 1.0);
+  NonlinearOptions opts = shear_options();
+  NonlinearStokesSolver solver(mesh, bc, opts);
+
+  auto& fi = fault::FaultInjector::instance();
+  ASSERT_TRUE(fi.arm_from_spec("nonlin.rnorm:2:nan:1"));
+
+  Vector u(num_velocity_dofs(mesh), 0.0), p;
+  bc.set_values(u);
+  Vector f(num_velocity_dofs(mesh), 0.0);
+  NonlinearResult res = solver.solve(power_law_updater(mesh, 3.0), f, u, p);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.failure, NonlinearFailure::kNanResidual);
+  EXPECT_EQ(res.picard_fallbacks, 0);
+}
+
+// --- checkpoint / rollback ---------------------------------------------------
+
+PtatinOptions tiny_options() {
+  PtatinOptions o;
+  o.points_per_dim = 2;
+  o.nonlinear.max_it = 3;
+  o.nonlinear.rtol = 1e-2;
+  o.nonlinear.linear.gmg.levels = 2;
+  o.nonlinear.linear.coarse_solve = GmgCoarseSolve::kBJacobiLu;
+  o.nonlinear.linear.coarse_bjacobi_blocks = 1;
+  o.nonlinear.linear.krylov.max_it = 300;
+  return o;
+}
+
+SinkerParams tiny_sinker() {
+  SinkerParams p;
+  p.mx = p.my = p.mz = 4;
+  p.num_spheres = 1;
+  p.radius = 0.2;
+  p.contrast = 1e2;
+  return p;
+}
+
+TEST_F(Robustness, MemoryCheckpointRestoresStateBitwise) {
+  PtatinContext ctx(make_sinker_model(tiny_sinker()), tiny_options());
+  ctx.step(0.005); // non-trivial state
+
+  Vector u0, p0;
+  u0.copy_from(ctx.velocity());
+  p0.copy_from(ctx.pressure());
+  std::vector<Vec3> x0(ctx.points().size());
+  for (Index i = 0; i < ctx.points().size(); ++i)
+    x0[std::size_t(i)] = ctx.points().position(i);
+
+  MemoryCheckpoint snap;
+  snap.capture(ctx);
+  ASSERT_TRUE(snap.valid());
+  EXPECT_GT(snap.size_bytes(), 0u);
+
+  ctx.step(0.005); // mutate everything
+  snap.restore(ctx);
+
+  ASSERT_EQ(ctx.velocity().size(), u0.size());
+  for (Index i = 0; i < u0.size(); ++i) EXPECT_EQ(ctx.velocity()[i], u0[i]);
+  for (Index i = 0; i < p0.size(); ++i) EXPECT_EQ(ctx.pressure()[i], p0[i]);
+  ASSERT_EQ(ctx.points().size(), Index(x0.size()));
+  for (Index i = 0; i < ctx.points().size(); ++i)
+    for (int d = 0; d < 3; ++d)
+      EXPECT_EQ(ctx.points().position(i)[d], x0[std::size_t(i)][d]);
+}
+
+TEST_F(Robustness, CheckpointWriteFaultThrowsAndRestoreWithoutCaptureFails) {
+  PtatinContext ctx(make_sinker_model(tiny_sinker()), tiny_options());
+  MemoryCheckpoint snap;
+  auto& fi = fault::FaultInjector::instance();
+  ASSERT_TRUE(fi.arm_from_spec("checkpoint.write:1:error:1"));
+  EXPECT_THROW(snap.capture(ctx), Error);
+  EXPECT_FALSE(snap.valid());
+  EXPECT_THROW(snap.restore(ctx), Error);
+  // Fault consumed: the next capture succeeds.
+  EXPECT_NO_THROW(snap.capture(ctx));
+  EXPECT_TRUE(snap.valid());
+}
+
+// --- timestep tier -----------------------------------------------------------
+
+TEST_F(Robustness, StepperRollsBackAndRetriesWithSmallerDt) {
+  PtatinContext ctx(make_sinker_model(tiny_sinker()), tiny_options());
+  SafeguardedStepper stepper(ctx);
+
+  auto& report = obs::SolverReport::global();
+  report.clear();
+  report.set_enabled(true);
+
+  // NaN in the first nonlinear iteration's residual of the first attempt;
+  // one-shot, so the retry after rollback runs clean.
+  auto& fi = fault::FaultInjector::instance();
+  ASSERT_TRUE(fi.arm_from_spec("nonlin.rnorm:2:nan:1"));
+
+  SafeguardedStepResult res = stepper.advance(0.01);
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(res.retries, 1);
+  EXPECT_NEAR(res.dt_used, 0.005, 1e-12);
+  ASSERT_EQ(res.failures.size(), 1u);
+  EXPECT_NE(res.failures[0].find("nan_residual"), std::string::npos);
+  // The recovery cap holds the next step near the dt that worked.
+  EXPECT_NEAR(stepper.clamp_dt(0.01), 0.005, 1e-12);
+
+  ASSERT_EQ(report.safeguard_events().size(), 1u);
+  const obs::SafeguardRecord& rec = report.safeguard_events()[0];
+  EXPECT_EQ(rec.step, 1);
+  EXPECT_TRUE(rec.recovered);
+  EXPECT_EQ(rec.retries, 1);
+  ASSERT_EQ(rec.dt_history.size(), 2u);
+  EXPECT_NEAR(rec.dt_history[0], 0.01, 1e-12);
+  EXPECT_NEAR(rec.dt_history[1], 0.005, 1e-12);
+  report.set_enabled(false);
+  report.clear();
+
+  // State is finite and the step actually advanced.
+  EXPECT_GT(res.report.nonlinear.total_krylov_iterations, 0);
+}
+
+TEST_F(Robustness, StepperGivesUpAfterMaxRetries) {
+  PtatinContext ctx(make_sinker_model(tiny_sinker()), tiny_options());
+  SafeguardOptions sg;
+  sg.max_retries = 1;
+  SafeguardedStepper stepper(ctx, sg);
+
+  auto& fi = fault::FaultInjector::instance();
+  ASSERT_TRUE(fi.arm_from_spec("nonlin.rnorm:1:nan:*")); // every residual
+
+  SafeguardedStepResult res = stepper.advance(0.01);
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.retries, 1);
+  EXPECT_EQ(res.failures.size(), 2u);
+  fi.disarm_all();
+
+  // The rollback left a usable state behind: the next step runs clean.
+  SafeguardedStepResult next = stepper.advance(0.01);
+  EXPECT_TRUE(next.ok);
+}
+
+TEST_F(Robustness, StepperToleratesSnapshotFailure) {
+  PtatinContext ctx(make_sinker_model(tiny_sinker()), tiny_options());
+  SafeguardedStepper stepper(ctx);
+  auto& fi = fault::FaultInjector::instance();
+  ASSERT_TRUE(fi.arm_from_spec("checkpoint.write:1:error:1"));
+  // Snapshot fails, the step itself is clean: advance without protection.
+  SafeguardedStepResult res = stepper.advance(0.005);
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(res.retries, 0);
+}
+
+// --- telemetry round trip ----------------------------------------------------
+
+TEST_F(Robustness, SafeguardSectionRoundTripsThroughJson) {
+  obs::SolverReport rep;
+  obs::SafeguardRecord rec;
+  rec.step = 7;
+  rec.recovered = true;
+  rec.retries = 2;
+  rec.dt_history = {0.02, 0.01, 0.005};
+  rec.failures = {"nonlinear: nan_residual", "nonlinear: diverged"};
+  rep.add_safeguard(rec);
+  obs::NewtonRecord nr;
+  nr.label = "newton";
+  nr.failure = "stagnation (line search made no progress)";
+  nr.fallbacks = 1;
+  rep.add_newton(nr);
+
+  obs::SolverReport back = obs::SolverReport::parse(rep.to_json_string());
+  ASSERT_EQ(back.safeguard_events().size(), 1u);
+  const obs::SafeguardRecord& r = back.safeguard_events()[0];
+  EXPECT_EQ(r.step, 7);
+  EXPECT_TRUE(r.recovered);
+  EXPECT_EQ(r.retries, 2);
+  ASSERT_EQ(r.dt_history.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.dt_history[2], 0.005);
+  ASSERT_EQ(r.failures.size(), 2u);
+  EXPECT_EQ(r.failures[1], "nonlinear: diverged");
+  ASSERT_EQ(back.newton_solves().size(), 1u);
+  EXPECT_EQ(back.newton_solves()[0].failure,
+            "stagnation (line search made no progress)");
+  EXPECT_EQ(back.newton_solves()[0].fallbacks, 1);
+}
+
+} // namespace
+} // namespace ptatin

@@ -216,7 +216,7 @@ TEST(KrylovEdge, GcrReportsBreakdownOnZeroImage) {
   s.max_it = 10;
   SolveStats st = gcr_solve(op, pc, b, x, s);
   EXPECT_FALSE(st.converged);
-  EXPECT_NE(st.reason.find("breakdown"), std::string::npos);
+  EXPECT_EQ(st.reason, ConvergedReason::kDivergedBreakdown);
 }
 
 } // namespace
