@@ -1,28 +1,35 @@
 // ptatin_driver: the configurable production entry point.
 //
 // Select a model, a solver configuration, and run a time-stepped simulation
-// with VTK output, per-step diagnostics, and checkpoint/restart — the way
-// the real pTatin3D is driven through PETSc options (§III: "it is important
-// that the solver design be simplified enough for the end user to make
-// educated choices with predictable behavior").
+// with VTK output, per-step diagnostics, and durable checkpoint/restart —
+// the way the real pTatin3D is driven through PETSc options (§III: "it is
+// important that the solver design be simplified enough for the end user to
+// make educated choices with predictable behavior").
 //
 // Examples:
 //   ptatin_driver -model sinker -m 8 -steps 10 -output /tmp/run
-//   ptatin_driver -model rifting -mx 16 -my 8 -mz 8 -steps 20 \
+//   ptatin_driver -model rifting -mx 16 -my 8 -mz 8 -steps 20
 //                 -backend tens -levels 2 -coarse amg
-//   ptatin_driver -model subduction -steps 10 -checkpoint_every 5
-//   ptatin_driver -model sinker -restart /tmp/run_ckpt_0005.bin -steps 5
+//   ptatin_driver -model sinker -steps 10 -checkpoint_dir /tmp/run_ckpt
+//                 -checkpoint_every 2 -checkpoint_keep 3
+//   ptatin_driver -model sinker -steps 10 -restart /tmp/run_ckpt
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <string>
 
+#include "common/error.hpp"
 #include "common/faultinject.hpp"
 #include "common/log.hpp"
 #include "common/options.hpp"
+#include "obs/json.hpp"
 #include "obs/perf.hpp"
 #include "obs/report.hpp"
 #include "ptatin/checkpoint.hpp"
 #include "ptatin/context.hpp"
 #include "ptatin/diagnostics.hpp"
+#include "ptatin/exit_codes.hpp"
+#include "ptatin/health.hpp"
 #include "ptatin/stepper.hpp"
 #include "ptatin/models_rifting.hpp"
 #include "ptatin/models_sinker.hpp"
@@ -76,6 +83,28 @@ ModelSetup build_model(const Options& o, int& vertical_axis) {
   return make_sinker_model(p);
 }
 
+/// Bitwise state digest for restart round-trip comparison (timing-free, so
+/// two runs that agree on every state bit produce identical files).
+bool write_final_state(const std::string& path, const PtatinContext& ctx,
+                       const std::string& model, int steps) {
+  const StateDigest d = digest_state(ctx);
+  obs::JsonValue j = obs::JsonValue::object();
+  j["schema"] = obs::JsonValue("ptatin.state_digest/1");
+  j["model"] = obs::JsonValue(model);
+  j["steps"] = obs::JsonValue(steps);
+  j["coords_crc"] = obs::JsonValue((long long)d.coords_crc);
+  j["velocity_crc"] = obs::JsonValue((long long)d.velocity_crc);
+  j["pressure_crc"] = obs::JsonValue((long long)d.pressure_crc);
+  j["temperature_crc"] = obs::JsonValue((long long)d.temperature_crc);
+  j["points_crc"] = obs::JsonValue((long long)d.points_crc);
+  j["num_points"] = obs::JsonValue(d.num_points);
+  j["num_elements"] = obs::JsonValue(d.num_elements);
+  std::ofstream f(path);
+  if (!f) return false;
+  f << j.dump(1) << "\n";
+  return bool(f);
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -85,7 +114,8 @@ int main(int argc, char** argv) {
         "ptatin_driver options:\n"
         "  -model sinker|rifting|subduction   model selection\n"
         "  -m N / -mx -my -mz                 mesh resolution\n"
-        "  -steps N                           time steps (default 5)\n"
+        "  -steps N                           total time steps (default 5;\n"
+        "                                     a restart resumes towards N)\n"
         "  -dt X                              first-step dt (then CFL)\n"
         "  -cfl X                             CFL number (default 0.25)\n"
         "  -backend asmb|mf|tens|tensc        J_uu operator back-end\n"
@@ -96,8 +126,16 @@ int main(int argc, char** argv) {
         "  -max_newton N                      Newton iteration cap\n"
         "  -output PREFIX                     VTK output prefix\n"
         "  -vtk_every N                       VTK cadence (0 = off)\n"
+        "  -checkpoint_dir DIR                durable checkpoint rotation\n"
+        "                                     (atomic publish, CRC-verified)\n"
         "  -checkpoint_every N                checkpoint cadence (0 = off)\n"
-        "  -restart FILE                      load a checkpoint before running\n"
+        "  -checkpoint_keep K                 checkpoints kept in DIR (default 3)\n"
+        "  -restart PATH                      resume: a checkpoint file, or a\n"
+        "                                     rotation DIR (newest that verifies)\n"
+        "  -health_every N                    health-check cadence in steps\n"
+        "                                     (0 = only before checkpoints)\n"
+        "  -final_state FILE                  write a bitwise state digest JSON\n"
+        "                                     after the run (restart diffing)\n"
         "  -telemetry DIR                     write DIR/trace.json (Chrome\n"
         "                                     trace_event) + DIR/solver_report.json\n"
         "  -safeguard true|false              rollback/retry failed steps\n"
@@ -109,8 +147,14 @@ int main(int argc, char** argv) {
         "  -picard_fallback true|false        Newton failure => Picard restart\n"
         "  -faults SPEC                       arm fault injection, SPEC =\n"
         "                                     site:nth[:kind[:count]],...\n"
-        "  -verbose                           per-iteration logging\n");
-    return 0;
+        "  -verbose                           per-iteration logging\n"
+        "exit codes:\n"
+        "  0  success\n"
+        "  1  unrecovered solver failure\n"
+        "  2  usage error (bad -model, malformed -faults, ...)\n"
+        "  3  checkpoint/restart failure\n"
+        "  4  health-check failure\n");
+    return int(DriverExit::kSuccess);
   }
   if (o.get_bool("verbose", false)) set_log_level(LogLevel::kDebug);
 
@@ -122,11 +166,17 @@ int main(int argc, char** argv) {
       !fault::FaultInjector::instance().arm_from_spec(faults)) {
     std::fprintf(stderr, "error: malformed -faults spec '%s'\n",
                  faults.c_str());
-    return 2;
+    return int(DriverExit::kUsageError);
   }
 
   int vertical_axis = 2;
-  ModelSetup setup = build_model(o, vertical_axis);
+  ModelSetup setup;
+  try {
+    setup = build_model(o, vertical_axis);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return int(DriverExit::kUsageError);
+  }
   const std::string name = setup.name;
 
   PtatinOptions po;
@@ -151,33 +201,70 @@ int main(int argc, char** argv) {
 
   PtatinContext ctx(std::move(setup), po);
 
-  const std::string restart = o.get_string("restart", "");
-  if (!restart.empty()) {
-    load_checkpoint(restart, ctx);
-    std::printf("restarted from %s\n", restart.c_str());
-  }
-
   const int steps = o.get_int("steps", 5);
   const Real cfl = o.get_real("cfl", 0.25);
   const std::string prefix = o.get_string("output", "/tmp/" + name);
   const int vtk_every = o.get_int("vtk_every", 0);
   const int ckpt_every = o.get_int("checkpoint_every", 0);
-
-  std::printf("== pTatin3D driver: model %s, %lld elements, %lld material "
-              "points, %d steps ==\n",
-              name.c_str(), (long long)ctx.mesh().num_elements(),
-              (long long)ctx.points().size(), steps);
+  const std::string ckpt_dir = o.get_string("checkpoint_dir", "");
 
   const bool safeguard = o.get_bool("safeguard", true);
   SafeguardOptions sg;
   sg.max_retries = o.get_int("max_retries", 3);
   sg.dt_cut_factor = o.get_real("dt_cut_factor", 0.5);
   sg.dt_grow_factor = o.get_real("dt_grow", 1.5);
+  sg.health_every = o.get_int("health_every", 0);
+  sg.health.population = po.population;
+  sg.checkpoint_dir = ckpt_dir;
+  sg.checkpoint_every = ckpt_every;
+  sg.checkpoint_keep = o.get_int("checkpoint_keep", 3);
   SafeguardedStepper stepper(ctx, sg);
 
-  bool failed = false;
+  // Restart: a rotation directory (newest checkpoint that verifies, with
+  // automatic fallback over corrupt ones) or a single checkpoint file.
+  const std::string restart = o.get_string("restart", "");
+  int start_step = 0;
+  if (!restart.empty()) {
+    CheckpointMeta meta;
+    try {
+      if (std::filesystem::is_directory(restart)) {
+        CheckpointRotation rot(restart, sg.checkpoint_keep);
+        CheckpointRotation::LoadResult lr = rot.load_latest(ctx);
+        for (const std::string& skipped : lr.skipped)
+          std::printf("restart: skipped corrupt checkpoint %s\n",
+                      skipped.c_str());
+        meta = lr.meta;
+        std::printf("restarted from %s (step %lld, t = %.6g)\n",
+                    lr.path.c_str(), (long long)meta.step, meta.sim_time);
+      } else {
+        meta = load_checkpoint(restart, ctx);
+        std::printf("restarted from %s (step %lld, t = %.6g)\n",
+                    restart.c_str(), (long long)meta.step, meta.sim_time);
+      }
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: restart failed: %s\n", e.what());
+      return int(DriverExit::kCheckpointFailure);
+    }
+    stepper.resume(meta);
+    start_step = int(meta.step);
+
+    // Never resume integration from a state that fails the health pass.
+    const HealthReport hr = check_health(ctx, sg.health);
+    if (!hr.ok) {
+      std::fprintf(stderr, "error: restarted state failed health check: %s\n",
+                   hr.summary().c_str());
+      return int(DriverExit::kHealthFailure);
+    }
+  }
+
+  std::printf("== pTatin3D driver: model %s, %lld elements, %lld material "
+              "points, steps %d..%d ==\n",
+              name.c_str(), (long long)ctx.mesh().num_elements(),
+              (long long)ctx.points().size(), start_step + 1, steps);
+
+  DriverExit outcome = DriverExit::kSuccess;
   double total = 0;
-  for (int s = 1; s <= steps; ++s) {
+  for (int s = start_step + 1; s <= steps; ++s) {
     Real dt = ctx.suggest_dt(cfl);
     if (s == 1 || dt <= 0) dt = o.get_real("dt", 0.002);
     StepReport rep;
@@ -188,16 +275,27 @@ int main(int argc, char** argv) {
       if (sres.retries > 0 && sres.ok)
         std::printf("          recovered after %d retr%s (dt -> %.3e)\n",
                     sres.retries, sres.retries == 1 ? "y" : "ies", dt);
+      if (!sres.checkpoint_path.empty())
+        std::printf("          checkpoint written: %s\n",
+                    sres.checkpoint_path.c_str());
       if (!sres.ok) {
-        std::fprintf(stderr,
-                     "error: step %d failed beyond recovery (%s)\n", s,
-                     sres.failures.empty() ? "unknown"
-                                           : sres.failures.back().c_str());
-        failed = true;
+        const std::string& why =
+            sres.failures.empty() ? std::string("unknown")
+                                  : sres.failures.back();
+        std::fprintf(stderr, "error: step %d failed beyond recovery (%s)\n",
+                     s, why.c_str());
+        outcome = why.rfind("health:", 0) == 0 ? DriverExit::kHealthFailure
+                                               : DriverExit::kSolverFailure;
         break;
       }
     } else {
-      rep = ctx.step(dt);
+      try {
+        rep = ctx.step(dt);
+      } catch (const Error& e) {
+        std::fprintf(stderr, "error: step %d threw (%s)\n", s, e.what());
+        outcome = DriverExit::kSolverFailure;
+        break;
+      }
     }
     total += rep.seconds;
 
@@ -219,16 +317,31 @@ int main(int argc, char** argv) {
                            ctx.pressure(), &ctx.coefficients());
       write_vtk_points(prefix + "_pts" + tag, ctx.points());
     }
-    if (ckpt_every > 0 && s % ckpt_every == 0) {
+    // Legacy single-file checkpoints (no integrity rotation): only when no
+    // -checkpoint_dir is configured, and when running unguarded also as the
+    // only checkpoint path.
+    if (ckpt_every > 0 && ckpt_dir.empty() && s % ckpt_every == 0) {
+      CheckpointMeta meta;
+      meta.step = s;
+      meta.sim_time = stepper.sim_time();
       std::snprintf(tag, sizeof tag, "_ckpt_%04d.bin", s);
-      save_checkpoint(prefix + tag, ctx);
+      save_checkpoint(prefix + tag, ctx, meta);
       std::printf("          checkpoint written: %s%s\n", prefix.c_str(),
                   tag);
     }
   }
-  if (!failed)
+  if (outcome == DriverExit::kSuccess)
     std::printf("== done: %.1f s total, %.1f s/step ==\n", total,
-                total / steps);
+                total / std::max(1, steps - start_step));
+
+  const std::string final_state = o.get_string("final_state", "");
+  if (!final_state.empty() && outcome == DriverExit::kSuccess) {
+    if (write_final_state(final_state, ctx, name, steps))
+      std::printf("state digest written: %s\n", final_state.c_str());
+    else
+      std::fprintf(stderr, "warning: failed to write %s\n",
+                   final_state.c_str());
+  }
 
   if (!telemetry_dir.empty()) {
     auto& report = obs::SolverReport::global();
@@ -245,5 +358,7 @@ int main(int argc, char** argv) {
     }
     std::printf("%s", PerfRegistry::instance().summary().c_str());
   }
-  return failed ? 1 : 0;
+  if (outcome != DriverExit::kSuccess)
+    std::fprintf(stderr, "exit: %d (%s)\n", int(outcome), describe(outcome));
+  return int(outcome);
 }

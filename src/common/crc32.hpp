@@ -1,0 +1,18 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) for data-integrity checks.
+//
+// Used by the durable checkpoint format (per-section payload checksums and
+// the self-checksummed header, src/ptatin/checkpoint.hpp) and by the driver's
+// state digest, which reduces a full model state to a few checksums so two
+// runs can be compared for bitwise identity without shipping the fields.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ptatin {
+
+/// CRC-32 of `n` bytes. Pass a previous result as `seed` to checksum data
+/// arriving in chunks: crc32(b, nb, crc32(a, na)) == crc32(ab, na + nb).
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+} // namespace ptatin

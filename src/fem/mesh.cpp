@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/parallel.hpp"
 #include "fem/basis.hpp"
@@ -141,6 +142,22 @@ Real StructuredMesh::volume() const {
     }
     return vol;
   });
+}
+
+Real StructuredMesh::element_min_jacobian(Index e) const {
+  const auto& geom = geom_tabulation();
+  Real xe[kQ1NodesPerEl][3];
+  element_corner_coords(e, xe);
+  Real mn = std::numeric_limits<Real>::max();
+  for (int q = 0; q < kQuadPerEl; ++q) {
+    Mat3 J{};
+    for (int v = 0; v < kQ1NodesPerEl; ++v)
+      for (int r = 0; r < 3; ++r)
+        for (int d = 0; d < 3; ++d)
+          J[3 * r + d] += xe[v][r] * geom.dN[q][v][d];
+    mn = std::min(mn, det3(J));
+  }
+  return mn;
 }
 
 } // namespace ptatin

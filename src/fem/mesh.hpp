@@ -120,6 +120,12 @@ public:
   /// Total mesh volume from the quadrature of det J (used in tests).
   Real volume() const;
 
+  /// Minimum det(dx/dxi) over the quadrature points of element e. A
+  /// nonpositive value means the (ALE-deformed) element is inverted or
+  /// degenerate — the health-check pass (src/ptatin/health.hpp) uses this to
+  /// reject a mesh state before it is checkpointed or stepped further.
+  Real element_min_jacobian(Index e) const;
+
 private:
   Index mx_ = 0, my_ = 0, mz_ = 0;
   std::vector<Real> coords_; ///< 3 * num_nodes(), interleaved x,y,z

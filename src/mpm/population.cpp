@@ -121,6 +121,8 @@ PopulationStats control_population(const StructuredMesh& mesh,
   auto& metrics = obs::MetricsRegistry::instance();
   metrics.counter("mpm.population.injected").inc(total.injected);
   metrics.counter("mpm.population.removed").inc(total.removed);
+  metrics.counter("mpm.population.deficient_elements")
+      .inc(total.deficient_elements);
   metrics.gauge("mpm.points").set(double(points.size()));
   // Points-per-cell distribution after control: the paper's target band is
   // [min_per_element, max_per_element].
@@ -129,7 +131,26 @@ PopulationStats control_population(const StructuredMesh& mesh,
     if (points.element(i) >= 0) ++per_cell[points.element(i)];
   auto& hist = metrics.histogram("mpm.points_per_cell");
   for (Index n : per_cell) hist.record(double(n));
+  if (!per_cell.empty()) {
+    const auto [mn, mx] = std::minmax_element(per_cell.begin(), per_cell.end());
+    total.min_per_cell = *mn;
+    total.max_per_cell = *mx;
+  }
+  metrics.gauge("mpm.population.min_per_cell").set(double(total.min_per_cell));
+  metrics.gauge("mpm.population.max_per_cell").set(double(total.max_per_cell));
   return total;
+}
+
+void population_bounds(const StructuredMesh& mesh, const MaterialPoints& points,
+                       Index& min_per_cell, Index& max_per_cell) {
+  std::vector<Index> per_cell(mesh.num_elements(), 0);
+  for (Index i = 0; i < points.size(); ++i)
+    if (points.element(i) >= 0) ++per_cell[points.element(i)];
+  min_per_cell = max_per_cell = 0;
+  if (per_cell.empty()) return;
+  const auto [mn, mx] = std::minmax_element(per_cell.begin(), per_cell.end());
+  min_per_cell = *mn;
+  max_per_cell = *mx;
 }
 
 } // namespace ptatin

@@ -21,7 +21,16 @@ struct PopulationStats {
   Index injected = 0;
   Index removed = 0;
   Index deficient_elements = 0;
+  /// Post-control per-cell population extremes (0/0 when no elements).
+  Index min_per_cell = 0;
+  Index max_per_cell = 0;
 };
+
+/// Per-cell population extremes of the current point distribution (points
+/// with no containing element are ignored). Used by the health-check pass to
+/// enforce the [min_per_element, max_per_element] band without mutating.
+void population_bounds(const StructuredMesh& mesh, const MaterialPoints& points,
+                       Index& min_per_cell, Index& max_per_cell);
 
 /// One injection/removal sweep. Injection requires donors in the 27-element
 /// neighborhood, so a single sweep only grows the populated region by one

@@ -23,6 +23,8 @@ void SolverReport::clear() {
   krylov_.clear();
   newton_.clear();
   safeguards_.clear();
+  population_.clear();
+  state_ = StateRecord{};
 }
 
 namespace {
@@ -77,6 +79,33 @@ JsonValue safeguard_to_json(const SafeguardRecord& r) {
   JsonValue fails = JsonValue::array();
   for (const auto& f : r.failures) fails.push_back(JsonValue(f));
   j["failures"] = std::move(fails);
+  return j;
+}
+
+JsonValue population_to_json(const PopulationRecord& r) {
+  JsonValue j = JsonValue::object();
+  j["step"] = JsonValue(r.step);
+  j["injected"] = JsonValue(r.injected);
+  j["removed"] = JsonValue(r.removed);
+  j["deficient"] = JsonValue(r.deficient);
+  j["min_per_cell"] = JsonValue(r.min_per_cell);
+  j["max_per_cell"] = JsonValue(r.max_per_cell);
+  return j;
+}
+
+JsonValue state_to_json(const StateRecord& s) {
+  JsonValue j = JsonValue::object();
+  j["checkpoint_saves"] = JsonValue(s.checkpoint_saves);
+  j["checkpoint_save_failures"] = JsonValue(s.checkpoint_save_failures);
+  j["restarts"] = JsonValue(s.restarts);
+  j["restart_step"] = JsonValue(s.restart_step);
+  j["restart_path"] = JsonValue(s.restart_path);
+  JsonValue skipped = JsonValue::array();
+  for (const auto& p : s.corrupt_skipped) skipped.push_back(JsonValue(p));
+  j["corrupt_skipped"] = std::move(skipped);
+  j["health_checks"] = JsonValue(s.health_checks);
+  j["health_failures"] = JsonValue(s.health_failures);
+  j["health_repairs"] = JsonValue(s.health_repairs);
   return j;
 }
 
@@ -162,6 +191,12 @@ JsonValue SolverReport::to_json() const {
   JsonValue safeguards = JsonValue::array();
   for (const auto& r : safeguards_) safeguards.push_back(safeguard_to_json(r));
   j["safeguards"] = std::move(safeguards);
+
+  JsonValue population = JsonValue::array();
+  for (const auto& r : population_) population.push_back(population_to_json(r));
+  j["population"] = std::move(population);
+
+  j["state"] = state_to_json(state_);
 
   j["mg_levels"] = mg_levels_json();
   j["metrics"] = MetricsRegistry::instance().to_json();
@@ -250,6 +285,35 @@ SolverReport SolverReport::parse(const std::string& json_text) {
           rec.failures.push_back(fails->at(k).as_string());
       rep.safeguards_.push_back(std::move(rec));
     }
+
+  if (const JsonValue* pop = j.find("population"); pop != nullptr)
+    for (std::size_t i = 0; i < pop->size(); ++i) {
+      const JsonValue& r = pop->at(i);
+      PopulationRecord rec;
+      rec.step = int(number_or(r, "step", 0));
+      rec.injected = (long long)(number_or(r, "injected", 0));
+      rec.removed = (long long)(number_or(r, "removed", 0));
+      rec.deficient = (long long)(number_or(r, "deficient", 0));
+      rec.min_per_cell = (long long)(number_or(r, "min_per_cell", 0));
+      rec.max_per_cell = (long long)(number_or(r, "max_per_cell", 0));
+      rep.population_.push_back(rec);
+    }
+
+  if (const JsonValue* st = j.find("state"); st != nullptr) {
+    rep.state_.checkpoint_saves = int(number_or(*st, "checkpoint_saves", 0));
+    rep.state_.checkpoint_save_failures =
+        int(number_or(*st, "checkpoint_save_failures", 0));
+    rep.state_.restarts = int(number_or(*st, "restarts", 0));
+    rep.state_.restart_step = (long long)(number_or(*st, "restart_step", -1));
+    rep.state_.restart_path = string_or(*st, "restart_path", "");
+    if (const JsonValue* skipped = st->find("corrupt_skipped");
+        skipped != nullptr && skipped->is_array())
+      for (std::size_t k = 0; k < skipped->size(); ++k)
+        rep.state_.corrupt_skipped.push_back(skipped->at(k).as_string());
+    rep.state_.health_checks = int(number_or(*st, "health_checks", 0));
+    rep.state_.health_failures = int(number_or(*st, "health_failures", 0));
+    rep.state_.health_repairs = int(number_or(*st, "health_repairs", 0));
+  }
   return rep;
 }
 

@@ -66,6 +66,34 @@ struct SafeguardRecord {
   std::vector<std::string> failures;  ///< failure reason per failed attempt
 };
 
+/// Per-step material point population-control churn (src/mpm/population),
+/// recorded by the safeguarded stepper so injection/deletion storms are
+/// visible in telemetry rather than only as run-total counters.
+struct PopulationRecord {
+  int step = 0;                 ///< 1-based step index
+  long long injected = 0;
+  long long removed = 0;
+  long long deficient = 0;      ///< elements still deficient after control
+  long long min_per_cell = 0;   ///< post-control per-cell population extremes
+  long long max_per_cell = 0;
+};
+
+/// Checkpoint/restart and health-watchdog summary — the "state" section of
+/// ptatin.solver_report/1 (docs/ROBUSTNESS.md). Filled by the checkpoint
+/// rotation, the health pass, and the stepper as events happen.
+struct StateRecord {
+  int checkpoint_saves = 0;
+  int checkpoint_save_failures = 0;
+  int restarts = 0;
+  long long restart_step = -1;       ///< step the run resumed from (-1 = none)
+  std::string restart_path;          ///< checkpoint file the restart used
+  std::vector<std::string> corrupt_skipped; ///< checkpoints that failed
+                                            ///< verification and were bypassed
+  int health_checks = 0;
+  int health_failures = 0;
+  int health_repairs = 0;            ///< population repairs taken by a check
+};
+
 class SolverReport {
 public:
   SolverReport() = default;
@@ -84,6 +112,9 @@ public:
   void add_safeguard(SafeguardRecord r) {
     safeguards_.push_back(std::move(r));
   }
+  void add_population(PopulationRecord r) {
+    population_.push_back(std::move(r));
+  }
   void clear();
 
   const std::map<std::string, std::string>& meta() const { return meta_; }
@@ -92,6 +123,11 @@ public:
   const std::vector<SafeguardRecord>& safeguard_events() const {
     return safeguards_;
   }
+  const std::vector<PopulationRecord>& population_events() const {
+    return population_;
+  }
+  StateRecord& state() { return state_; }
+  const StateRecord& state() const { return state_; }
 
   /// Full report including metrics / perf / MG-level sections (those are
   /// snapshots of the global registries at serialization time).
@@ -110,6 +146,8 @@ private:
   std::vector<KrylovRecord> krylov_;
   std::vector<NewtonRecord> newton_;
   std::vector<SafeguardRecord> safeguards_;
+  std::vector<PopulationRecord> population_;
+  StateRecord state_;
 };
 
 // --- telemetry facade ---------------------------------------------------------

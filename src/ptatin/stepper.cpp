@@ -6,7 +6,6 @@
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
-#include "ptatin/checkpoint.hpp"
 
 namespace ptatin {
 
@@ -22,7 +21,18 @@ bool all_finite(const Vector& v) {
 
 SafeguardedStepper::SafeguardedStepper(PtatinContext& ctx,
                                        const SafeguardOptions& opts)
-    : ctx_(ctx), opts_(opts) {}
+    : ctx_(ctx), opts_(opts) {
+  if (!opts_.checkpoint_dir.empty())
+    rotation_ = std::make_unique<CheckpointRotation>(opts_.checkpoint_dir,
+                                                     opts_.checkpoint_keep);
+}
+
+void SafeguardedStepper::resume(const CheckpointMeta& meta) {
+  step_index_ = static_cast<int>(meta.step);
+  sim_time_ = meta.sim_time;
+  dt_cap_ = meta.dt_cap > 0 ? meta.dt_cap
+                            : std::numeric_limits<Real>::infinity();
+}
 
 std::string SafeguardedStepper::diagnose(const StepReport& report) const {
   if (report.nonlinear.failure != NonlinearFailure::kNone) {
@@ -45,6 +55,13 @@ SafeguardedStepResult SafeguardedStepper::advance(Real dt) {
   ++step_index_;
   dt = clamp_dt(dt);
 
+  const bool checkpoint_due = rotation_ != nullptr &&
+                              opts_.checkpoint_every > 0 &&
+                              step_index_ % opts_.checkpoint_every == 0;
+  const bool health_due =
+      checkpoint_due ||
+      (opts_.health_every > 0 && step_index_ % opts_.health_every == 0);
+
   // Snapshot for rollback. A failed snapshot (full disk has no analogue in
   // memory, but fault injection and OOM do) degrades to an unguarded step
   // rather than refusing to advance.
@@ -63,6 +80,13 @@ SafeguardedStepResult SafeguardedStepper::advance(Real dt) {
     try {
       res.report = ctx_.step(dt);
       failure = diagnose(res.report);
+      // Watchdog: never integrate past — or durably checkpoint — a state
+      // that fails the health pass; a trip is handled exactly like a solver
+      // failure (rollback + smaller dt).
+      if (failure.empty() && health_due) {
+        const HealthReport hr = check_health(ctx_, opts_.health);
+        if (!hr.ok) failure = "health: " + hr.summary();
+      }
     } catch (const Error& e) {
       failure = std::string("exception: ") + e.what();
     }
@@ -102,23 +126,54 @@ SafeguardedStepResult SafeguardedStepper::advance(Real dt) {
       dt_cap_ = std::numeric_limits<Real>::infinity();
   }
 
-  if (auto& report = obs::SolverReport::global();
-      report.enabled() && (!res.ok || res.retries > 0)) {
-    obs::SafeguardRecord rec;
-    rec.step = step_index_;
-    rec.recovered = res.ok;
-    rec.retries = res.retries;
-    // Reconstruct the attempted dt sequence (every retry applied one cut,
-    // so walk back up from the final attempt's dt).
-    const std::size_t attempts = res.failures.size() + (res.ok ? 1u : 0u);
-    rec.dt_history.assign(attempts, 0.0);
-    Real d = res.dt_used;
-    for (std::size_t i = attempts; i-- > 0;) {
-      rec.dt_history[i] = d;
-      d /= opts_.dt_cut_factor;
+  if (res.ok) {
+    sim_time_ += res.dt_used;
+    if (checkpoint_due) {
+      CheckpointMeta meta;
+      meta.step = step_index_;
+      meta.sim_time = sim_time_;
+      meta.dt_cap = std::isfinite(dt_cap_) ? dt_cap_ : 0.0;
+      try {
+        res.checkpoint_path = rotation_->save(ctx_, meta);
+      } catch (const Error& e) {
+        // A failed save must not kill a healthy run: the previous rotation
+        // entries are intact, so only durability of this instant is lost.
+        metrics.counter("checkpoint.save_failures").inc();
+        ++obs::SolverReport::global().state().checkpoint_save_failures;
+        log_warn("checkpoint: save failed at step ", step_index_, " (",
+                 e.what(), ") — continuing without this checkpoint");
+      }
     }
-    rec.failures = res.failures;
-    report.add_safeguard(std::move(rec));
+  }
+
+  if (auto& report = obs::SolverReport::global(); report.enabled()) {
+    if (!res.ok || res.retries > 0) {
+      obs::SafeguardRecord rec;
+      rec.step = step_index_;
+      rec.recovered = res.ok;
+      rec.retries = res.retries;
+      // Reconstruct the attempted dt sequence (every retry applied one cut,
+      // so walk back up from the final attempt's dt).
+      const std::size_t attempts = res.failures.size() + (res.ok ? 1u : 0u);
+      rec.dt_history.assign(attempts, 0.0);
+      Real d = res.dt_used;
+      for (std::size_t i = attempts; i-- > 0;) {
+        rec.dt_history[i] = d;
+        d /= opts_.dt_cut_factor;
+      }
+      rec.failures = res.failures;
+      report.add_safeguard(std::move(rec));
+    }
+    if (res.ok) {
+      obs::PopulationRecord pr;
+      pr.step = step_index_;
+      pr.injected = res.report.population.injected;
+      pr.removed = res.report.population.removed;
+      pr.deficient = res.report.population.deficient_elements;
+      pr.min_per_cell = res.report.population.min_per_cell;
+      pr.max_per_cell = res.report.population.max_per_cell;
+      report.add_population(pr);
+    }
   }
   if (!res.ok) metrics.counter("safeguard.unrecovered_steps").inc();
   return res;

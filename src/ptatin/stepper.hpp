@@ -1,25 +1,39 @@
-// Timestep safeguard tier: checkpoint rollback + adaptive-dt retry.
+// Timestep safeguard tier: checkpoint rollback + adaptive-dt retry, plus the
+// run-health watchdog and durable checkpoint rotation.
 //
 // Long runs (1500-2000 steps, §V-A) cannot afford to die on one bad step.
 // SafeguardedStepper wraps PtatinContext::step: it snapshots the full model
 // state in memory before each step, detects failure afterwards (nonlinear
-// failure report, thrown Error, or non-finite fields), and on failure rolls
-// the state back and retries with dt * dt_cut_factor, up to max_retries
-// times. After a successful recovery the step size grows back gradually
-// (dt_grow_factor per clean step) instead of jumping straight to the CFL
-// suggestion that just failed. Full taxonomy and knobs: docs/ROBUSTNESS.md.
+// failure report, thrown Error, non-finite fields, or a failed health
+// check), and on failure rolls the state back and retries with
+// dt * dt_cut_factor, up to max_retries times. After a successful recovery
+// the step size grows back gradually (dt_grow_factor per clean step) instead
+// of jumping straight to the CFL suggestion that just failed. Full taxonomy
+// and knobs: docs/ROBUSTNESS.md.
+//
+// The health watchdog (src/ptatin/health.hpp) runs inside the attempt loop
+// every health_every steps and on every step that is about to be durably
+// checkpointed, so a poisoned state is rolled back and retried instead of
+// being published to disk. When checkpoint_dir is set, every
+// checkpoint_every-th successful (and healthy) step is saved through a
+// CheckpointRotation (atomic publication, CRC-verified sections, last
+// checkpoint_keep files kept); resume() restores the step counter, simulated
+// time, and dt recovery cap from a loaded CheckpointMeta.
 //
 // Plain iteration-budget exhaustion is NOT treated as failure — loosely
 // converged steps are business as usual for inexact time stepping; only
-// fatal diagnoses (NaN, divergence, stagnation, linear breakdown) trigger a
-// rollback.
+// fatal diagnoses (NaN, divergence, stagnation, linear breakdown, health
+// trips) trigger a rollback.
 #pragma once
 
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "ptatin/checkpoint.hpp"
 #include "ptatin/context.hpp"
+#include "ptatin/health.hpp"
 
 namespace ptatin {
 
@@ -29,6 +43,16 @@ struct SafeguardOptions {
   Real dt_grow_factor = 1.5; ///< cap growth per clean step after a cut
   Real dt_min = 0.0;         ///< give up when the retry dt would drop below
   bool check_fields = true;  ///< NaN/Inf scan of u/p/T after each step
+
+  // Run-health watchdog (docs/ROBUSTNESS.md).
+  int health_every = 0;      ///< full health check every N steps (0 = only
+                             ///< before checkpoint saves)
+  HealthOptions health;
+
+  // Durable checkpoint rotation ("" = no on-disk checkpoints).
+  std::string checkpoint_dir;
+  int checkpoint_every = 0;  ///< save cadence in steps (0 = off)
+  int checkpoint_keep = 3;   ///< checkpoints retained in the rotation
 };
 
 /// Outcome of one safeguarded step (possibly several attempts).
@@ -38,6 +62,7 @@ struct SafeguardedStepResult {
   int retries = 0;    ///< rollbacks taken before success / giving up
   StepReport report;  ///< per-stage stats of the final attempt
   std::vector<std::string> failures; ///< failure reason per failed attempt
+  std::string checkpoint_path; ///< durable checkpoint published this step
 };
 
 class SafeguardedStepper {
@@ -50,6 +75,11 @@ public:
   /// earlier failures.
   SafeguardedStepResult advance(Real dt);
 
+  /// Resume the step counter, simulated time, and dt recovery cap from a
+  /// restored checkpoint (CheckpointMeta from load_checkpoint or
+  /// CheckpointRotation::load_latest).
+  void resume(const CheckpointMeta& meta);
+
   /// The requested dt after applying the recovery cap (what advance() will
   /// actually attempt first).
   Real clamp_dt(Real dt) const { return dt < dt_cap_ ? dt : dt_cap_; }
@@ -59,6 +89,10 @@ public:
   Real dt_cap() const { return dt_cap_; }
 
   int steps_taken() const { return step_index_; }
+  Real sim_time() const { return sim_time_; }
+
+  /// The durable rotation, when checkpoint_dir was configured.
+  CheckpointRotation* rotation() { return rotation_.get(); }
 
 private:
   /// Empty string = clean step; otherwise the failure diagnosis.
@@ -66,7 +100,9 @@ private:
 
   PtatinContext& ctx_;
   SafeguardOptions opts_;
+  std::unique_ptr<CheckpointRotation> rotation_;
   Real dt_cap_ = std::numeric_limits<Real>::infinity();
+  Real sim_time_ = 0.0;
   int step_index_ = 0; ///< 1-based, counts advance() calls
 };
 

@@ -5,8 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <string>
 
+#include "common/crc32.hpp"
 #include "common/error.hpp"
 #include "common/faultinject.hpp"
 #include "ksp/cg.hpp"
@@ -16,9 +19,12 @@
 #include "ksp/richardson.hpp"
 #include "la/coo.hpp"
 #include "nonlin/newton.hpp"
+#include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "ptatin/checkpoint.hpp"
 #include "ptatin/context.hpp"
+#include "ptatin/exit_codes.hpp"
+#include "ptatin/health.hpp"
 #include "ptatin/models_sinker.hpp"
 #include "ptatin/stepper.hpp"
 #include "rheology/flow_law.hpp"
@@ -423,6 +429,329 @@ TEST_F(Robustness, StepperToleratesSnapshotFailure) {
   EXPECT_EQ(res.retries, 0);
 }
 
+// --- durable checkpoints: format, integrity, rotation ------------------------
+
+/// Fresh scratch directory per test, removed on destruction.
+struct ScratchDir {
+  explicit ScratchDir(const std::string& tag)
+      : path((std::filesystem::temp_directory_path() /
+              ("ptatin_test_" + tag)).string()) {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string file(const std::string& name) const { return path + "/" + name; }
+  std::string path;
+};
+
+long long counter_value(const char* name) {
+  return obs::MetricsRegistry::instance().counter(name).value();
+}
+
+TEST_F(Robustness, Crc32MatchesKnownVectorAndChains) {
+  // IEEE 802.3 check value for the standard 9-byte test vector.
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0u);
+  // Chaining: crc of a buffer equals crc of its halves fed in sequence.
+  const char buf[] = "durable checkpoint payload";
+  const std::size_t n = sizeof(buf) - 1;
+  EXPECT_EQ(crc32(buf, n), crc32(buf + 10, n - 10, crc32(buf, 10)));
+}
+
+TEST_F(Robustness, CheckpointFileRoundTripIsBitwiseWithMeta) {
+  ScratchDir dir("ckpt_roundtrip");
+  PtatinContext ctx(make_sinker_model(tiny_sinker()), tiny_options());
+  ctx.step(0.005);
+  const StateDigest before = digest_state(ctx);
+
+  CheckpointMeta meta;
+  meta.step = 17;
+  meta.sim_time = 0.085;
+  meta.dt_cap = 0.0025;
+  save_checkpoint(dir.file("a.bin"), ctx, meta);
+
+  // No stray tmp file survives the atomic publication.
+  EXPECT_FALSE(std::filesystem::exists(dir.file("a.bin.tmp")));
+
+  PtatinContext fresh(make_sinker_model(tiny_sinker()), tiny_options());
+  EXPECT_NE(digest_state(fresh), before);
+  const CheckpointMeta back = load_checkpoint(dir.file("a.bin"), fresh);
+  EXPECT_EQ(back.step, 17);
+  EXPECT_DOUBLE_EQ(back.sim_time, 0.085);
+  EXPECT_DOUBLE_EQ(back.dt_cap, 0.0025);
+  EXPECT_EQ(digest_state(fresh), before);
+}
+
+TEST_F(Robustness, CheckpointReadFaultSurfacesBeforeCrcCheck) {
+  ScratchDir dir("ckpt_readfault");
+  PtatinContext ctx(make_sinker_model(tiny_sinker()), tiny_options());
+  save_checkpoint(dir.file("a.bin"), ctx);
+
+  auto& fi = fault::FaultInjector::instance();
+  ASSERT_TRUE(fi.arm_from_spec("checkpoint.read:1:error:1"));
+  EXPECT_THROW(load_checkpoint(dir.file("a.bin"), ctx), Error);
+  EXPECT_EQ(fi.injected(), 1);
+  // Fault consumed: the same (intact) file loads cleanly.
+  EXPECT_NO_THROW(load_checkpoint(dir.file("a.bin"), ctx));
+}
+
+TEST_F(Robustness, BitflipFaultCorruptsPublishedFileAndCrcCatchesIt) {
+  ScratchDir dir("ckpt_bitflip");
+  PtatinContext ctx(make_sinker_model(tiny_sinker()), tiny_options());
+  auto& fi = fault::FaultInjector::instance();
+  ASSERT_TRUE(fi.arm_from_spec("checkpoint.bitflip:1:error:1"));
+  save_checkpoint(dir.file("a.bin"), ctx);
+  fi.disarm_all();
+
+  PtatinContext fresh(make_sinker_model(tiny_sinker()), tiny_options());
+  const StateDigest untouched = digest_state(fresh);
+  EXPECT_THROW(load_checkpoint(dir.file("a.bin"), fresh), Error);
+  // Verify-before-apply: the failed load left the context untouched.
+  EXPECT_EQ(digest_state(fresh), untouched);
+}
+
+TEST_F(Robustness, TornWriteFaultTruncatesFileAndLoadFails) {
+  ScratchDir dir("ckpt_torn");
+  PtatinContext ctx(make_sinker_model(tiny_sinker()), tiny_options());
+  auto& fi = fault::FaultInjector::instance();
+  ASSERT_TRUE(fi.arm_from_spec("checkpoint.torn_write:1:error:1"));
+  save_checkpoint(dir.file("a.bin"), ctx);
+  fi.disarm_all();
+
+  EXPECT_THROW(load_checkpoint(dir.file("a.bin"), ctx), Error);
+}
+
+TEST_F(Robustness, RotationKeepsLastKWithManifest) {
+  ScratchDir dir("ckpt_rotation");
+  PtatinContext ctx(make_sinker_model(tiny_sinker()), tiny_options());
+  CheckpointRotation rot(dir.path, /*keep=*/2);
+
+  const long long pruned0 = counter_value("checkpoint.pruned");
+  for (int s = 1; s <= 4; ++s) {
+    CheckpointMeta meta;
+    meta.step = s;
+    rot.save(ctx, meta);
+  }
+  const std::vector<std::string> files = rot.list();
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_NE(files[0].find("ckpt_000003.bin"), std::string::npos);
+  EXPECT_NE(files[1].find("ckpt_000004.bin"), std::string::npos);
+  EXPECT_EQ(counter_value("checkpoint.pruned") - pruned0, 2);
+  EXPECT_TRUE(std::filesystem::exists(dir.file("manifest.json")));
+
+  // Newest wins on load.
+  CheckpointRotation::LoadResult lr = rot.load_latest(ctx);
+  EXPECT_EQ(lr.meta.step, 4);
+  EXPECT_TRUE(lr.skipped.empty());
+}
+
+TEST_F(Robustness, RotationFallsBackPastCorruptNewestCheckpoint) {
+  ScratchDir dir("ckpt_fallback");
+  PtatinContext ctx(make_sinker_model(tiny_sinker()), tiny_options());
+  ctx.step(0.005);
+  CheckpointRotation rot(dir.path, /*keep=*/3);
+
+  CheckpointMeta meta;
+  meta.step = 2;
+  rot.save(ctx, meta);
+  const StateDigest good = digest_state(ctx);
+
+  ctx.step(0.005);
+  meta.step = 4;
+  auto& fi = fault::FaultInjector::instance();
+  ASSERT_TRUE(fi.arm_from_spec("checkpoint.bitflip:1:error:1"));
+  rot.save(ctx, meta); // published, then silently corrupted
+  fi.disarm_all();
+
+  auto& report = obs::SolverReport::global();
+  report.state() = obs::StateRecord{};
+  const long long skipped0 = counter_value("checkpoint.corrupt_skipped");
+
+  PtatinContext fresh(make_sinker_model(tiny_sinker()), tiny_options());
+  CheckpointRotation::LoadResult lr = rot.load_latest(fresh);
+  EXPECT_EQ(lr.meta.step, 2);
+  ASSERT_EQ(lr.skipped.size(), 1u);
+  EXPECT_NE(lr.skipped[0].find("ckpt_000004.bin"), std::string::npos);
+  EXPECT_EQ(digest_state(fresh), good);
+  EXPECT_EQ(counter_value("checkpoint.corrupt_skipped") - skipped0, 1);
+
+  // The solver report's state section records the restart and the skip.
+  const obs::StateRecord& st = obs::SolverReport::global().state();
+  EXPECT_EQ(st.restarts, 1);
+  EXPECT_EQ(st.restart_step, 2);
+  EXPECT_EQ(st.restart_path, lr.path);
+  ASSERT_EQ(st.corrupt_skipped.size(), 1u);
+  report.state() = obs::StateRecord{};
+}
+
+TEST_F(Robustness, RotationThrowsWhenEveryCheckpointIsCorrupt) {
+  ScratchDir dir("ckpt_allbad");
+  PtatinContext ctx(make_sinker_model(tiny_sinker()), tiny_options());
+  CheckpointRotation rot(dir.path, 3);
+  auto& fi = fault::FaultInjector::instance();
+  ASSERT_TRUE(fi.arm_from_spec("checkpoint.bitflip:1:error:*"));
+  CheckpointMeta meta;
+  meta.step = 1;
+  rot.save(ctx, meta);
+  meta.step = 2;
+  rot.save(ctx, meta);
+  fi.disarm_all();
+  EXPECT_THROW(rot.load_latest(ctx), Error);
+}
+
+// --- run-health watchdog -----------------------------------------------------
+
+TEST_F(Robustness, HealthCheckPassesOnCleanStateAndCountsChecks) {
+  PtatinContext ctx(make_sinker_model(tiny_sinker()), tiny_options());
+  const long long checks0 = counter_value("health.checks");
+  const HealthReport hr = check_health(ctx);
+  EXPECT_TRUE(hr.ok);
+  EXPECT_EQ(hr.summary(), "ok");
+  EXPECT_EQ(hr.nonfinite_values, 0);
+  EXPECT_EQ(hr.inverted_elements, 0);
+  EXPECT_EQ(counter_value("health.checks") - checks0, 1);
+}
+
+TEST_F(Robustness, HealthCheckDetectsInjectedFieldNan) {
+  PtatinContext ctx(make_sinker_model(tiny_sinker()), tiny_options());
+  auto& fi = fault::FaultInjector::instance();
+  ASSERT_TRUE(fi.arm_from_spec("health.field_nan:1:error:1"));
+  const long long fails0 = counter_value("health.failures");
+  const HealthReport hr = check_health(ctx);
+  EXPECT_FALSE(hr.ok);
+  EXPECT_GE(hr.nonfinite_values, 1);
+  EXPECT_NE(hr.summary().find("non-finite"), std::string::npos);
+  EXPECT_EQ(counter_value("health.failures") - fails0, 1);
+}
+
+TEST_F(Robustness, HealthCheckDetectsRealNanInVelocity) {
+  PtatinContext ctx(make_sinker_model(tiny_sinker()), tiny_options());
+  ctx.mutable_velocity()[0] = std::nan("");
+  const HealthReport hr = check_health(ctx);
+  EXPECT_FALSE(hr.ok);
+  EXPECT_EQ(hr.nonfinite_values, 1);
+}
+
+TEST_F(Robustness, HealthCheckDetectsInvertedElement) {
+  PtatinContext ctx(make_sinker_model(tiny_sinker()), tiny_options());
+  // Collapse node 0 through the element: negative Jacobian at some
+  // quadrature point of the incident elements.
+  StructuredMesh& mesh = ctx.mutable_mesh();
+  Vec3 x0 = mesh.node_coord(0);
+  mesh.set_node_coord(0, Vec3{x0[0] + 0.9, x0[1] + 0.9, x0[2] + 0.9});
+  HealthOptions ho;
+  ho.check_population = false; // isolate the geometry check
+  const long long inv0 = counter_value("health.inverted_elements");
+  const HealthReport hr = check_health(ctx, ho);
+  EXPECT_FALSE(hr.ok);
+  EXPECT_GE(hr.inverted_elements, 1);
+  EXPECT_NE(hr.summary().find("inverted"), std::string::npos);
+  EXPECT_GE(counter_value("health.inverted_elements") - inv0, 1);
+}
+
+TEST_F(Robustness, StepperRecoversFromHealthTripByRollback) {
+  PtatinContext ctx(make_sinker_model(tiny_sinker()), tiny_options());
+  SafeguardOptions sg;
+  sg.health_every = 1;
+  SafeguardedStepper stepper(ctx, sg);
+
+  // The first attempt's health check trips; the retry (fault consumed)
+  // passes, so the step recovers exactly like a solver failure would.
+  auto& fi = fault::FaultInjector::instance();
+  ASSERT_TRUE(fi.arm_from_spec("health.field_nan:1:error:1"));
+
+  SafeguardedStepResult res = stepper.advance(0.01);
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(res.retries, 1);
+  ASSERT_EQ(res.failures.size(), 1u);
+  EXPECT_EQ(res.failures[0].rfind("health:", 0), 0u) << res.failures[0];
+}
+
+TEST_F(Robustness, StepperChecksHealthBeforeEveryDurableCheckpoint) {
+  ScratchDir dir("ckpt_health_gate");
+  PtatinContext ctx(make_sinker_model(tiny_sinker()), tiny_options());
+  SafeguardOptions sg;
+  sg.checkpoint_dir = dir.path;
+  sg.checkpoint_every = 1; // health is implied on every checkpointed step
+  sg.max_retries = 0;      // a health trip must fail the step outright
+  SafeguardedStepper stepper(ctx, sg);
+
+  auto& fi = fault::FaultInjector::instance();
+  ASSERT_TRUE(fi.arm_from_spec("health.field_nan:1:error:1"));
+  SafeguardedStepResult res = stepper.advance(0.005);
+  EXPECT_FALSE(res.ok);
+  EXPECT_TRUE(res.checkpoint_path.empty());
+  // The poisoned state was never published.
+  EXPECT_TRUE(CheckpointRotation(dir.path, 3).list().empty());
+  fi.disarm_all();
+
+  // Next step is clean and durably checkpointed.
+  res = stepper.advance(0.005);
+  EXPECT_TRUE(res.ok);
+  EXPECT_FALSE(res.checkpoint_path.empty());
+  EXPECT_TRUE(std::filesystem::exists(res.checkpoint_path));
+}
+
+// --- restart round trip ------------------------------------------------------
+
+TEST_F(Robustness, RestartReproducesUninterruptedRunBitwise) {
+  // Reference: four safeguarded steps straight through.
+  PtatinContext ref(make_sinker_model(tiny_sinker()), tiny_options());
+  SafeguardedStepper ref_stepper(ref);
+  for (int s = 0; s < 4; ++s)
+    ASSERT_TRUE(ref_stepper.advance(0.004).ok);
+  const StateDigest want = digest_state(ref);
+
+  // Same run, but checkpointing every second step.
+  ScratchDir dir("ckpt_restart");
+  PtatinContext a(make_sinker_model(tiny_sinker()), tiny_options());
+  SafeguardOptions sg;
+  sg.checkpoint_dir = dir.path;
+  sg.checkpoint_every = 2;
+  {
+    SafeguardedStepper stepper(a, sg);
+    for (int s = 0; s < 4; ++s)
+      ASSERT_TRUE(stepper.advance(0.004).ok);
+  }
+  // Checkpointing itself must not perturb the trajectory.
+  EXPECT_EQ(digest_state(a), want);
+
+  // "Kill" after step 2: drop the newest checkpoint, restart from disk, and
+  // integrate the remaining steps. The digest must match bit for bit.
+  std::filesystem::remove(dir.file("ckpt_000004.bin"));
+  PtatinContext b(make_sinker_model(tiny_sinker()), tiny_options());
+  SafeguardedStepper stepper(b, sg);
+  CheckpointRotation::LoadResult lr = stepper.rotation()->load_latest(b);
+  ASSERT_EQ(lr.meta.step, 2);
+  stepper.resume(lr.meta);
+  EXPECT_EQ(stepper.steps_taken(), 2);
+  for (int s = 0; s < 2; ++s)
+    ASSERT_TRUE(stepper.advance(0.004).ok);
+  EXPECT_EQ(digest_state(b), want);
+  obs::SolverReport::global().state() = obs::StateRecord{};
+}
+
+// --- driver exit taxonomy ----------------------------------------------------
+
+TEST_F(Robustness, DriverExitCodesAreStableAndDescribed) {
+  EXPECT_EQ(int(DriverExit::kSuccess), 0);
+  EXPECT_EQ(int(DriverExit::kSolverFailure), 1);
+  EXPECT_EQ(int(DriverExit::kUsageError), 2);
+  EXPECT_EQ(int(DriverExit::kCheckpointFailure), 3);
+  EXPECT_EQ(int(DriverExit::kHealthFailure), 4);
+  EXPECT_STREQ(describe(DriverExit::kSuccess), "success");
+  EXPECT_NE(std::string(describe(DriverExit::kSolverFailure)).find("solver"),
+            std::string::npos);
+  EXPECT_NE(
+      std::string(describe(DriverExit::kCheckpointFailure)).find("checkpoint"),
+      std::string::npos);
+  EXPECT_NE(std::string(describe(DriverExit::kHealthFailure)).find("health"),
+            std::string::npos);
+}
+
 // --- telemetry round trip ----------------------------------------------------
 
 TEST_F(Robustness, SafeguardSectionRoundTripsThroughJson) {
@@ -454,6 +783,49 @@ TEST_F(Robustness, SafeguardSectionRoundTripsThroughJson) {
   EXPECT_EQ(back.newton_solves()[0].failure,
             "stagnation (line search made no progress)");
   EXPECT_EQ(back.newton_solves()[0].fallbacks, 1);
+}
+
+TEST_F(Robustness, StateAndPopulationSectionsRoundTripThroughJson) {
+  obs::SolverReport rep;
+  obs::StateRecord& st = rep.state();
+  st.checkpoint_saves = 5;
+  st.checkpoint_save_failures = 1;
+  st.restarts = 1;
+  st.restart_step = 40;
+  st.restart_path = "/ckpt/ckpt_000040.bin";
+  st.corrupt_skipped = {"/ckpt/ckpt_000060.bin"};
+  st.health_checks = 6;
+  st.health_failures = 2;
+  st.health_repairs = 1;
+  obs::PopulationRecord pr;
+  pr.step = 3;
+  pr.injected = 12;
+  pr.removed = 4;
+  pr.deficient = 2;
+  pr.min_per_cell = 5;
+  pr.max_per_cell = 61;
+  rep.add_population(pr);
+
+  obs::SolverReport back = obs::SolverReport::parse(rep.to_json_string());
+  const obs::StateRecord& s = back.state();
+  EXPECT_EQ(s.checkpoint_saves, 5);
+  EXPECT_EQ(s.checkpoint_save_failures, 1);
+  EXPECT_EQ(s.restarts, 1);
+  EXPECT_EQ(s.restart_step, 40);
+  EXPECT_EQ(s.restart_path, "/ckpt/ckpt_000040.bin");
+  ASSERT_EQ(s.corrupt_skipped.size(), 1u);
+  EXPECT_EQ(s.corrupt_skipped[0], "/ckpt/ckpt_000060.bin");
+  EXPECT_EQ(s.health_checks, 6);
+  EXPECT_EQ(s.health_failures, 2);
+  EXPECT_EQ(s.health_repairs, 1);
+  ASSERT_EQ(back.population_events().size(), 1u);
+  const obs::PopulationRecord& p = back.population_events()[0];
+  EXPECT_EQ(p.step, 3);
+  EXPECT_EQ(p.injected, 12);
+  EXPECT_EQ(p.removed, 4);
+  EXPECT_EQ(p.deficient, 2);
+  EXPECT_EQ(p.min_per_cell, 5);
+  EXPECT_EQ(p.max_per_cell, 61);
 }
 
 } // namespace
