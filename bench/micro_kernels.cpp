@@ -3,6 +3,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <memory>
+#include <type_traits>
 
 #include "common/rng.hpp"
 #include "fem/basis.hpp"
@@ -63,6 +65,30 @@ void BM_TensorGradient(benchmark::State& state) {
 }
 BENCHMARK(BM_TensorGradient);
 
+template <int W>
+void bench_tensor_gradient_batched(benchmark::State& state) {
+  const auto& tab = q2_tabulation();
+  alignas(kSimdAlign) Real u[27 * W], gx[27 * W], gy[27 * W], gz[27 * W];
+  Rng rng(2);
+  for (auto& v : u) v = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    tensor_kernel::tensor_gradient_batched<W>(tab.B1, tab.D1, u, gx, gy, gz);
+    benchmark::DoNotOptimize(gx);
+    benchmark::DoNotOptimize(gy);
+    benchmark::DoNotOptimize(gz);
+  }
+  // Items = elements, so items/s is directly comparable to BM_TensorGradient.
+  state.SetItemsProcessed(state.iterations() * W);
+}
+void BM_TensorGradientBatched4(benchmark::State& state) {
+  bench_tensor_gradient_batched<4>(state);
+}
+void BM_TensorGradientBatched8(benchmark::State& state) {
+  bench_tensor_gradient_batched<8>(state);
+}
+BENCHMARK(BM_TensorGradientBatched4);
+BENCHMARK(BM_TensorGradientBatched8);
+
 void BM_ElementGeometry(benchmark::State& state) {
   StructuredMesh mesh = bench_mesh(4);
   ElementGeometry g;
@@ -76,22 +102,29 @@ void BM_ElementGeometry(benchmark::State& state) {
 BENCHMARK(BM_ElementGeometry);
 
 template <class Op>
-void bench_operator_apply(benchmark::State& state, Index m) {
+void bench_operator_apply(benchmark::State& state, Index m,
+                          int batch_width = 0) {
   StructuredMesh mesh = bench_mesh(m);
   SinkerParams sp;
   sp.mx = sp.my = sp.mz = m;
   QuadCoefficients coeff = sinker_coefficients(mesh, sp);
   DirichletBc bc = sinker_boundary_conditions(mesh);
-  Op op(mesh, coeff, &bc);
-  Vector x(op.rows(), 1.0), y;
+  std::unique_ptr<Op> op;
+  if constexpr (std::is_constructible_v<Op, const StructuredMesh&,
+                                        const QuadCoefficients&,
+                                        const DirichletBc*, int>)
+    op = std::make_unique<Op>(mesh, coeff, &bc, batch_width);
+  else
+    op = std::make_unique<Op>(mesh, coeff, &bc);
+  Vector x(op->rows(), 1.0), y;
   bc.zero_constrained(x);
   for (auto _ : state) {
-    op.apply(x, y);
+    op->apply(x, y);
     benchmark::DoNotOptimize(y.data());
   }
   state.SetItemsProcessed(state.iterations() * mesh.num_elements());
   state.counters["GF/s"] = benchmark::Counter(
-      state.iterations() * op.cost_model().flops_per_element *
+      state.iterations() * op->cost_model().flops_per_element *
           double(mesh.num_elements()) * 1e-9,
       benchmark::Counter::kIsRate);
 }
@@ -108,10 +141,27 @@ void BM_ApplyTensor(benchmark::State& state) {
 void BM_ApplyTensorC(benchmark::State& state) {
   bench_operator_apply<TensorCViscousOperator>(state, state.range(0));
 }
+// Batched variants (arg = batch width; docs/KERNELS.md). Same mesh as the
+// scalar Arg(8) rows, so time ratios are direct batching speedups.
+void BM_ApplyMfBatched(benchmark::State& state) {
+  bench_operator_apply<MfViscousOperator>(state, 8, int(state.range(0)));
+}
+void BM_ApplyTensorBatched(benchmark::State& state) {
+  bench_operator_apply<TensorViscousOperator>(state, 8, int(state.range(0)));
+}
+void BM_ApplyTensorCBatched(benchmark::State& state) {
+  bench_operator_apply<TensorCViscousOperator>(state, 8, int(state.range(0)));
+}
 BENCHMARK(BM_ApplyAsmb)->Arg(8)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ApplyMf)->Arg(8)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ApplyTensor)->Arg(8)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ApplyTensorC)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ApplyMfBatched)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ApplyTensorBatched)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ApplyTensorCBatched)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_PointLocation(benchmark::State& state) {
   StructuredMesh mesh = bench_mesh(8);

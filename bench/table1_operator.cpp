@@ -7,7 +7,13 @@
 // validated claim is the ORDERING and the relative speedups (Tens ~ several
 // times faster than Asmb and MF), not absolute milliseconds.
 //
+// In addition to the paper's four rows we time the cross-element SIMD-batched
+// variants of the matrix-free back-ends (MF[bW], Tens[bW], TensC[bW], with
+// W = -op_batch_width; docs/KERNELS.md). Batched applies are bitwise
+// identical to scalar, so their rows differ only in time.
+//
 // Usage: table1_operator [-m 12] [-reps 20] [-contrast 1e4]
+//                        [-op_batch_width 8]
 #include <cmath>
 #include <memory>
 
@@ -25,6 +31,11 @@ int main(int argc, char** argv) {
   const Index m = opts.get_index("m", 12);
   const int reps = opts.get_int("reps", 20);
   const Real contrast = opts.get_real("contrast", 1e4);
+  const int batch_width = opts.get_int("op_batch_width", 8);
+  if (batch_width != 0 && !is_batch_width(batch_width)) {
+    std::fprintf(stderr, "error: -op_batch_width must be 0, 4, or 8\n");
+    return 2;
+  }
 
   bench::banner(
       "Table I: viscous operator application cost (paper: SC14 Table I)");
@@ -52,6 +63,14 @@ int main(int argc, char** argv) {
   ops.push_back(std::make_unique<MfViscousOperator>(mesh, coeff, &bc));
   ops.push_back(std::make_unique<TensorViscousOperator>(mesh, coeff, &bc));
   ops.push_back(std::make_unique<TensorCViscousOperator>(mesh, coeff, &bc));
+  if (batch_width != 0) {
+    ops.push_back(
+        std::make_unique<MfViscousOperator>(mesh, coeff, &bc, batch_width));
+    ops.push_back(
+        std::make_unique<TensorViscousOperator>(mesh, coeff, &bc, batch_width));
+    ops.push_back(std::make_unique<TensorCViscousOperator>(mesh, coeff, &bc,
+                                                           batch_width));
+  }
 
   Vector x(ops[0]->rows()), y;
   Rng rng(1);
@@ -84,6 +103,7 @@ int main(int argc, char** argv) {
 
     obs::JsonValue row = obs::JsonValue::object();
     row["backend"] = obs::JsonValue(op->name());
+    row["batch_width"] = obs::JsonValue((long long)op->batch_width());
     row["flops_per_element"] = obs::JsonValue(cm.flops_per_element);
     row["bytes_pessimal"] = obs::JsonValue(cm.bytes_pessimal);
     row["bytes_perfect"] = obs::JsonValue(cm.bytes_perfect);

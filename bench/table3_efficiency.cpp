@@ -8,6 +8,7 @@
 // substitution note in table2_scaling.cpp / DESIGN.md).
 //
 // Usage: table3_efficiency [-grids 8,12,16] [-contrast 1e4]
+//                          [-op_batch_width 8]   (adds a Tens[bW] row)
 #include <sstream>
 
 #include "bench_common.hpp"
@@ -51,11 +52,25 @@ int main(int argc, char** argv) {
 
     const int levels = suggest_gmg_levels(m);
 
-    for (auto backend :
-         {FineOperatorType::kAssembled, FineOperatorType::kMatrixFree,
-          FineOperatorType::kTensor}) {
+    struct Config {
+      FineOperatorType backend;
+      int batch_width;
+    };
+    const int bw = opts.get_int("op_batch_width", 8);
+    const std::vector<Config> configs = {
+        {FineOperatorType::kAssembled, 0},
+        {FineOperatorType::kMatrixFree, 0},
+        {FineOperatorType::kTensor, 0},
+        // Cross-element SIMD-batched tensor back-end (docs/KERNELS.md):
+        // bitwise-identical applies, so iteration counts match Tens exactly
+        // and any E/C/s difference is pure kernel throughput.
+        {FineOperatorType::kTensor, bw},
+    };
+    for (const Config& cfg : configs) {
+      if (cfg.batch_width != 0 && !is_batch_width(cfg.batch_width)) continue;
       StokesSolverOptions so;
-      so.backend = backend;
+      so.backend = cfg.backend;
+      so.batch_width = cfg.batch_width;
       so.gmg.levels = levels;
       so.coarse_solve = GmgCoarseSolve::kAmg;
       so.amg.coarse_size = 400;
@@ -85,12 +100,9 @@ int main(int argc, char** argv) {
       const double solve_flops = fine_op.cost_model().flops_per_element * nel *
                                  fine_applies_per_it * res.stats.iterations;
 
-      const char* name = backend == FineOperatorType::kAssembled ? "Asmb"
-                         : backend == FineOperatorType::kMatrixFree ? "MF"
-                                                                    : "Tens";
       char grid[32];
       std::snprintf(grid, sizeof grid, "%lld^3", (long long)m);
-      tab.cell(name);
+      tab.cell(fine_op.name());
       tab.cell(grid);
       tab.cell(res_sec * 1e3, "%.2f");
       tab.cell(nel / res_sec, "%.3g");

@@ -3,7 +3,11 @@
 // coefficient tensor) are interchangeable LinearOperators producing
 // identical results at very different cost — the core idea of §III-D.
 //
-//   ./build/examples/operator_backends [-m 8]
+// The batched variants (MF[bW]/Tens[bW]/TensC[bW]) ride along to show the
+// cross-element SIMD path is a drop-in too — and bitwise identical, so its
+// "max diff" against the scalar instance of the same kernel prints 0.
+//
+//   ./build/examples/operator_backends [-m 8] [-op_batch_width 8]
 #include <cstdio>
 #include <memory>
 
@@ -30,6 +34,14 @@ int main(int argc, char** argv) {
   ops.push_back(std::make_unique<MfViscousOperator>(mesh, coeff, &bc));
   ops.push_back(std::make_unique<TensorViscousOperator>(mesh, coeff, &bc));
   ops.push_back(std::make_unique<TensorCViscousOperator>(mesh, coeff, &bc));
+  const int bw = opts.get_int("op_batch_width", 8);
+  if (is_batch_width(bw)) {
+    ops.push_back(std::make_unique<MfViscousOperator>(mesh, coeff, &bc, bw));
+    ops.push_back(
+        std::make_unique<TensorViscousOperator>(mesh, coeff, &bc, bw));
+    ops.push_back(
+        std::make_unique<TensorCViscousOperator>(mesh, coeff, &bc, bw));
+  }
 
   Vector x(ops[0]->rows());
   Rng rng(7);

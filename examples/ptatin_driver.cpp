@@ -119,6 +119,9 @@ int main(int argc, char** argv) {
         "  -dt X                              first-step dt (then CFL)\n"
         "  -cfl X                             CFL number (default 0.25)\n"
         "  -backend asmb|mf|tens|tensc        J_uu operator back-end\n"
+        "  -op_batch_width 0|4|8              cross-element SIMD batching of\n"
+        "                                     the matrix-free back-ends\n"
+        "                                     (0 = scalar, docs/KERNELS.md)\n"
         "  -levels N                          GMG levels (default auto)\n"
         "  -coarse amg|bjacobi|asmcg          coarse-grid solver\n"
         "  -newton true|false                 Newton linearization\n"
@@ -188,6 +191,12 @@ int main(int argc, char** argv) {
   po.nonlinear.use_newton = o.get_bool("newton", true);
   po.nonlinear.linear.backend =
       parse_backend(o.get_string("backend", "tens"));
+  po.nonlinear.linear.batch_width = o.get_int("op_batch_width", 0);
+  if (!is_batch_width(po.nonlinear.linear.batch_width) &&
+      po.nonlinear.linear.batch_width != 0) {
+    std::fprintf(stderr, "error: -op_batch_width must be 0, 4, or 8\n");
+    return int(DriverExit::kUsageError);
+  }
   const Index mres = o.get_index("mx", o.get_index("m", 8));
   po.nonlinear.linear.gmg.levels =
       o.get_int("levels", suggest_gmg_levels(mres));
@@ -348,6 +357,8 @@ int main(int argc, char** argv) {
     report.set_meta("model", name);
     report.set_meta("steps", std::to_string(steps));
     report.set_meta("backend", o.get_string("backend", "tens"));
+    report.set_meta("op_batch_width",
+                    std::to_string(o.get_int("op_batch_width", 0)));
     report.set_meta("driver", "ptatin_driver");
     if (obs::write_telemetry(telemetry_dir)) {
       std::printf("telemetry written: %s/{trace.json,solver_report.json}\n",

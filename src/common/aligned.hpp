@@ -9,9 +9,32 @@
 #include <new>
 #include <vector>
 
+// Lane-vectorization pragma for the cross-element batched kernels: applied to
+// the innermost loop over the batch lane index so each arithmetic statement
+// becomes one W-wide vector instruction. Falls back to a plain loop when
+// OpenMP is disabled (the loops are trivially countable, so compilers usually
+// auto-vectorize them anyway).
+#ifdef _OPENMP
+#define PT_SIMD _Pragma("omp simd")
+#else
+#define PT_SIMD
+#endif
+
 namespace ptatin {
 
 inline constexpr std::size_t kSimdAlign = 64;
+
+/// Supported cross-element batch widths (SIMD lanes per batch). W doubles are
+/// gathered into SoA lane buffers (value index major, lane minor) so the 1-D
+/// tensor contractions vectorize across elements; 8 lanes fill one AVX-512
+/// register (one cache line) of doubles, 4 fill an AVX2 register.
+inline constexpr int kBatchWidths[] = {4, 8};
+
+inline constexpr bool is_batch_width(int w) {
+  for (int bw : kBatchWidths)
+    if (w == bw) return true;
+  return false;
+}
 
 /// Minimal aligned allocator for std::vector-backed kernel buffers.
 template <class T, std::size_t Align = kSimdAlign>

@@ -5,9 +5,16 @@
 // thin OpenMP layer so every kernel is written once and runs threaded; the
 // subdomain-decomposition layer (src/fem/decomposition.hpp) reproduces the
 // rank-local structure of the MPI code.
+//
+// Reductions are DETERMINISTIC: partial sums are formed over fixed-size index
+// chunks and combined in chunk order, so the result is bitwise identical for
+// any thread count. Residual histories and `-final_state` digests therefore
+// reproduce run to run, which the checkpoint/restart CI round trip relies on.
 #pragma once
 
 #include <cstddef>
+#include <limits>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -15,7 +22,34 @@
 #include <omp.h>
 #endif
 
+#if defined(__SANITIZE_THREAD__)
+#define PTATIN_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PTATIN_TSAN 1
+#endif
+#endif
+
+#ifdef PTATIN_TSAN
+#include <algorithm>
+#include <barrier>
+#include <thread>
+#endif
+
 namespace ptatin {
+
+// Under ThreadSanitizer the wrappers below swap their OpenMP execution for
+// std::thread teams ordered by std::barrier. GCC's libgomp synchronizes its
+// fork/join and `omp for` barriers with raw futexes TSan cannot intercept —
+// worse, the lowered outlined function reads the region's capture struct at
+// entry, before any user code could re-establish the edge — so every region
+// run by a reused pool thread reports phantom races against the serial code
+// around it. std::thread creation/join and std::barrier are C++-semantics
+// synchronization TSan models exactly: the phantom reports vanish while
+// real races between threads inside one phase (e.g. two threads scattering
+// to the same element node) remain fully visible. The TSan path partitions
+// indices statically like `schedule(static)`; results are identical, only
+// slower to launch — acceptable for a sanitizer test build.
 
 /// Number of threads the parallel_for loops will use.
 inline int num_threads() {
@@ -35,11 +69,42 @@ inline void set_num_threads(int n) {
 #endif
 }
 
+/// Run body(tid, nteam) once on every thread of a team — the SPMD building
+/// block; callers do their own index partitioning or dynamic scheduling
+/// (see CsrMatrix::multiply for an atomic block dispenser).
+template <class F>
+inline void parallel_team(F&& body) {
+#if defined(PTATIN_TSAN)
+  const int nt = std::max(1, num_threads());
+  if (nt == 1) {
+    body(0, 1);
+    return;
+  }
+  std::vector<std::thread> team;
+  team.reserve(static_cast<std::size_t>(nt - 1));
+  for (int t = 1; t < nt; ++t) team.emplace_back([&body, nt, t] { body(t, nt); });
+  body(0, nt);
+  for (auto& th : team) th.join();
+#elif defined(_OPENMP)
+#pragma omp parallel
+  body(omp_get_thread_num(), omp_get_num_threads());
+#else
+  body(0, 1);
+#endif
+}
+
 /// Parallel loop over [0, n). Body must be safe for concurrent invocation on
 /// disjoint indices.
 template <class F>
 inline void parallel_for(Index n, F&& body) {
-#ifdef _OPENMP
+#if defined(PTATIN_TSAN)
+  parallel_team([&](int tid, int nteam) {
+    const Index chunk = (n + nteam - 1) / nteam;
+    const Index lo = std::min<Index>(n, static_cast<Index>(tid) * chunk);
+    const Index hi = std::min<Index>(n, lo + chunk);
+    for (Index i = lo; i < hi; ++i) body(i);
+  });
+#elif defined(_OPENMP)
 #pragma omp parallel for schedule(static)
   for (Index i = 0; i < n; ++i) body(i);
 #else
@@ -47,35 +112,106 @@ inline void parallel_for(Index n, F&& body) {
 #endif
 }
 
-/// Parallel reduction (sum) over [0, n).
+/// Run `nphases` sequentially-dependent phases inside ONE parallel region.
+/// Phase p has count(p) iterations distributed across the team; a barrier
+/// separates consecutive phases. This replaces nphases fork/join cycles with
+/// a single fork — the colored element loops use it so one operator apply
+/// pays one fork/join instead of eight.
+///
+/// count(p) must return the same value on every thread (it is evaluated by
+/// each); body(p, i) must be race-free for concurrent i within one phase.
+template <class CountFn, class Body>
+inline void parallel_for_phased(int nphases, CountFn&& count, Body&& body) {
+#if defined(PTATIN_TSAN)
+  const int nt = std::max(1, num_threads());
+  std::barrier<> bar(nt);
+  parallel_team([&](int tid, int nteam) {
+    for (int p = 0; p < nphases; ++p) {
+      const Index n = count(p);
+      const Index chunk = (n + nteam - 1) / nteam;
+      const Index lo = std::min<Index>(n, static_cast<Index>(tid) * chunk);
+      const Index hi = std::min<Index>(n, lo + chunk);
+      for (Index i = lo; i < hi; ++i) body(p, i);
+      bar.arrive_and_wait(); // orders phase p before phase p+1
+    }
+  });
+#elif defined(_OPENMP)
+#pragma omp parallel
+  for (int p = 0; p < nphases; ++p) {
+    const Index n = count(p);
+    // The implicit barrier at the end of `omp for` orders the phases.
+#pragma omp for schedule(static)
+    for (Index i = 0; i < n; ++i) body(p, i);
+  }
+#else
+  for (int p = 0; p < nphases; ++p) {
+    const Index n = count(p);
+    for (Index i = 0; i < n; ++i) body(p, i);
+  }
+#endif
+}
+
+/// Chunk length of the deterministic reductions. Fixed (independent of the
+/// thread count) so the combine tree — and thus the rounding — never changes.
+inline constexpr Index kReduceChunk = 1024;
+
+/// Parallel reduction (sum) over [0, n), deterministic: per-chunk partial
+/// sums are accumulated left-to-right within each fixed-size chunk and then
+/// combined in chunk-index order. Bitwise-reproducible at any thread count.
 template <class F>
 inline Real parallel_reduce_sum(Index n, F&& body) {
+  if (n <= 0) return 0.0;
+  const Index nchunks = (n + kReduceChunk - 1) / kReduceChunk;
+  if (nchunks == 1) {
+    Real sum = 0.0;
+    for (Index i = 0; i < n; ++i) sum += body(i);
+    return sum;
+  }
+  std::vector<Real> partial(static_cast<std::size_t>(nchunks));
+  parallel_for(nchunks, [&](Index c) {
+    const Index lo = c * kReduceChunk;
+    const Index hi = lo + kReduceChunk < n ? lo + kReduceChunk : n;
+    Real sum = 0.0;
+    for (Index i = lo; i < hi; ++i) sum += body(i);
+    partial[static_cast<std::size_t>(c)] = sum;
+  });
   Real sum = 0.0;
-#ifdef _OPENMP
-#pragma omp parallel for schedule(static) reduction(+ : sum)
-  for (Index i = 0; i < n; ++i) sum += body(i);
-#else
-  for (Index i = 0; i < n; ++i) sum += body(i);
-#endif
+  for (Index c = 0; c < nchunks; ++c)
+    sum += partial[static_cast<std::size_t>(c)];
   return sum;
 }
 
-/// Parallel reduction (max) over [0, n).
+/// Parallel reduction (max) over [0, n). The identity is -inf (lowest), NOT
+/// 0: an all-negative input must return its true maximum. An empty range
+/// returns lowest(). Chunked like parallel_reduce_sum — max is order-
+/// independent anyway, but the shared code path keeps every reduction on
+/// the same fenced parallel_for (no `omp reduction` combine).
 template <class F>
 inline Real parallel_reduce_max(Index n, F&& body) {
-  Real m = 0.0;
-#ifdef _OPENMP
-#pragma omp parallel for schedule(static) reduction(max : m)
-  for (Index i = 0; i < n; ++i) {
-    Real v = body(i);
-    if (v > m) m = v;
+  Real m = std::numeric_limits<Real>::lowest();
+  if (n <= 0) return m;
+  const Index nchunks = (n + kReduceChunk - 1) / kReduceChunk;
+  if (nchunks == 1) {
+    for (Index i = 0; i < n; ++i) {
+      Real v = body(i);
+      if (v > m) m = v;
+    }
+    return m;
   }
-#else
-  for (Index i = 0; i < n; ++i) {
-    Real v = body(i);
-    if (v > m) m = v;
-  }
-#endif
+  std::vector<Real> partial(static_cast<std::size_t>(nchunks), m);
+  parallel_for(nchunks, [&](Index c) {
+    const Index lo = c * kReduceChunk;
+    const Index hi = lo + kReduceChunk < n ? lo + kReduceChunk : n;
+    Real cm = std::numeric_limits<Real>::lowest();
+    for (Index i = lo; i < hi; ++i) {
+      Real v = body(i);
+      if (v > cm) cm = v;
+    }
+    partial[static_cast<std::size_t>(c)] = cm;
+  });
+  for (Index c = 0; c < nchunks; ++c)
+    if (partial[static_cast<std::size_t>(c)] > m)
+      m = partial[static_cast<std::size_t>(c)];
   return m;
 }
 

@@ -1,6 +1,7 @@
 #include "la/csr.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -154,32 +155,36 @@ CsrMatrix CsrMatrix::multiply(const CsrMatrix& a, const CsrMatrix& b) {
   std::vector<std::vector<Index>> row_cols(m);
   std::vector<std::vector<Real>> row_vals(m);
 
-#ifdef _OPENMP
-#pragma omp parallel
-#endif
-  {
+  // Rows vary wildly in fill, so schedule them dynamically: an atomic block
+  // dispenser replaces `omp for schedule(dynamic, 64)` so the identical code
+  // drives both the OpenMP team and the TSan std::thread team.
+  constexpr Index kRowBlock = 64;
+  std::atomic<Index> next_row{0};
+  parallel_team([&](int, int) {
     SparseAccumulator spa(n);
     std::vector<Index> cols;
-#ifdef _OPENMP
-#pragma omp for schedule(dynamic, 64)
-#endif
-    for (Index i = 0; i < m; ++i) {
-      cols.clear();
-      for (Index ka = a.row_ptr_[i]; ka < a.row_ptr_[i + 1]; ++ka) {
-        const Index k = a.col_idx_[ka];
-        const Real av = a.vals_[ka];
-        if (av == 0.0) continue;
-        for (Index kb = b.row_ptr_[k]; kb < b.row_ptr_[k + 1]; ++kb)
-          spa.scatter(b.col_idx_[kb], av * b.vals_[kb], i, cols);
+    for (Index blk = next_row.fetch_add(kRowBlock, std::memory_order_relaxed);
+         blk < m;
+         blk = next_row.fetch_add(kRowBlock, std::memory_order_relaxed)) {
+      const Index blk_end = std::min<Index>(m, blk + kRowBlock);
+      for (Index i = blk; i < blk_end; ++i) {
+        cols.clear();
+        for (Index ka = a.row_ptr_[i]; ka < a.row_ptr_[i + 1]; ++ka) {
+          const Index k = a.col_idx_[ka];
+          const Real av = a.vals_[ka];
+          if (av == 0.0) continue;
+          for (Index kb = b.row_ptr_[k]; kb < b.row_ptr_[k + 1]; ++kb)
+            spa.scatter(b.col_idx_[kb], av * b.vals_[kb], i, cols);
+        }
+        std::sort(cols.begin(), cols.end());
+        row_cols[i].assign(cols.begin(), cols.end());
+        row_vals[i].resize(cols.size());
+        for (std::size_t t = 0; t < cols.size(); ++t)
+          row_vals[i][t] = spa.value[cols[t]];
+        rp[i + 1] = static_cast<Index>(cols.size());
       }
-      std::sort(cols.begin(), cols.end());
-      row_cols[i].assign(cols.begin(), cols.end());
-      row_vals[i].resize(cols.size());
-      for (std::size_t t = 0; t < cols.size(); ++t)
-        row_vals[i][t] = spa.value[cols[t]];
-      rp[i + 1] = static_cast<Index>(cols.size());
     }
-  }
+  });
 
   for (Index i = 0; i < m; ++i) rp[i + 1] += rp[i];
   std::vector<Index> ci(rp[m]);

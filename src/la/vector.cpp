@@ -63,12 +63,16 @@ Real Vector::dot(const Vector& x) const {
   PT_ASSERT(x.size() == size());
   const Real* xp = x.data();
   const Real* yp = data();
+  // parallel_reduce_sum is deterministic (fixed-chunk combine order), so dot
+  // products — and the residual histories built from them — are bitwise
+  // reproducible at any thread count.
   return parallel_reduce_sum(size(), [&](Index i) { return xp[i] * yp[i]; });
 }
 
 Real Vector::norm2() const { return std::sqrt(dot(*this)); }
 
 Real Vector::norm_inf() const {
+  if (size() == 0) return 0.0; // reduce_max identity is -inf, not 0
   const Real* p = data();
   return parallel_reduce_max(size(), [&](Index i) { return std::abs(p[i]); });
 }

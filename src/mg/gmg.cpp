@@ -23,16 +23,19 @@ namespace {
 std::unique_ptr<ViscousOperatorBase> make_elem_op(FineOperatorType type,
                                                   const StructuredMesh& mesh,
                                                   const QuadCoefficients& coeff,
-                                                  const DirichletBc* bc) {
+                                                  const DirichletBc* bc,
+                                                  int batch_width) {
   switch (type) {
     case FineOperatorType::kAssembled:
       return std::make_unique<AsmbViscousOperator>(mesh, coeff, bc);
     case FineOperatorType::kMatrixFree:
-      return std::make_unique<MfViscousOperator>(mesh, coeff, bc);
+      return std::make_unique<MfViscousOperator>(mesh, coeff, bc, batch_width);
     case FineOperatorType::kTensor:
-      return std::make_unique<TensorViscousOperator>(mesh, coeff, bc);
+      return std::make_unique<TensorViscousOperator>(mesh, coeff, bc,
+                                                     batch_width);
     case FineOperatorType::kTensorC:
-      return std::make_unique<TensorCViscousOperator>(mesh, coeff, bc);
+      return std::make_unique<TensorCViscousOperator>(mesh, coeff, bc,
+                                                      batch_width);
   }
   PT_THROW("unknown fine operator type");
 }
@@ -72,8 +75,8 @@ GmgHierarchy::GmgHierarchy(const StructuredMesh& fine_mesh,
         levels_[l + 1].mesh, levels_[l].mesh, &levels_[l + 1].bc);
 
   // --- operators ----------------------------------------------------------------
-  finest.elem_op =
-      make_elem_op(opts.fine_type, finest.mesh, finest.coeff, &finest.bc);
+  finest.elem_op = make_elem_op(opts.fine_type, finest.mesh, finest.coeff,
+                                &finest.bc, opts.batch_width);
   finest.op = finest.elem_op.get();
 
   for (int l = L - 2; l >= 0; --l) {

@@ -34,6 +34,10 @@ enum class CoarseOperatorType {
 struct GmgOptions {
   int levels = 3;
   FineOperatorType fine_type = FineOperatorType::kTensor;
+  /// Cross-element SIMD batch width for the matrix-free finest-level
+  /// operator: 0 = scalar path, 4 or 8 = batched (docs/KERNELS.md). Batched
+  /// applies are bitwise identical to scalar, so this is a pure perf knob.
+  int batch_width = 0;
   CoarseOperatorType coarse_type = CoarseOperatorType::kGalerkin;
   int smooth_pre = 2;  ///< V(2,2) by default (§IV-A)
   int smooth_post = 2;

@@ -17,16 +17,19 @@ namespace {
 std::unique_ptr<ViscousOperatorBase> make_backend(FineOperatorType type,
                                                   const StructuredMesh& mesh,
                                                   const QuadCoefficients& coeff,
-                                                  const DirichletBc* bc) {
+                                                  const DirichletBc* bc,
+                                                  int batch_width) {
   switch (type) {
     case FineOperatorType::kAssembled:
       return std::make_unique<AsmbViscousOperator>(mesh, coeff, bc);
     case FineOperatorType::kMatrixFree:
-      return std::make_unique<MfViscousOperator>(mesh, coeff, bc);
+      return std::make_unique<MfViscousOperator>(mesh, coeff, bc, batch_width);
     case FineOperatorType::kTensor:
-      return std::make_unique<TensorViscousOperator>(mesh, coeff, bc);
+      return std::make_unique<TensorViscousOperator>(mesh, coeff, bc,
+                                                     batch_width);
     case FineOperatorType::kTensorC:
-      return std::make_unique<TensorCViscousOperator>(mesh, coeff, bc);
+      return std::make_unique<TensorCViscousOperator>(mesh, coeff, bc,
+                                                      batch_width);
   }
   PT_THROW("unknown backend");
 }
@@ -40,7 +43,7 @@ StokesSolver::StokesSolver(const StructuredMesh& mesh,
     : mesh_(mesh), bc_(bc), opts_(opts) {
   Timer t;
 
-  a_ = make_backend(opts.backend, mesh, coeff, &bc);
+  a_ = make_backend(opts.backend, mesh, coeff, &bc, opts.batch_width);
   if (opts.newton_operator) a_->set_newton(true);
   op_ = std::make_unique<StokesOperator>(mesh, *a_, bc);
   schur_ = std::make_unique<PressureMassSchur>(mesh, coeff);
@@ -113,7 +116,9 @@ StokesSolver::StokesSolver(const StructuredMesh& mesh,
       return pc;
     };
 
-    gmg_ = std::make_unique<GmgHierarchy>(mesh, coeff, bc, opts.gmg,
+    GmgOptions gmg_opts = opts.gmg;
+    gmg_opts.batch_width = opts.batch_width;
+    gmg_ = std::make_unique<GmgHierarchy>(mesh, coeff, bc, gmg_opts,
                                           bc_factory, coarse_factory);
     vpc_ = gmg_.get();
   } else {

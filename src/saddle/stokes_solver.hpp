@@ -32,6 +32,10 @@ enum class OuterKrylov { kGcr, kFgmres };
 
 struct StokesSolverOptions {
   FineOperatorType backend = FineOperatorType::kTensor;
+  /// Cross-element SIMD batch width for the matrix-free back-ends (0 =
+  /// scalar, 4 or 8 = batched; docs/KERNELS.md). Applies to the Krylov
+  /// operator and is forwarded to the GMG finest-level operator.
+  int batch_width = 0;
   VelocityPcType velocity_pc = VelocityPcType::kGmg;
   GmgOptions gmg;               ///< used when velocity_pc == kGmg
   GmgCoarseSolve coarse_solve = GmgCoarseSolve::kAmg;

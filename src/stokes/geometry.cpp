@@ -50,6 +50,69 @@ void element_geometry(const StructuredMesh& mesh, Index e, ElementGeometry& g) {
   compute_element_geometry(xe, g);
 }
 
+template <int W>
+void element_geometry_batch(const StructuredMesh& mesh, const Index* elems,
+                            ElementGeometryBatch<W>& g) {
+  const auto& geom = geom_tabulation();
+  const auto& tab = q2_tabulation();
+
+  // Gather corner coordinates into lanes: xe[v][r][lane].
+  alignas(kSimdAlign) Real xe[kQ1NodesPerEl][3][W];
+  for (int l = 0; l < W; ++l) {
+    Real xs[kQ1NodesPerEl][3];
+    mesh.element_corner_coords(elems[l], xs);
+    for (int v = 0; v < kQ1NodesPerEl; ++v)
+      for (int r = 0; r < 3; ++r) xe[v][r][l] = xs[v][r];
+  }
+
+  for (int q = 0; q < kQuadPerEl; ++q) {
+    // Per lane, the exact accumulation order of compute_element_geometry:
+    // J[3r+d] += xe[v][r] dN[q][v][d], v-major. This file is compiled with
+    // FP contraction pinned off (see CMakeLists.txt), so the lane-vectorized
+    // det3/inv3 below rounds identically to the scalar path.
+    alignas(kSimdAlign) Real J[9][W] = {};
+    for (int v = 0; v < kQ1NodesPerEl; ++v)
+      for (int r = 0; r < 3; ++r)
+        for (int d = 0; d < 3; ++d) {
+          const Real dn = geom.dN[q][v][d];
+          PT_SIMD
+          for (int l = 0; l < W; ++l) J[3 * r + d][l] += xe[v][r][l] * dn;
+        }
+
+    Real* ga = &g.gamma[q][0][0];
+    Real* wd = g.wdetj[q];
+    const Real wq = tab.w[q];
+    alignas(kSimdAlign) Real det[W];
+    PT_SIMD
+    for (int l = 0; l < W; ++l)
+      // det3 / inv3 of common/small_mat.hpp, expanded lane-wise with the
+      // identical expression trees so rounding matches the scalar path.
+      det[l] = J[0][l] * (J[4][l] * J[8][l] - J[5][l] * J[7][l]) -
+               J[1][l] * (J[3][l] * J[8][l] - J[5][l] * J[6][l]) +
+               J[2][l] * (J[3][l] * J[7][l] - J[4][l] * J[6][l]);
+    for (int l = 0; l < W; ++l) PT_DEBUG_ASSERT(det[l] > 0.0);
+    PT_SIMD
+    for (int l = 0; l < W; ++l) {
+      const Real id = Real(1) / det[l];
+      ga[0 * W + l] = (J[4][l] * J[8][l] - J[5][l] * J[7][l]) * id;
+      ga[1 * W + l] = (J[2][l] * J[7][l] - J[1][l] * J[8][l]) * id;
+      ga[2 * W + l] = (J[1][l] * J[5][l] - J[2][l] * J[4][l]) * id;
+      ga[3 * W + l] = (J[5][l] * J[6][l] - J[3][l] * J[8][l]) * id;
+      ga[4 * W + l] = (J[0][l] * J[8][l] - J[2][l] * J[6][l]) * id;
+      ga[5 * W + l] = (J[2][l] * J[3][l] - J[0][l] * J[5][l]) * id;
+      ga[6 * W + l] = (J[3][l] * J[7][l] - J[4][l] * J[6][l]) * id;
+      ga[7 * W + l] = (J[1][l] * J[6][l] - J[0][l] * J[7][l]) * id;
+      ga[8 * W + l] = (J[0][l] * J[4][l] - J[1][l] * J[3][l]) * id;
+      wd[l] = wq * det[l];
+    }
+  }
+}
+
+template void element_geometry_batch<4>(const StructuredMesh&, const Index*,
+                                        ElementGeometryBatch<4>&);
+template void element_geometry_batch<8>(const StructuredMesh&, const Index*,
+                                        ElementGeometryBatch<8>&);
+
 P1Frame element_p1_frame(const StructuredMesh& mesh, Index e) {
   Real xe[kQ1NodesPerEl][3];
   mesh.element_corner_coords(e, xe);

@@ -6,6 +6,7 @@
 // weighting for physical elements." Geometry is trilinear (8 corners).
 #pragma once
 
+#include "common/aligned.hpp"
 #include "common/small_mat.hpp"
 #include "common/types.hpp"
 #include "fem/basis.hpp"
@@ -33,6 +34,22 @@ P1Frame compute_p1_frame(const Real xe[kQ1NodesPerEl][3]);
 
 /// Convenience: gather corners and compute geometry for element e.
 void element_geometry(const StructuredMesh& mesh, Index e, ElementGeometry& g);
+
+/// Metric terms of W elements in SoA lane layout (lane = element in batch).
+/// Each lane holds exactly the values ElementGeometry would: the batched
+/// evaluation performs the scalar arithmetic per lane, so lanes are bitwise
+/// identical to per-element results. xq is omitted (the batched operator
+/// kernels never read it).
+template <int W>
+struct ElementGeometryBatch {
+  alignas(kSimdAlign) Real gamma[kQuadPerEl][9][W];
+  alignas(kSimdAlign) Real wdetj[kQuadPerEl][W];
+};
+
+/// Gather corners of elems[0..W) and compute their geometry lane-parallel.
+template <int W>
+void element_geometry_batch(const StructuredMesh& mesh, const Index* elems,
+                            ElementGeometryBatch<W>& g);
 
 P1Frame element_p1_frame(const StructuredMesh& mesh, Index e);
 

@@ -6,6 +6,7 @@
 // 3 * 2 * 3^4 = 4374 flops instead of 13122.
 #pragma once
 
+#include "common/aligned.hpp"
 #include "common/types.hpp"
 
 namespace ptatin {
@@ -75,6 +76,81 @@ inline void tensor_interpolate(const Real B[3][3], const Real* u, Real* out) {
   contract_axis<false>(B, 0, u, t1);
   contract_axis<false>(B, 1, t1, t2);
   contract_axis<false>(B, 2, t2, out);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-element batched variants (§III-D "vectorize over elements").
+//
+// Data layout: SoA lane buffers `v[node][lane]` — the value index is major,
+// the SIMD lane (element within the batch) minor, so every statement of the
+// scalar kernel becomes one W-wide vector instruction over the lane loop.
+// Each lane executes the scalar kernel's arithmetic in the scalar order, so
+// batched results are bitwise identical to the per-element path.
+// ---------------------------------------------------------------------------
+
+/// Batched contract_axis: in/out are [27][W] lane buffers.
+template <bool Transpose, int W>
+inline void contract_axis_batched(const Real M[3][3], int axis, const Real* in,
+                                  Real* out) {
+  const int stride = axis == 0 ? 1 : (axis == 1 ? 3 : 9);
+  const int s1 = axis == 0 ? 3 : 1;
+  const int s2 = axis == 2 ? 3 : 9;
+  for (int l2 = 0; l2 < 3; ++l2)
+    for (int l1 = 0; l1 < 3; ++l1) {
+      const int base = l1 * s1 + l2 * s2;
+      const Real* v0 = in + (base + 0 * stride) * W;
+      const Real* v1 = in + (base + 1 * stride) * W;
+      const Real* v2 = in + (base + 2 * stride) * W;
+      for (int q = 0; q < 3; ++q) {
+        const Real m0 = Transpose ? M[0][q] : M[q][0];
+        const Real m1 = Transpose ? M[1][q] : M[q][1];
+        const Real m2 = Transpose ? M[2][q] : M[q][2];
+        Real* o = out + (base + q * stride) * W;
+        PT_SIMD
+        for (int l = 0; l < W; ++l)
+          o[l] = m0 * v0[l] + m1 * v1[l] + m2 * v2[l];
+      }
+    }
+}
+
+/// Batched forward gradient: u, gx, gy, gz are [27][W] lane buffers.
+template <int W>
+inline void tensor_gradient_batched(const Real B[3][3], const Real D[3][3],
+                                    const Real* u, Real* gx, Real* gy,
+                                    Real* gz) {
+  alignas(kSimdAlign) Real t1[27 * W], t2[27 * W], t3[27 * W];
+  contract_axis_batched<false, W>(D, 0, u, t1);
+  contract_axis_batched<false, W>(B, 1, t1, t2);
+  contract_axis_batched<false, W>(B, 2, t2, gx);
+  contract_axis_batched<false, W>(B, 0, u, t1);
+  contract_axis_batched<false, W>(D, 1, t1, t2);
+  contract_axis_batched<false, W>(B, 2, t2, gy);
+  contract_axis_batched<false, W>(B, 1, t1, t3); // t1 = B_x u reused
+  contract_axis_batched<false, W>(D, 2, t3, gz);
+}
+
+/// Batched adjoint gradient: sx, sy, sz, y are [27][W] lane buffers.
+template <int W>
+inline void tensor_gradient_transpose_batched(const Real B[3][3],
+                                              const Real D[3][3],
+                                              const Real* sx, const Real* sy,
+                                              const Real* sz, Real* y) {
+  alignas(kSimdAlign) Real t1[27 * W], t2[27 * W], t3[27 * W];
+  contract_axis_batched<true, W>(B, 2, sx, t1);
+  contract_axis_batched<true, W>(B, 1, t1, t2);
+  contract_axis_batched<true, W>(D, 0, t2, t3);
+  PT_SIMD
+  for (int i = 0; i < 27 * W; ++i) y[i] += t3[i];
+  contract_axis_batched<true, W>(B, 2, sy, t1);
+  contract_axis_batched<true, W>(D, 1, t1, t2);
+  contract_axis_batched<true, W>(B, 0, t2, t3);
+  PT_SIMD
+  for (int i = 0; i < 27 * W; ++i) y[i] += t3[i];
+  contract_axis_batched<true, W>(D, 2, sz, t1);
+  contract_axis_batched<true, W>(B, 1, t1, t2);
+  contract_axis_batched<true, W>(B, 0, t2, t3);
+  PT_SIMD
+  for (int i = 0; i < 27 * W; ++i) y[i] += t3[i];
 }
 
 } // namespace tensor_kernel

@@ -10,11 +10,19 @@
 // any multigrid level. The MF and Tensor back-ends optionally apply the
 // Newton linearization term eta' (D0 : D(du)) D0 of §III-A; the assembled
 // and TensorC back-ends are Picard-only (they exist to precondition).
+// The MF/Tens/TensC back-ends additionally support a cross-element BATCHED
+// execution path (batch_width = 4 or 8): within each color, W elements are
+// gathered into 64-byte-aligned SoA lane buffers and the element kernel runs
+// lane-vectorized across them (docs/KERNELS.md). Batched applies are bitwise
+// identical to the scalar path — each lane performs the scalar arithmetic in
+// the scalar order — so a batched operator is drop-in anywhere the scalar one
+// is, including as an MG smoother operator.
 #pragma once
 
 #include <memory>
 #include <string>
 
+#include "common/aligned.hpp"
 #include "common/parallel.hpp"
 #include "fem/bc.hpp"
 #include "fem/dofmap.hpp"
@@ -36,10 +44,15 @@ struct OperatorCostModel {
 
 class ViscousOperatorBase : public LinearOperator {
 public:
+  /// batch_width: 0 = per-element scalar path; 4 or 8 = cross-element SIMD
+  /// batches (only meaningful for the matrix-free back-ends; the assembled
+  /// back-end ignores it).
   ViscousOperatorBase(const StructuredMesh& mesh, const QuadCoefficients& coeff,
-                      const DirichletBc* bc)
-      : mesh_(mesh), coeff_(coeff), bc_(bc) {
+                      const DirichletBc* bc, int batch_width = 0)
+      : mesh_(mesh), coeff_(coeff), bc_(bc), batch_width_(batch_width) {
     PT_ASSERT(coeff.num_elements() == mesh.num_elements());
+    PT_ASSERT_MSG(batch_width == 0 || is_batch_width(batch_width),
+                  "batch width must be 0 (scalar), 4, or 8");
   }
 
   Index rows() const override { return num_velocity_dofs(mesh_); }
@@ -66,14 +79,22 @@ public:
   const StructuredMesh& mesh() const { return mesh_; }
   const QuadCoefficients& coefficients() const { return coeff_; }
   const DirichletBc* bc() const { return bc_; }
+  int batch_width() const { return batch_width_; }
 
 protected:
   virtual void apply_unmasked(const Vector& x, Vector& y) const = 0;
+
+  /// "Name" or "Name[bW]" for the batched variants (Table I row labels).
+  std::string decorated_name(const char* base) const {
+    if (batch_width_ == 0) return base;
+    return std::string(base) + "[b" + std::to_string(batch_width_) + "]";
+  }
 
   const StructuredMesh& mesh_;
   const QuadCoefficients& coeff_;
   const DirichletBc* bc_;
   bool newton_ = false;
+  int batch_width_ = 0;
   mutable Vector work_;
 };
 
@@ -108,22 +129,30 @@ private:
 class MfViscousOperator : public ViscousOperatorBase {
 public:
   using ViscousOperatorBase::ViscousOperatorBase;
-  std::string name() const override { return "MF"; }
+  std::string name() const override { return decorated_name("MF"); }
   OperatorCostModel cost_model() const override;
 
 protected:
   void apply_unmasked(const Vector& x, Vector& y) const override;
+
+private:
+  template <int W>
+  void apply_batched(const Vector& x, Vector& y) const;
 };
 
 /// Sum-factorized tensor-product back-end (§III-D Eq. 19).
 class TensorViscousOperator : public ViscousOperatorBase {
 public:
   using ViscousOperatorBase::ViscousOperatorBase;
-  std::string name() const override { return "Tens"; }
+  std::string name() const override { return decorated_name("Tens"); }
   OperatorCostModel cost_model() const override;
 
 protected:
   void apply_unmasked(const Vector& x, Vector& y) const override;
+
+private:
+  template <int W>
+  void apply_batched(const Vector& x, Vector& y) const;
 };
 
 /// Stored-coefficient tensor back-end ("Tensor C"): per quadrature point the
@@ -135,8 +164,9 @@ protected:
 class TensorCViscousOperator : public ViscousOperatorBase {
 public:
   TensorCViscousOperator(const StructuredMesh& mesh,
-                         const QuadCoefficients& coeff, const DirichletBc* bc);
-  std::string name() const override { return "TensC"; }
+                         const QuadCoefficients& coeff, const DirichletBc* bc,
+                         int batch_width = 0);
+  std::string name() const override { return decorated_name("TensC"); }
   OperatorCostModel cost_model() const override;
   void set_newton(bool on) override {
     PT_ASSERT_MSG(!on, "TensorC back-end is Picard-only");
@@ -149,7 +179,10 @@ protected:
   void apply_unmasked(const Vector& x, Vector& y) const override;
 
 private:
-  std::vector<Real> gtilde_; ///< 9 * 27 * num_elements
+  template <int W>
+  void apply_batched(const Vector& x, Vector& y) const;
+
+  AlignedVector<Real> gtilde_; ///< 9 * 27 * num_elements
 };
 
 // ---------------------------------------------------------------------------
@@ -162,23 +195,70 @@ CsrMatrix assemble_viscous_matrix(const StructuredMesh& mesh,
 Vector compute_viscous_diagonal(const StructuredMesh& mesh,
                                 const QuadCoefficients& coeff);
 
-/// Loop over elements in 8 independent colors (parity classes) so that
-/// element scatters never race: same-colored Q2 elements share no nodes.
+/// Extent of one color (parity class) of the element lattice. Same-colored
+/// Q2 elements share no nodes, so element scatters within a color never race.
+struct ColorExtent {
+  Index ox, oy, oz; ///< lattice offset of the color
+  Index cx, cy, cz; ///< elements of this color per direction
+  Index count() const { return cx * cy * cz; }
+  /// t-th element of the color (lexicographic in the color sub-lattice).
+  Index element(const StructuredMesh& mesh, Index t) const {
+    const Index ei = ox + 2 * (t % cx);
+    const Index ej = oy + 2 * ((t / cx) % cy);
+    const Index ek = oz + 2 * (t / (cx * cy));
+    return mesh.element_index(ei, ej, ek);
+  }
+};
+
+inline ColorExtent color_extent(const StructuredMesh& mesh, int color) {
+  ColorExtent ce;
+  ce.ox = color & 1;
+  ce.oy = (color >> 1) & 1;
+  ce.oz = (color >> 2) & 1;
+  ce.cx = (mesh.mx() - ce.ox + 1) / 2;
+  ce.cy = (mesh.my() - ce.oy + 1) / 2;
+  ce.cz = (mesh.mz() - ce.oz + 1) / 2;
+  if (ce.cx <= 0 || ce.cy <= 0 || ce.cz <= 0) ce.cx = ce.cy = ce.cz = 0;
+  return ce;
+}
+
+/// Loop over elements in 8 independent colors. All 8 colors run inside ONE
+/// parallel region (barriers between colors), so an operator apply pays a
+/// single fork/join instead of eight (§III-D hot path).
 template <class Fn>
 void for_each_element_colored(const StructuredMesh& mesh, Fn&& fn) {
-  for (int color = 0; color < 8; ++color) {
-    const Index ox = color & 1, oy = (color >> 1) & 1, oz = (color >> 2) & 1;
-    const Index cx = (mesh.mx() - ox + 1) / 2;
-    const Index cy = (mesh.my() - oy + 1) / 2;
-    const Index cz = (mesh.mz() - oz + 1) / 2;
-    if (cx <= 0 || cy <= 0 || cz <= 0) continue;
-    parallel_for(cx * cy * cz, [&](Index t) {
-      const Index ei = ox + 2 * (t % cx);
-      const Index ej = oy + 2 * ((t / cx) % cy);
-      const Index ek = oz + 2 * (t / (cx * cy));
-      fn(mesh.element_index(ei, ej, ek));
-    });
-  }
+  parallel_for_phased(
+      8, [&](int color) { return color_extent(mesh, color).count(); },
+      [&](int color, Index t) {
+        fn(color_extent(mesh, color).element(mesh, t));
+      });
+}
+
+/// Batched colored loop: within each color, consecutive runs of W elements
+/// form one batch handed to `bfn(const Index elems[W])`; the ragged tail of
+/// each color (count % W elements) goes one-by-one to the scalar `sfn(e)`.
+/// Batches are disjoint within a color, so `bfn` may scatter to the W
+/// elements' nodes without synchronization.
+template <int W, class BatchFn, class ScalarFn>
+void for_each_element_batched_colored(const StructuredMesh& mesh, BatchFn&& bfn,
+                                      ScalarFn&& sfn) {
+  parallel_for_phased(
+      8,
+      [&](int color) {
+        const Index n = color_extent(mesh, color).count();
+        return n / W + n % W; // full batches, then tail elements
+      },
+      [&](int color, Index i) {
+        const ColorExtent ce = color_extent(mesh, color);
+        const Index nb = ce.count() / W;
+        if (i < nb) {
+          Index elems[W];
+          for (int l = 0; l < W; ++l) elems[l] = ce.element(mesh, i * W + l);
+          bfn(elems);
+        } else {
+          sfn(ce.element(mesh, nb * W + (i - nb)));
+        }
+      });
 }
 
 } // namespace ptatin

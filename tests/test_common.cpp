@@ -1,8 +1,11 @@
 // Unit tests for the common utilities module.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <limits>
 #include <thread>
+#include <vector>
 
 #include "common/aligned.hpp"
 #include "common/error.hpp"
@@ -55,6 +58,62 @@ TEST(Parallel, ReduceSumMatchesSerial) {
 TEST(Parallel, ReduceMaxFindsMax) {
   Real m = parallel_reduce_max(100, [](Index i) { return i == 57 ? 9.5 : 1.0; });
   EXPECT_DOUBLE_EQ(m, 9.5);
+}
+
+TEST(Parallel, ReduceMaxAllNegative) {
+  // Regression: the accumulator identity was 0.0, so an all-negative range
+  // silently reported 0 (wrong max, and exactly the kind of bug that turns a
+  // residual-norm divergence check into a no-op).
+  Real m = parallel_reduce_max(64, [](Index i) { return -1.0 - Real(i); });
+  EXPECT_DOUBLE_EQ(m, -1.0);
+}
+
+TEST(Parallel, ReduceMaxEmptyRangeIsIdentity) {
+  EXPECT_EQ(parallel_reduce_max(0, [](Index) { return 1.0; }),
+            std::numeric_limits<Real>::lowest());
+}
+
+TEST(Parallel, ReduceSumDeterministicAcrossThreadCounts) {
+  // A sum whose terms vary wildly in magnitude: any change in association
+  // order changes the rounded result, so bitwise equality across thread
+  // counts proves the fixed-chunk reduction is thread-count independent.
+  const Index n = 100000;
+  auto term = [](Index i) {
+    return std::pow(-1.0, Real(i % 2)) * std::pow(10.0, Real(i % 14) - 7.0);
+  };
+  const int saved = num_threads();
+  set_num_threads(1);
+  const Real s1 = parallel_reduce_sum(n, term);
+  set_num_threads(2);
+  const Real s2 = parallel_reduce_sum(n, term);
+  set_num_threads(8);
+  const Real s8 = parallel_reduce_sum(n, term);
+  set_num_threads(saved);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1, s8);
+}
+
+TEST(Parallel, ForPhasedCoversAllPhasesInOrder) {
+  // Each phase must complete before the next starts (barrier between
+  // phases), and every (phase, index) pair must be visited exactly once.
+  const int nphases = 5;
+  const Index per_phase[nphases] = {100, 0, 57, 1, 64};
+  std::vector<std::atomic<int>> hits(5 * 100);
+  for (auto& h : hits) h = 0;
+  std::atomic<int> done_before[nphases] = {};
+  std::atomic<int> order_violations{0};
+  parallel_for_phased(
+      nphases, [&](int p) { return per_phase[p]; },
+      [&](int p, Index i) {
+        // Work of earlier phases is complete when a later phase runs.
+        for (int q = 0; q < p; ++q)
+          if (done_before[q].load() != int(per_phase[q])) ++order_violations;
+        hits[p * 100 + i] += 1;
+        done_before[p] += 1;
+      });
+  EXPECT_EQ(order_violations.load(), 0);
+  for (int p = 0; p < nphases; ++p)
+    for (Index i = 0; i < per_phase[p]; ++i) EXPECT_EQ(hits[p * 100 + i], 1);
 }
 
 TEST(Timing, TimerIsMonotonic) {

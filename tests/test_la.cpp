@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "la/block_jacobi.hpp"
 #include "la/coo.hpp"
@@ -79,6 +80,41 @@ TEST(Vector, PointwiseOps) {
   EXPECT_DOUBLE_EQ(z[2], 2.0);
   z.pointwise_mult(y);
   EXPECT_DOUBLE_EQ(z[2], 8.0);
+}
+
+TEST(Vector, NormsAreBitwiseReproducibleAcrossThreadCounts) {
+  // dot/sum/norm2 use a fixed-chunk deterministic reduction: the association
+  // order depends only on the vector length, never on the thread count, so
+  // the results must be bitwise identical at 1, 2, and 8 threads. (Magnitude
+  // spread makes any reassociation visible in the last bits.)
+  const Index n = 70001; // not a multiple of the reduction chunk
+  Vector x(n), y(n);
+  Rng rng(7);
+  for (Index i = 0; i < n; ++i) {
+    x[i] = rng.uniform(-1, 1) * std::pow(10.0, Real(i % 12) - 6.0);
+    y[i] = rng.uniform(-1, 1);
+  }
+  const int saved = num_threads();
+  set_num_threads(1);
+  const Real d1 = x.dot(y), s1 = x.sum(), n1 = x.norm2();
+  set_num_threads(2);
+  const Real d2 = x.dot(y), s2 = x.sum(), n2 = x.norm2();
+  set_num_threads(8);
+  const Real d8 = x.dot(y), s8 = x.sum(), n8 = x.norm2();
+  set_num_threads(saved);
+  EXPECT_EQ(d1, d2);
+  EXPECT_EQ(d1, d8);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1, s8);
+  EXPECT_EQ(n1, n2);
+  EXPECT_EQ(n1, n8);
+}
+
+TEST(Vector, NormInfOfEmptyVectorIsZero) {
+  // Guards the parallel_reduce_max identity fix: an empty vector must report
+  // 0, not -inf/lowest().
+  Vector x(0);
+  EXPECT_EQ(x.norm_inf(), 0.0);
 }
 
 TEST(Vector, RemoveConstantZerosTheSum) {
