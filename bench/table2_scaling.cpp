@@ -9,32 +9,153 @@
 // (fixed 3-level hierarchy -> growing coarse problem, §IV-B) and
 // (b) time-to-solution ordering Tens < MF < Asmb.
 //
+// A second mode sweeps subdomain decompositions (docs/PARALLELISM.md)
+// instead of back-ends: -decomp 1x1x1,2x2x1,2x2x2 runs, per grid and shape,
+// timed raw fine-level operator applies plus a full solve, and reports the
+// halo traffic, iteration counts, and final residuals per px x py x pz.
+//
 // Usage: table2_scaling [-grids 8,12,16] [-contrast 1e4] [-rtol 1e-5]
-#include <sstream>
-
+//        table2_scaling -grids 16 -decomp 1x1x1,2x2x1,2x2x2 [-applies 40]
 #include "bench_common.hpp"
-#include "common/perf.hpp"
+#include "common/timing.hpp"
+#include "fem/subdomain_engine.hpp"
+#include "obs/perf.hpp"
 #include "obs/report.hpp"
+#include "ptatin/config.hpp"
 #include "ptatin/models_sinker.hpp"
 #include "saddle/stokes_solver.hpp"
 
 using namespace ptatin;
 
 namespace {
-std::vector<Index> parse_grids(const std::string& s) {
-  std::vector<Index> out;
-  std::stringstream ss(s);
-  std::string tok;
-  while (std::getline(ss, tok, ',')) out.push_back(std::stoll(tok));
-  return out;
+
+/// The -decomp sweep: per shape, timed raw Tensor-backend applies on the
+/// fine level (the quantity the engine parallelizes) and a full GMG solve.
+int run_decomp_sweep(const Options& opts, const std::vector<Index>& grids,
+                     Real contrast, Real rtol) {
+  const auto shapes = parse_decomp_shapes(opts.get_string("decomp", ""));
+  const int n_applies = opts.get_int("applies", 40);
+  // -solve false: raw-apply timing only (the CI perf smoke skips the full
+  // solves; the iteration-identity smoke keeps them).
+  const bool do_solve = opts.get_bool("solve", true);
+
+  bench::banner("Table II (decomposition sweep): fine-level apply and solve "
+                "vs subdomain shape");
+  std::printf("threads: %d, raw applies timed per shape: %d\n\n",
+              num_threads(), n_applies);
+
+  bench::Table tab({"Grid", "Decomp", "Apply(s)", "HaloMB", "Its", "FinalRes",
+                    "Solve(s)"});
+  tab.print_header();
+
+  obs::JsonValue rows = obs::JsonValue::array();
+  for (Index m : grids) {
+    SinkerParams sp;
+    sp.mx = sp.my = sp.mz = m;
+    sp.contrast = contrast;
+    StructuredMesh mesh = StructuredMesh::box(m, m, m, {0, 0, 0}, {1, 1, 1});
+    DirichletBc bc = sinker_boundary_conditions(mesh);
+    QuadCoefficients coeff = sinker_coefficients(mesh, sp);
+    Vector f = assemble_body_force(mesh, coeff, {0, 0, -9.8});
+    const int levels = suggest_gmg_levels(m);
+
+    for (const auto& shape : shapes) {
+      SolverConfig cfg;
+      cfg.decomp(shape[0], shape[1], shape[2]);
+      cfg.stokes().gmg.levels = levels;
+      cfg.stokes().krylov.rtol = rtol;
+      cfg.stokes().krylov.max_it = 500;
+      // Always drive the engine path — 1x1x1 is the single-subdomain
+      // baseline (one sequential sweep, no halo), so the sweep isolates the
+      // decomposition's thread scaling from the kernel itself.
+      auto eng = std::make_unique<SubdomainEngine>(mesh, shape[0], shape[1],
+                                                   shape[2]);
+
+      auto op = make_viscous_backend(
+          ViscousBackendSpec{FineOperatorType::kTensor, 0, eng.get()}, mesh,
+          coeff, &bc);
+      Vector x(op->rows()), y(op->rows());
+      for (Index i = 0; i < x.size(); ++i)
+        x[i] = std::sin(Real(0.37) * Real(i));
+      op->apply(x, y); // warm-up (builds scratch slabs)
+      if (eng) eng->reset_stats();
+      Timer t_apply;
+      for (int it = 0; it < n_applies; ++it) op->apply(x, y);
+      const double apply_seconds = t_apply.seconds();
+
+      StokesSolveResult res;
+      if (do_solve) {
+        auto solver = cfg.make_stokes_solver(mesh, coeff, bc, eng.get());
+        res = solver->solve(f);
+      }
+      const DecompStats st = eng->stats();
+
+      char grid[32], dec[32];
+      std::snprintf(grid, sizeof grid, "%lld^3", (long long)m);
+      std::snprintf(dec, sizeof dec, "%lldx%lldx%lld", (long long)shape[0],
+                    (long long)shape[1], (long long)shape[2]);
+      tab.cell(grid);
+      tab.cell(dec);
+      tab.cell(apply_seconds, "%.3f");
+      tab.cell(double(st.halo_bytes_sent) / (1024.0 * 1024.0), "%.1f");
+      tab.cell(long(res.stats.iterations));
+      tab.cell(res.stats.final_residual, "%.3e");
+      tab.cell(res.solve_seconds, "%.2f");
+      tab.endrow();
+      if (do_solve && !res.stats.converged)
+        std::printf("    WARNING: not converged (reached max_it)\n");
+
+      obs::JsonValue row = obs::JsonValue::object();
+      row["m"] = obs::JsonValue((long long)m);
+      row["px"] = obs::JsonValue((long long)shape[0]);
+      row["py"] = obs::JsonValue((long long)shape[1]);
+      row["pz"] = obs::JsonValue((long long)shape[2]);
+      row["threads"] = obs::JsonValue(num_threads());
+      row["applies"] = obs::JsonValue(n_applies);
+      row["apply_seconds"] = obs::JsonValue(apply_seconds);
+      row["halo_bytes_sent"] = obs::JsonValue(st.halo_bytes_sent);
+      row["halo_bytes_received"] = obs::JsonValue(st.halo_bytes_received);
+      row["exchange_seconds"] = obs::JsonValue(st.exchange_seconds);
+      row["interior_elements"] = obs::JsonValue((long long)st.interior_elements);
+      row["boundary_elements"] = obs::JsonValue((long long)st.boundary_elements);
+      row["levels"] = obs::JsonValue(levels);
+      row["solved"] = obs::JsonValue(do_solve);
+      row["iterations"] = obs::JsonValue(res.stats.iterations);
+      row["converged"] = obs::JsonValue(res.stats.converged);
+      row["final_residual"] = obs::JsonValue(res.stats.final_residual);
+      row["solve_seconds"] = obs::JsonValue(res.solve_seconds);
+      rows.push_back(std::move(row));
+    }
+  }
+
+  std::printf("\nexpected shape: identical iteration counts per grid across "
+              "decompositions; multi-subdomain apply time drops with "
+              "available threads.\n");
+
+  obs::JsonValue run = obs::JsonValue::object();
+  run["grids"] = obs::JsonValue(opts.get_string("grids", "8,12"));
+  run["decomp"] = obs::JsonValue(opts.get_string("decomp", ""));
+  run["contrast"] = obs::JsonValue(contrast);
+  run["rtol"] = obs::JsonValue(rtol);
+  run["rows"] = std::move(rows);
+  const std::string json_path = opts.get_string("json", "BENCH_table2.json");
+  if (obs::append_bench_run(json_path, "table2_scaling_decomp",
+                            std::move(run)))
+    std::printf("run appended to %s\n", json_path.c_str());
+  return 0;
 }
+
 } // namespace
 
 int main(int argc, char** argv) {
   Options opts = Options::from_args(argc, argv);
-  const auto grids = parse_grids(opts.get_string("grids", "8,12"));
+  const std::vector<Index> grids =
+      opts.has("grids") ? opts.get_index_list("grids")
+                        : std::vector<Index>{8, 12};
   const Real contrast = opts.get_real("contrast", 1e3);
   const Real rtol = opts.get_real("rtol", 1e-5);
+
+  if (opts.has("decomp")) return run_decomp_sweep(opts, grids, contrast, rtol);
 
   bench::banner("Table II: iterations and timing vs resolution "
                 "(sinker, 3-level GMG, SA-AMG coarse solve)");

@@ -20,7 +20,7 @@
 //
 // Usage: table4_pc_compare [-m 12] [-contrast 1e4]
 #include "bench_common.hpp"
-#include "common/perf.hpp"
+#include "obs/perf.hpp"
 #include "ptatin/models_sinker.hpp"
 #include "saddle/stokes_solver.hpp"
 

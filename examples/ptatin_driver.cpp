@@ -26,6 +26,7 @@
 #include "obs/perf.hpp"
 #include "obs/report.hpp"
 #include "ptatin/checkpoint.hpp"
+#include "ptatin/config.hpp"
 #include "ptatin/context.hpp"
 #include "ptatin/diagnostics.hpp"
 #include "ptatin/exit_codes.hpp"
@@ -40,17 +41,31 @@ using namespace ptatin;
 
 namespace {
 
-FineOperatorType parse_backend(const std::string& s) {
-  if (s == "asmb") return FineOperatorType::kAssembled;
-  if (s == "mf") return FineOperatorType::kMatrixFree;
-  if (s == "tensc") return FineOperatorType::kTensorC;
-  return FineOperatorType::kTensor;
-}
-
-GmgCoarseSolve parse_coarse(const std::string& s) {
-  if (s == "bjacobi") return GmgCoarseSolve::kBJacobiLu;
-  if (s == "asmcg") return GmgCoarseSolve::kAsmCg;
-  return GmgCoarseSolve::kAmg;
+/// Driver-level flags (model selection, run length, I/O); the solver flags
+/// are registered by SolverConfig::describe_options().
+void describe_driver_options() {
+  Options::describe("model", "sinker|rifting|subduction", "model selection");
+  Options::describe("m", "N", "mesh resolution (also -mx -my -mz)");
+  Options::describe("steps", "N",
+                    "total time steps (default 5; a restart resumes\n"
+                    "towards N)");
+  Options::describe("dt", "X", "first-step dt (then CFL)");
+  Options::describe("cfl", "X", "CFL number (default 0.25)");
+  Options::describe("output", "PREFIX", "VTK output prefix");
+  Options::describe("vtk_every", "N", "VTK cadence (0 = off)");
+  Options::describe("restart", "PATH",
+                    "resume: a checkpoint file, or a rotation DIR\n"
+                    "(newest that verifies)");
+  Options::describe("final_state", "FILE",
+                    "write a bitwise state digest JSON after the run\n"
+                    "(restart diffing)");
+  Options::describe("telemetry", "DIR",
+                    "write DIR/trace.json (Chrome trace_event) +\n"
+                    "DIR/solver_report.json");
+  Options::describe("faults", "SPEC",
+                    "arm fault injection, SPEC = site:nth[:kind[:count]],...");
+  Options::describe("verbose", "", "per-iteration logging");
+  Options::describe("help", "", "print this help and exit");
 }
 
 ModelSetup build_model(const Options& o, int& vertical_axis) {
@@ -110,53 +125,19 @@ bool write_final_state(const std::string& path, const PtatinContext& ctx,
 int main(int argc, char** argv) {
   Options o = Options::from_args(argc, argv);
   if (o.get_bool("help", false)) {
-    std::printf(
-        "ptatin_driver options:\n"
-        "  -model sinker|rifting|subduction   model selection\n"
-        "  -m N / -mx -my -mz                 mesh resolution\n"
-        "  -steps N                           total time steps (default 5;\n"
-        "                                     a restart resumes towards N)\n"
-        "  -dt X                              first-step dt (then CFL)\n"
-        "  -cfl X                             CFL number (default 0.25)\n"
-        "  -backend asmb|mf|tens|tensc        J_uu operator back-end\n"
-        "  -op_batch_width 0|4|8              cross-element SIMD batching of\n"
-        "                                     the matrix-free back-ends\n"
-        "                                     (0 = scalar, docs/KERNELS.md)\n"
-        "  -levels N                          GMG levels (default auto)\n"
-        "  -coarse amg|bjacobi|asmcg          coarse-grid solver\n"
-        "  -newton true|false                 Newton linearization\n"
-        "  -nonlinear_rtol X                  per-step ||F|| reduction\n"
-        "  -max_newton N                      Newton iteration cap\n"
-        "  -output PREFIX                     VTK output prefix\n"
-        "  -vtk_every N                       VTK cadence (0 = off)\n"
-        "  -checkpoint_dir DIR                durable checkpoint rotation\n"
-        "                                     (atomic publish, CRC-verified)\n"
-        "  -checkpoint_every N                checkpoint cadence (0 = off)\n"
-        "  -checkpoint_keep K                 checkpoints kept in DIR (default 3)\n"
-        "  -restart PATH                      resume: a checkpoint file, or a\n"
-        "                                     rotation DIR (newest that verifies)\n"
-        "  -health_every N                    health-check cadence in steps\n"
-        "                                     (0 = only before checkpoints)\n"
-        "  -final_state FILE                  write a bitwise state digest JSON\n"
-        "                                     after the run (restart diffing)\n"
-        "  -telemetry DIR                     write DIR/trace.json (Chrome\n"
-        "                                     trace_event) + DIR/solver_report.json\n"
-        "  -safeguard true|false              rollback/retry failed steps\n"
-        "                                     (default true, docs/ROBUSTNESS.md)\n"
-        "  -max_retries N                     dt-cut retries per step (default 3)\n"
-        "  -dt_cut_factor X                   dt multiplier per retry (default 0.5)\n"
-        "  -dt_grow X                         dt cap growth per clean step\n"
-        "  -dtol X                            Krylov divergence tolerance\n"
-        "  -picard_fallback true|false        Newton failure => Picard restart\n"
-        "  -faults SPEC                       arm fault injection, SPEC =\n"
-        "                                     site:nth[:kind[:count]],...\n"
-        "  -verbose                           per-iteration logging\n"
-        "exit codes:\n"
-        "  0  success\n"
-        "  1  unrecovered solver failure\n"
-        "  2  usage error (bad -model, malformed -faults, ...)\n"
-        "  3  checkpoint/restart failure\n"
-        "  4  health-check failure\n");
+    // The help text is generated from the registered option descriptions
+    // (common/options.hpp): driver flags here, solver flags from the
+    // unified configuration.
+    describe_driver_options();
+    SolverConfig::describe_options();
+    std::printf("ptatin_driver options:\n%s"
+                "exit codes:\n"
+                "  0  success\n"
+                "  1  unrecovered solver failure\n"
+                "  2  usage error (bad -model, malformed -faults, ...)\n"
+                "  3  checkpoint/restart failure\n"
+                "  4  health-check failure\n",
+                Options::help_text().c_str());
     return int(DriverExit::kSuccess);
   }
   if (o.get_bool("verbose", false)) set_log_level(LogLevel::kDebug);
@@ -182,52 +163,29 @@ int main(int argc, char** argv) {
   }
   const std::string name = setup.name;
 
-  PtatinOptions po;
-  po.points_per_dim = o.get_int("ppd", 3);
-  po.ale.vertical_axis = vertical_axis;
-  po.update_mesh = o.get_bool("ale", true);
-  po.nonlinear.max_it = o.get_int("max_newton", 5);
-  po.nonlinear.rtol = o.get_real("nonlinear_rtol", 1e-2);
-  po.nonlinear.use_newton = o.get_bool("newton", true);
-  po.nonlinear.linear.backend =
-      parse_backend(o.get_string("backend", "tens"));
-  po.nonlinear.linear.batch_width = o.get_int("op_batch_width", 0);
-  if (!is_batch_width(po.nonlinear.linear.batch_width) &&
-      po.nonlinear.linear.batch_width != 0) {
-    std::fprintf(stderr, "error: -op_batch_width must be 0, 4, or 8\n");
+  // All solver/stepper knobs (backend, GMG, decomposition, safeguard,
+  // checkpoints) come from the unified configuration.
+  SolverConfig cfg;
+  try {
+    cfg = SolverConfig::from_options(o);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
     return int(DriverExit::kUsageError);
   }
-  const Index mres = o.get_index("mx", o.get_index("m", 8));
-  po.nonlinear.linear.gmg.levels =
-      o.get_int("levels", suggest_gmg_levels(mres));
-  po.nonlinear.linear.coarse_solve =
-      parse_coarse(o.get_string("coarse", "amg"));
-  po.nonlinear.linear.amg.coarse_size = o.get_index("amg_coarse_size", 400);
-  po.nonlinear.linear.krylov.rtol = o.get_real("krylov_rtol", 1e-5);
-  po.nonlinear.linear.krylov.max_it = o.get_int("krylov_maxit", 500);
-  po.nonlinear.linear.krylov.dtol = o.get_real("dtol", 1e5);
-  po.nonlinear.fallback_to_picard = o.get_bool("picard_fallback", true);
+  cfg.ptatin().ale.vertical_axis = vertical_axis;
 
-  PtatinContext ctx(std::move(setup), po);
+  PtatinContext ctx(std::move(setup), cfg.ptatin());
 
   const int steps = o.get_int("steps", 5);
   const Real cfl = o.get_real("cfl", 0.25);
   const std::string prefix = o.get_string("output", "/tmp/" + name);
   const int vtk_every = o.get_int("vtk_every", 0);
-  const int ckpt_every = o.get_int("checkpoint_every", 0);
-  const std::string ckpt_dir = o.get_string("checkpoint_dir", "");
+  const SafeguardOptions& sg = cfg.safeguard();
+  const int ckpt_every = sg.checkpoint_every;
+  const std::string& ckpt_dir = sg.checkpoint_dir;
 
-  const bool safeguard = o.get_bool("safeguard", true);
-  SafeguardOptions sg;
-  sg.max_retries = o.get_int("max_retries", 3);
-  sg.dt_cut_factor = o.get_real("dt_cut_factor", 0.5);
-  sg.dt_grow_factor = o.get_real("dt_grow", 1.5);
-  sg.health_every = o.get_int("health_every", 0);
-  sg.health.population = po.population;
-  sg.checkpoint_dir = ckpt_dir;
-  sg.checkpoint_every = ckpt_every;
-  sg.checkpoint_keep = o.get_int("checkpoint_keep", 3);
-  SafeguardedStepper stepper(ctx, sg);
+  const bool safeguard = cfg.use_safeguard();
+  SafeguardedStepper stepper(ctx, cfg);
 
   // Restart: a rotation directory (newest checkpoint that verifies, with
   // automatic fallback over corrupt ones) or a single checkpoint file.
@@ -266,10 +224,13 @@ int main(int argc, char** argv) {
     }
   }
 
+  const auto dshape = cfg.decomp_shape();
   std::printf("== pTatin3D driver: model %s, %lld elements, %lld material "
-              "points, steps %d..%d ==\n",
+              "points, decomp %lldx%lldx%lld, steps %d..%d ==\n",
               name.c_str(), (long long)ctx.mesh().num_elements(),
-              (long long)ctx.points().size(), start_step + 1, steps);
+              (long long)ctx.points().size(), (long long)dshape[0],
+              (long long)dshape[1], (long long)dshape[2], start_step + 1,
+              steps);
 
   DriverExit outcome = DriverExit::kSuccess;
   double total = 0;
@@ -359,6 +320,9 @@ int main(int argc, char** argv) {
     report.set_meta("backend", o.get_string("backend", "tens"));
     report.set_meta("op_batch_width",
                     std::to_string(o.get_int("op_batch_width", 0)));
+    report.set_meta("decomp", std::to_string(dshape[0]) + "x" +
+                                  std::to_string(dshape[1]) + "x" +
+                                  std::to_string(dshape[2]));
     report.set_meta("driver", "ptatin_driver");
     if (obs::write_telemetry(telemetry_dir)) {
       std::printf("telemetry written: %s/{trace.json,solver_report.json}\n",

@@ -14,15 +14,26 @@ bool is_value_token(const char* tok) {
   const char c = tok[1];
   return c == '.' || (c >= '0' && c <= '9');
 }
+
+/// The registered option descriptions backing the generated -help text.
+std::map<std::string, std::pair<std::string, std::string>>& descriptions() {
+  static std::map<std::string, std::pair<std::string, std::string>> d;
+  return d;
+}
 } // namespace
+
+std::string Options::normalize(const std::string& key) {
+  std::size_t i = 0;
+  while (i < key.size() && key[i] == '-') ++i;
+  return key.substr(i);
+}
 
 Options Options::from_args(int argc, const char* const* argv) {
   Options opts;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.size() < 2 || arg[0] != '-' || is_value_token(argv[i])) continue;
-    // Accept GNU-style "--key" as a synonym for the PETSc-style "-key".
-    std::string key = arg.substr(arg[1] == '-' ? 2 : 1);
+    const std::string key = normalize(arg);
     if (key.empty()) continue;
     // A value follows unless the next token is another option or absent.
     if (i + 1 < argc && is_value_token(argv[i + 1])) {
@@ -36,36 +47,102 @@ Options Options::from_args(int argc, const char* const* argv) {
 }
 
 void Options::set(const std::string& key, const std::string& value) {
-  kv_[key] = value;
+  kv_[normalize(key)] = value;
 }
 
-bool Options::has(const std::string& key) const { return kv_.count(key) > 0; }
+bool Options::has(const std::string& key) const {
+  return kv_.count(normalize(key)) > 0;
+}
 
 std::string Options::get_string(const std::string& key,
                                 const std::string& dflt) const {
-  auto it = kv_.find(key);
+  auto it = kv_.find(normalize(key));
   return it == kv_.end() ? dflt : it->second;
 }
 
 Index Options::get_index(const std::string& key, Index dflt) const {
-  auto it = kv_.find(key);
+  auto it = kv_.find(normalize(key));
   return it == kv_.end() ? dflt : static_cast<Index>(std::stoll(it->second));
 }
 
 int Options::get_int(const std::string& key, int dflt) const {
-  auto it = kv_.find(key);
+  auto it = kv_.find(normalize(key));
   return it == kv_.end() ? dflt : std::stoi(it->second);
 }
 
 Real Options::get_real(const std::string& key, Real dflt) const {
-  auto it = kv_.find(key);
+  auto it = kv_.find(normalize(key));
   return it == kv_.end() ? dflt : std::stod(it->second);
 }
 
 bool Options::get_bool(const std::string& key, bool dflt) const {
-  auto it = kv_.find(key);
+  auto it = kv_.find(normalize(key));
   if (it == kv_.end()) return dflt;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> Options::get_list(const std::string& key) const {
+  std::vector<std::string> out;
+  auto it = kv_.find(normalize(key));
+  if (it == kv_.end()) return out;
+  const std::string& s = it->second;
+  // 'x' acts as a separator only for pure shape strings ("2x2x1") so that
+  // string lists containing 'x' ("mx_sweep,tensc") are not mangled.
+  bool shape = !s.empty();
+  for (char c : s)
+    shape = shape && ((c >= '0' && c <= '9') || c == 'x' || c == ',' ||
+                      c == ' ');
+  std::string cur;
+  for (char c : s) {
+    if (c == ',' || (shape && c == 'x')) {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else if (c != ' ') {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+std::vector<Index> Options::get_index_list(const std::string& key) const {
+  std::vector<Index> out;
+  for (const std::string& s : get_list(key))
+    out.push_back(static_cast<Index>(std::stoll(s)));
+  return out;
+}
+
+std::vector<Real> Options::get_real_list(const std::string& key) const {
+  std::vector<Real> out;
+  for (const std::string& s : get_list(key)) out.push_back(std::stod(s));
+  return out;
+}
+
+void Options::describe(const std::string& key, const std::string& value_hint,
+                       const std::string& help) {
+  descriptions()[normalize(key)] = {value_hint, help};
+}
+
+std::string Options::help_text() {
+  std::string out;
+  for (const auto& [key, vh] : descriptions()) {
+    std::string flag = "  -" + key;
+    if (!vh.first.empty()) flag += " " + vh.first;
+    // Pad the flag column, then emit the help text; continuation lines in
+    // the help string are indented to the same column.
+    constexpr std::size_t kCol = 38;
+    if (flag.size() + 2 > kCol) {
+      out += flag + "\n" + std::string(kCol, ' ');
+    } else {
+      out += flag + std::string(kCol - flag.size(), ' ');
+    }
+    for (char c : vh.second) {
+      out += c;
+      if (c == '\n') out += std::string(kCol, ' ');
+    }
+    out += '\n';
+  }
+  return out;
 }
 
 } // namespace ptatin

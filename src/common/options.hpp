@@ -1,11 +1,16 @@
 // PETSc-style options database: "-key value" command-line pairs with typed
 // accessors and defaults. Examples and benches use this to retune solvers
 // without recompiling, mirroring how pTatin3D is driven through PETSc options.
+//
+// Keys are normalized: "-key", "--key", and "key" all resolve to the same
+// entry, both when parsing argv and in every accessor, so call sites never
+// have to care which spelling the user typed.
 #pragma once
 
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -16,6 +21,7 @@ public:
   Options() = default;
 
   /// Parse "-key value" and bare "-flag" arguments (argv[0] is skipped).
+  /// "--key" is accepted as a synonym for "-key".
   static Options from_args(int argc, const char* const* argv);
 
   void set(const std::string& key, const std::string& value);
@@ -27,9 +33,30 @@ public:
   Real get_real(const std::string& key, Real dflt) const;
   bool get_bool(const std::string& key, bool dflt) const;
 
+  /// Comma-separated list value ("4,8,16"); absent key = empty vector. For
+  /// convenience 'x' is also accepted as a separator ("2x2x2"), so shapes
+  /// and grid sweeps share one list syntax.
+  std::vector<std::string> get_list(const std::string& key) const;
+  std::vector<Index> get_index_list(const std::string& key) const;
+  std::vector<Real> get_real_list(const std::string& key) const;
+
   const std::map<std::string, std::string>& entries() const { return kv_; }
 
+  // --- self-describing help ------------------------------------------------
+  /// Register an option description for the generated -help text. Repeated
+  /// registration of the same key overwrites (last wins). `value_hint` shows
+  /// next to the flag ("N", "px,py,pz", ...); empty = bare flag.
+  static void describe(const std::string& key, const std::string& value_hint,
+                       const std::string& help);
+
+  /// The generated help text: one "-key HINT  help" line per described
+  /// option, sorted by key, wrapped to a fixed flag column.
+  static std::string help_text();
+
 private:
+  /// "-key" / "--key" -> "key".
+  static std::string normalize(const std::string& key);
+
   std::map<std::string, std::string> kv_;
 };
 

@@ -36,7 +36,7 @@ Decomposition Decomposition::create(const StructuredMesh& mesh, Index px,
   for (Index rk = 0; rk < pz; ++rk)
     for (Index rj = 0; rj < py; ++rj)
       for (Index ri = 0; ri < px; ++ri) {
-        const Index rank = ri + px * (rj + py * rk);
+        const Index rank = d.rank_at(ri, rj, rk);
         Subdomain& s = d.subs_[rank];
         s.rank = rank;
         s.elo = {d.splits_x_[ri], d.splits_y_[rj], d.splits_z_[rk]};
@@ -50,7 +50,7 @@ Decomposition Decomposition::create(const StructuredMesh& mesh, Index px,
               if (ni < 0 || ni >= px || nj < 0 || nj >= py || nk < 0 ||
                   nk >= pz)
                 continue;
-              s.neighbors.push_back(ni + px * (nj + py * nk));
+              s.neighbors.push_back(d.rank_at(ni, nj, nk));
             }
       }
   return d;

@@ -46,6 +46,25 @@ public:
   Index px() const { return px_; }
   Index py() const { return py_; }
   Index pz() const { return pz_; }
+  Index mx() const { return mx_; }
+  Index my() const { return my_; }
+  Index mz() const { return mz_; }
+
+  /// Partition boundaries per direction (size p + 1; dir-rank r owns element
+  /// slabs [splits[r], splits[r+1])). The subdomain engine derives its node/
+  /// vertex halo planes from these.
+  const std::vector<Index>& splits_x() const { return splits_x_; }
+  const std::vector<Index>& splits_y() const { return splits_y_; }
+  const std::vector<Index>& splits_z() const { return splits_z_; }
+
+  /// Rank of the subdomain at grid position (ri, rj, rk).
+  Index rank_at(Index ri, Index rj, Index rk) const {
+    return ri + px_ * (rj + py_ * rk);
+  }
+  /// Inverse of rank_at.
+  std::array<Index, 3> dir_indices(Index rank) const {
+    return {rank % px_, (rank / px_) % py_, rank / (px_ * py_)};
+  }
 
   const Subdomain& subdomain(Index rank) const { return subs_[rank]; }
   const std::vector<Subdomain>& subdomains() const { return subs_; }

@@ -2,9 +2,9 @@
 
 #include <cstdio>
 
-#include "common/perf.hpp"
 #include "common/timing.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf.hpp"
 
 namespace ptatin {
 
@@ -16,30 +16,6 @@ std::string level_tag(const char* stage, int level) {
   std::snprintf(buf, sizeof buf, "%s(L%d)", stage, level);
   return buf;
 }
-} // namespace
-
-namespace {
-
-std::unique_ptr<ViscousOperatorBase> make_elem_op(FineOperatorType type,
-                                                  const StructuredMesh& mesh,
-                                                  const QuadCoefficients& coeff,
-                                                  const DirichletBc* bc,
-                                                  int batch_width) {
-  switch (type) {
-    case FineOperatorType::kAssembled:
-      return std::make_unique<AsmbViscousOperator>(mesh, coeff, bc);
-    case FineOperatorType::kMatrixFree:
-      return std::make_unique<MfViscousOperator>(mesh, coeff, bc, batch_width);
-    case FineOperatorType::kTensor:
-      return std::make_unique<TensorViscousOperator>(mesh, coeff, bc,
-                                                     batch_width);
-    case FineOperatorType::kTensorC:
-      return std::make_unique<TensorCViscousOperator>(mesh, coeff, bc,
-                                                      batch_width);
-  }
-  PT_THROW("unknown fine operator type");
-}
-
 } // namespace
 
 GmgHierarchy::GmgHierarchy(const StructuredMesh& fine_mesh,
@@ -75,8 +51,9 @@ GmgHierarchy::GmgHierarchy(const StructuredMesh& fine_mesh,
         levels_[l + 1].mesh, levels_[l].mesh, &levels_[l + 1].bc);
 
   // --- operators ----------------------------------------------------------------
-  finest.elem_op = make_elem_op(opts.fine_type, finest.mesh, finest.coeff,
-                                &finest.bc, opts.batch_width);
+  finest.elem_op = make_viscous_backend(
+      ViscousBackendSpec{opts.fine_type, opts.batch_width, opts.fine_decomp},
+      finest.mesh, finest.coeff, &finest.bc);
   finest.op = finest.elem_op.get();
 
   for (int l = L - 2; l >= 0; --l) {

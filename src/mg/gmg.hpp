@@ -23,7 +23,9 @@
 
 namespace ptatin {
 
-enum class FineOperatorType { kAssembled, kMatrixFree, kTensor, kTensorC };
+// FineOperatorType lives in stokes/viscous_ops.hpp (included above) next to
+// the make_viscous_backend factory; this header re-exports it transitively
+// for the existing call sites.
 
 /// How operators below the finest level are built.
 enum class CoarseOperatorType {
@@ -38,6 +40,11 @@ struct GmgOptions {
   /// operator: 0 = scalar path, 4 or 8 = batched (docs/KERNELS.md). Batched
   /// applies are bitwise identical to scalar, so this is a pure perf knob.
   int batch_width = 0;
+  /// Subdomain-parallel engine for the finest-level operator (borrowed, may
+  /// be null = global colored loop; docs/PARALLELISM.md). Coarse levels stay
+  /// on the global path — their assembled SpMV has no element sweep, and the
+  /// engine's halo plans only match the finest element grid.
+  const SubdomainEngine* fine_decomp = nullptr;
   CoarseOperatorType coarse_type = CoarseOperatorType::kGalerkin;
   int smooth_pre = 2;  ///< V(2,2) by default (§IV-A)
   int smooth_post = 2;

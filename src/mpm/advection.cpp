@@ -6,6 +6,7 @@
 #include "common/parallel.hpp"
 #include "fem/dofmap.hpp"
 #include "fem/point_location.hpp"
+#include "fem/subdomain_engine.hpp"
 #include "stokes/fields.hpp"
 
 namespace ptatin {
@@ -18,12 +19,13 @@ struct Flags {
 
 template <bool Rk2>
 AdvectionStats advect_impl(const StructuredMesh& mesh, const Vector& u,
-                           Real dt, MaterialPoints& points) {
+                           Real dt, MaterialPoints& points,
+                           const SubdomainEngine* engine) {
   AdvectionStats stats;
   const Index n = points.size();
   std::vector<std::uint8_t> lost(n, 0);
 
-  parallel_for(n, [&](Index i) {
+  auto advance = [&](Index i) {
     Index e = points.element(i);
     if (e < 0) {
       lost[i] = 1;
@@ -53,7 +55,31 @@ AdvectionStats advect_impl(const StructuredMesh& mesh, const Vector& u,
       points.invalidate_location(i);
       lost[i] = 1;
     }
-  });
+  };
+
+  if (engine != nullptr) {
+    // §II-D: each subdomain advects its own points. Per-point updates are
+    // independent, so the partitioned sweep is bitwise identical to the
+    // global parallel_for — the binning only changes which thread runs it.
+    const Decomposition& decomp = engine->decomposition();
+    std::vector<std::vector<Index>> bins(decomp.num_ranks());
+    for (Index i = 0; i < n; ++i) {
+      const Index e = points.element(i);
+      if (e < 0) {
+        lost[i] = 1;
+        continue;
+      }
+      bins[decomp.rank_of_element(mesh, e)].push_back(i);
+    }
+    const Index S = decomp.num_ranks();
+    parallel_for_phased(
+        1, [S](int) { return S; },
+        [&](int, Index s) {
+          for (Index i : bins[s]) advance(i);
+        });
+  } else {
+    parallel_for(n, advance);
+  }
 
   for (Index i = 0; i < n; ++i) {
     if (lost[i]) {
@@ -69,12 +95,18 @@ AdvectionStats advect_impl(const StructuredMesh& mesh, const Vector& u,
 
 AdvectionStats advect_points_rk2(const StructuredMesh& mesh, const Vector& u,
                                  Real dt, MaterialPoints& points) {
-  return advect_impl<true>(mesh, u, dt, points);
+  return advect_impl<true>(mesh, u, dt, points, nullptr);
+}
+
+AdvectionStats advect_points_rk2(const StructuredMesh& mesh, const Vector& u,
+                                 Real dt, MaterialPoints& points,
+                                 const SubdomainEngine* engine) {
+  return advect_impl<true>(mesh, u, dt, points, engine);
 }
 
 AdvectionStats advect_points_euler(const StructuredMesh& mesh, const Vector& u,
                                    Real dt, MaterialPoints& points) {
-  return advect_impl<false>(mesh, u, dt, points);
+  return advect_impl<false>(mesh, u, dt, points, nullptr);
 }
 
 Real compute_cfl_dt(const StructuredMesh& mesh, const Vector& u, Real cfl) {

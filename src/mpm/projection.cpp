@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "fem/basis.hpp"
+#include "fem/subdomain_engine.hpp"
 #include "stokes/fields.hpp"
 
 namespace ptatin {
@@ -42,12 +43,65 @@ ProjectionResult project_to_vertices(const StructuredMesh& mesh,
   return res;
 }
 
+ProjectionResult project_to_vertices(const StructuredMesh& mesh,
+                                     const MaterialPoints& points,
+                                     const std::vector<Real>& values,
+                                     Real fallback,
+                                     const SubdomainEngine* engine) {
+  if (engine == nullptr)
+    return project_to_vertices(mesh, points, values, fallback);
+  PT_ASSERT(static_cast<Index>(values.size()) == points.size());
+
+  // §II-D: every subdomain scatters only its own points. Binning by owning
+  // element box confines each subdomain's scatter to its touched vertex
+  // planes; bins keep ascending point order, so the accumulation order is
+  // fixed for a given decomposition shape (bitwise-reproducible at any
+  // thread count).
+  const Decomposition& decomp = engine->decomposition();
+  std::vector<std::vector<Index>> bins(decomp.num_ranks());
+  for (Index pidx = 0; pidx < points.size(); ++pidx) {
+    const Index e = points.element(pidx);
+    if (e < 0) continue;
+    bins[decomp.rank_of_element(mesh, e)].push_back(pidx);
+  }
+
+  // Value and weight interleaved per vertex: one halo exchange carries both.
+  std::vector<Real> vw(2 * static_cast<std::size_t>(mesh.num_vertices()), 0.0);
+  engine->accumulate_vertices(2, vw.data(), [&](Index s, Real* w) {
+    for (Index pidx : bins[s]) {
+      Index verts[kQ1NodesPerEl];
+      mesh.element_corner_vertices(points.element(pidx), verts);
+      const Vec3 xi = points.local_coord(pidx);
+      Real N[kQ1NodesPerEl];
+      const Real xiarr[3] = {xi[0], xi[1], xi[2]};
+      q1_eval(xiarr, N);
+      for (int v = 0; v < kQ1NodesPerEl; ++v) {
+        w[2 * verts[v] + 0] += N[v] * values[pidx];
+        w[2 * verts[v] + 1] += N[v];
+      }
+    }
+  });
+
+  ProjectionResult res;
+  res.vertex_values.resize(mesh.num_vertices(), 0.0);
+  for (Index v = 0; v < mesh.num_vertices(); ++v) {
+    if (vw[2 * v + 1] > 0) {
+      res.vertex_values[v] = vw[2 * v] / vw[2 * v + 1];
+    } else {
+      res.vertex_values[v] = fallback;
+      ++res.empty_vertices;
+    }
+  }
+  return res;
+}
+
 void project_to_quadrature(const StructuredMesh& mesh,
                            const MaterialPoints& points,
                            const std::vector<Real>& values,
-                           std::vector<Real>& out, Real fallback) {
+                           std::vector<Real>& out, Real fallback,
+                           const SubdomainEngine* engine) {
   const ProjectionResult pr =
-      project_to_vertices(mesh, points, values, fallback);
+      project_to_vertices(mesh, points, values, fallback, engine);
   evaluate_vertex_field_at_quadrature(mesh, pr.vertex_values, out);
 }
 

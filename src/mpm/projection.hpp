@@ -15,6 +15,8 @@
 
 namespace ptatin {
 
+class SubdomainEngine;
+
 struct ProjectionResult {
   Vector vertex_values; ///< f_i on the corner-vertex lattice
   Index empty_vertices = 0; ///< vertices with no point in support
@@ -28,11 +30,24 @@ ProjectionResult project_to_vertices(const StructuredMesh& mesh,
                                      const std::vector<Real>& values,
                                      Real fallback = 0.0);
 
+/// Subdomain-parallel projection (docs/PARALLELISM.md): points are binned by
+/// owning subdomain, every subdomain scatters its own points into a private
+/// value/weight slab over its vertex box, and the ghost vertex planes are
+/// halo-exchanged before the divide. Null engine = the serial path above.
+/// Deterministic for a fixed decomposition shape; agrees with the serial
+/// path to rounding (the per-vertex accumulation order differs).
+ProjectionResult project_to_vertices(const StructuredMesh& mesh,
+                                     const MaterialPoints& points,
+                                     const std::vector<Real>& values,
+                                     Real fallback,
+                                     const SubdomainEngine* engine);
+
 /// Convenience: project point values and interpolate to quadrature points
 /// (out[e*27+q]), fusing Eq. 12 and Eq. 13.
 void project_to_quadrature(const StructuredMesh& mesh,
                            const MaterialPoints& points,
                            const std::vector<Real>& values,
-                           std::vector<Real>& out, Real fallback = 0.0);
+                           std::vector<Real>& out, Real fallback = 0.0,
+                           const SubdomainEngine* engine = nullptr);
 
 } // namespace ptatin

@@ -15,7 +15,7 @@
 // analytic cost models live in one system.
 //
 // The public names (PerfEvent, PerfRegistry, PerfScope) are unchanged;
-// common/perf.hpp forwards here so existing call sites keep compiling.
+// (Formerly forwarded from common/perf.hpp; that shim has been removed.)
 #pragma once
 
 #include <deque>

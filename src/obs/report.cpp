@@ -25,6 +25,8 @@ void SolverReport::clear() {
   safeguards_.clear();
   population_.clear();
   state_ = StateRecord{};
+  decomp_ = DecompRecord{};
+  has_decomp_ = false;
 }
 
 namespace {
@@ -90,6 +92,22 @@ JsonValue population_to_json(const PopulationRecord& r) {
   j["deficient"] = JsonValue(r.deficient);
   j["min_per_cell"] = JsonValue(r.min_per_cell);
   j["max_per_cell"] = JsonValue(r.max_per_cell);
+  return j;
+}
+
+JsonValue decomp_to_json(const DecompRecord& d) {
+  JsonValue j = JsonValue::object();
+  j["px"] = JsonValue(d.px);
+  j["py"] = JsonValue(d.py);
+  j["pz"] = JsonValue(d.pz);
+  j["applies"] = JsonValue(d.applies);
+  j["halo_bytes_sent"] = JsonValue(d.halo_bytes_sent);
+  j["halo_bytes_received"] = JsonValue(d.halo_bytes_received);
+  j["exchange_seconds"] = JsonValue(d.exchange_seconds);
+  j["interior_seconds"] = JsonValue(d.interior_seconds);
+  j["boundary_seconds"] = JsonValue(d.boundary_seconds);
+  j["interior_elements"] = JsonValue(d.interior_elements);
+  j["boundary_elements"] = JsonValue(d.boundary_elements);
   return j;
 }
 
@@ -197,6 +215,7 @@ JsonValue SolverReport::to_json() const {
   j["population"] = std::move(population);
 
   j["state"] = state_to_json(state_);
+  if (has_decomp_) j["decomposition"] = decomp_to_json(decomp_);
 
   j["mg_levels"] = mg_levels_json();
   j["metrics"] = MetricsRegistry::instance().to_json();
@@ -313,6 +332,23 @@ SolverReport SolverReport::parse(const std::string& json_text) {
     rep.state_.health_checks = int(number_or(*st, "health_checks", 0));
     rep.state_.health_failures = int(number_or(*st, "health_failures", 0));
     rep.state_.health_repairs = int(number_or(*st, "health_repairs", 0));
+  }
+
+  if (const JsonValue* d = j.find("decomposition"); d != nullptr) {
+    DecompRecord rec;
+    rec.px = (long long)(number_or(*d, "px", 1));
+    rec.py = (long long)(number_or(*d, "py", 1));
+    rec.pz = (long long)(number_or(*d, "pz", 1));
+    rec.applies = (long long)(number_or(*d, "applies", 0));
+    rec.halo_bytes_sent = (long long)(number_or(*d, "halo_bytes_sent", 0));
+    rec.halo_bytes_received =
+        (long long)(number_or(*d, "halo_bytes_received", 0));
+    rec.exchange_seconds = number_or(*d, "exchange_seconds", 0);
+    rec.interior_seconds = number_or(*d, "interior_seconds", 0);
+    rec.boundary_seconds = number_or(*d, "boundary_seconds", 0);
+    rec.interior_elements = (long long)(number_or(*d, "interior_elements", 0));
+    rec.boundary_elements = (long long)(number_or(*d, "boundary_elements", 0));
+    rep.set_decomposition(rec);
   }
   return rep;
 }

@@ -94,6 +94,22 @@ struct StateRecord {
   int health_repairs = 0;            ///< population repairs taken by a check
 };
 
+/// Subdomain-parallel execution summary — the "decomposition" section of
+/// ptatin.solver_report/1 (docs/PARALLELISM.md, docs/OBSERVABILITY.md).
+/// Filled from SubdomainEngine::stats() by the Stokes solve when a
+/// decomposition engine drives the fine-level applies.
+struct DecompRecord {
+  long long px = 1, py = 1, pz = 1;   ///< subdomain grid shape
+  long long applies = 0;              ///< halo-exchange protocol executions
+  long long halo_bytes_sent = 0;
+  long long halo_bytes_received = 0;
+  double exchange_seconds = 0.0;      ///< pack + unpack/accumulate time
+  double interior_seconds = 0.0;      ///< interior-element compute time
+  double boundary_seconds = 0.0;      ///< halo-boundary element compute time
+  long long interior_elements = 0;
+  long long boundary_elements = 0;
+};
+
 class SolverReport {
 public:
   SolverReport() = default;
@@ -129,6 +145,15 @@ public:
   StateRecord& state() { return state_; }
   const StateRecord& state() const { return state_; }
 
+  /// Record (or overwrite — the stats are cumulative) the subdomain
+  /// execution summary. Serialized only once set.
+  void set_decomposition(const DecompRecord& r) {
+    decomp_ = r;
+    has_decomp_ = true;
+  }
+  bool has_decomposition() const { return has_decomp_; }
+  const DecompRecord& decomposition() const { return decomp_; }
+
   /// Full report including metrics / perf / MG-level sections (those are
   /// snapshots of the global registries at serialization time).
   JsonValue to_json() const;
@@ -148,6 +173,8 @@ private:
   std::vector<SafeguardRecord> safeguards_;
   std::vector<PopulationRecord> population_;
   StateRecord state_;
+  DecompRecord decomp_;
+  bool has_decomp_ = false;
 };
 
 // --- telemetry facade ---------------------------------------------------------

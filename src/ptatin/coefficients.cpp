@@ -52,10 +52,12 @@ Real update_coefficients_from_points(
 
   // Project to quadrature points (Eq. 12-13).
   std::vector<Real> eta_q, rho_q, deta_q;
-  project_to_quadrature(mesh, points, eta_p, eta_q, opts.fallback_eta);
-  project_to_quadrature(mesh, points, rho_p, rho_q, opts.fallback_rho);
+  project_to_quadrature(mesh, points, eta_p, eta_q, opts.fallback_eta,
+                        opts.decomp);
+  project_to_quadrature(mesh, points, rho_p, rho_q, opts.fallback_rho,
+                        opts.decomp);
   if (newton_terms)
-    project_to_quadrature(mesh, points, deta_p, deta_q, 0.0);
+    project_to_quadrature(mesh, points, deta_p, deta_q, 0.0, opts.decomp);
 
   if (newton_terms && !coeff.has_newton()) coeff.allocate_newton();
 

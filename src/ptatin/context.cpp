@@ -1,6 +1,7 @@
 #include "ptatin/context.hpp"
 
 #include "common/timing.hpp"
+#include "fem/subdomain_engine.hpp"
 #include "obs/perf.hpp"
 #include "stokes/fields.hpp"
 
@@ -9,6 +10,16 @@ namespace ptatin {
 PtatinContext::PtatinContext(ModelSetup setup, const PtatinOptions& opts)
     : setup_(std::move(setup)), opts_(opts) {
   PT_ASSERT(setup_.lithology_of != nullptr);
+
+  // Subdomain engine first: the solvers below borrow a pointer to it, and the
+  // coefficient pipeline routes its projection scatter through it. A 1x1x1
+  // shape keeps the global execution paths (engine_ stays null).
+  if (opts_.decomp[0] * opts_.decomp[1] * opts_.decomp[2] > 1) {
+    engine_ = std::make_unique<SubdomainEngine>(
+        setup_.mesh, opts_.decomp[0], opts_.decomp[1], opts_.decomp[2]);
+    opts_.nonlinear.linear.decomp = engine_.get();
+    opts_.pipeline.decomp = engine_.get();
+  }
 
   // Material points.
   layout_points(setup_.mesh, opts.points_per_dim, setup_.lithology_of,
@@ -48,6 +59,8 @@ PtatinContext::PtatinContext(ModelSetup setup, const PtatinOptions& opts)
                                                        nl);
 }
 
+PtatinContext::~PtatinContext() = default;
+
 CoefficientUpdater PtatinContext::coefficient_updater() {
   return [this](const Vector& u, const Vector& p, bool newton_terms,
                 QuadCoefficients& coeff) {
@@ -71,7 +84,8 @@ StepReport PtatinContext::step(Real dt) {
     update_coefficients_from_points(setup_.mesh, setup_.materials, points_, u_,
                                     p_, setup_.use_energy ? &T_ : nullptr,
                                     false, opts_.pipeline, coeff_);
-    const Vector f = assemble_body_force(setup_.mesh, coeff_, setup_.gravity);
+    const Vector f = assemble_body_force(setup_.mesh, coeff_, setup_.gravity,
+                                         engine_.get());
 
     setup_.bc.set_values(u_);
     report.nonlinear = nonlinear_->solve(coefficient_updater(), f, u_, p_);
@@ -91,7 +105,7 @@ StepReport PtatinContext::step(Real dt) {
     PerfScope span("Stage(Energy)");
     if (setup_.shear_heating) {
       std::vector<StrainRateSample> sr;
-      evaluate_strain_rates(setup_.mesh, u_, sr);
+      evaluate_strain_rates(setup_.mesh, u_, sr, engine_.get());
       std::vector<Real> source(setup_.mesh.num_elements(), 0.0);
       for (Index e = 0; e < setup_.mesh.num_elements(); ++e) {
         Real acc = 0;
@@ -108,7 +122,8 @@ StepReport PtatinContext::step(Real dt) {
   // 4. Material point advection + population control.
   {
     PerfScope span("Stage(Advection)");
-    report.advection = advect_points_rk2(setup_.mesh, u_, dt, points_);
+    report.advection =
+        advect_points_rk2(setup_.mesh, u_, dt, points_, engine_.get());
     // Drop points that left the domain (outflow deletion, §II-D).
     for (Index i = 0; i < points_.size();) {
       if (points_.element(i) < 0) {

@@ -6,6 +6,7 @@
 // and update the ALE mesh.
 #pragma once
 
+#include <array>
 #include <memory>
 
 #include "ale/mesh_update.hpp"
@@ -19,6 +20,8 @@
 
 namespace ptatin {
 
+class SubdomainEngine;
+
 struct PtatinOptions {
   int points_per_dim = 3;        ///< initial material points per direction
   Real point_jitter = 0.3;
@@ -27,6 +30,9 @@ struct PtatinOptions {
   AleOptions ale;
   bool update_mesh = true;       ///< ALE free-surface update
   CoefficientPipelineOptions pipeline;
+  /// Subdomain decomposition shape {px, py, pz} (docs/PARALLELISM.md).
+  /// {1,1,1} keeps the global (non-decomposed) execution paths.
+  std::array<Index, 3> decomp = {1, 1, 1};
 };
 
 struct StepReport {
@@ -42,6 +48,7 @@ struct StepReport {
 class PtatinContext {
 public:
   PtatinContext(ModelSetup setup, const PtatinOptions& opts);
+  ~PtatinContext(); // out-of-line: engine_ is incomplete here
 
   /// Advance the model by dt. Returns per-stage statistics.
   StepReport step(Real dt);
@@ -58,6 +65,9 @@ public:
   const Vector& temperature() const { return T_; }
   const ModelSetup& setup() const { return setup_; }
   const QuadCoefficients& coefficients() const { return coeff_; }
+  /// The subdomain engine driving decomposed execution (null when the
+  /// configured shape is 1x1x1 and the global paths are in use).
+  const SubdomainEngine* subdomain_engine() const { return engine_.get(); }
 
   /// The coefficient updater closure handed to the nonlinear solver.
   CoefficientUpdater coefficient_updater();
@@ -71,6 +81,7 @@ public:
 private:
   ModelSetup setup_;
   PtatinOptions opts_;
+  std::unique_ptr<SubdomainEngine> engine_; ///< before solvers: they borrow it
   MaterialPoints points_;
   Vector u_, p_, T_;
   QuadCoefficients coeff_;

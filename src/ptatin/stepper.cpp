@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "ptatin/config.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 
@@ -26,6 +27,10 @@ SafeguardedStepper::SafeguardedStepper(PtatinContext& ctx,
     rotation_ = std::make_unique<CheckpointRotation>(opts_.checkpoint_dir,
                                                      opts_.checkpoint_keep);
 }
+
+SafeguardedStepper::SafeguardedStepper(PtatinContext& ctx,
+                                       const SolverConfig& config)
+    : SafeguardedStepper(ctx, config.safeguard()) {}
 
 void SafeguardedStepper::resume(const CheckpointMeta& meta) {
   step_index_ = static_cast<int>(meta.step);

@@ -37,6 +37,8 @@
 
 namespace ptatin {
 
+class SolverConfig;
+
 struct SafeguardOptions {
   int max_retries = 3;       ///< rollback/retry attempts per step
   Real dt_cut_factor = 0.5;  ///< dt multiplier per retry
@@ -69,6 +71,10 @@ class SafeguardedStepper {
 public:
   explicit SafeguardedStepper(PtatinContext& ctx,
                               const SafeguardOptions& opts = {});
+
+  /// Configure from the unified solver configuration (ptatin/config.hpp):
+  /// equivalent to passing config.safeguard().
+  SafeguardedStepper(PtatinContext& ctx, const SolverConfig& config);
 
   /// Advance by (at most) dt, retrying with smaller steps on failure. The
   /// requested dt is first clamped by the recovery cap left behind by

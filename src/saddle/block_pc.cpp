@@ -1,6 +1,6 @@
 #include "saddle/block_pc.hpp"
 
-#include "common/perf.hpp"
+#include "obs/perf.hpp"
 
 namespace ptatin {
 

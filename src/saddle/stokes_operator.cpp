@@ -1,7 +1,7 @@
 #include "saddle/stokes_operator.hpp"
 
 #include "common/parallel.hpp"
-#include "common/perf.hpp"
+#include "obs/perf.hpp"
 
 namespace ptatin {
 

@@ -3,6 +3,7 @@
 #include "amg/rbm.hpp"
 #include "common/log.hpp"
 #include "common/timing.hpp"
+#include "fem/subdomain_engine.hpp"
 #include "ksp/cg.hpp"
 #include "ksp/gcr.hpp"
 #include "ksp/gmres.hpp"
@@ -12,30 +13,6 @@
 
 namespace ptatin {
 
-namespace {
-
-std::unique_ptr<ViscousOperatorBase> make_backend(FineOperatorType type,
-                                                  const StructuredMesh& mesh,
-                                                  const QuadCoefficients& coeff,
-                                                  const DirichletBc* bc,
-                                                  int batch_width) {
-  switch (type) {
-    case FineOperatorType::kAssembled:
-      return std::make_unique<AsmbViscousOperator>(mesh, coeff, bc);
-    case FineOperatorType::kMatrixFree:
-      return std::make_unique<MfViscousOperator>(mesh, coeff, bc, batch_width);
-    case FineOperatorType::kTensor:
-      return std::make_unique<TensorViscousOperator>(mesh, coeff, bc,
-                                                     batch_width);
-    case FineOperatorType::kTensorC:
-      return std::make_unique<TensorCViscousOperator>(mesh, coeff, bc,
-                                                      batch_width);
-  }
-  PT_THROW("unknown backend");
-}
-
-} // namespace
-
 StokesSolver::StokesSolver(const StructuredMesh& mesh,
                            const QuadCoefficients& coeff,
                            const DirichletBc& bc,
@@ -43,7 +20,9 @@ StokesSolver::StokesSolver(const StructuredMesh& mesh,
     : mesh_(mesh), bc_(bc), opts_(opts) {
   Timer t;
 
-  a_ = make_backend(opts.backend, mesh, coeff, &bc, opts.batch_width);
+  a_ = make_viscous_backend(
+      ViscousBackendSpec{opts.backend, opts.batch_width, opts.decomp}, mesh,
+      coeff, &bc);
   if (opts.newton_operator) a_->set_newton(true);
   op_ = std::make_unique<StokesOperator>(mesh, *a_, bc);
   schur_ = std::make_unique<PressureMassSchur>(mesh, coeff);
@@ -118,6 +97,7 @@ StokesSolver::StokesSolver(const StructuredMesh& mesh,
 
     GmgOptions gmg_opts = opts.gmg;
     gmg_opts.batch_width = opts.batch_width;
+    gmg_opts.fine_decomp = opts.decomp;
     gmg_ = std::make_unique<GmgHierarchy>(mesh, coeff, bc, gmg_opts,
                                           bc_factory, coarse_factory);
     vpc_ = gmg_.get();
@@ -188,6 +168,25 @@ StokesSolveResult StokesSolver::solve_stacked(const Vector& rhs,
     rec.reason = res.stats.reason_message();
     rec.history = res.stats.history;
     report.add_krylov(std::move(rec));
+
+    if (opts_.decomp != nullptr) {
+      // Cumulative engine stats (set_decomposition overwrites, so repeated
+      // solves through one engine keep the section current).
+      const DecompStats ds = opts_.decomp->stats();
+      obs::DecompRecord dr;
+      dr.px = ds.px;
+      dr.py = ds.py;
+      dr.pz = ds.pz;
+      dr.applies = ds.applies;
+      dr.halo_bytes_sent = ds.halo_bytes_sent;
+      dr.halo_bytes_received = ds.halo_bytes_received;
+      dr.exchange_seconds = ds.exchange_seconds;
+      dr.interior_seconds = ds.interior_seconds;
+      dr.boundary_seconds = ds.boundary_seconds;
+      dr.interior_elements = ds.interior_elements;
+      dr.boundary_elements = ds.boundary_elements;
+      report.set_decomposition(dr);
+    }
   }
 
   op_->extract_u(x, res.u);

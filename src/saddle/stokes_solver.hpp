@@ -36,6 +36,13 @@ struct StokesSolverOptions {
   /// scalar, 4 or 8 = batched; docs/KERNELS.md). Applies to the Krylov
   /// operator and is forwarded to the GMG finest-level operator.
   int batch_width = 0;
+  /// Subdomain-parallel execution engine (docs/PARALLELISM.md). Borrowed,
+  /// may be null (= global colored loops). Like batch_width it applies to
+  /// the Krylov operator and is forwarded to the GMG finest level; when set
+  /// it takes precedence over batch_width and solve_stacked records the
+  /// engine's halo/timing stats in the solver report's `decomposition`
+  /// section.
+  const SubdomainEngine* decomp = nullptr;
   VelocityPcType velocity_pc = VelocityPcType::kGmg;
   GmgOptions gmg;               ///< used when velocity_pc == kGmg
   GmgCoarseSolve coarse_solve = GmgCoarseSolve::kAmg;

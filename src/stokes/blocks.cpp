@@ -5,6 +5,7 @@
 #include "common/parallel.hpp"
 #include "fem/basis.hpp"
 #include "fem/dofmap.hpp"
+#include "fem/subdomain_engine.hpp"
 #include "stokes/geometry.hpp"
 #include "stokes/viscous_ops.hpp"
 
@@ -58,27 +59,51 @@ CsrMatrix assemble_gradient_block(const StructuredMesh& mesh) {
   return b;
 }
 
+namespace {
+
+/// One element of the body-force scatter (shared by the global colored loop
+/// and the subdomain-engine path).
+inline void body_force_element(const StructuredMesh& mesh,
+                               const QuadCoefficients& coeff,
+                               const Q2Tabulation& tab, const Vec3& gravity,
+                               Index e, Real* fp) {
+  ElementGeometry g;
+  element_geometry(mesh, e, g);
+  Index nodes[kQ2NodesPerEl];
+  mesh.element_nodes(e, nodes);
+
+  Real fe[kQ2NodesPerEl][3] = {};
+  for (int q = 0; q < kQuadPerEl; ++q) {
+    const Real s = g.wdetj[q] * coeff.rho(e, q);
+    for (int i = 0; i < kQ2NodesPerEl; ++i)
+      for (int c = 0; c < 3; ++c) fe[i][c] += s * gravity[c] * tab.N[q][i];
+  }
+  for (int i = 0; i < kQ2NodesPerEl; ++i)
+    for (int c = 0; c < 3; ++c) fp[velocity_dof(nodes[i], c)] += fe[i][c];
+}
+
+} // namespace
+
 Vector assemble_body_force(const StructuredMesh& mesh,
                            const QuadCoefficients& coeff, const Vec3& gravity) {
+  return assemble_body_force(mesh, coeff, gravity, nullptr);
+}
+
+Vector assemble_body_force(const StructuredMesh& mesh,
+                           const QuadCoefficients& coeff, const Vec3& gravity,
+                           const SubdomainEngine* engine) {
   const auto& tab = q2_tabulation();
   Vector f(num_velocity_dofs(mesh), 0.0);
   Real* fp = f.data();
 
+  if (engine != nullptr) {
+    engine->apply_nodes(3, fp, [&](Index e, Real* w) {
+      body_force_element(mesh, coeff, tab, gravity, e, w);
+    });
+    return f;
+  }
   for_each_element_colored(mesh, [&](Index e) {
-    ElementGeometry g;
-    element_geometry(mesh, e, g);
-    Index nodes[kQ2NodesPerEl];
-    mesh.element_nodes(e, nodes);
-
-    Real fe[kQ2NodesPerEl][3] = {};
-    for (int q = 0; q < kQuadPerEl; ++q) {
-      const Real s = g.wdetj[q] * coeff.rho(e, q);
-      for (int i = 0; i < kQ2NodesPerEl; ++i)
-        for (int c = 0; c < 3; ++c)
-          fe[i][c] += s * gravity[c] * tab.N[q][i];
-    }
-    for (int i = 0; i < kQ2NodesPerEl; ++i)
-      for (int c = 0; c < 3; ++c) fp[velocity_dof(nodes[i], c)] += fe[i][c];
+    body_force_element(mesh, coeff, tab, gravity, e, fp);
   });
   return f;
 }

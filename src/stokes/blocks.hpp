@@ -15,6 +15,8 @@
 
 namespace ptatin {
 
+class SubdomainEngine;
+
 /// Assemble the gradient block B (nvel x npres):
 /// B[(i,c)(e,k)] = -int_e psi_k dN_i/dx_c dV, so that the coupled system is
 /// [A B; B^T 0][u p] = [f 0].
@@ -26,6 +28,13 @@ CsrMatrix assemble_gradient_block(const StructuredMesh& mesh);
 /// convention; the physical weak form used here absorbs that minus.)
 Vector assemble_body_force(const StructuredMesh& mesh,
                            const QuadCoefficients& coeff, const Vec3& gravity);
+
+/// Subdomain-parallel residual assembly: the same element kernel swept per
+/// subdomain and halo-exchanged (docs/PARALLELISM.md). Falls back to the
+/// global colored loop when `engine` is null.
+Vector assemble_body_force(const StructuredMesh& mesh,
+                           const QuadCoefficients& coeff, const Vec3& gravity,
+                           const SubdomainEngine* engine);
 
 /// Neumann traction term of Eq. 10: f[(i,c)] += int_Gamma t_c(x) N_i dS over
 /// one mesh face (sigma.n = t on Gamma_N, Eq. 5). The surface uses the 3x3

@@ -1,0 +1,37 @@
+// The one viscous back-end factory. saddle/stokes_solver and mg/gmg each
+// used to carry a private copy of this switch; both now consume
+// ViscousBackendSpec through here, so new construction knobs (batch width,
+// subdomain engine, ...) are threaded in exactly one place.
+#include "common/error.hpp"
+#include "fem/subdomain_engine.hpp"
+#include "stokes/viscous_ops.hpp"
+
+namespace ptatin {
+
+std::unique_ptr<ViscousOperatorBase>
+make_viscous_backend(const ViscousBackendSpec& spec, const StructuredMesh& mesh,
+                     const QuadCoefficients& coeff, const DirichletBc* bc) {
+  std::unique_ptr<ViscousOperatorBase> op;
+  switch (spec.type) {
+    case FineOperatorType::kAssembled:
+      op = std::make_unique<AsmbViscousOperator>(mesh, coeff, bc);
+      break;
+    case FineOperatorType::kMatrixFree:
+      op = std::make_unique<MfViscousOperator>(mesh, coeff, bc,
+                                               spec.batch_width);
+      break;
+    case FineOperatorType::kTensor:
+      op = std::make_unique<TensorViscousOperator>(mesh, coeff, bc,
+                                                   spec.batch_width);
+      break;
+    case FineOperatorType::kTensorC:
+      op = std::make_unique<TensorCViscousOperator>(mesh, coeff, bc,
+                                                    spec.batch_width);
+      break;
+  }
+  if (op == nullptr) PT_THROW("unknown backend");
+  if (spec.decomp != nullptr) op->set_subdomain_engine(spec.decomp);
+  return op;
+}
+
+} // namespace ptatin

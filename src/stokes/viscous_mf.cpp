@@ -10,6 +10,8 @@
 // bitwise identical to the scalar path (see viscous_tensor.cpp).
 #include "stokes/viscous_ops.hpp"
 
+#include "fem/subdomain_engine.hpp"
+
 namespace ptatin {
 
 namespace {
@@ -231,6 +233,16 @@ void MfViscousOperator::apply_batched(const Vector& x, Vector& y) const {
 }
 
 void MfViscousOperator::apply_unmasked(const Vector& x, Vector& y) const {
+  if (engine_ != nullptr) {
+    // Subdomain-parallel path: the same element kernel, swept per-subdomain
+    // into private scratch and halo-exchanged into y (docs/PARALLELISM.md).
+    const auto& tab = q2_tabulation();
+    const Real* xp = x.data();
+    engine_->apply_nodes(3, y.data(), [&](Index e, Real* w) {
+      apply_mf_element(mesh_, coeff_, tab, newton_, e, xp, w);
+    });
+    return;
+  }
   switch (batch_width_) {
     case 8: apply_batched<8>(x, y); return;
     case 4: apply_batched<4>(x, y); return;

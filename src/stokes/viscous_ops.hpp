@@ -34,6 +34,13 @@
 
 namespace ptatin {
 
+class SubdomainEngine;
+
+/// The four interchangeable fine-level back-ends (Table I row labels).
+/// Lives here (not mg/gmg.hpp) so the back-end factory below is usable
+/// without pulling in the multigrid layer.
+enum class FineOperatorType { kAssembled, kMatrixFree, kTensor, kTensorC };
+
 /// Flop / byte models per element for the four back-ends, as analyzed in
 /// §III-D (Table I). "paper_*" are the published analytic counts.
 struct OperatorCostModel {
@@ -81,6 +88,15 @@ public:
   const DirichletBc* bc() const { return bc_; }
   int batch_width() const { return batch_width_; }
 
+  /// Route the unmasked apply through a subdomain-parallel engine (per-
+  /// subdomain element sweeps + in-memory halo exchange, docs/PARALLELISM.md)
+  /// instead of the global colored loop. Borrowed; must outlive the operator
+  /// and match its element dimensions; null restores the global path. The
+  /// engine path takes precedence over the batched path, and the assembled
+  /// back-end (a global SpMV, no element sweep) ignores it.
+  void set_subdomain_engine(const SubdomainEngine* engine);
+  const SubdomainEngine* subdomain_engine() const { return engine_; }
+
 protected:
   virtual void apply_unmasked(const Vector& x, Vector& y) const = 0;
 
@@ -95,8 +111,27 @@ protected:
   const DirichletBc* bc_;
   bool newton_ = false;
   int batch_width_ = 0;
+  const SubdomainEngine* engine_ = nullptr;
   mutable Vector work_;
 };
+
+/// Construction-time description of a fine-level viscous back-end: the
+/// single spec consumed by the solver stack (StokesSolver, the GMG finest
+/// level, SolverConfig) instead of per-call-site argument threading.
+struct ViscousBackendSpec {
+  FineOperatorType type = FineOperatorType::kTensor;
+  /// Cross-element SIMD batch width (0 = scalar; docs/KERNELS.md). Ignored
+  /// when `decomp` is set — the engine path sweeps per-subdomain scalar.
+  int batch_width = 0;
+  /// Subdomain-parallel execution engine (borrowed, may be null).
+  const SubdomainEngine* decomp = nullptr;
+};
+
+/// Build a viscous back-end from its spec (the one factory; mg/gmg and
+/// saddle/stokes_solver previously each had a private copy of this switch).
+std::unique_ptr<ViscousOperatorBase>
+make_viscous_backend(const ViscousBackendSpec& spec, const StructuredMesh& mesh,
+                     const QuadCoefficients& coeff, const DirichletBc* bc);
 
 // ---------------------------------------------------------------------------
 

@@ -14,6 +14,8 @@
 #include "stokes/tensor_contract.hpp"
 #include "stokes/viscous_ops.hpp"
 
+#include "fem/subdomain_engine.hpp"
+
 namespace ptatin {
 
 using tensor_kernel::tensor_gradient;
@@ -236,6 +238,16 @@ void TensorViscousOperator::apply_batched(const Vector& x, Vector& y) const {
 }
 
 void TensorViscousOperator::apply_unmasked(const Vector& x, Vector& y) const {
+  if (engine_ != nullptr) {
+    // Subdomain-parallel path (docs/PARALLELISM.md): per-subdomain sweeps of
+    // the same sum-factorized kernel, halo-exchanged into y.
+    const auto& tab = q2_tabulation();
+    const Real* xp = x.data();
+    engine_->apply_nodes(3, y.data(), [&](Index e, Real* w) {
+      apply_tensor_element(mesh_, coeff_, tab, newton_, e, xp, w);
+    });
+    return;
+  }
   switch (batch_width_) {
     case 8: apply_batched<8>(x, y); return;
     case 4: apply_batched<4>(x, y); return;

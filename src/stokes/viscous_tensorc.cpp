@@ -16,6 +16,8 @@
 #include "stokes/tensor_contract.hpp"
 #include "stokes/viscous_ops.hpp"
 
+#include "fem/subdomain_engine.hpp"
+
 namespace ptatin {
 
 namespace {
@@ -180,6 +182,16 @@ void TensorCViscousOperator::apply_batched(const Vector& x, Vector& y) const {
 }
 
 void TensorCViscousOperator::apply_unmasked(const Vector& x, Vector& y) const {
+  if (engine_ != nullptr) {
+    // Subdomain-parallel path (docs/PARALLELISM.md).
+    const auto& tab = q2_tabulation();
+    const Real* xp = x.data();
+    const Real* gtilde = gtilde_.data();
+    engine_->apply_nodes(3, y.data(), [&](Index e, Real* w) {
+      apply_tensorc_element(mesh_, tab, e, gtilde, xp, w);
+    });
+    return;
+  }
   switch (batch_width_) {
     case 8: apply_batched<8>(x, y); return;
     case 4: apply_batched<4>(x, y); return;

@@ -11,7 +11,7 @@
 #include "common/error.hpp"
 #include "common/options.hpp"
 #include "common/parallel.hpp"
-#include "common/perf.hpp"
+#include "obs/perf.hpp"
 #include "common/rng.hpp"
 #include "common/small_mat.hpp"
 #include "common/timing.hpp"

@@ -1,0 +1,470 @@
+// Tests for the subdomain-parallel execution engine (docs/PARALLELISM.md):
+// the decomposed pack -> exchange -> accumulate paths must agree with the
+// global colored loops to rounding (<= 1e-12), be bitwise reproducible for a
+// fixed decomposition shape, and leave the Krylov iteration counts of a full
+// Stokes solve identical across shapes (the §II-D guarantee that the
+// decomposition is a pure execution-strategy choice, not a discretization
+// change).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fem/bc.hpp"
+#include "fem/subdomain_engine.hpp"
+#include "mpm/advection.hpp"
+#include "mpm/points.hpp"
+#include "mpm/projection.hpp"
+#include "obs/report.hpp"
+#include "ptatin/config.hpp"
+#include "ptatin/models_sinker.hpp"
+#include "saddle/stokes_solver.hpp"
+#include "stokes/fields.hpp"
+#include "stokes/viscous_ops.hpp"
+
+namespace ptatin {
+namespace {
+
+StructuredMesh make_deformed_mesh(Index mx, Index my, Index mz) {
+  StructuredMesh mesh = StructuredMesh::box(mx, my, mz, {0, 0, 0}, {1, 1, 1});
+  mesh.deform([](const Vec3& x) {
+    return Vec3{x[0] + 0.04 * std::sin(3 * x[1]) * x[2],
+                x[1] + 0.05 * std::cos(2 * x[0]),
+                x[2] + 0.03 * x[0] * x[1]};
+  });
+  return mesh;
+}
+
+QuadCoefficients make_variable_coeff(const StructuredMesh& mesh,
+                                     bool with_newton, unsigned seed = 3) {
+  QuadCoefficients c(mesh.num_elements());
+  Rng rng(seed);
+  for (Index e = 0; e < mesh.num_elements(); ++e)
+    for (int q = 0; q < kQuadPerEl; ++q) {
+      c.eta(e, q) = std::pow(10.0, rng.uniform(-2, 2));
+      c.rho(e, q) = rng.uniform(0.9, 1.3);
+    }
+  if (with_newton) {
+    c.allocate_newton();
+    for (Index e = 0; e < mesh.num_elements(); ++e)
+      for (int q = 0; q < kQuadPerEl; ++q) {
+        c.deta(e, q) = -rng.uniform(0, 0.5);
+        for (int t = 0; t < kSymSize; ++t) c.d0(e, q)[t] = rng.uniform(-1, 1);
+      }
+  }
+  return c;
+}
+
+Vector random_vector(Index n, unsigned seed) {
+  Vector v(n);
+  Rng rng(seed);
+  for (Index i = 0; i < n; ++i) v[i] = rng.uniform(-1, 1);
+  return v;
+}
+
+Real max_rel_diff(const Vector& a, const Vector& b) {
+  Real scale = 0, diff = 0;
+  for (Index i = 0; i < a.size(); ++i) {
+    scale = std::max(scale, std::abs(a[i]));
+    diff = std::max(diff, std::abs(a[i] - b[i]));
+  }
+  return scale > 0 ? diff / scale : diff;
+}
+
+// --- engine partition invariants --------------------------------------------
+
+TEST(SubdomainEngine, ElementClassesPartitionTheMesh) {
+  StructuredMesh mesh = make_deformed_mesh(5, 4, 3);
+  SubdomainEngine eng(mesh, 3, 2, 1);
+  std::vector<int> hits(mesh.num_elements(), 0);
+  for (Index s = 0; s < eng.num_subdomains(); ++s) {
+    for (Index e : eng.interior_elements(s)) hits[e] += 1;
+    for (Index e : eng.boundary_elements(s)) hits[e] += 1;
+  }
+  for (Index e = 0; e < mesh.num_elements(); ++e) EXPECT_EQ(hits[e], 1);
+  EXPECT_EQ(eng.num_interior_elements() + eng.num_boundary_elements(),
+            mesh.num_elements());
+  EXPECT_GT(eng.num_boundary_elements(), 0);
+}
+
+TEST(SubdomainEngine, OwnedNodesPartitionTheLattice) {
+  StructuredMesh mesh = make_deformed_mesh(5, 4, 3);
+  SubdomainEngine eng(mesh, 2, 2, 2);
+  std::vector<int> owner_count(mesh.num_nodes(), 0);
+  for (Index s = 0; s < eng.num_subdomains(); ++s)
+    for (Index id : eng.owned_nodes(s)) owner_count[id] += 1;
+  for (Index n = 0; n < mesh.num_nodes(); ++n)
+    EXPECT_EQ(owner_count[n], 1) << "node " << n;
+}
+
+TEST(SubdomainEngine, SingleSubdomainHasNoHalo) {
+  StructuredMesh mesh = make_deformed_mesh(4, 4, 4);
+  SubdomainEngine eng(mesh, 1, 1, 1);
+  EXPECT_EQ(eng.halo_points_per_exchange(), 0);
+  EXPECT_EQ(eng.num_boundary_elements(), 0);
+  EXPECT_EQ(eng.num_interior_elements(), mesh.num_elements());
+
+  // The degenerate engine must still run the protocol correctly.
+  QuadCoefficients coeff = make_variable_coeff(mesh, false);
+  DirichletBc bc(num_velocity_dofs(mesh));
+  auto global = make_viscous_backend(
+      ViscousBackendSpec{FineOperatorType::kTensor, 0, nullptr}, mesh, coeff,
+      &bc);
+  auto decomp = make_viscous_backend(
+      ViscousBackendSpec{FineOperatorType::kTensor, 0, &eng}, mesh, coeff,
+      &bc);
+  Vector x = random_vector(global->rows(), 11);
+  Vector y0(x.size()), y1(x.size());
+  global->apply(x, y0);
+  decomp->apply(x, y1);
+  // The engine sweeps elements lexicographically while the global path uses
+  // the colored order, so agreement is to rounding (like any shape change).
+  EXPECT_LE(max_rel_diff(y0, y1), 1e-12);
+}
+
+// --- operator apply equivalence ---------------------------------------------
+
+TEST(SubdomainEngine, AllBackendsMatchGlobalApplyTo1e12) {
+  // Uneven 3x2x1 split of a 5x4x3 deformed mesh: every direction has ragged
+  // slabs, and the element kernels see non-constant Jacobians.
+  StructuredMesh mesh = make_deformed_mesh(5, 4, 3);
+  QuadCoefficients coeff = make_variable_coeff(mesh, true);
+  DirichletBc bc = sinker_boundary_conditions(mesh);
+  SubdomainEngine eng(mesh, 3, 2, 1);
+
+  const FineOperatorType types[] = {FineOperatorType::kMatrixFree,
+                                    FineOperatorType::kTensor,
+                                    FineOperatorType::kTensorC};
+  Vector x = random_vector(num_velocity_dofs(mesh), 7);
+  for (FineOperatorType t : types) {
+    auto global = make_viscous_backend(ViscousBackendSpec{t, 0, nullptr},
+                                       mesh, coeff, &bc);
+    auto decomp =
+        make_viscous_backend(ViscousBackendSpec{t, 0, &eng}, mesh, coeff, &bc);
+    for (bool newton : {false, true}) {
+      if (newton && t == FineOperatorType::kTensorC) continue; // Picard-only
+      global->set_newton(newton);
+      decomp->set_newton(newton);
+      Vector y0(x.size()), y1(x.size());
+      global->apply(x, y0); // masked: BC rows pass through
+      decomp->apply(x, y1);
+      EXPECT_LE(max_rel_diff(y0, y1), 1e-12)
+          << global->name() << " newton=" << newton;
+    }
+  }
+}
+
+TEST(SubdomainEngine, FixedShapeApplyIsBitwiseReproducible) {
+  StructuredMesh mesh = make_deformed_mesh(6, 5, 4);
+  QuadCoefficients coeff = make_variable_coeff(mesh, false);
+  DirichletBc bc = sinker_boundary_conditions(mesh);
+  SubdomainEngine eng(mesh, 2, 2, 2);
+  auto op = make_viscous_backend(
+      ViscousBackendSpec{FineOperatorType::kTensor, 0, &eng}, mesh, coeff,
+      &bc);
+  Vector x = random_vector(op->rows(), 13);
+  Vector y0(x.size()), y1(x.size());
+  op->apply(x, y0);
+  for (int rep = 0; rep < 3; ++rep) {
+    op->apply(x, y1);
+    for (Index i = 0; i < x.size(); ++i)
+      EXPECT_EQ(y0[i], y1[i]) << "apply not bitwise-stable at dof " << i;
+  }
+}
+
+TEST(SubdomainEngine, EnginePathTakesPrecedenceOverBatchWidth) {
+  StructuredMesh mesh = make_deformed_mesh(4, 4, 4);
+  QuadCoefficients coeff = make_variable_coeff(mesh, false);
+  DirichletBc bc(num_velocity_dofs(mesh));
+  SubdomainEngine eng(mesh, 2, 1, 1);
+  // batch_width 8 would take the SIMD path; with an engine the decomposed
+  // path must win and still match the scalar global result to rounding.
+  auto batched_decomp = make_viscous_backend(
+      ViscousBackendSpec{FineOperatorType::kTensor, 8, &eng}, mesh, coeff,
+      &bc);
+  auto scalar_decomp = make_viscous_backend(
+      ViscousBackendSpec{FineOperatorType::kTensor, 0, &eng}, mesh, coeff,
+      &bc);
+  Vector x = random_vector(batched_decomp->rows(), 17);
+  Vector y0(x.size()), y1(x.size());
+  batched_decomp->apply(x, y0);
+  scalar_decomp->apply(x, y1);
+  for (Index i = 0; i < x.size(); ++i)
+    EXPECT_EQ(y0[i], y1[i]) << "engine must shadow batch_width at " << i;
+}
+
+// --- assembly / sampling paths ----------------------------------------------
+
+TEST(SubdomainEngine, BodyForceMatchesGlobalTo1e12) {
+  StructuredMesh mesh = make_deformed_mesh(5, 4, 3);
+  QuadCoefficients coeff = make_variable_coeff(mesh, false);
+  SubdomainEngine eng(mesh, 2, 2, 1);
+  const Vec3 g{0.3, -9.8, 0.1};
+  Vector f0 = assemble_body_force(mesh, coeff, g);
+  Vector f1 = assemble_body_force(mesh, coeff, g, &eng);
+  EXPECT_LE(max_rel_diff(f0, f1), 1e-12);
+}
+
+TEST(SubdomainEngine, StrainRatesAreBitwiseGlobal) {
+  StructuredMesh mesh = make_deformed_mesh(4, 3, 5);
+  SubdomainEngine eng(mesh, 1, 2, 2);
+  Vector u = random_vector(num_velocity_dofs(mesh), 23);
+  std::vector<StrainRateSample> s0, s1;
+  evaluate_strain_rates(mesh, u, s0);
+  evaluate_strain_rates(mesh, u, s1, &eng);
+  ASSERT_EQ(s0.size(), s1.size());
+  // Outputs are per-element disjoint: the engine path only re-partitions the
+  // loop, so every sample must be bitwise identical.
+  for (std::size_t i = 0; i < s0.size(); ++i) {
+    EXPECT_EQ(s0[i].j2, s1[i].j2);
+    for (int t = 0; t < kSymSize; ++t) EXPECT_EQ(s0[i].d[t], s1[i].d[t]);
+  }
+}
+
+// --- MPM paths ---------------------------------------------------------------
+
+TEST(SubdomainEngine, ProjectionMatchesSerialTo1e12) {
+  StructuredMesh mesh = make_deformed_mesh(4, 4, 3);
+  SubdomainEngine eng(mesh, 2, 1, 3);
+  MaterialPoints points;
+  layout_points(mesh, 2, [](const Vec3&) { return 0; }, points, 0.4);
+  std::vector<Real> values(points.size());
+  Rng rng(5);
+  for (Index i = 0; i < points.size(); ++i) values[i] = rng.uniform(-2, 2);
+
+  ProjectionResult serial = project_to_vertices(mesh, points, values, 0.5);
+  ProjectionResult decomp =
+      project_to_vertices(mesh, points, values, 0.5, &eng);
+  ASSERT_EQ(serial.vertex_values.size(), decomp.vertex_values.size());
+  EXPECT_EQ(serial.empty_vertices, decomp.empty_vertices);
+  EXPECT_LE(max_rel_diff(serial.vertex_values, decomp.vertex_values), 1e-12);
+}
+
+TEST(SubdomainEngine, ProjectionFallbackForEmptyVertices) {
+  StructuredMesh mesh = StructuredMesh::box(4, 4, 4, {0, 0, 0}, {1, 1, 1});
+  SubdomainEngine eng(mesh, 2, 2, 1);
+  // One point in one corner element: almost every vertex has empty support
+  // and must take the fallback on both paths.
+  MaterialPoints points;
+  points.add(Vec3{0.05, 0.05, 0.05}, 0);
+  locate_all(mesh, points);
+  std::vector<Real> values = {3.0};
+  ProjectionResult serial = project_to_vertices(mesh, points, values, -7.0);
+  ProjectionResult decomp =
+      project_to_vertices(mesh, points, values, -7.0, &eng);
+  EXPECT_GT(serial.empty_vertices, 0);
+  EXPECT_EQ(serial.empty_vertices, decomp.empty_vertices);
+  for (Index v = 0; v < mesh.num_vertices(); ++v)
+    EXPECT_EQ(serial.vertex_values[v], decomp.vertex_values[v]);
+}
+
+TEST(SubdomainEngine, AdvectionIsBitwiseGlobal) {
+  StructuredMesh mesh = make_deformed_mesh(4, 4, 4);
+  SubdomainEngine eng(mesh, 2, 2, 2);
+  Vector u = random_vector(num_velocity_dofs(mesh), 29);
+  MaterialPoints a, b;
+  layout_points(mesh, 2, [](const Vec3&) { return 0; }, a, 0.3);
+  b = a;
+  const AdvectionStats sa = advect_points_rk2(mesh, u, 0.01, a);
+  const AdvectionStats sb = advect_points_rk2(mesh, u, 0.01, b, &eng);
+  EXPECT_EQ(sa.advected, sb.advected);
+  EXPECT_EQ(sa.left_domain, sb.left_domain);
+  ASSERT_EQ(a.size(), b.size());
+  for (Index i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.element(i), b.element(i));
+    for (int c = 0; c < 3; ++c)
+      EXPECT_EQ(a.position(i)[c], b.position(i)[c]) << "point " << i;
+  }
+}
+
+// --- full solve across shapes (the acceptance criterion) ---------------------
+
+TEST(SubdomainEngine, StokesSolveIterationsIdenticalAcrossShapes) {
+  StructuredMesh mesh = StructuredMesh::box(8, 8, 8, {0, 0, 0}, {1, 1, 1});
+  SinkerParams sp;
+  sp.mx = sp.my = sp.mz = 8;
+  ModelSetup setup = make_sinker_model(sp);
+  QuadCoefficients coeff = make_variable_coeff(setup.mesh, false, 9);
+  DirichletBc bc = sinker_boundary_conditions(setup.mesh);
+  Vector f = assemble_body_force(setup.mesh, coeff, {0, 0, -9.8});
+
+  SolverConfig cfg;
+  cfg.stokes().gmg.levels = 2;
+  cfg.stokes().krylov.max_it = 300;
+
+  auto run = [&](Index px, Index py, Index pz) {
+    SolverConfig shaped = cfg;
+    shaped.decomp(px, py, pz);
+    std::unique_ptr<SubdomainEngine> eng = shaped.make_engine(setup.mesh);
+    auto solver =
+        shaped.make_stokes_solver(setup.mesh, coeff, bc, eng.get());
+    StokesSolveResult res = solver->solve(f);
+    EXPECT_TRUE(res.stats.converged)
+        << px << "x" << py << "x" << pz << " failed to converge";
+    return res;
+  };
+
+  StokesSolveResult base = run(1, 1, 1); // null engine: global paths
+  StokesSolveResult d222 = run(2, 2, 2);
+  StokesSolveResult d221 = run(2, 2, 1);
+
+  EXPECT_EQ(base.stats.iterations, d222.stats.iterations);
+  EXPECT_EQ(base.stats.iterations, d221.stats.iterations);
+  EXPECT_LE(max_rel_diff(base.u, d222.u), 1e-12);
+  EXPECT_LE(max_rel_diff(base.p, d222.p), 1e-12);
+  EXPECT_LE(max_rel_diff(base.u, d221.u), 1e-12);
+  EXPECT_LE(max_rel_diff(base.p, d221.p), 1e-12);
+}
+
+// --- stats & reporting -------------------------------------------------------
+
+TEST(SubdomainEngine, StatsCountAppliesAndHaloBytes) {
+  StructuredMesh mesh = make_deformed_mesh(4, 4, 4);
+  QuadCoefficients coeff = make_variable_coeff(mesh, false);
+  DirichletBc bc(num_velocity_dofs(mesh));
+  SubdomainEngine eng(mesh, 2, 2, 1);
+  auto op = make_viscous_backend(
+      ViscousBackendSpec{FineOperatorType::kTensor, 0, &eng}, mesh, coeff,
+      &bc);
+  eng.reset_stats();
+  Vector x = random_vector(op->rows(), 3);
+  Vector y(x.size());
+  op->apply(x, y);
+  op->apply(x, y);
+  const DecompStats st = eng.stats();
+  EXPECT_EQ(st.px, 2);
+  EXPECT_EQ(st.py, 2);
+  EXPECT_EQ(st.pz, 1);
+  EXPECT_EQ(st.applies, 2);
+  // Every apply exchanges all halo points, 3 components of one Real each;
+  // sent and received bytes mirror each other by construction.
+  const long long expect_bytes =
+      2ll * eng.halo_points_per_exchange() * 3 * sizeof(Real);
+  EXPECT_EQ(st.halo_bytes_sent, expect_bytes);
+  EXPECT_EQ(st.halo_bytes_received, expect_bytes);
+  EXPECT_EQ(st.interior_elements + st.boundary_elements,
+            mesh.num_elements());
+}
+
+TEST(SubdomainEngine, ReportDecompositionSectionRoundTrips) {
+  obs::SolverReport rep;
+  obs::DecompRecord rec;
+  rec.px = 2;
+  rec.py = 2;
+  rec.pz = 1;
+  rec.applies = 42;
+  rec.halo_bytes_sent = 1024;
+  rec.halo_bytes_received = 1024;
+  rec.exchange_seconds = 0.25;
+  rec.interior_seconds = 1.5;
+  rec.boundary_seconds = 0.75;
+  rec.interior_elements = 40;
+  rec.boundary_elements = 24;
+  rep.set_decomposition(rec);
+
+  const obs::SolverReport back = obs::SolverReport::parse(
+      rep.to_json_string());
+  ASSERT_TRUE(back.has_decomposition());
+  const obs::DecompRecord& r = back.decomposition();
+  EXPECT_EQ(r.px, 2);
+  EXPECT_EQ(r.py, 2);
+  EXPECT_EQ(r.pz, 1);
+  EXPECT_EQ(r.applies, 42);
+  EXPECT_EQ(r.halo_bytes_sent, 1024);
+  EXPECT_EQ(r.halo_bytes_received, 1024);
+  EXPECT_DOUBLE_EQ(r.exchange_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(r.interior_seconds, 1.5);
+  EXPECT_DOUBLE_EQ(r.boundary_seconds, 0.75);
+  EXPECT_EQ(r.interior_elements, 40);
+  EXPECT_EQ(r.boundary_elements, 24);
+}
+
+// --- options / config --------------------------------------------------------
+
+TEST(SolverConfig, ParsesDecompShapes) {
+  auto one = parse_decomp_shapes("2x2x2");
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0][0], 2);
+  EXPECT_EQ(one[0][1], 2);
+  EXPECT_EQ(one[0][2], 2);
+
+  auto commas = parse_decomp_shapes("3,2,1");
+  ASSERT_EQ(commas.size(), 1u);
+  EXPECT_EQ(commas[0][0], 3);
+  EXPECT_EQ(commas[0][2], 1);
+
+  auto sweep = parse_decomp_shapes("1x1x1,2x2x1,2x2x2");
+  ASSERT_EQ(sweep.size(), 3u);
+  EXPECT_EQ(sweep[1][0], 2);
+  EXPECT_EQ(sweep[1][2], 1);
+  EXPECT_EQ(sweep[2][2], 2);
+
+  EXPECT_THROW(parse_decomp_shapes("2x2"), Error);
+  EXPECT_THROW(parse_decomp_shapes("0x1x1"), Error);
+}
+
+TEST(SolverConfig, FromOptionsWiresDecompAndSolverKnobs) {
+  const char* argv[] = {"prog", "-decomp", "2,2,1", "--backend", "mf",
+                        "-levels", "2", "-safeguard", "false"};
+  Options o = Options::from_args(9, argv);
+  SolverConfig cfg = SolverConfig::from_options(o);
+  EXPECT_EQ(cfg.decomp_shape()[0], 2);
+  EXPECT_EQ(cfg.decomp_shape()[1], 2);
+  EXPECT_EQ(cfg.decomp_shape()[2], 1);
+  EXPECT_EQ(cfg.stokes().backend, FineOperatorType::kMatrixFree);
+  EXPECT_EQ(cfg.stokes().gmg.levels, 2);
+  EXPECT_FALSE(cfg.use_safeguard());
+
+  StructuredMesh mesh = StructuredMesh::box(4, 4, 4, {0, 0, 0}, {1, 1, 1});
+  auto eng = cfg.make_engine(mesh);
+  ASSERT_NE(eng, nullptr);
+  EXPECT_EQ(eng->num_subdomains(), 4);
+  // 1x1x1 = global paths, no engine.
+  EXPECT_EQ(SolverConfig().make_engine(mesh), nullptr);
+}
+
+TEST(OptionsUnified, DashAndDoubleDashResolveIdentically) {
+  const char* argv[] = {"prog", "-alpha", "1", "--beta", "2.5", "--flag"};
+  Options o = Options::from_args(6, argv);
+  EXPECT_EQ(o.get_int("alpha", 0), 1);
+  EXPECT_EQ(o.get_int("-alpha", 0), 1);
+  EXPECT_EQ(o.get_int("--alpha", 0), 1);
+  EXPECT_DOUBLE_EQ(o.get_real("beta", 0), 2.5);
+  EXPECT_TRUE(o.get_bool("flag", false));
+  EXPECT_TRUE(o.has("--flag"));
+
+  Options set_test;
+  set_test.set("--gamma", "7");
+  EXPECT_EQ(set_test.get_int("gamma", 0), 7);
+}
+
+TEST(OptionsUnified, TypedListGetters) {
+  Options o;
+  o.set("grids", "4,8,16");
+  o.set("shape", "2x2x1");
+  o.set("names", "mx_sweep,tensc");
+  const std::vector<Index> grids = o.get_index_list("grids");
+  ASSERT_EQ(grids.size(), 3u);
+  EXPECT_EQ(grids[2], 16);
+  const std::vector<Index> shape = o.get_index_list("shape");
+  ASSERT_EQ(shape.size(), 3u);
+  EXPECT_EQ(shape[0], 2);
+  EXPECT_EQ(shape[2], 1);
+  // 'x' only separates pure shape strings; text lists keep their 'x'.
+  const std::vector<std::string> names = o.get_list("names");
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "mx_sweep");
+  EXPECT_TRUE(o.get_list("absent").empty());
+}
+
+TEST(OptionsUnified, HelpTextContainsRegisteredDescriptions) {
+  Options::describe("zz_test_flag", "N", "a test-only flag");
+  const std::string help = Options::help_text();
+  EXPECT_NE(help.find("-zz_test_flag N"), std::string::npos);
+  EXPECT_NE(help.find("a test-only flag"), std::string::npos);
+}
+
+} // namespace
+} // namespace ptatin

@@ -2,6 +2,7 @@
 // DOF maps, boundary conditions, decomposition, and point location.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 
@@ -363,6 +364,67 @@ TEST(Decomposition, BalancedWithinOnePerDirection) {
     }
     EXPECT_LE(mx - mn, 1);
   }
+}
+
+TEST(Decomposition, ExactPartitionForUnevenDivisions) {
+  // 7x5x3 elements over 3x2x2 ranks: no direction divides evenly. The split
+  // arrays must still tile [0, m) exactly, and the per-rank boxes must
+  // reproduce them.
+  StructuredMesh m = StructuredMesh::box(7, 5, 3, {0, 0, 0}, {1, 1, 1});
+  Decomposition d = Decomposition::create(m, 3, 2, 2);
+  const std::vector<Index>* splits[3] = {&d.splits_x(), &d.splits_y(),
+                                         &d.splits_z()};
+  const Index dims[3] = {m.mx(), m.my(), m.mz()};
+  const Index p[3] = {d.px(), d.py(), d.pz()};
+  for (int dir = 0; dir < 3; ++dir) {
+    ASSERT_EQ(static_cast<Index>(splits[dir]->size()), p[dir] + 1);
+    EXPECT_EQ(splits[dir]->front(), 0);
+    EXPECT_EQ(splits[dir]->back(), dims[dir]);
+    for (Index r = 0; r < p[dir]; ++r)
+      EXPECT_LT((*splits[dir])[r], (*splits[dir])[r + 1])
+          << "empty slab in dir " << dir;
+  }
+  for (Index r = 0; r < d.num_ranks(); ++r) {
+    const auto ijk = d.dir_indices(r);
+    EXPECT_EQ(d.rank_at(ijk[0], ijk[1], ijk[2]), r);
+    const Subdomain& s = d.subdomain(r);
+    EXPECT_EQ(s.elo[0], d.splits_x()[ijk[0]]);
+    EXPECT_EQ(s.ehi[0], d.splits_x()[ijk[0] + 1]);
+    EXPECT_EQ(s.elo[1], d.splits_y()[ijk[1]]);
+    EXPECT_EQ(s.ehi[1], d.splits_y()[ijk[1] + 1]);
+    EXPECT_EQ(s.elo[2], d.splits_z()[ijk[2]]);
+    EXPECT_EQ(s.ehi[2], d.splits_z()[ijk[2] + 1]);
+  }
+}
+
+TEST(Decomposition, NeighborListsAreSymmetric) {
+  StructuredMesh m = StructuredMesh::box(6, 5, 4, {0, 0, 0}, {1, 1, 1});
+  Decomposition d = Decomposition::create(m, 3, 2, 2);
+  for (Index r = 0; r < d.num_ranks(); ++r) {
+    const auto& nbrs = d.subdomain(r).neighbors;
+    EXPECT_EQ(std::set<Index>(nbrs.begin(), nbrs.end()).size(), nbrs.size())
+        << "duplicate neighbor";
+    for (Index n : nbrs) {
+      EXPECT_NE(n, r) << "rank lists itself as neighbor";
+      const auto& back = d.subdomain(n).neighbors;
+      EXPECT_TRUE(std::find(back.begin(), back.end(), r) != back.end())
+          << "rank " << n << " does not list " << r << " back";
+    }
+  }
+}
+
+TEST(Decomposition, RankOfElementAgreesWithOwnsElementIjk) {
+  StructuredMesh m = StructuredMesh::box(5, 4, 3, {0, 0, 0}, {1, 1, 1});
+  Decomposition d = Decomposition::create(m, 2, 2, 3);
+  for (Index ek = 0; ek < m.mz(); ++ek)
+    for (Index ej = 0; ej < m.my(); ++ej)
+      for (Index ei = 0; ei < m.mx(); ++ei) {
+        const Index e = m.element_index(ei, ej, ek);
+        const Index owner = d.rank_of_element(m, e);
+        for (Index r = 0; r < d.num_ranks(); ++r)
+          EXPECT_EQ(d.subdomain(r).owns_element_ijk(ei, ej, ek), r == owner)
+              << "element (" << ei << "," << ej << "," << ek << ") rank " << r;
+      }
 }
 
 // --- point location --------------------------------------------------------

@@ -4,7 +4,7 @@
 
 #include <cmath>
 
-#include "common/perf.hpp"
+#include "obs/perf.hpp"
 #include "common/rng.hpp"
 #include "ksp/cg.hpp"
 #include "ksp/gcr.hpp"
