@@ -1,0 +1,111 @@
+// Serve fleet throughput bench (docs/SERVICE.md).
+//
+// Drains a mixed batch of small sinker jobs (some duplicated, so the result
+// cache participates exactly as it would in production) through the fleet at
+// 1, 4, and 8 concurrency and reports jobs/sec, submit-to-completion latency
+// percentiles (p50/p95/p99), and the cache hit rate. Each concurrency level
+// runs in a fresh workdir so durable cache hits never leak across levels.
+//
+// Usage: serve_throughput [-m 4] [-steps 2] [-jobs 12] [-fleet_cores 8]
+//                         [-json BENCH_serve.json] [-workdir DIR]
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "obs/report.hpp"
+#include "serve/fleet.hpp"
+
+using namespace ptatin;
+using namespace ptatin::serve;
+
+namespace {
+
+/// The batch: `jobs` specs cycling through 6 distinct configurations, so a
+/// 12-job batch is half duplicate work the fleet coalesces via the cache.
+std::vector<JobSpec> make_batch(int jobs, int m, int steps) {
+  const char* contrasts[] = {"1e3", "1e4", "3e3", "1e2", "1e5", "3e4"};
+  std::vector<JobSpec> specs;
+  for (int i = 0; i < jobs; ++i) {
+    JobSpec s;
+    s.name = "bench-" + std::to_string(i + 1);
+    s.steps = steps;
+    s.options.set("model", "sinker");
+    s.options.set("m", std::to_string(m));
+    s.options.set("contrast", contrasts[i % 6]);
+    s.config = SolverConfig::from_options(s.options);
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  Options cli = Options::from_args(argc, argv);
+  const int m = int(cli.get_index("m", 4));
+  const int steps = int(cli.get_index("steps", 2));
+  const int jobs = int(cli.get_index("jobs", 12));
+  const int fleet_cores = int(cli.get_index("fleet_cores", 8));
+  const std::string workdir = cli.get_string("workdir", "serve_throughput_wd");
+
+  bench::banner("ptatin_serve throughput: " + std::to_string(jobs) +
+                " sinker jobs (m=" + std::to_string(m) +
+                ", steps=" + std::to_string(steps) + ")");
+  bench::Table tab({"concurrency", "jobs/s", "p50 s", "p95 s", "p99 s",
+                    "cache hit%", "wall s"});
+  tab.print_header();
+
+  obs::JsonValue rows = obs::JsonValue::array();
+  for (int concurrency : {1, 4, 8}) {
+    const std::string wd = workdir + "/c" + std::to_string(concurrency);
+    std::filesystem::remove_all(wd);
+
+    FleetOptions fo;
+    fo.max_concurrent = concurrency;
+    fo.total_cores = fleet_cores;
+    fo.workdir = wd;
+    Fleet fleet(fo);
+    for (JobSpec& spec : make_batch(jobs, m, steps))
+      fleet.submit(std::move(spec));
+    fleet.run_until_drained();
+    const FleetReport r = fleet.report();
+
+    const double lookups = double(r.cache_hits + r.cache_misses);
+    const double hit_rate = lookups > 0 ? double(r.cache_hits) / lookups : 0;
+    tab.cell(long(concurrency));
+    tab.cell(r.throughput_jobs_per_s, "%.2f");
+    tab.cell(r.latency_p50, "%.3f");
+    tab.cell(r.latency_p95, "%.3f");
+    tab.cell(r.latency_p99, "%.3f");
+    tab.cell(100.0 * hit_rate, "%.1f");
+    tab.cell(r.wall_seconds, "%.2f");
+    tab.endrow();
+
+    obs::JsonValue row = obs::JsonValue::object();
+    row["concurrency"] = obs::JsonValue(concurrency);
+    row["jobs_per_s"] = obs::JsonValue(r.throughput_jobs_per_s);
+    row["latency_p50_s"] = obs::JsonValue(r.latency_p50);
+    row["latency_p95_s"] = obs::JsonValue(r.latency_p95);
+    row["latency_p99_s"] = obs::JsonValue(r.latency_p99);
+    row["cache_hit_rate"] = obs::JsonValue(hit_rate);
+    row["completed"] = obs::JsonValue(r.completed);
+    row["served_from_cache"] = obs::JsonValue(r.served_from_cache);
+    row["wall_seconds"] = obs::JsonValue(r.wall_seconds);
+    rows.push_back(std::move(row));
+  }
+
+  obs::JsonValue run = obs::JsonValue::object();
+  run["m"] = obs::JsonValue(m);
+  run["steps"] = obs::JsonValue(steps);
+  run["jobs"] = obs::JsonValue(jobs);
+  run["fleet_cores"] = obs::JsonValue(fleet_cores);
+  run["rows"] = std::move(rows);
+  const std::string json_path = cli.get_string("json", "BENCH_serve.json");
+  if (obs::append_bench_run(json_path, "serve_throughput", std::move(run)))
+    std::printf("\nrun appended to %s\n", json_path.c_str());
+
+  std::filesystem::remove_all(workdir);
+  return 0;
+}

@@ -32,20 +32,17 @@
 #include "ptatin/exit_codes.hpp"
 #include "ptatin/health.hpp"
 #include "ptatin/stepper.hpp"
-#include "ptatin/models_rifting.hpp"
-#include "ptatin/models_sinker.hpp"
-#include "ptatin/models_subduction.hpp"
+#include "ptatin/model_select.hpp"
 #include "ptatin/vtk.hpp"
 
 using namespace ptatin;
 
 namespace {
 
-/// Driver-level flags (model selection, run length, I/O); the solver flags
-/// are registered by SolverConfig::describe_options().
+/// Driver-level flags (run length, I/O); the model flags are registered by
+/// describe_model_options() and the solver flags by
+/// SolverConfig::describe_options().
 void describe_driver_options() {
-  Options::describe("model", "sinker|rifting|subduction", "model selection");
-  Options::describe("m", "N", "mesh resolution (also -mx -my -mz)");
   Options::describe("steps", "N",
                     "total time steps (default 5; a restart resumes\n"
                     "towards N)");
@@ -66,36 +63,6 @@ void describe_driver_options() {
                     "arm fault injection, SPEC = site:nth[:kind[:count]],...");
   Options::describe("verbose", "", "per-iteration logging");
   Options::describe("help", "", "print this help and exit");
-}
-
-ModelSetup build_model(const Options& o, int& vertical_axis) {
-  const std::string model = o.get_string("model", "sinker");
-  vertical_axis = 2;
-  if (model == "rifting") {
-    RiftingParams p;
-    p.mx = o.get_index("mx", 16);
-    p.my = o.get_index("my", 8);
-    p.mz = o.get_index("mz", 8);
-    p.extension_rate = o.get_real("extension", 1.0);
-    p.shortening_rate = o.get_real("shortening", 0.0);
-    vertical_axis = 1;
-    return make_rifting_model(p);
-  }
-  if (model == "subduction") {
-    SubductionParams p;
-    p.mx = o.get_index("mx", 16);
-    p.my = o.get_index("my", 4);
-    p.mz = o.get_index("mz", 8);
-    return make_subduction_model(p);
-  }
-  PT_ASSERT_MSG(model == "sinker",
-                "unknown -model (expected sinker|rifting|subduction)");
-  SinkerParams p;
-  p.mx = p.my = p.mz = o.get_index("m", 8);
-  p.num_spheres = o.get_index("spheres", 8);
-  p.radius = o.get_real("radius", 0.1);
-  p.contrast = o.get_real("contrast", 1e3);
-  return make_sinker_model(p);
 }
 
 /// Bitwise state digest for restart round-trip comparison (timing-free, so
@@ -124,12 +91,14 @@ bool write_final_state(const std::string& path, const PtatinContext& ctx,
 
 int main(int argc, char** argv) {
   Options o = Options::from_args(argc, argv);
+  // The registered option descriptions (common/options.hpp) back both the
+  // generated -help text and unknown-flag rejection: driver flags here,
+  // model flags from the shared selector, solver flags from the unified
+  // configuration.
+  describe_driver_options();
+  describe_model_options();
+  SolverConfig::describe_options();
   if (o.get_bool("help", false)) {
-    // The help text is generated from the registered option descriptions
-    // (common/options.hpp): driver flags here, solver flags from the
-    // unified configuration.
-    describe_driver_options();
-    SolverConfig::describe_options();
     std::printf("ptatin_driver options:\n%s"
                 "exit codes:\n"
                 "  0  success\n"
@@ -139,6 +108,13 @@ int main(int argc, char** argv) {
                 "  4  health-check failure\n",
                 Options::help_text().c_str());
     return int(DriverExit::kSuccess);
+  }
+  // Unknown flags are a typed usage error, not a silent no-op: a mistyped
+  // knob must never run the default configuration under the user's nose.
+  if (const auto unknown = o.unknown_keys(); !unknown.empty()) {
+    std::fprintf(stderr, "error: %susage: ptatin_driver -help\n",
+                 Options::format_unknown(unknown).c_str());
+    return int(DriverExit::kUsageError);
   }
   if (o.get_bool("verbose", false)) set_log_level(LogLevel::kDebug);
 
@@ -156,7 +132,7 @@ int main(int argc, char** argv) {
   int vertical_axis = 2;
   ModelSetup setup;
   try {
-    setup = build_model(o, vertical_axis);
+    setup = build_model_from_options(o, vertical_axis);
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return int(DriverExit::kUsageError);

@@ -1,0 +1,183 @@
+// ptatin_serve: simulation-as-a-service job fleet (docs/SERVICE.md).
+//
+// Reads a batch of JSON job specs, drains them through the serve fleet
+// (priority scheduling, shared core budget, cooperative preemption, durable
+// result cache), prints a per-job summary, and writes the fleet report.
+// Durable by construction: kill -9 this process, rerun the same command, and
+// completed jobs are served from the on-disk cache while interrupted jobs
+// resume from their newest checkpoint.
+//
+// Exit codes follow the driver taxonomy (ptatin/exit_codes.hpp): 0 when
+// every job completed, otherwise the exit code of the first evicted job;
+// 2 for usage errors (unknown flags, malformed specs or -faults).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/faultinject.hpp"
+#include "common/log.hpp"
+#include "common/options.hpp"
+#include "common/parallel.hpp"
+#include "ptatin/exit_codes.hpp"
+#include "ptatin/model_select.hpp"
+#include "serve/fleet.hpp"
+
+using namespace ptatin;
+using namespace ptatin::serve;
+
+namespace {
+
+void describe_serve_options() {
+  Options::describe("jobs", "FILE",
+                    "job batch: a JSON array of job specs, or\n"
+                    "{\"jobs\": [...]} (docs/SERVICE.md)");
+  Options::describe("workdir", "DIR",
+                    "fleet state: per-job checkpoints, durable result\n"
+                    "cache, fleet_report.json");
+  Options::describe("max_concurrent", "N",
+                    "solver instances running at once (default 4)");
+  Options::describe("fleet_cores", "N",
+                    "shared core budget (default: hardware threads)");
+  Options::describe("cache_capacity", "N",
+                    "result-cache entries kept (default 256)");
+  Options::describe("max_job_restarts", "N",
+                    "failure requeues before eviction (default 1)");
+  Options::describe("job_deadline", "S",
+                    "per-job wall deadline in seconds (0 = off)");
+  Options::describe("wedge_timeout", "S",
+                    "evict a job with no step progress for S seconds\n"
+                    "(0 = off)");
+  Options::describe("fleet_report", "FILE",
+                    "fleet report path (default WORKDIR/fleet_report.json)");
+  Options::describe("faults", "SPEC",
+                    "deterministic fault injection (docs/ROBUSTNESS.md)");
+  Options::describe("verbose", "", "per-event fleet logging");
+  Options::describe("help", "", "print this help and exit");
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  Options o = Options::from_args(argc, argv);
+  // Register every key family for -help and unknown-flag validation: the
+  // serve CLI flags plus the full job-spec vocabulary (so -help documents
+  // what the jobs file may contain).
+  describe_serve_options();
+  JobSpec::describe_options();
+  describe_model_options();
+  SolverConfig::describe_options();
+  if (o.get_bool("help", false)) {
+    std::printf(
+        "ptatin_serve -jobs FILE -workdir DIR [options]\n\n"
+        "CLI flags and job-spec keys (a job spec is a flat JSON object of\n"
+        "the non-CLI keys below):\n%s"
+        "exit codes:\n"
+        "  0  every job completed\n"
+        "  1  a job was evicted after an unrecovered solver failure\n"
+        "  2  usage error (unknown flag, malformed -jobs file or -faults)\n"
+        "  3  a job was evicted after a checkpoint/restart failure\n"
+        "  4  a job was evicted by the watchdog / health pass\n",
+        Options::help_text().c_str());
+    return int(DriverExit::kSuccess);
+  }
+  if (const auto unknown = o.unknown_keys(); !unknown.empty()) {
+    std::fprintf(stderr, "error: %susage: ptatin_serve -help\n",
+                 Options::format_unknown(unknown).c_str());
+    return int(DriverExit::kUsageError);
+  }
+  if (o.get_bool("verbose", false)) set_log_level(LogLevel::kDebug);
+
+  const std::string faults = o.get_string("faults", "");
+  if (!faults.empty() &&
+      !fault::FaultInjector::instance().arm_from_spec(faults)) {
+    std::fprintf(stderr, "error: malformed -faults spec '%s'\n",
+                 faults.c_str());
+    return int(DriverExit::kUsageError);
+  }
+
+  const std::string jobs_path = o.get_string("jobs", "");
+  if (jobs_path.empty()) {
+    std::fprintf(stderr, "error: -jobs FILE is required\n"
+                         "usage: ptatin_serve -help\n");
+    return int(DriverExit::kUsageError);
+  }
+  std::ifstream in(jobs_path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read -jobs file '%s'\n",
+                 jobs_path.c_str());
+    return int(DriverExit::kUsageError);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+
+  std::vector<JobSpec> specs;
+  try {
+    specs = parse_job_batch(ss.str());
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s: %s\n", jobs_path.c_str(), e.what());
+    return int(DriverExit::kUsageError);
+  }
+
+  FleetOptions fo;
+  fo.max_concurrent = o.get_int("max_concurrent", 4);
+  fo.total_cores = o.get_int("fleet_cores", 0);
+  fo.workdir = o.get_string("workdir", "");
+  fo.cache_capacity = std::size_t(o.get_int("cache_capacity", 256));
+  fo.max_job_restarts = o.get_int("max_job_restarts", 1);
+  fo.job_deadline_s = o.get_real("job_deadline", 0);
+  fo.wedge_timeout_s = o.get_real("wedge_timeout", 0);
+  fo.verbose = o.get_bool("verbose", false);
+
+  Fleet fleet(fo);
+  try {
+    for (JobSpec& spec : specs) fleet.submit(std::move(spec));
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return int(DriverExit::kUsageError);
+  }
+
+  std::printf("== ptatin_serve: %zu jobs, %d concurrent, %d cores ==\n",
+              specs.size(), fo.max_concurrent, fleet.total_cores());
+  fleet.run_until_drained();
+
+  DriverExit outcome = DriverExit::kSuccess;
+  for (const auto& job : fleet.jobs()) {
+    const char* extra = job->from_cache ? " [cache]" : "";
+    if (job->state == JobState::kCompleted) {
+      std::printf("  %-14s %-9s digest %s%s", job->id.c_str(),
+                  to_string(job->state), job->digest.c_str(), extra);
+      if (job->resumed_from > 0)
+        std::printf(" (resumed from step %lld)", job->resumed_from);
+      if (job->preemptions > 0)
+        std::printf(" (%d preemption%s)", job->preemptions,
+                    job->preemptions == 1 ? "" : "s");
+      std::printf("\n");
+    } else {
+      std::printf("  %-14s %-9s %s\n", job->id.c_str(),
+                  to_string(job->state), job->failure.c_str());
+      if (outcome == DriverExit::kSuccess) outcome = job->exit_code;
+    }
+  }
+
+  const FleetReport report = fleet.report();
+  std::printf(
+      "== drained: %lld completed (%lld from cache), %lld evicted, "
+      "%lld preemptions, %.2f jobs/s, p50 %.3f s, p99 %.3f s ==\n",
+      report.completed, report.served_from_cache, report.evicted,
+      report.preemptions, report.throughput_jobs_per_s, report.latency_p50,
+      report.latency_p99);
+
+  std::string report_path = o.get_string("fleet_report", "");
+  if (report_path.empty() && !fo.workdir.empty())
+    report_path = fo.workdir + "/fleet_report.json";
+  if (!report_path.empty()) {
+    if (report.write(report_path))
+      std::printf("fleet report written: %s\n", report_path.c_str());
+    else
+      std::fprintf(stderr, "warning: failed to write %s\n",
+                   report_path.c_str());
+  }
+  return int(outcome);
+}

@@ -1,5 +1,6 @@
 #include "common/options.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "common/error.hpp"
@@ -115,6 +116,76 @@ std::vector<Index> Options::get_index_list(const std::string& key) const {
 std::vector<Real> Options::get_real_list(const std::string& key) const {
   std::vector<Real> out;
   for (const std::string& s : get_list(key)) out.push_back(std::stod(s));
+  return out;
+}
+
+namespace {
+/// Classic dynamic-programming Levenshtein distance; the key sets are tiny
+/// (dozens of flags of ~10 chars), so the O(|a||b|) table is irrelevant.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] != b[j - 1] ? 1 : 0);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+} // namespace
+
+std::vector<std::string> Options::suggest(const std::string& key,
+                                          std::size_t max_suggestions) {
+  const std::string k = normalize(key);
+  // A key qualifies as a near miss within a size-scaled edit distance, or
+  // when one string contains the other ("ckpt_dir" -> "checkpoint_dir" never
+  // qualifies by distance, but "checkpoint" does by containment).
+  const std::size_t budget = std::max<std::size_t>(2, k.size() / 4);
+  std::vector<std::pair<std::size_t, std::string>> scored;
+  for (const auto& [cand, vh] : descriptions()) {
+    (void)vh;
+    const std::size_t d = edit_distance(k, cand);
+    const bool contains = cand.find(k) != std::string::npos ||
+                          k.find(cand) != std::string::npos;
+    if (d <= budget || contains) scored.emplace_back(d, cand);
+  }
+  std::sort(scored.begin(), scored.end());
+  std::vector<std::string> out;
+  for (const auto& [d, cand] : scored) {
+    (void)d;
+    if (out.size() >= max_suggestions) break;
+    out.push_back(cand);
+  }
+  return out;
+}
+
+std::vector<Options::UnknownKey> Options::unknown_keys() const {
+  std::vector<UnknownKey> out;
+  for (const auto& [key, value] : kv_) {
+    (void)value;
+    if (descriptions().count(key)) continue;
+    out.push_back({key, suggest(key)});
+  }
+  return out;
+}
+
+std::string Options::format_unknown(const std::vector<UnknownKey>& unknown) {
+  std::string out;
+  for (const UnknownKey& u : unknown) {
+    out += "unknown option -" + u.key;
+    if (!u.suggestions.empty()) {
+      out += " (did you mean ";
+      for (std::size_t i = 0; i < u.suggestions.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += "-" + u.suggestions[i];
+      }
+      out += "?)";
+    }
+    out += "\n";
+  }
   return out;
 }
 

@@ -42,6 +42,28 @@ public:
 
   const std::map<std::string, std::string>& entries() const { return kv_; }
 
+  // --- unknown-key validation ----------------------------------------------
+  /// One parsed key that is not in the describe() registry, with up to three
+  /// near-miss suggestions (smallest edit distance first).
+  struct UnknownKey {
+    std::string key;
+    std::vector<std::string> suggestions;
+  };
+
+  /// Keys in this database that no Options::describe call registered. The
+  /// driver and the serve job-spec parser treat a non-empty result as a typed
+  /// usage error (exit code 2) instead of silently ignoring the flags.
+  std::vector<UnknownKey> unknown_keys() const;
+
+  /// Near-miss suggestions for `key` from the describe() registry: registered
+  /// keys within a small edit distance or sharing a prefix, closest first.
+  static std::vector<std::string> suggest(const std::string& key,
+                                          std::size_t max_suggestions = 3);
+
+  /// Render unknown keys as a one-per-line usage error message:
+  /// "unknown option -foo (did you mean -food, -fool?)".
+  static std::string format_unknown(const std::vector<UnknownKey>& unknown);
+
   // --- self-describing help ------------------------------------------------
   /// Register an option description for the generated -help text. Repeated
   /// registration of the same key overwrites (last wins). `value_hint` shows

@@ -151,24 +151,43 @@ public:
   JsonValue parse_document() {
     JsonValue v = parse_value();
     skip_ws();
-    PT_ASSERT_MSG(pos_ == s_.size(), "JSON: trailing characters");
+    if (pos_ != s_.size()) fail("trailing characters after document");
     return v;
   }
 
 private:
+  /// Every parse failure carries the byte offset and the 1-based line/column
+  /// it occurred at, so malformed job specs and hand-edited baselines report
+  /// *where* they broke, not just that they did.
+  [[noreturn]] void fail(const std::string& msg, std::size_t at) const {
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < at && i < s_.size(); ++i) {
+      if (s_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw Error("JSON: " + msg + " at line " + std::to_string(line) +
+                " col " + std::to_string(col) + " (offset " +
+                std::to_string(at) + ")");
+  }
+  [[noreturn]] void fail(const std::string& msg) const { fail(msg, pos_); }
+
   void skip_ws() {
     while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_])))
       ++pos_;
   }
 
   char peek() {
-    PT_ASSERT_MSG(pos_ < s_.size(), "JSON: unexpected end of input");
+    if (pos_ >= s_.size()) fail("unexpected end of input");
     return s_[pos_];
   }
 
   void expect(char c) {
-    PT_ASSERT_MSG(pos_ < s_.size() && s_[pos_] == c,
-                  std::string("JSON: expected '") + c + "'");
+    if (pos_ >= s_.size() || s_[pos_] != c)
+      fail(std::string("expected '") + c + "'");
     ++pos_;
   }
 
@@ -187,15 +206,15 @@ private:
     if (c == '[') return parse_array();
     if (c == '"') return JsonValue(parse_string());
     if (c == 't') {
-      PT_ASSERT_MSG(consume_literal("true"), "JSON: bad literal");
+      if (!consume_literal("true")) fail("bad literal");
       return JsonValue(true);
     }
     if (c == 'f') {
-      PT_ASSERT_MSG(consume_literal("false"), "JSON: bad literal");
+      if (!consume_literal("false")) fail("bad literal");
       return JsonValue(false);
     }
     if (c == 'n') {
-      PT_ASSERT_MSG(consume_literal("null"), "JSON: bad literal");
+      if (!consume_literal("null")) fail("bad literal");
       return JsonValue();
     }
     return parse_number();
@@ -211,7 +230,13 @@ private:
     }
     while (true) {
       skip_ws();
+      const std::size_t key_at = pos_;
       std::string key = parse_string();
+      // Duplicate keys are rejected rather than last-wins-merged: a job spec
+      // that sets the same field twice is ambiguous, and silently taking one
+      // value would make the config digest lie about what ran.
+      if (obj.find(key) != nullptr)
+        fail("duplicate object key \"" + key + "\"", key_at);
       skip_ws();
       expect(':');
       obj[key] = parse_value();
@@ -245,18 +270,36 @@ private:
     }
   }
 
+  /// One \uXXXX unit; the caller combines surrogate pairs.
+  unsigned parse_hex4() {
+    if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = s_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= unsigned(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= unsigned(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= unsigned(h - 'A' + 10);
+      else fail("bad hex digit in \\u escape", pos_ - 1);
+    }
+    return code;
+  }
+
   std::string parse_string() {
     expect('"');
     std::string out;
     while (true) {
-      PT_ASSERT_MSG(pos_ < s_.size(), "JSON: unterminated string");
+      if (pos_ >= s_.size()) fail("unterminated string");
       char c = s_[pos_++];
       if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("unescaped control character in string", pos_ - 1);
       if (c != '\\') {
         out += c;
         continue;
       }
-      PT_ASSERT_MSG(pos_ < s_.size(), "JSON: unterminated escape");
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      const std::size_t esc_at = pos_ - 1;
       char e = s_[pos_++];
       switch (e) {
         case '"': out += '"'; break;
@@ -268,31 +311,39 @@ private:
         case 'r': out += '\r'; break;
         case 't': out += '\t'; break;
         case 'u': {
-          PT_ASSERT_MSG(pos_ + 4 <= s_.size(), "JSON: bad \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = s_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= unsigned(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= unsigned(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= unsigned(h - 'A' + 10);
-            else PT_THROW("JSON: bad hex digit in \\u escape");
+          unsigned code = parse_hex4();
+          if (code >= 0xDC00 && code <= 0xDFFF)
+            fail("lone low surrogate in \\u escape", esc_at);
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: a \uDC00-\uDFFF low half must follow.
+            if (pos_ + 1 >= s_.size() || s_[pos_] != '\\' ||
+                s_[pos_ + 1] != 'u')
+              fail("high surrogate not followed by \\u escape", esc_at);
+            pos_ += 2;
+            const unsigned lo = parse_hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF)
+              fail("high surrogate not followed by low surrogate", esc_at);
+            code = 0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
           }
-          // Encode the code point as UTF-8 (BMP only; surrogate pairs are
-          // not produced by our writer).
+          // Encode the code point as UTF-8.
           if (code < 0x80) {
             out += char(code);
           } else if (code < 0x800) {
             out += char(0xC0 | (code >> 6));
             out += char(0x80 | (code & 0x3F));
-          } else {
+          } else if (code < 0x10000) {
             out += char(0xE0 | (code >> 12));
+            out += char(0x80 | ((code >> 6) & 0x3F));
+            out += char(0x80 | (code & 0x3F));
+          } else {
+            out += char(0xF0 | (code >> 18));
+            out += char(0x80 | ((code >> 12) & 0x3F));
             out += char(0x80 | ((code >> 6) & 0x3F));
             out += char(0x80 | (code & 0x3F));
           }
           break;
         }
-        default: PT_THROW("JSON: unknown escape");
+        default: fail("unknown escape", esc_at);
       }
     }
   }
@@ -305,11 +356,11 @@ private:
             s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
             s_[pos_] == '+' || s_[pos_] == '-'))
       ++pos_;
-    PT_ASSERT_MSG(pos_ > start, "JSON: expected a value");
+    if (pos_ == start) fail("expected a value");
     char* end = nullptr;
     const std::string tok = s_.substr(start, pos_ - start);
     const double v = std::strtod(tok.c_str(), &end);
-    PT_ASSERT_MSG(end != nullptr && *end == '\0', "JSON: malformed number");
+    if (end == nullptr || *end != '\0') fail("malformed number", start);
     return JsonValue(v);
   }
 

@@ -68,7 +68,12 @@ public:
   /// prints with that many spaces per level.
   std::string dump(int indent = 0) const;
 
-  /// Parse a JSON document. Throws ptatin::Error on malformed input.
+  /// Parse a JSON document. Throws ptatin::Error on malformed input; the
+  /// message carries the line/column/offset of the failure. Strict where it
+  /// matters for job-spec ingestion: duplicate object keys, trailing
+  /// characters after the document, unescaped control characters, and lone
+  /// surrogate \u escapes are all rejected (surrogate *pairs* decode to
+  /// UTF-8).
   static JsonValue parse(const std::string& text);
 
 private:

@@ -1,0 +1,42 @@
+// Content digest for the serve result cache (docs/SERVICE.md).
+//
+// Jobs are keyed by an FNV-1a 64-bit hash of their canonical resolved
+// serialization (JobSpec::canonical_json). FNV-1a is not cryptographic — the
+// cache defends against accidental collisions of distinct configs, not
+// adversarial ones — but it is stable across platforms and trivially
+// reimplementable by external tooling that wants to predict a job's key.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ptatin::serve {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+inline std::uint64_t fnv1a64(const std::string& s,
+                             std::uint64_t h = kFnvOffset) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// 16 lowercase hex digits, fixed width (usable as a filename stem).
+inline std::string hex64(std::uint64_t v) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[std::size_t(i)] = kHex[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+inline std::string digest_string(const std::string& s) {
+  return hex64(fnv1a64(s));
+}
+
+} // namespace ptatin::serve

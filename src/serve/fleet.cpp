@@ -1,0 +1,468 @@
+#include "serve/fleet.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "ptatin/health.hpp"
+#include "ptatin/model_select.hpp"
+#include "ptatin/stepper.hpp"
+
+namespace ptatin::serve {
+
+namespace {
+
+/// The completed-job record stored in the result cache. Deliberately
+/// timing-free: two solves of the same digest produce byte-identical
+/// records, and the CRC fields mirror the driver's -final_state document so
+/// fleet results diff directly against standalone runs.
+obs::JsonValue make_result_record(const Job& job, const StateDigest& d) {
+  obs::JsonValue j = obs::JsonValue::object();
+  j["schema"] = obs::JsonValue(obs::kServeResultSchema);
+  j["digest"] = obs::JsonValue(job.digest);
+  j["model"] = obs::JsonValue(job.spec.options.get_string("model", "sinker"));
+  j["steps"] = obs::JsonValue(job.spec.steps);
+  j["coords_crc"] = obs::JsonValue((long long)d.coords_crc);
+  j["velocity_crc"] = obs::JsonValue((long long)d.velocity_crc);
+  j["pressure_crc"] = obs::JsonValue((long long)d.pressure_crc);
+  j["temperature_crc"] = obs::JsonValue((long long)d.temperature_crc);
+  j["points_crc"] = obs::JsonValue((long long)d.points_crc);
+  j["num_points"] = obs::JsonValue(d.num_points);
+  j["num_elements"] = obs::JsonValue(d.num_elements);
+  j["resumed_from_step"] = obs::JsonValue(job.resumed_from);
+  j["preemptions"] = obs::JsonValue(job.preemptions);
+  return j;
+}
+
+StateDigest digest_from_record(const obs::JsonValue& j) {
+  StateDigest d;
+  const auto u32 = [&j](const char* key) -> std::uint32_t {
+    const obs::JsonValue* v = j.find(key);
+    return v == nullptr ? 0 : std::uint32_t((long long)v->as_number());
+  };
+  d.coords_crc = u32("coords_crc");
+  d.velocity_crc = u32("velocity_crc");
+  d.pressure_crc = u32("pressure_crc");
+  d.temperature_crc = u32("temperature_crc");
+  d.points_crc = u32("points_crc");
+  if (const obs::JsonValue* v = j.find("num_points"))
+    d.num_points = (std::int64_t)v->as_number();
+  if (const obs::JsonValue* v = j.find("num_elements"))
+    d.num_elements = (std::int64_t)v->as_number();
+  return d;
+}
+
+} // namespace
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kCompleted: return "completed";
+    case JobState::kEvicted: return "evicted";
+  }
+  return "?";
+}
+
+Fleet::Fleet(FleetOptions opts)
+    : opts_(std::move(opts)),
+      total_cores_(opts_.total_cores > 0 ? opts_.total_cores : num_threads()),
+      cache_(opts_.workdir.empty() ? "" : opts_.workdir + "/cache",
+             opts_.cache_capacity) {
+  PT_ASSERT_MSG(opts_.max_concurrent >= 1, "fleet: max_concurrent must be >= 1");
+  if (total_cores_ < 1) total_cores_ = 1;
+}
+
+Fleet::~Fleet() {
+  for (auto& job : all_)
+    if (job->worker.joinable()) job->worker.join();
+}
+
+std::string Fleet::job_dir(const Job& job) const {
+  // Keyed by digest, not job id: a preempted or killed-and-restarted fleet
+  // finds the checkpoints of an identical resubmitted spec.
+  return opts_.workdir.empty() ? "" : opts_.workdir + "/jobs/" + job.digest;
+}
+
+std::shared_ptr<Job> Fleet::submit(JobSpec spec) {
+  PT_ASSERT_MSG(spec.cores >= 1, "fleet: job core budget must be >= 1");
+  PT_ASSERT_MSG(spec.cores <= total_cores_,
+                "fleet: job \"" + spec.name + "\" wants " +
+                    std::to_string(spec.cores) + " cores but the fleet has " +
+                    std::to_string(total_cores_));
+  auto job = std::make_shared<Job>();
+  job->spec = std::move(spec);
+  job->priority = job->spec.priority;
+  job->cores = job->spec.cores;
+  job->digest = job->spec.digest();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  job->seq = next_seq_++;
+  job->id = job->spec.name.empty() ? "job-" + std::to_string(job->seq + 1)
+                                   : job->spec.name;
+  job->submit_s = clock_.seconds();
+  job->last_progress_s.store(job->submit_s);
+  all_.push_back(job);
+  obs::MetricsRegistry::instance().counter("serve.jobs.submitted").inc();
+  if (auto hit = cache_.lookup(job->digest)) {
+    complete_from_cache_locked(job, std::move(*hit));
+  } else {
+    queue_.push(job);
+    peak_queue_depth_ = std::max(peak_queue_depth_, queue_.depth());
+  }
+  cv_.notify_all();
+  return job;
+}
+
+void Fleet::complete_from_cache_locked(const std::shared_ptr<Job>& job,
+                                       obs::JsonValue record) {
+  job->result_digest = digest_from_record(record);
+  job->result = std::move(record);
+  job->state = JobState::kCompleted;
+  job->from_cache = true;
+  job->exit_code = DriverExit::kSuccess;
+  job->end_s = clock_.seconds();
+  obs::MetricsRegistry::instance().counter("serve.jobs.cache_served").inc();
+  if (opts_.verbose)
+    log_info("serve: ", job->id, " served from cache (", job->digest, ")");
+}
+
+bool Fleet::digest_running_locked(const std::string& digest) const {
+  for (const auto& r : running_)
+    if (r->digest == digest) return true;
+  return false;
+}
+
+bool Fleet::all_terminal_locked() const {
+  for (const auto& job : all_)
+    if (job->state != JobState::kCompleted && job->state != JobState::kEvicted)
+      return false;
+  return true;
+}
+
+void Fleet::schedule_locked() {
+  // Best-first: start the highest-ranked queued job that fits the free core
+  // budget. A job whose digest is already in flight is held back and served
+  // from the cache when its twin completes, so duplicate specs in one batch
+  // are solved exactly once.
+  bool progress = true;
+  while (progress && int(running_.size()) < opts_.max_concurrent) {
+    progress = false;
+    const int free = total_cores_ - cores_in_use_;
+    const std::vector<std::shared_ptr<Job>> entries = queue_.entries();
+    for (const std::shared_ptr<Job>& job : entries) {
+      // A twin may have completed since this job was queued.
+      if (auto hit = cache_.lookup(job->digest)) {
+        queue_.remove(job);
+        complete_from_cache_locked(job, std::move(*hit));
+        progress = true;
+        break;
+      }
+      if (job->cores > free) continue;
+      if (digest_running_locked(job->digest)) continue;
+      if (job->worker.joinable()) {
+        // Previous incarnation (preemption / failure requeue) must be fully
+        // off the CPU before redispatch.
+        if (!job->worker_done.load()) continue;
+        job->worker.join();
+      }
+      queue_.remove(job);
+      job->state = JobState::kRunning;
+      job->preempt.store(false);
+      const double now = clock_.seconds();
+      if (job->first_start_s < 0) job->first_start_s = now;
+      job->last_progress_s.store(now);
+      cores_in_use_ += job->cores;
+      peak_cores_ = std::max(peak_cores_, cores_in_use_);
+      running_.push_back(job);
+      job->worker_done.store(false);
+      job->worker = std::thread([this, job] { worker_main(job); });
+      if (opts_.verbose)
+        log_info("serve: start ", job->id, " (priority ", job->priority,
+                 ", ", job->cores, " cores, ", free - job->cores,
+                 " cores left)");
+      progress = true;
+      break;
+    }
+  }
+}
+
+void Fleet::preempt_locked() {
+  // Runs after schedule_locked: anything still queued is blocked. Ask the
+  // weakest strictly-lower-priority running job to yield at its next step
+  // boundary — one victim at a time, and only when yielding would actually
+  // let the blocked job start.
+  const std::shared_ptr<Job> best = queue_.front();
+  if (!best) return;
+  if (digest_running_locked(best->digest)) return; // held for coalescing
+  for (const auto& r : running_)
+    if (r->preempt.load()) return; // a yield is already in progress
+  std::shared_ptr<Job> victim;
+  for (const auto& r : running_) {
+    if (r->priority >= best->priority || r->cancel.load()) continue;
+    if (!victim || r->priority < victim->priority ||
+        (r->priority == victim->priority && r->seq > victim->seq))
+      victim = r;
+  }
+  if (!victim) return;
+  const int free_after = total_cores_ - cores_in_use_ + victim->cores;
+  if (best->cores > free_after) return;
+  victim->preempt.store(true);
+  obs::MetricsRegistry::instance().counter("serve.preempt.requested").inc();
+  if (opts_.verbose)
+    log_info("serve: preempting ", victim->id, " (priority ",
+             victim->priority, ") for ", best->id, " (priority ",
+             best->priority, ")");
+}
+
+void Fleet::watchdog_locked() {
+  const double now = clock_.seconds();
+  for (const auto& r : running_) {
+    if (r->cancel.load()) continue;
+    if (opts_.job_deadline_s > 0 && r->first_start_s >= 0 &&
+        now - r->first_start_s > opts_.job_deadline_s) {
+      r->failure = "watchdog: exceeded " +
+                   std::to_string(opts_.job_deadline_s) + " s wall deadline";
+      r->cancel.store(true);
+    } else if (opts_.wedge_timeout_s > 0 &&
+               now - r->last_progress_s.load() > opts_.wedge_timeout_s) {
+      r->failure = "watchdog: wedged (no step progress in " +
+                   std::to_string(opts_.wedge_timeout_s) + " s)";
+      r->cancel.store(true);
+    } else {
+      continue;
+    }
+    obs::MetricsRegistry::instance().counter("serve.watchdog.cancels").inc();
+    log_warn("serve: watchdog cancelling ", r->id, ": ", r->failure);
+  }
+}
+
+void Fleet::run_until_drained() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    watchdog_locked();
+    schedule_locked();
+    preempt_locked();
+    peak_queue_depth_ = std::max(peak_queue_depth_, queue_.depth());
+    if (running_.empty() && all_terminal_locked()) break;
+    cv_.wait_for(lock, std::chrono::milliseconds(50));
+  }
+  drain_wall_s_ = clock_.seconds();
+  lock.unlock();
+  for (auto& job : all_)
+    if (job->worker.joinable()) job->worker.join();
+}
+
+void Fleet::worker_main(std::shared_ptr<Job> job) {
+  // Per-thread OpenMP thread count: this job's parallel regions use its core
+  // budget without touching other jobs' teams. Deterministic fixed-chunk
+  // reductions make the results identical under any budget.
+  set_num_threads(job->cores);
+  const double t_start = clock_.seconds();
+  bool preempted = false;
+  bool canceled = false;
+  bool completed = false;
+  long long resumed_from = 0;
+  std::string failure;
+  DriverExit code = DriverExit::kSolverFailure;
+  StateDigest state_digest;
+
+  try {
+    int vaxis = 2;
+    ModelSetup setup = job->spec.build_model(vaxis);
+    SolverConfig cfg = job->spec.config;
+    cfg.ptatin().ale.vertical_axis = vaxis;
+    SafeguardOptions sg = cfg.safeguard();
+    sg.checkpoint_dir = job_dir(*job);
+    if (!sg.checkpoint_dir.empty() && sg.checkpoint_every <= 0)
+      sg.checkpoint_every = opts_.default_checkpoint_every;
+
+    PtatinContext ctx(std::move(setup), cfg.ptatin());
+    SafeguardedStepper stepper(ctx, sg);
+
+    int start_step = 0;
+    if (stepper.rotation() != nullptr && !stepper.rotation()->list().empty()) {
+      // Resume a preempted / restarted / retried job from its newest durable
+      // checkpoint; errors in this phase carry the checkpoint exit code.
+      code = DriverExit::kCheckpointFailure;
+      CheckpointRotation::LoadResult lr = stepper.rotation()->load_latest(ctx);
+      stepper.resume(lr.meta);
+      start_step = int(lr.meta.step);
+      resumed_from = lr.meta.step;
+      obs::MetricsRegistry::instance().counter("serve.jobs.resumed").inc();
+      if (opts_.verbose)
+        log_info("serve: ", job->id, " resumed from step ", start_step);
+      // Never integrate from a restored state that fails the health pass.
+      const HealthReport hr = check_health(ctx, sg.health);
+      if (!hr.ok) {
+        code = DriverExit::kHealthFailure;
+        PT_THROW("restored state failed health check: " + hr.summary());
+      }
+    }
+    code = DriverExit::kSolverFailure;
+    stepper.set_preemption_hook(
+        [job] { return job->preempt.load() || job->cancel.load(); });
+
+    for (int s = start_step + 1; s <= job->spec.steps; ++s) {
+      // Identical dt protocol to the CLI driver: bitwise parity depends on
+      // the fleet never choosing a different step size.
+      Real dt = ctx.suggest_dt(job->spec.cfl);
+      if (s == 1 || dt <= 0) dt = job->spec.dt0;
+      const SafeguardedStepResult sres = stepper.advance(dt);
+      if (sres.preempted) {
+        canceled = job->cancel.load();
+        preempted = !canceled;
+        break;
+      }
+      if (!sres.ok) {
+        failure = sres.failures.empty() ? "step failed" : sres.failures.back();
+        if (failure.rfind("health:", 0) == 0)
+          code = DriverExit::kHealthFailure;
+        break;
+      }
+      job->steps_done.store(s);
+      job->last_progress_s.store(clock_.seconds());
+    }
+    if (!preempted && !canceled && failure.empty()) {
+      state_digest = digest_state(ctx);
+      completed = true;
+    }
+  } catch (const Error& e) {
+    failure = e.what();
+  } catch (const std::exception& e) {
+    failure = e.what();
+  }
+  const double wall = clock_.seconds() - t_start;
+
+  auto& metrics = obs::MetricsRegistry::instance();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const double now = clock_.seconds();
+    job->solve_seconds += wall;
+    running_.erase(std::find(running_.begin(), running_.end(), job));
+    cores_in_use_ -= job->cores;
+    if (resumed_from > 0 && job->resumed_from == 0) {
+      job->resumed_from = resumed_from;
+      ++resume_count_;
+    }
+    if (completed) {
+      job->result_digest = state_digest;
+      job->result = make_result_record(*job, state_digest);
+      job->state = JobState::kCompleted;
+      job->exit_code = DriverExit::kSuccess;
+      job->end_s = now;
+      cache_.insert(job->digest, job->result);
+      metrics.counter("serve.jobs.completed").inc();
+      if (opts_.verbose)
+        log_info("serve: ", job->id, " completed (", job->steps_done.load(),
+                 " steps, ", wall, " s)");
+    } else if (canceled) {
+      job->state = JobState::kEvicted;
+      job->exit_code = DriverExit::kHealthFailure;
+      job->end_s = now;
+      metrics.counter("serve.jobs.evicted").inc();
+      log_warn("serve: ", job->id, " evicted: ", job->failure);
+    } else if (preempted) {
+      ++job->preemptions;
+      ++preemption_count_;
+      job->preempt.store(false);
+      job->state = JobState::kQueued;
+      queue_.push(job); // original seq: keeps its FIFO position
+      peak_queue_depth_ = std::max(peak_queue_depth_, queue_.depth());
+      metrics.counter("serve.jobs.preempted").inc();
+      if (opts_.verbose)
+        log_info("serve: ", job->id, " yielded at step ",
+                 job->steps_done.load());
+    } else {
+      ++job->failures;
+      job->failure = failure;
+      job->exit_code = code;
+      if (job->failures <= opts_.max_job_restarts) {
+        // Requeue; the next incarnation resumes from the last durable
+        // checkpoint (or from scratch when none was written yet).
+        job->state = JobState::kQueued;
+        queue_.push(job);
+        peak_queue_depth_ = std::max(peak_queue_depth_, queue_.depth());
+        metrics.counter("serve.jobs.restarted").inc();
+        log_warn("serve: ", job->id, " failed (", failure, ") — restart ",
+                 job->failures, "/", opts_.max_job_restarts);
+      } else {
+        job->state = JobState::kEvicted;
+        job->failure = "repeatedly failing (" +
+                       std::to_string(job->failures) + "x): " + failure;
+        job->end_s = now;
+        metrics.counter("serve.jobs.evicted").inc();
+        log_warn("serve: ", job->id, " evicted: ", job->failure);
+      }
+    }
+  }
+  job->worker_done.store(true);
+  cv_.notify_all();
+}
+
+std::vector<std::shared_ptr<Job>> Fleet::jobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return all_;
+}
+
+FleetReport Fleet::report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FleetReport r;
+  r.max_concurrent = opts_.max_concurrent;
+  r.total_cores = total_cores_;
+  r.peak_cores_in_use = peak_cores_;
+  r.queue_peak_depth = (long long)peak_queue_depth_;
+  r.queue_final_depth = (long long)queue_.depth();
+  obs::Histogram latency;
+  for (const auto& job : all_) {
+    ++r.submitted;
+    r.preemptions += job->preemptions;
+    if (job->resumed_from > 0) ++r.resumed;
+    if (job->state == JobState::kCompleted) {
+      ++r.completed;
+      if (job->from_cache) ++r.served_from_cache;
+      latency.record(job->end_s - job->submit_s);
+    } else if (job->state == JobState::kEvicted) {
+      ++r.evicted;
+    }
+    obs::JsonValue pj = obs::JsonValue::object();
+    pj["id"] = obs::JsonValue(job->id);
+    pj["digest"] = obs::JsonValue(job->digest);
+    pj["state"] = obs::JsonValue(to_string(job->state));
+    pj["priority"] = obs::JsonValue(job->priority);
+    pj["cores"] = obs::JsonValue(job->cores);
+    pj["steps_done"] = obs::JsonValue(job->steps_done.load());
+    pj["from_cache"] = obs::JsonValue(job->from_cache);
+    pj["preemptions"] = obs::JsonValue(job->preemptions);
+    pj["resumed_from_step"] = obs::JsonValue(job->resumed_from);
+    pj["failures"] = obs::JsonValue(job->failures);
+    pj["exit_code"] = obs::JsonValue(int(job->exit_code));
+    pj["reason"] = obs::JsonValue(job->failure);
+    pj["latency_s"] = obs::JsonValue(
+        job->end_s > 0 ? job->end_s - job->submit_s : 0.0);
+    pj["solve_s"] = obs::JsonValue(job->solve_seconds);
+    r.per_job.push_back(std::move(pj));
+  }
+  if (latency.count() > 0) {
+    r.latency_mean = latency.summarize().mean;
+    r.latency_p50 = latency.percentile(50);
+    r.latency_p90 = latency.percentile(90);
+    r.latency_p95 = latency.percentile(95);
+    r.latency_p99 = latency.percentile(99);
+  }
+  r.wall_seconds = drain_wall_s_ > 0 ? drain_wall_s_ : clock_.seconds();
+  if (r.completed > 0 && r.wall_seconds > 0)
+    r.throughput_jobs_per_s = double(r.completed) / r.wall_seconds;
+  const ResultCache::Stats cs = cache_.stats();
+  r.cache_hits = cs.hits;
+  r.cache_misses = cs.misses;
+  r.cache_evictions = cs.evictions;
+  r.cache_size = (long long)cache_.size();
+  return r;
+}
+
+} // namespace ptatin::serve

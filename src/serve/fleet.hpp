@@ -1,0 +1,150 @@
+// Simulation-as-a-service job fleet (docs/SERVICE.md).
+//
+// The fleet accepts queued JobSpecs and schedules up to max_concurrent
+// solver instances over a shared core budget: each running job executes on
+// its own thread with its own OpenMP thread-count (the per-thread ICV), so
+// per-job core budgets compose without a global thread pool reconfiguration
+// — and because every reduction in the solver stack is fixed-chunk
+// deterministic, a job's results are bitwise identical regardless of the
+// budget it ran under or how often it was preempted.
+//
+// Scheduling: best-first (priority, then FIFO within priority) with
+// admission control against free cores. When the best queued job cannot
+// start, one strictly-lower-priority running job is asked to yield
+// cooperatively: the stepper's preemption hook fires at the next step
+// boundary, publishes a checkpoint through the job's rotation, and the job
+// requeues with its original submission order, resuming later from that
+// checkpoint. A job whose digest is already being solved is held back and
+// served from the result cache when its twin completes (duplicate
+// coalescing); specs resubmitted after completion are cache hits outright.
+//
+// The watchdog pass evicts jobs cooperatively under the driver exit-code
+// taxonomy: a job over its wall deadline or without step progress for
+// wedge_timeout_s is cancelled at its next boundary; a job that keeps
+// failing past max_job_restarts (each restart resumes from its last durable
+// checkpoint) is evicted with the exit code of its final failure.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timing.hpp"
+#include "obs/json.hpp"
+#include "ptatin/checkpoint.hpp"
+#include "ptatin/exit_codes.hpp"
+#include "serve/fleet_report.hpp"
+#include "serve/job_spec.hpp"
+#include "serve/queue.hpp"
+#include "serve/result_cache.hpp"
+
+namespace ptatin::serve {
+
+enum class JobState { kQueued, kRunning, kCompleted, kEvicted };
+const char* to_string(JobState s);
+
+/// One submitted job and its full lifecycle state. Non-atomic fields are
+/// guarded by the fleet mutex; atomics are the worker <-> scheduler signal
+/// path (preempt/cancel requests, progress heartbeats).
+struct Job {
+  JobSpec spec;
+  std::string id;        ///< display id (spec name or "job-N")
+  std::string digest;    ///< canonical config digest (cache key)
+  int priority = 0;      ///< queue key (mirrors spec.priority)
+  int cores = 1;         ///< admission width (mirrors spec.cores)
+  std::uint64_t seq = 0; ///< submission order; preserved across requeues
+
+  JobState state = JobState::kQueued;
+  bool from_cache = false;
+  int failures = 0;
+  int preemptions = 0;
+  long long resumed_from = 0; ///< first checkpoint step resumed from
+  std::string failure;        ///< last failure / eviction reason
+  DriverExit exit_code = DriverExit::kSuccess;
+  StateDigest result_digest;
+  obs::JsonValue result; ///< completed record ("ptatin.serve_result/1")
+  double submit_s = 0;
+  double first_start_s = -1;
+  double end_s = 0;
+  double solve_seconds = 0; ///< wall time across all running incarnations
+
+  std::atomic<bool> preempt{false}; ///< yield at the next step boundary
+  std::atomic<bool> cancel{false};  ///< watchdog eviction request
+  std::atomic<long long> steps_done{0};
+  std::atomic<double> last_progress_s{0};
+  std::thread worker;
+  std::atomic<bool> worker_done{true}; ///< current incarnation has exited
+};
+
+struct FleetOptions {
+  int max_concurrent = 4;  ///< solver instances running at once
+  int total_cores = 0;     ///< shared core budget (0 = num_threads())
+  std::string workdir;     ///< job checkpoints + durable result cache
+                           ///< ("" = no durability)
+  std::size_t cache_capacity = 256;
+  int default_checkpoint_every = 2; ///< when a spec leaves checkpoint_every 0
+  int max_job_restarts = 1;  ///< failure requeues before eviction
+  double job_deadline_s = 0; ///< wall cap per job (0 = off)
+  double wedge_timeout_s = 0;///< no step progress for this long => evict
+  bool verbose = false;
+};
+
+class Fleet {
+public:
+  explicit Fleet(FleetOptions opts);
+  ~Fleet();
+
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  /// Validate, digest, and enqueue a job (thread-safe; callable while the
+  /// fleet is draining). A digest already in the result cache completes the
+  /// job immediately without queueing. Throws Error when the core budget
+  /// can never be satisfied (admission control).
+  std::shared_ptr<Job> submit(JobSpec spec);
+
+  /// Run the scheduler until every submitted job is terminal (completed or
+  /// evicted). Blocks the calling thread; jobs may be submitted from other
+  /// threads while draining.
+  void run_until_drained();
+
+  std::vector<std::shared_ptr<Job>> jobs() const;
+  ResultCache& cache() { return cache_; }
+  int total_cores() const { return total_cores_; }
+  FleetReport report() const;
+
+private:
+  void schedule_locked();
+  void preempt_locked();
+  void watchdog_locked();
+  bool all_terminal_locked() const;
+  bool digest_running_locked(const std::string& digest) const;
+  void complete_from_cache_locked(const std::shared_ptr<Job>& job,
+                                  obs::JsonValue record);
+  void worker_main(std::shared_ptr<Job> job);
+  std::string job_dir(const Job& job) const;
+
+  FleetOptions opts_;
+  int total_cores_ = 1;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  JobQueue<Job> queue_;
+  std::vector<std::shared_ptr<Job>> all_;
+  std::vector<std::shared_ptr<Job>> running_;
+  ResultCache cache_;
+  int cores_in_use_ = 0;
+  int peak_cores_ = 0;
+  std::size_t peak_queue_depth_ = 0;
+  long long preemption_count_ = 0;
+  long long resume_count_ = 0;
+  std::uint64_t next_seq_ = 0;
+  Timer clock_;
+  double drain_wall_s_ = 0;
+};
+
+} // namespace ptatin::serve

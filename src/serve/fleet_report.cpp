@@ -1,0 +1,62 @@
+#include "serve/fleet_report.hpp"
+
+#include <fstream>
+
+#include "obs/report.hpp"
+
+namespace ptatin::serve {
+
+obs::JsonValue FleetReport::to_json() const {
+  obs::JsonValue j = obs::JsonValue::object();
+  j["schema"] = obs::JsonValue(obs::kFleetReportSchema);
+
+  obs::JsonValue jobs = obs::JsonValue::object();
+  jobs["submitted"] = obs::JsonValue(submitted);
+  jobs["completed"] = obs::JsonValue(completed);
+  jobs["served_from_cache"] = obs::JsonValue(served_from_cache);
+  jobs["evicted"] = obs::JsonValue(evicted);
+  jobs["preemptions"] = obs::JsonValue(preemptions);
+  jobs["resumed"] = obs::JsonValue(resumed);
+  j["jobs"] = std::move(jobs);
+
+  obs::JsonValue queue = obs::JsonValue::object();
+  queue["peak_depth"] = obs::JsonValue(queue_peak_depth);
+  queue["final_depth"] = obs::JsonValue(queue_final_depth);
+  j["queue"] = std::move(queue);
+
+  obs::JsonValue lat = obs::JsonValue::object();
+  lat["mean_s"] = obs::JsonValue(latency_mean);
+  lat["p50_s"] = obs::JsonValue(latency_p50);
+  lat["p90_s"] = obs::JsonValue(latency_p90);
+  lat["p95_s"] = obs::JsonValue(latency_p95);
+  lat["p99_s"] = obs::JsonValue(latency_p99);
+  j["latency"] = std::move(lat);
+
+  j["wall_seconds"] = obs::JsonValue(wall_seconds);
+  j["throughput_jobs_per_s"] = obs::JsonValue(throughput_jobs_per_s);
+
+  obs::JsonValue cache = obs::JsonValue::object();
+  cache["hits"] = obs::JsonValue(cache_hits);
+  cache["misses"] = obs::JsonValue(cache_misses);
+  cache["evictions"] = obs::JsonValue(cache_evictions);
+  cache["size"] = obs::JsonValue(cache_size);
+  j["cache"] = std::move(cache);
+
+  obs::JsonValue cores = obs::JsonValue::object();
+  cores["max_concurrent"] = obs::JsonValue(max_concurrent);
+  cores["total"] = obs::JsonValue(total_cores);
+  cores["peak_in_use"] = obs::JsonValue(peak_cores_in_use);
+  j["cores"] = std::move(cores);
+
+  j["per_job"] = per_job;
+  return j;
+}
+
+bool FleetReport::write(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_json().dump(1) << "\n";
+  return bool(f);
+}
+
+} // namespace ptatin::serve

@@ -1,0 +1,60 @@
+// Fleet-level telemetry document, schema "ptatin.fleet_report/1"
+// (docs/SERVICE.md, docs/OBSERVABILITY.md).
+//
+// One report summarizes a fleet drain: job outcome counts, queue depths,
+// per-job submit-to-completion latency percentiles, completed-job
+// throughput, result-cache accounting, core utilization, and a per-job
+// record array for post-mortems. Latency percentiles are nearest-rank over
+// completed jobs (cache-served jobs included — a hit's near-zero latency is
+// exactly the effect the cache exists to produce and belongs in the
+// distribution the operator sees).
+#pragma once
+
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace ptatin::serve {
+
+struct FleetReport {
+  // Job outcomes.
+  long long submitted = 0;
+  long long completed = 0;
+  long long served_from_cache = 0; ///< subset of completed
+  long long evicted = 0;           ///< watchdog / repeated-failure evictions
+  long long preemptions = 0;       ///< boundary yields across all jobs
+  long long resumed = 0;           ///< jobs that resumed from a checkpoint
+
+  // Queue.
+  long long queue_peak_depth = 0;
+  long long queue_final_depth = 0;
+
+  // Latency (seconds, submit -> completion) over completed jobs.
+  double latency_mean = 0;
+  double latency_p50 = 0;
+  double latency_p90 = 0;
+  double latency_p95 = 0;
+  double latency_p99 = 0;
+
+  double wall_seconds = 0;
+  double throughput_jobs_per_s = 0;
+
+  // Result cache.
+  long long cache_hits = 0;
+  long long cache_misses = 0;
+  long long cache_evictions = 0;
+  long long cache_size = 0;
+
+  // Cores.
+  int max_concurrent = 0;
+  int total_cores = 0;
+  int peak_cores_in_use = 0;
+
+  obs::JsonValue per_job = obs::JsonValue::array();
+
+  obs::JsonValue to_json() const;
+  /// Write to_json (pretty-printed) to `path`; false on I/O failure.
+  bool write(const std::string& path) const;
+};
+
+} // namespace ptatin::serve

@@ -1,0 +1,64 @@
+// Job specification for the serve fleet (docs/SERVICE.md).
+//
+// A job spec is a flat JSON object mixing three key families: serve-level
+// fields (name, priority, cores, steps, dt, cfl), model fields (-model and
+// its parameters, shared with the CLI driver through ptatin/model_select),
+// and the unified solver configuration keys (ptatin/config.hpp). Parsing is
+// strict: every key must be registered in the Options::describe() registry,
+// so a typo is a typed error with near-miss suggestions instead of a job
+// that silently runs the default configuration.
+//
+// The canonical digest hashes the *resolved* result-determining parameters —
+// defaults are filled in before hashing, and JSON key order never reaches
+// the hash — so field-order permutations and explicitly-spelled defaults map
+// to the same cache entry, while name/priority/cores/checkpoint cadence
+// (proven result-invariant) are excluded and never fragment the cache.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/options.hpp"
+#include "common/types.hpp"
+#include "obs/json.hpp"
+#include "ptatin/config.hpp"
+#include "ptatin/model.hpp"
+
+namespace ptatin::serve {
+
+struct JobSpec {
+  std::string name;  ///< display label ("" = fleet assigns job-N)
+  int priority = 0;  ///< scheduling class; higher runs first
+  int cores = 1;     ///< thread budget while running (admission control)
+  int steps = 5;     ///< steps to integrate
+  Real dt0 = 0.002;  ///< first-step / fallback dt (driver -dt)
+  Real cfl = 0.25;   ///< CFL number for suggested dt
+
+  Options options;     ///< the full flat option set (model + solver keys)
+  SolverConfig config; ///< parsed + resolved solver configuration
+
+  /// Register the serve-level option descriptions (name/priority/cores and
+  /// the run keys shared with the driver) for help text and validation.
+  static void describe_options();
+
+  /// Parse a job spec object. Throws Error on non-object input, non-scalar
+  /// fields, unknown keys (with suggestions), or invalid budgets.
+  static JobSpec from_json(const obs::JsonValue& obj);
+  static JobSpec from_json_text(const std::string& text);
+
+  /// The resolved result-determining parameters in fixed key order: the
+  /// digest pre-image. Excludes name, priority, cores, and checkpoint knobs.
+  obs::JsonValue canonical_json() const;
+
+  /// Content-addressed cache key: hex FNV-1a of canonical_json().dump().
+  std::string digest() const;
+
+  /// Build this job's model exactly as the CLI driver would.
+  ModelSetup build_model(int& vertical_axis) const;
+};
+
+/// Parse a batch file: a JSON array of job objects, or {"jobs": [...]}.
+/// Errors are prefixed with the offending 1-based job index.
+std::vector<JobSpec> parse_job_batch(const std::string& text);
+
+} // namespace ptatin::serve

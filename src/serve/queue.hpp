@@ -1,0 +1,72 @@
+// Job queue: priority classes with FIFO order inside each class.
+//
+// Scheduling policy (docs/SERVICE.md): the queue keeps jobs sorted
+// best-first — higher priority wins, submission order (seq) breaks ties — so
+// the scheduler's "start the best job that fits" is a linear scan from the
+// front. Admission control against the shared core budget lives in
+// pop_fitting: a wide job never blocks a narrower lower-ranked one from
+// using cores it cannot take itself (no head-of-line blocking on width),
+// while equal-width jobs still leave in strict priority/FIFO order.
+//
+// The queue itself is not thread-safe; the fleet serializes access under its
+// scheduler mutex.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace ptatin::serve {
+
+/// JobT must expose `int priority`, `std::uint64_t seq`, and `int cores`.
+template <class JobT>
+class JobQueue {
+public:
+  void push(std::shared_ptr<JobT> job) {
+    auto it = std::upper_bound(q_.begin(), q_.end(), job, before);
+    q_.insert(it, std::move(job));
+  }
+
+  /// Highest-priority waiting job; null when empty.
+  std::shared_ptr<JobT> front() const {
+    return q_.empty() ? nullptr : q_.front();
+  }
+
+  /// Remove and return the best job whose core budget fits in `free_cores`;
+  /// null when nothing fits.
+  std::shared_ptr<JobT> pop_fitting(int free_cores) {
+    for (auto it = q_.begin(); it != q_.end(); ++it) {
+      if ((*it)->cores > free_cores) continue;
+      std::shared_ptr<JobT> job = *it;
+      q_.erase(it);
+      return job;
+    }
+    return nullptr;
+  }
+
+  bool remove(const std::shared_ptr<JobT>& job) {
+    auto it = std::find(q_.begin(), q_.end(), job);
+    if (it == q_.end()) return false;
+    q_.erase(it);
+    return true;
+  }
+
+  std::size_t depth() const { return q_.size(); }
+  bool empty() const { return q_.empty(); }
+
+  /// Best-first view for schedulers that need to skip entries (duplicate
+  /// coalescing); do not mutate the queue while iterating this.
+  const std::vector<std::shared_ptr<JobT>>& entries() const { return q_; }
+
+private:
+  static bool before(const std::shared_ptr<JobT>& a,
+                     const std::shared_ptr<JobT>& b) {
+    if (a->priority != b->priority) return a->priority > b->priority;
+    return a->seq < b->seq;
+  }
+
+  std::vector<std::shared_ptr<JobT>> q_;
+};
+
+} // namespace ptatin::serve

@@ -1,0 +1,117 @@
+#include "serve/result_cache.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace ptatin::serve {
+
+namespace fs = std::filesystem;
+
+ResultCache::ResultCache(std::string dir, std::size_t capacity)
+    : dir_(std::move(dir)), capacity_(capacity == 0 ? 1 : capacity) {
+  if (!dir_.empty()) fs::create_directories(dir_);
+}
+
+std::string ResultCache::path_for(const std::string& digest) const {
+  return dir_ + "/" + digest + ".json";
+}
+
+void ResultCache::touch_locked(Entry& e, const std::string& digest) {
+  lru_.erase(e.lru_it);
+  lru_.push_front(digest);
+  e.lru_it = lru_.begin();
+}
+
+std::optional<obs::JsonValue> ResultCache::lookup(const std::string& digest) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = map_.find(digest); it != map_.end()) {
+    ++stats_.hits;
+    touch_locked(it->second, digest);
+    return it->second.record;
+  }
+  // Disk fallback: a record published by an earlier fleet incarnation is
+  // still a hit — promote it back into the LRU.
+  if (!dir_.empty()) {
+    std::ifstream in(path_for(digest));
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      try {
+        obs::JsonValue record = obs::JsonValue::parse(ss.str());
+        ++stats_.hits;
+        ++stats_.disk_loads;
+        insert_locked(digest, record, /*write_disk=*/false);
+        return record;
+      } catch (const Error& e) {
+        log_warn("result cache: corrupt record ", path_for(digest), " (",
+                 e.what(), ") — treating as a miss");
+      }
+    }
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void ResultCache::insert(const std::string& digest, obs::JsonValue record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  insert_locked(digest, std::move(record), /*write_disk=*/true);
+}
+
+void ResultCache::insert_locked(const std::string& digest,
+                                obs::JsonValue record, bool write_disk) {
+  if (auto it = map_.find(digest); it != map_.end()) {
+    it->second.record = std::move(record);
+    touch_locked(it->second, digest);
+  } else {
+    lru_.push_front(digest);
+    map_.emplace(digest, Entry{std::move(record), lru_.begin()});
+    ++stats_.insertions;
+  }
+  if (write_disk && !dir_.empty()) {
+    // Atomic publication: a torn write must never be mistaken for a record.
+    const std::string path = path_for(digest);
+    const std::string tmp = path + ".tmp";
+    std::ofstream out(tmp);
+    if (out) out << map_.at(digest).record.dump(1) << "\n";
+    std::error_code ec;
+    if (out) {
+      out.close();
+      fs::rename(tmp, path, ec);
+    }
+    if (!out || ec) {
+      fs::remove(tmp, ec);
+      log_warn("result cache: failed to publish ", path,
+               " — record is memory-only");
+    }
+  }
+  evict_over_capacity_locked();
+}
+
+void ResultCache::evict_over_capacity_locked() {
+  while (map_.size() > capacity_) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+    ++stats_.evictions;
+    if (!dir_.empty()) {
+      std::error_code ec;
+      fs::remove(path_for(victim), ec);
+    }
+  }
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+} // namespace ptatin::serve

@@ -1,0 +1,71 @@
+// Content-addressed result store for the serve fleet (docs/SERVICE.md).
+//
+// Completed jobs are stored under their canonical config digest, in memory
+// (LRU, bounded by capacity) and — when a directory is configured — on disk
+// as <dir>/<digest>.json, published atomically (tmp + rename) so a fleet
+// killed mid-write never leaves a torn record. A memory miss falls back to
+// disk and promotes the record back into the LRU, which is what makes
+// resubmitted specs cache hits across fleet restarts. Evicting past capacity
+// removes both the memory entry and the backing file, and every transition
+// is counted (hits / misses / insertions / evictions / disk loads).
+//
+// All operations are thread-safe; worker threads insert concurrently while
+// the scheduler thread looks up.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "obs/json.hpp"
+
+namespace ptatin::serve {
+
+class ResultCache {
+public:
+  struct Stats {
+    long long hits = 0;
+    long long misses = 0;
+    long long insertions = 0;
+    long long evictions = 0;
+    long long disk_loads = 0; ///< hits served by promoting a disk record
+  };
+
+  /// dir = "" keeps the cache memory-only (no durability).
+  ResultCache(std::string dir, std::size_t capacity);
+
+  /// The stored record for `digest`, or nullopt (counted as hit or miss).
+  std::optional<obs::JsonValue> lookup(const std::string& digest);
+
+  /// Store (or refresh) the record for `digest`, evicting the least
+  /// recently used entries beyond capacity.
+  void insert(const std::string& digest, obs::JsonValue record);
+
+  std::size_t size() const;
+  Stats stats() const;
+  const std::string& dir() const { return dir_; }
+
+private:
+  struct Entry {
+    obs::JsonValue record;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  void touch_locked(Entry& e, const std::string& digest);
+  void insert_locked(const std::string& digest, obs::JsonValue record,
+                     bool write_disk);
+  void evict_over_capacity_locked();
+  std::string path_for(const std::string& digest) const;
+
+  std::string dir_;
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<std::string> lru_; ///< most recently used at the front
+  std::unordered_map<std::string, Entry> map_;
+  Stats stats_;
+};
+
+} // namespace ptatin::serve

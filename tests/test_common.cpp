@@ -1,6 +1,7 @@
 // Unit tests for the common utilities module.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <limits>
@@ -160,6 +161,38 @@ TEST(Options, SetOverridesDefaults) {
   EXPECT_EQ(o.get_int("smoother_its", 2), 3);
   EXPECT_TRUE(o.has("smoother_its"));
   EXPECT_FALSE(o.has("other"));
+}
+
+TEST(Options, UnknownKeysSuggestNearMisses) {
+  Options::describe("backend", "NAME", "operator backend");
+  Options::describe("batch_width", "N", "SIMD batch width");
+  const char* argv[] = {"prog", "-bckend", "mf"};
+  Options o = Options::from_args(3, argv);
+  const auto unknown = o.unknown_keys();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0].key, "bckend");
+  ASSERT_FALSE(unknown[0].suggestions.empty());
+  // Smallest edit distance first: "backend" (distance 1) leads.
+  EXPECT_EQ(unknown[0].suggestions[0], "backend");
+  const std::string msg = Options::format_unknown(unknown);
+  EXPECT_NE(msg.find("unknown option -bckend"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("did you mean -backend"), std::string::npos) << msg;
+}
+
+TEST(Options, UnknownKeysEmptyWhenEveryKeyIsDescribed) {
+  Options::describe("backend", "NAME", "operator backend");
+  const char* argv[] = {"prog", "-backend", "mf"};
+  EXPECT_TRUE(Options::from_args(3, argv).unknown_keys().empty());
+}
+
+TEST(Options, SuggestMatchesByContainmentBeyondEditBudget) {
+  // "checkpoint" -> "checkpoint_every" is far beyond the edit budget, but
+  // one string containing the other still qualifies as a near miss.
+  Options::describe("checkpoint_every", "N", "steps between checkpoints");
+  const auto s = Options::suggest("checkpoint");
+  EXPECT_NE(std::find(s.begin(), s.end(), "checkpoint_every"), s.end());
+  // A key nothing resembles yields no suggestions at all.
+  EXPECT_TRUE(Options::suggest("zzzzqqqqzzzz").empty());
 }
 
 TEST(SmallMat, DetAndInverseOfIdentity) {

@@ -77,6 +77,64 @@ TEST(Json, ParsesStandardEscapes) {
   EXPECT_EQ(v.find("s")->as_string(), "a\tbA\\");
 }
 
+TEST(Json, RoundTripsControlCharactersThroughEscapes) {
+  // Raw control bytes in a value must dump as \uXXXX and parse back intact.
+  // Adjacent literals keep \x01 from swallowing the 'b' as a hex digit.
+  const std::string raw = "a" "\x01" "b" "\x1f" "c\nd\"e\\f";
+  JsonValue doc = JsonValue::object();
+  doc["s"] = JsonValue(raw);
+  const std::string text = doc.dump();
+  EXPECT_EQ(text.find('\x01'), std::string::npos);
+  EXPECT_NE(text.find("\\u0001"), std::string::npos);
+  EXPECT_EQ(JsonValue::parse(text).find("s")->as_string(), raw);
+}
+
+TEST(Json, ParsesUnicodeEscapesIncludingSurrogatePairs) {
+  const JsonValue v = JsonValue::parse(
+      R"({"bmp": "\u0041\u00e9\u20ac", "astral": "\ud83d\ude00"})");
+  EXPECT_EQ(v.find("bmp")->as_string(), "A\xc3\xa9\xe2\x82\xac"); // A é €
+  EXPECT_EQ(v.find("astral")->as_string(), "\xf0\x9f\x98\x80");   // U+1F600
+  // And the decoded strings survive a dump/parse round trip.
+  const JsonValue back = JsonValue::parse(v.dump());
+  EXPECT_EQ(back.find("astral")->as_string(), v.find("astral")->as_string());
+}
+
+TEST(Json, RejectsBadUnicodeEscapes) {
+  EXPECT_THROW(JsonValue::parse(R"(["\u12"])"), Error);      // truncated
+  EXPECT_THROW(JsonValue::parse(R"(["\u12zz"])"), Error);    // bad hex digit
+  EXPECT_THROW(JsonValue::parse(R"(["\ude00"])"), Error);    // lone low half
+  EXPECT_THROW(JsonValue::parse(R"(["\ud83dx"])"), Error);   // unpaired high
+  EXPECT_THROW(JsonValue::parse(R"(["\ud83dA"])"), Error); // wrong pair
+}
+
+TEST(Json, RejectsUnescapedControlCharactersInStrings) {
+  EXPECT_THROW(JsonValue::parse("[\"a\x01typo\"]"), Error);
+  EXPECT_THROW(JsonValue::parse("[\"a\nb\"]"), Error);
+}
+
+TEST(Json, RejectsTrailingGarbageWithPosition) {
+  try {
+    JsonValue::parse("{\"a\": 1}\nxx");
+    FAIL() << "expected a typed error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("trailing characters"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  }
+}
+
+TEST(Json, RejectsDuplicateKeysWithPosition) {
+  try {
+    JsonValue::parse(R"({"a": 1, "b": 2, "a": 3})");
+    FAIL() << "expected a typed error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("duplicate object key \"a\""), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("line 1"), std::string::npos) << msg;
+  }
+}
+
 // --- options ------------------------------------------------------------------
 
 TEST(Options, DoubleDashIsSynonymForSingleDash) {
