@@ -16,6 +16,7 @@
 //
 // Usage: table2_scaling [-grids 8,12,16] [-contrast 1e4] [-rtol 1e-5]
 //        table2_scaling -grids 16 -decomp 1x1x1,2x2x1,2x2x2 [-applies 40]
+//                       [-transport memory|process]
 #include "bench_common.hpp"
 #include "common/timing.hpp"
 #include "fem/subdomain_engine.hpp"
@@ -24,6 +25,7 @@
 #include "ptatin/config.hpp"
 #include "ptatin/models_sinker.hpp"
 #include "saddle/stokes_solver.hpp"
+#include "transport/transport.hpp"
 
 using namespace ptatin;
 
@@ -38,11 +40,17 @@ int run_decomp_sweep(const Options& opts, const std::vector<Index>& grids,
   // -solve false: raw-apply timing only (the CI perf smoke skips the full
   // solves; the iteration-identity smoke keeps them).
   const bool do_solve = opts.get_bool("solve", true);
+  // -transport process: route every halo exchange through forked worker
+  // processes (docs/TRANSPORT.md) so the sweep also measures the framed
+  // socketpair fabric against the zero-copy in-memory baseline.
+  transport::TransportOptions topts;
+  topts.kind =
+      transport::parse_transport_kind(opts.get_string("transport", "memory"));
 
   bench::banner("Table II (decomposition sweep): fine-level apply and solve "
                 "vs subdomain shape");
-  std::printf("threads: %d, raw applies timed per shape: %d\n\n",
-              num_threads(), n_applies);
+  std::printf("threads: %d, raw applies timed per shape: %d, transport: %s\n\n",
+              num_threads(), n_applies, transport::to_string(topts.kind));
 
   bench::Table tab({"Grid", "Decomp", "Apply(s)", "HaloMB", "Its", "FinalRes",
                     "Solve(s)"});
@@ -70,6 +78,11 @@ int run_decomp_sweep(const Options& opts, const std::vector<Index>& grids,
       // decomposition's thread scaling from the kernel itself.
       auto eng = std::make_unique<SubdomainEngine>(mesh, shape[0], shape[1],
                                                    shape[2]);
+      std::unique_ptr<transport::Transport> tr;
+      if (topts.kind != transport::TransportKind::kMemory) {
+        tr = transport::make_transport(topts);
+        eng->set_transport(tr.get());
+      }
 
       auto op = make_viscous_backend(
           ViscousBackendSpec{FineOperatorType::kTensor, 0, eng.get()}, mesh,
@@ -119,6 +132,14 @@ int run_decomp_sweep(const Options& opts, const std::vector<Index>& grids,
       row["interior_elements"] = obs::JsonValue((long long)st.interior_elements);
       row["boundary_elements"] = obs::JsonValue((long long)st.boundary_elements);
       row["levels"] = obs::JsonValue(levels);
+      row["transport"] = obs::JsonValue(transport::to_string(topts.kind));
+      if (tr) {
+        const transport::TransportStats ts = tr->stats();
+        row["transport_frames_sent"] = obs::JsonValue(ts.frames_sent);
+        row["transport_bytes_sent"] = obs::JsonValue(ts.bytes_sent);
+        row["transport_retransmits"] = obs::JsonValue(ts.retransmits);
+        row["transport_worker_restarts"] = obs::JsonValue(ts.worker_restarts);
+      }
       row["solved"] = obs::JsonValue(do_solve);
       row["iterations"] = obs::JsonValue(res.stats.iterations);
       row["converged"] = obs::JsonValue(res.stats.converged);
@@ -135,6 +156,7 @@ int run_decomp_sweep(const Options& opts, const std::vector<Index>& grids,
   obs::JsonValue run = obs::JsonValue::object();
   run["grids"] = obs::JsonValue(opts.get_string("grids", "8,12"));
   run["decomp"] = obs::JsonValue(opts.get_string("decomp", ""));
+  run["transport"] = obs::JsonValue(transport::to_string(topts.kind));
   run["contrast"] = obs::JsonValue(contrast);
   run["rtol"] = obs::JsonValue(rtol);
   run["rows"] = std::move(rows);

@@ -105,7 +105,9 @@ int main(int argc, char** argv) {
                 "  1  unrecovered solver failure\n"
                 "  2  usage error (bad -model, malformed -faults, ...)\n"
                 "  3  checkpoint/restart failure\n"
-                "  4  health-check failure\n",
+                "  4  health-check failure\n"
+                "  5  transport failure (workers dead beyond "
+                "-max_worker_restarts)\n",
                 Options::help_text().c_str());
     return int(DriverExit::kSuccess);
   }
@@ -231,7 +233,9 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: step %d failed beyond recovery (%s)\n",
                      s, why.c_str());
         outcome = why.rfind("health:", 0) == 0 ? DriverExit::kHealthFailure
-                                               : DriverExit::kSolverFailure;
+                  : why.rfind("transport:", 0) == 0
+                      ? DriverExit::kTransportFailure
+                      : DriverExit::kSolverFailure;
         break;
       }
     } else {
@@ -300,6 +304,26 @@ int main(int argc, char** argv) {
                                   std::to_string(dshape[1]) + "x" +
                                   std::to_string(dshape[2]));
     report.set_meta("driver", "ptatin_driver");
+    report.set_meta("transport", o.get_string("transport", "memory"));
+    if (const transport::Transport* t = ctx.transport(); t != nullptr) {
+      const transport::TransportStats ts = t->stats();
+      obs::TransportRecord tr;
+      tr.backend = ts.backend;
+      tr.workers = ts.workers;
+      tr.frames_sent = ts.frames_sent;
+      tr.frames_received = ts.frames_received;
+      tr.bytes_sent = ts.bytes_sent;
+      tr.bytes_received = ts.bytes_received;
+      tr.crc_rejected = ts.crc_rejected;
+      tr.reordered = ts.reordered;
+      tr.duplicates_dropped = ts.duplicates_dropped;
+      tr.retransmits = ts.retransmits;
+      tr.timeouts = ts.timeouts;
+      tr.worker_restarts = ts.worker_restarts;
+      tr.degraded_deliveries = ts.degraded_deliveries;
+      tr.degraded = ts.degraded;
+      report.set_transport(tr);
+    }
     if (obs::write_telemetry(telemetry_dir)) {
       std::printf("telemetry written: %s/{trace.json,solver_report.json}\n",
                   telemetry_dir.c_str());

@@ -30,52 +30,51 @@ AleStats update_mesh_free_surface(StructuredMesh& mesh, const Vector& u,
     }
   };
 
-  // Move surface nodes with the flow and redistribute each column.
-  Real max_disp = 0.0;
-#ifdef _OPENMP
-#pragma omp parallel for reduction(max : max_disp) schedule(static)
-#endif
-  for (Index i2 = 0; i2 < n2; ++i2) {
-    for (Index i1 = 0; i1 < n1; ++i1) {
-      const Index top = node_at(i1, i2, nv - 1);
-      const Index bot = node_at(i1, i2, 0);
-      const Real v_top = u[velocity_dof(top, va)];
-      const Real disp = dt * v_top;
-      max_disp = std::max(max_disp, std::abs(disp));
+  // Move surface nodes with the flow and redistribute each column. Columns
+  // touch disjoint nodes, so they parallelize freely; max is order-
+  // independent, so the chunked reduction is bitwise identical to the loop.
+  const Real max_disp =
+      parallel_reduce_max(n1 * n2, [&](Index col) -> Real {
+        const Index i2 = col / n1;
+        const Index i1 = col % n1;
+        const Index top = node_at(i1, i2, nv - 1);
+        const Index bot = node_at(i1, i2, 0);
+        const Real v_top = u[velocity_dof(top, va)];
+        const Real disp = dt * v_top;
 
-      Vec3 xt = mesh.node_coord(top);
-      xt[va] += disp;
-      mesh.set_node_coord(top, xt);
+        Vec3 xt = mesh.node_coord(top);
+        xt[va] += disp;
+        mesh.set_node_coord(top, xt);
 
-      const Real lo = mesh.node_coord(bot)[va];
-      const Real hi = xt[va];
-      PT_ASSERT_MSG(hi > lo, "ALE: surface crossed the bottom boundary");
-      if (opts.equispaced_columns) {
-        for (Index iv = 1; iv < nv - 1; ++iv) {
-          const Index n = node_at(i1, i2, iv);
-          Vec3 x = mesh.node_coord(n);
-          x[va] = lo + (hi - lo) * Real(iv) / Real(nv - 1);
-          mesh.set_node_coord(n, x);
+        const Real lo = mesh.node_coord(bot)[va];
+        const Real hi = xt[va];
+        PT_ASSERT_MSG(hi > lo, "ALE: surface crossed the bottom boundary");
+        if (opts.equispaced_columns) {
+          for (Index iv = 1; iv < nv - 1; ++iv) {
+            const Index n = node_at(i1, i2, iv);
+            Vec3 x = mesh.node_coord(n);
+            x[va] = lo + (hi - lo) * Real(iv) / Real(nv - 1);
+            mesh.set_node_coord(n, x);
+          }
+        } else {
+          // Preserve the column's relative spacing (stretch blending).
+          std::vector<Real> rel(nv);
+          const Real old_hi = mesh.node_coord(top)[va] - disp;
+          const Real span_old = old_hi - lo;
+          for (Index iv = 0; iv < nv; ++iv)
+            rel[iv] = (mesh.node_coord(node_at(i1, i2, iv))[va] - lo) /
+                      std::max(span_old, Real(1e-300));
+          for (Index iv = 1; iv < nv - 1; ++iv) {
+            const Index n = node_at(i1, i2, iv);
+            Vec3 x = mesh.node_coord(n);
+            x[va] = lo + (hi - lo) * rel[iv];
+            mesh.set_node_coord(n, x);
+          }
         }
-      } else {
-        // Preserve the column's relative spacing (stretch blending).
-        std::vector<Real> rel(nv);
-        const Real old_hi = mesh.node_coord(top)[va] - disp;
-        const Real span_old = old_hi - lo;
-        for (Index iv = 0; iv < nv; ++iv)
-          rel[iv] = (mesh.node_coord(node_at(i1, i2, iv))[va] - lo) /
-                    std::max(span_old, Real(1e-300));
-        for (Index iv = 1; iv < nv - 1; ++iv) {
-          const Index n = node_at(i1, i2, iv);
-          Vec3 x = mesh.node_coord(n);
-          x[va] = lo + (hi - lo) * rel[iv];
-          mesh.set_node_coord(n, x);
-        }
-      }
-    }
-  }
+        return std::abs(disp);
+      });
 
-  stats.max_surface_displacement = max_disp;
+  stats.max_surface_displacement = std::max(max_disp, Real(0.0));
   stats.min_detj_after = min_jacobian_determinant(mesh);
   return stats;
 }

@@ -3,7 +3,9 @@
 // Solver code marks fault *sites* — named points where a failure can be
 // injected ("ksp.rnorm", "ksp.breakdown", "nonlin.rnorm", "checkpoint.write",
 // "checkpoint.read", "checkpoint.torn_write", "checkpoint.bitflip",
-// "health.field_nan"). Tests and the driver arm faults against those sites:
+// "health.field_nan", and the transport sites "transport.drop",
+// "transport.truncate", "transport.delay", "transport.worker_kill" —
+// docs/TRANSPORT.md). Tests and the driver arm faults against those sites:
 // "corrupt the value at the Nth call", "throw at the Nth call". Every recovery path in the
 // safeguard layer (docs/ROBUSTNESS.md) is exercised through this mechanism,
 // so the paths are proven to fire rather than assumed to.

@@ -14,6 +14,7 @@ enum class DriverExit : int {
   kUsageError = 2,       ///< malformed options (bad -faults spec, bad -model)
   kCheckpointFailure = 3,///< restart/checkpoint could not be loaded or saved
   kHealthFailure = 4,    ///< a health check failed beyond recovery
+  kTransportFailure = 5, ///< transport workers failed beyond restarts/retries
 };
 
 inline const char* describe(DriverExit e) {
@@ -23,6 +24,7 @@ inline const char* describe(DriverExit e) {
     case DriverExit::kUsageError: return "usage error";
     case DriverExit::kCheckpointFailure: return "checkpoint/restart failure";
     case DriverExit::kHealthFailure: return "health-check failure";
+    case DriverExit::kTransportFailure: return "transport failure";
   }
   return "unknown";
 }

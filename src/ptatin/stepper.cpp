@@ -102,9 +102,13 @@ SafeguardedStepResult SafeguardedStepper::advance(Real dt) {
              ") — stepping without rollback protection");
   }
 
+  std::vector<Real> attempted_dts;
+  bool dt_was_cut = false;
   for (int attempt = 0;; ++attempt) {
     res.dt_used = dt;
+    attempted_dts.push_back(dt);
     std::string failure;
+    bool transport_failure = false;
     try {
       res.report = ctx_.step(dt);
       failure = diagnose(res.report);
@@ -115,6 +119,9 @@ SafeguardedStepResult SafeguardedStepper::advance(Real dt) {
         const HealthReport hr = check_health(ctx_, opts_.health);
         if (!hr.ok) failure = "health: " + hr.summary();
       }
+    } catch (const transport::TransportError& e) {
+      failure = std::string("transport: ") + e.what();
+      transport_failure = true;
     } catch (const Error& e) {
       failure = std::string("exception: ") + e.what();
     }
@@ -126,11 +133,15 @@ SafeguardedStepResult SafeguardedStepper::advance(Real dt) {
     }
 
     metrics.counter("safeguard.step_failures").inc();
+    if (transport_failure) metrics.counter("transport.step_failures").inc();
     res.failures.push_back(failure);
     log_warn("safeguard: step ", step_index_, " attempt ", attempt + 1,
              " failed (", failure, ") at dt = ", dt);
 
-    const Real dt_next = dt * opts_.dt_cut_factor;
+    // Transport failures are infrastructure, not numerics: the retry keeps
+    // the SAME dt (healed workers replay the identical step, preserving
+    // bitwise reproducibility) instead of cutting the step size.
+    const Real dt_next = transport_failure ? dt : dt * opts_.dt_cut_factor;
     if (!snapshot.valid() || attempt >= opts_.max_retries ||
         !(dt_next > opts_.dt_min)) {
       res.retries = attempt;
@@ -138,15 +149,21 @@ SafeguardedStepResult SafeguardedStepper::advance(Real dt) {
     }
 
     snapshot.restore(ctx_);
-    dt = dt_next;
     metrics.counter("safeguard.rollbacks").inc();
-    metrics.counter("safeguard.dt_cuts").inc();
     metrics.counter("safeguard.retries").inc();
+    if (transport_failure) {
+      ctx_.heal_transport();
+    } else {
+      dt = dt_next;
+      dt_was_cut = true;
+      metrics.counter("safeguard.dt_cuts").inc();
+    }
   }
 
   // Step-size recovery: a retried step leaves a cap at the dt that worked;
-  // clean steps relax it geometrically until it disappears.
-  if (res.ok && res.retries > 0) {
+  // clean steps relax it geometrically until it disappears. (Transport-only
+  // retries never cut dt, so they leave no cap behind.)
+  if (res.ok && dt_was_cut) {
     dt_cap_ = res.dt_used;
   } else if (res.ok && std::isfinite(dt_cap_)) {
     dt_cap_ *= opts_.dt_grow_factor;
@@ -180,15 +197,9 @@ SafeguardedStepResult SafeguardedStepper::advance(Real dt) {
       rec.step = step_index_;
       rec.recovered = res.ok;
       rec.retries = res.retries;
-      // Reconstruct the attempted dt sequence (every retry applied one cut,
-      // so walk back up from the final attempt's dt).
-      const std::size_t attempts = res.failures.size() + (res.ok ? 1u : 0u);
-      rec.dt_history.assign(attempts, 0.0);
-      Real d = res.dt_used;
-      for (std::size_t i = attempts; i-- > 0;) {
-        rec.dt_history[i] = d;
-        d /= opts_.dt_cut_factor;
-      }
+      // The actual attempted dt sequence (transport retries repeat a dt, so
+      // it cannot be reconstructed from the cut factor alone).
+      rec.dt_history = attempted_dts;
       rec.failures = res.failures;
       report.add_safeguard(std::move(rec));
     }

@@ -1,0 +1,156 @@
+#include "transport/frame.hpp"
+
+#include <cstring>
+
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+
+namespace ptatin::transport {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& b, std::uint16_t v) {
+  b.push_back(std::uint8_t(v & 0xff));
+  b.push_back(std::uint8_t(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& b, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) b.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& b, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) b.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return std::uint16_t(p[0]) | std::uint16_t(p[1]) << 8;
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t(p[i]) << (8 * i);
+  return v;
+}
+
+} // namespace
+
+std::vector<std::uint8_t> encode_frame(const Frame& f) {
+  PT_ASSERT_MSG(f.payload.size() <= kMaxPayload, "frame payload too large");
+  std::vector<std::uint8_t> b;
+  b.reserve(kFrameHeaderSize + f.payload.size() + 4);
+  put_u32(b, kFrameMagic);
+  b.push_back(kFrameVersion);
+  b.push_back(std::uint8_t(f.type));
+  put_u16(b, f.flags);
+  put_u32(b, std::uint32_t(f.src));
+  put_u32(b, std::uint32_t(f.dst));
+  put_u32(b, std::uint32_t(f.channel));
+  put_u64(b, f.epoch);
+  put_u64(b, f.seq);
+  put_u32(b, std::uint32_t(f.payload.size()));
+  put_u32(b, crc32(b.data(), b.size()));
+  b.insert(b.end(), f.payload.begin(), f.payload.end());
+  put_u32(b, crc32(f.payload.data(), f.payload.size()));
+  return b;
+}
+
+void FrameReader::feed(const void* bytes, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(bytes);
+  // Compact the consumed prefix before growing (streams are long-lived).
+  if (pos_ > 0 && (pos_ == buf_.size() || pos_ > (1u << 16))) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), p, p + n);
+}
+
+bool FrameReader::next(Frame& out) {
+  for (;;) {
+    // Resync: skip to the next magic. Every skipped byte is stream damage.
+    std::size_t avail = buf_.size() - pos_;
+    bool skipped = false;
+    while (avail >= 4 && get_u32(buf_.data() + pos_) != kFrameMagic) {
+      ++pos_;
+      --avail;
+      skipped = true;
+    }
+    if (skipped) {
+      damaged_ = true;
+      ++crc_rejected_;
+    }
+    if (avail < kFrameHeaderSize) return false;
+
+    const std::uint8_t* h = buf_.data() + pos_;
+    const std::uint32_t header_crc = get_u32(h + 40);
+    const std::uint32_t payload_len = get_u32(h + 36);
+    if (crc32(h, 40) != header_crc || h[4] != kFrameVersion ||
+        payload_len > kMaxPayload) {
+      // Corrupt header: its length field cannot be trusted, so resync one
+      // byte at a time from inside this candidate.
+      ++pos_;
+      damaged_ = true;
+      ++crc_rejected_;
+      continue;
+    }
+    const std::size_t total = kFrameHeaderSize + payload_len + 4;
+    if (avail < total) return false;
+
+    const std::uint8_t* body = h + kFrameHeaderSize;
+    if (crc32(body, payload_len) != get_u32(body + payload_len)) {
+      // Valid header, torn/corrupt payload: the length is trustworthy, so
+      // skip the whole frame and let the sender retransmit it.
+      pos_ += total;
+      damaged_ = true;
+      ++crc_rejected_;
+      continue;
+    }
+
+    out.type = FrameType(h[5]);
+    out.flags = get_u16(h + 6);
+    out.src = std::int32_t(get_u32(h + 8));
+    out.dst = std::int32_t(get_u32(h + 12));
+    out.channel = std::int32_t(get_u32(h + 16));
+    out.epoch = get_u64(h + 20);
+    out.seq = get_u64(h + 28);
+    out.payload.assign(body, body + payload_len);
+    pos_ += total;
+    return true;
+  }
+}
+
+void FrameReader::reset() {
+  buf_.clear();
+  pos_ = 0;
+  damaged_ = false;
+}
+
+void SequenceAssembler::push(Frame f) {
+  if (f.seq < next_seq_ || held_.count(f.seq)) {
+    ++duplicates_;
+    return;
+  }
+  if (f.seq != next_seq_) ++reordered_;
+  held_.emplace(f.seq, std::move(f));
+}
+
+bool SequenceAssembler::pop(Frame& out) {
+  auto it = held_.find(next_seq_);
+  if (it == held_.end()) return false;
+  out = std::move(it->second);
+  held_.erase(it);
+  ++next_seq_;
+  return true;
+}
+
+void SequenceAssembler::reset(std::uint64_t next_seq) {
+  next_seq_ = next_seq;
+  held_.clear();
+}
+
+} // namespace ptatin::transport

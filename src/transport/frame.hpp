@@ -1,0 +1,120 @@
+// Wire framing for the transport layer (docs/TRANSPORT.md).
+//
+// Every payload that crosses a process boundary travels inside a frame:
+//
+//   offset  size  field
+//   0       4     magic "PTFR"
+//   4       1     version (= kFrameVersion)
+//   5       1     type (FrameType)
+//   6       2     flags (unused, reserved)
+//   8       4     src rank (int32)
+//   12      4     dst rank (int32)
+//   16      4     channel (int32; halo channel id for kData, message ordinal
+//                 for kMessage, worker index for control frames)
+//   20      8     epoch (uint64; halo epoch for kData, migration round for
+//                 kMessage, 0 for control frames)
+//   28      8     seq (uint64; per-connection monotonic sequence number)
+//   36      4     payload_len (uint32)
+//   40      4     header_crc (CRC-32 of bytes [0, 40))
+//   44      ...   payload
+//   44+len  4     payload_crc (CRC-32 of the payload)
+//
+// All integers little-endian. The header is self-checksummed so a reader can
+// trust payload_len before committing to read the payload; the payload has
+// its own CRC so torn or corrupted bodies are rejected without trusting the
+// kernel to preserve our framing. FrameReader turns an arbitrary byte stream
+// back into frames, resynchronizing on the magic after damage (torn writes,
+// injected truncation) and counting every rejected frame. SequenceAssembler
+// re-establishes per-connection ordering: frames are emitted strictly in seq
+// order, out-of-order arrivals are held, and stale (already-emitted) seqs are
+// dropped as duplicates. Both are deterministic and unit-tested in
+// tests/test_transport.cpp.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace ptatin::transport {
+
+inline constexpr std::uint32_t kFrameMagic = 0x52465450u; // "PTFR" LE
+inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderSize = 44;
+/// Sanity cap on payload_len: a header whose length field exceeds this is
+/// treated as damage (resync) rather than an allocation request.
+inline constexpr std::uint32_t kMaxPayload = 1u << 30;
+
+enum class FrameType : std::uint8_t {
+  kData = 1,      ///< halo channel payload (parent -> worker -> parent echo)
+  kMessage = 2,   ///< migration send-list payload
+  kHeartbeat = 3, ///< worker liveness beacon
+  kNack = 4,      ///< worker saw stream damage; sender should retransmit
+  kShutdown = 5,  ///< orderly worker exit request
+};
+
+struct Frame {
+  FrameType type = FrameType::kData;
+  std::uint16_t flags = 0;
+  std::int32_t src = 0;
+  std::int32_t dst = 0;
+  std::int32_t channel = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t seq = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serialize a frame (header + payload + payload CRC) into a byte vector.
+std::vector<std::uint8_t> encode_frame(const Frame& f);
+
+/// Incremental frame decoder over a byte stream. feed() appends raw bytes;
+/// next() extracts the next CRC-valid frame. Damage (bad magic, bad header
+/// CRC, oversized length, bad payload CRC) skips forward to the next
+/// plausible frame boundary and is reported via take_damaged() so the peer
+/// can be NACKed into retransmitting.
+class FrameReader {
+public:
+  void feed(const void* bytes, std::size_t n);
+  /// Extract the next complete valid frame; false when more bytes are needed.
+  bool next(Frame& out);
+
+  /// Frames (or candidate frames) rejected for CRC/length damage so far.
+  long long crc_rejected() const { return crc_rejected_; }
+  /// True if damage was seen since the last call (cleared by the call).
+  bool take_damaged() {
+    const bool d = damaged_;
+    damaged_ = false;
+    return d;
+  }
+  void reset();
+
+private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0; ///< consumed prefix of buf_
+  long long crc_rejected_ = 0;
+  bool damaged_ = false;
+};
+
+/// Per-connection in-order delivery: push() frames in arrival order, and
+/// pop() yields them strictly by ascending seq. Gaps hold later frames back
+/// (the transport's retransmit path fills them); seqs below the emission
+/// cursor are dropped as duplicates.
+class SequenceAssembler {
+public:
+  void push(Frame f);
+  /// Next in-order frame, if the head of the sequence is present.
+  bool pop(Frame& out);
+  /// Restart the sequence space (worker respawn = new connection).
+  void reset(std::uint64_t next_seq = 0);
+
+  long long reordered() const { return reordered_; }
+  long long duplicates() const { return duplicates_; }
+  std::uint64_t next_seq() const { return next_seq_; }
+
+private:
+  std::uint64_t next_seq_ = 0;
+  std::map<std::uint64_t, Frame> held_;
+  long long reordered_ = 0;
+  long long duplicates_ = 0;
+};
+
+} // namespace ptatin::transport

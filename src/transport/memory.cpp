@@ -1,0 +1,115 @@
+#include "transport/memory.hpp"
+
+#include <algorithm>
+
+namespace ptatin::transport {
+
+void InMemoryTransport::configure(Index num_ranks,
+                                  const std::vector<ChannelDesc>& channels) {
+  channels_ = channels;
+  slots_.assign(channels.size(), Slot{});
+  inbox_.assign(static_cast<std::size_t>(num_ranks), {});
+  msg_seq_.assign(static_cast<std::size_t>(num_ranks),
+                  std::vector<std::uint64_t>(num_ranks, 0));
+  msg_round_.assign(static_cast<std::size_t>(num_ranks),
+                    std::vector<std::uint64_t>(num_ranks, ~0ull));
+}
+
+void InMemoryTransport::begin_epoch() { ++epoch_; }
+
+void InMemoryTransport::post(Index channel, const Real* data,
+                             std::size_t count) {
+  Slot& s = slots_[static_cast<std::size_t>(channel)];
+  PT_ASSERT_MSG(count <= channels_[channel].max_reals,
+                "posted payload exceeds channel bound");
+  // Plain stores: distinct channels are posted by distinct threads, and the
+  // caller's phase barrier orders every post before every collect.
+  s.data = data;
+  s.count = count;
+  s.epoch = epoch_;
+  frames_sent_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(static_cast<long long>(count * sizeof(Real)),
+                        std::memory_order_relaxed);
+}
+
+const Real* InMemoryTransport::collect(Index channel, std::size_t count) {
+  const Slot& s = slots_[static_cast<std::size_t>(channel)];
+  if (s.epoch != epoch_ || s.count != count)
+    throw TransportError("in-memory transport: channel " +
+                         std::to_string(channel) +
+                         " was not posted this epoch");
+  frames_received_.fetch_add(1, std::memory_order_relaxed);
+  bytes_received_.fetch_add(static_cast<long long>(count * sizeof(Real)),
+                            std::memory_order_relaxed);
+  return s.data;
+}
+
+void InMemoryTransport::send_message(Index src, Index dst, std::uint64_t round,
+                                     const void* bytes, std::size_t len) {
+  std::lock_guard<std::mutex> lock(msg_mu_);
+  auto& seq = msg_seq_[src][dst];
+  if (msg_round_[src][dst] != round) {
+    msg_round_[src][dst] = round;
+    seq = 0;
+  }
+  Message m;
+  m.src = src;
+  m.round = round;
+  m.seq = seq++;
+  const auto* p = static_cast<const std::uint8_t*>(bytes);
+  m.bytes.assign(p, p + len);
+  inbox_[static_cast<std::size_t>(dst)].push_back(std::move(m));
+  frames_sent_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(static_cast<long long>(len),
+                        std::memory_order_relaxed);
+}
+
+std::vector<Message> InMemoryTransport::receive_messages(Index dst,
+                                                         std::size_t expected,
+                                                         std::uint64_t round) {
+  std::lock_guard<std::mutex> lock(msg_mu_);
+  auto& box = inbox_[static_cast<std::size_t>(dst)];
+  std::vector<Message> out;
+  for (auto it = box.begin(); it != box.end();) {
+    if (it->round == round) {
+      out.push_back(std::move(*it));
+      it = box.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (out.size() != expected)
+    throw TransportError(
+        "in-memory transport: rank " + std::to_string(dst) + " expected " +
+        std::to_string(expected) + " messages for round " +
+        std::to_string(round) + ", found " + std::to_string(out.size()));
+  std::sort(out.begin(), out.end(), [](const Message& a, const Message& b) {
+    return a.src != b.src ? a.src < b.src : a.seq < b.seq;
+  });
+  frames_received_.fetch_add(static_cast<long long>(out.size()),
+                             std::memory_order_relaxed);
+  for (const Message& m : out)
+    bytes_received_.fetch_add(static_cast<long long>(m.bytes.size()),
+                              std::memory_order_relaxed);
+  return out;
+}
+
+TransportStats InMemoryTransport::stats() const {
+  TransportStats s;
+  s.backend = to_string(kind());
+  s.workers = 0;
+  s.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+  s.frames_received = frames_received_.load(std::memory_order_relaxed);
+  s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  s.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void InMemoryTransport::reset_stats() {
+  frames_sent_.store(0, std::memory_order_relaxed);
+  frames_received_.store(0, std::memory_order_relaxed);
+  bytes_sent_.store(0, std::memory_order_relaxed);
+  bytes_received_.store(0, std::memory_order_relaxed);
+}
+
+} // namespace ptatin::transport

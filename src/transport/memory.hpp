@@ -1,0 +1,59 @@
+// In-memory transport backend: the original single-process exchange,
+// refactored behind the Transport interface with zero behavior change.
+//
+// post() publishes the caller's buffer pointer; collect() hands it back.
+// No copy, no framing — exactly the direct buffer read the SubdomainEngine
+// performed before the transport layer existed, so results (and allocation
+// behavior) are bitwise identical. Ordering between post and collect is the
+// caller's phase barrier (parallel_for_phased), the same happens-before the
+// engine always relied on.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "transport/transport.hpp"
+
+namespace ptatin::transport {
+
+class InMemoryTransport : public Transport {
+public:
+  InMemoryTransport() = default;
+
+  void configure(Index num_ranks,
+                 const std::vector<ChannelDesc>& channels) override;
+  void begin_epoch() override;
+  void post(Index channel, const Real* data, std::size_t count) override;
+  const Real* collect(Index channel, std::size_t count) override;
+  void send_message(Index src, Index dst, std::uint64_t round,
+                    const void* bytes, std::size_t len) override;
+  std::vector<Message> receive_messages(Index dst, std::size_t expected,
+                                        std::uint64_t round) override;
+
+  TransportKind kind() const override { return TransportKind::kMemory; }
+  TransportStats stats() const override;
+  void reset_stats() override;
+
+private:
+  struct Slot {
+    const Real* data = nullptr;
+    std::size_t count = 0;
+    std::uint64_t epoch = 0;
+  };
+  std::vector<ChannelDesc> channels_;
+  std::vector<Slot> slots_;
+  std::uint64_t epoch_ = 0;
+
+  std::mutex msg_mu_;
+  std::vector<std::vector<Message>> inbox_; ///< per dst rank
+  /// Next ordinal per (src, dst) for the current round (reset per round).
+  std::vector<std::vector<std::uint64_t>> msg_seq_;
+  std::vector<std::vector<std::uint64_t>> msg_round_;
+
+  std::atomic<long long> frames_sent_{0}, frames_received_{0};
+  std::atomic<long long> bytes_sent_{0}, bytes_received_{0};
+};
+
+} // namespace ptatin::transport

@@ -1,0 +1,732 @@
+#include "transport/process.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/faultinject.hpp"
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace ptatin::transport {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+long long ms_since(Clock::time_point t) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                               t)
+      .count();
+}
+
+/// Child-side blocking write of a full buffer; any hard error ends the
+/// worker (the parent observes EOF and recovers).
+void child_write_all(int fd, const std::uint8_t* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t k = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      ::_exit(0);
+    }
+    p += static_cast<std::size_t>(k);
+    n -= static_cast<std::size_t>(k);
+  }
+}
+
+/// The worker process: a stateless validate-and-echo router. Reads frames,
+/// verifies their CRCs (FrameReader drops damaged ones and flags the
+/// damage), echoes data/message frames back, NACKs on damage, heartbeats on
+/// a fixed period, and exits on shutdown or EOF. Runs single-threaded in the
+/// forked child; only async-signal-tolerant work (syscalls + heap).
+[[noreturn]] void worker_child_loop(int fd, int windex, int heartbeat_ms) {
+  FrameReader reader;
+  std::vector<std::uint8_t> rbuf(1 << 16);
+  Clock::time_point last_hb{}; // epoch start => first heartbeat immediately
+  for (;;) {
+    if (ms_since(last_hb) >= heartbeat_ms) {
+      Frame hb;
+      hb.type = FrameType::kHeartbeat;
+      hb.channel = windex;
+      const auto b = encode_frame(hb);
+      child_write_all(fd, b.data(), b.size());
+      last_hb = Clock::now();
+    }
+    struct pollfd pfd = {fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, std::max(1, heartbeat_ms / 2));
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      ::_exit(0);
+    }
+    if (pr == 0) continue;
+    const ssize_t k = ::read(fd, rbuf.data(), rbuf.size());
+    if (k <= 0) ::_exit(0); // parent went away
+    reader.feed(rbuf.data(), static_cast<std::size_t>(k));
+    Frame f;
+    while (reader.next(f)) {
+      if (f.type == FrameType::kShutdown) ::_exit(0);
+      if (f.type == FrameType::kData || f.type == FrameType::kMessage) {
+        const auto b = encode_frame(f); // validated: echo it back
+        child_write_all(fd, b.data(), b.size());
+      }
+    }
+    if (reader.take_damaged()) {
+      Frame nack;
+      nack.type = FrameType::kNack;
+      nack.channel = windex;
+      const auto b = encode_frame(nack);
+      child_write_all(fd, b.data(), b.size());
+    }
+  }
+}
+
+} // namespace
+
+ProcessTransport::ProcessTransport(const TransportOptions& opts)
+    : opts_(opts) {
+  opts_.heartbeat_ms = std::max(1, opts_.heartbeat_ms);
+  opts_.worker_timeout_ms =
+      std::max(opts_.heartbeat_ms, opts_.worker_timeout_ms);
+  opts_.backoff_base_ms = std::max(1, opts_.backoff_base_ms);
+}
+
+ProcessTransport::~ProcessTransport() { shutdown_workers(); }
+
+void ProcessTransport::configure(Index num_ranks,
+                                 const std::vector<ChannelDesc>& channels) {
+  shutdown_workers();
+  std::lock_guard<std::mutex> lock(mu_);
+  num_ranks_ = num_ranks;
+  channels_ = channels;
+  mailboxes_.assign(channels.size(), Mailbox{});
+  for (std::size_t c = 0; c < channels.size(); ++c)
+    mailboxes_[c].data.assign(channels[c].max_reals, 0.0);
+  chan_pending_.assign(channels.size(), Pending{});
+  msg_pending_.clear();
+  inbox_.assign(static_cast<std::size_t>(num_ranks), {});
+  msg_seen_.clear();
+  msg_ordinal_.clear();
+  epoch_ = 0;
+
+  const int def = std::min<Index>(num_ranks, 4);
+  const int W = static_cast<int>(std::max<Index>(
+      1, opts_.num_workers > 0 ? std::min<Index>(opts_.num_workers, num_ranks)
+                               : def));
+  workers_ = std::vector<Worker>(static_cast<std::size_t>(W));
+  for (int w = 0; w < W; ++w) spawn_worker_locked(w);
+
+  rx_stop_.store(false);
+  rx_thread_ = std::thread([this] { rx_loop(); });
+}
+
+void ProcessTransport::spawn_worker_locked(int w) {
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0)
+    throw TransportError("transport: socketpair failed");
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(sv[0]);
+    ::close(sv[1]);
+    throw TransportError("transport: fork failed");
+  }
+  if (pid == 0) {
+    // Child: keep only our own end. Every other inherited transport fd is
+    // closed so a sibling's death produces an observable EOF in the parent.
+    ::close(sv[0]);
+    for (const Worker& other : workers_)
+      if (other.fd >= 0) ::close(other.fd);
+    for (int g : graveyard_fds_) ::close(g);
+    worker_child_loop(sv[1], w, opts_.heartbeat_ms);
+  }
+  ::close(sv[1]);
+  const int flags = ::fcntl(sv[0], F_GETFL, 0);
+  ::fcntl(sv[0], F_SETFL, flags | O_NONBLOCK);
+
+  Worker& wk = workers_[static_cast<std::size_t>(w)];
+  // Bank the old connection's reader/assembler counters before resetting.
+  crc_rejected_acc_ += wk.reader.crc_rejected();
+  reordered_acc_ += wk.assembler.reordered();
+  duplicates_acc_ += wk.assembler.duplicates();
+  wk.pid = pid;
+  wk.fd = sv[0];
+  ++wk.generation;
+  wk.tx_seq = 0;
+  wk.reader.reset();
+  wk.assembler.reset();
+  wk.last_heartbeat = wk.last_spawn = Clock::now();
+  wk.alive = true;
+}
+
+void ProcessTransport::shutdown_workers() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (workers_.empty() && !rx_thread_.joinable()) return;
+    for (Worker& wk : workers_) {
+      if (!wk.alive || wk.fd < 0) continue;
+      Frame f;
+      f.type = FrameType::kShutdown;
+      const auto b = encode_frame(f);
+      send_bytes_locked(wk, b);
+    }
+  }
+  rx_stop_.store(true);
+  if (rx_thread_.joinable()) rx_thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int g : graveyard_fds_) ::close(g);
+  graveyard_fds_.clear();
+  for (Worker& wk : workers_) {
+    if (wk.fd >= 0) ::close(wk.fd);
+    wk.fd = -1;
+    if (wk.pid > 0) {
+      // Orderly exit first; SIGKILL stragglers after a short grace.
+      int status = 0;
+      const Clock::time_point start = Clock::now();
+      for (;;) {
+        const pid_t r = ::waitpid(wk.pid, &status, WNOHANG);
+        if (r == wk.pid || r < 0) break;
+        if (ms_since(start) > 200) {
+          ::kill(wk.pid, SIGKILL);
+          ::waitpid(wk.pid, &status, 0);
+          break;
+        }
+        ::usleep(2000);
+      }
+      wk.pid = -1;
+    }
+    wk.alive = false;
+  }
+  workers_.clear();
+}
+
+void ProcessTransport::rx_loop() {
+  std::vector<std::uint8_t> rbuf(1 << 16);
+  while (!rx_stop_.load(std::memory_order_relaxed)) {
+    struct Snap {
+      int w;
+      int fd;
+      std::uint64_t gen;
+    };
+    std::vector<Snap> snaps;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // The RX thread is the sole closer of retired fds, so its own later
+      // reads can never race a close.
+      for (int g : graveyard_fds_) ::close(g);
+      graveyard_fds_.clear();
+      for (int w = 0; w < static_cast<int>(workers_.size()); ++w) {
+        const Worker& wk = workers_[static_cast<std::size_t>(w)];
+        if (wk.alive && wk.fd >= 0)
+          snaps.push_back(Snap{w, wk.fd, wk.generation});
+      }
+    }
+    if (snaps.empty()) {
+      ::usleep(5000);
+      continue;
+    }
+    std::vector<struct pollfd> pfds(snaps.size());
+    for (std::size_t i = 0; i < snaps.size(); ++i)
+      pfds[i] = {snaps[i].fd, POLLIN, 0};
+    const int pr = ::poll(pfds.data(), pfds.size(), 10);
+    if (pr <= 0) continue;
+    for (std::size_t i = 0; i < snaps.size(); ++i) {
+      if (!(pfds[i].revents & (POLLIN | POLLHUP | POLLERR | POLLNVAL)))
+        continue;
+      bool eof = false;
+      std::vector<std::uint8_t> got;
+      for (;;) {
+        const ssize_t k = ::read(snaps[i].fd, rbuf.data(), rbuf.size());
+        if (k > 0) {
+          got.insert(got.end(), rbuf.data(), rbuf.data() + k);
+          continue;
+        }
+        if (k == 0 || (k < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                       errno != EINTR))
+          eof = true;
+        break;
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      Worker& wk = workers_[static_cast<std::size_t>(snaps[i].w)];
+      if (wk.generation != snaps[i].gen) continue; // respawned since snapshot
+      if (!got.empty()) {
+        wk.reader.feed(got.data(), got.size());
+        Frame f;
+        while (wk.reader.next(f)) handle_frame_locked(snaps[i].w, std::move(f));
+      }
+      if (eof && wk.alive) {
+        wk.alive = false;
+        graveyard_fds_.push_back(wk.fd);
+        wk.fd = -1;
+        cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ProcessTransport::handle_frame_locked(int w, Frame&& f) {
+  Worker& wk = workers_[static_cast<std::size_t>(w)];
+  wk.last_heartbeat = Clock::now(); // any traffic proves liveness
+  switch (f.type) {
+    case FrameType::kHeartbeat:
+      heartbeats_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    case FrameType::kNack:
+      // The worker saw a torn/corrupt frame: whatever it was, it is still
+      // undelivered here — retransmit everything outstanding on this link.
+      crc_rejected_acc_ += 1;
+      retransmit_undelivered_locked(w, /*fresh_seq=*/false);
+      return;
+    case FrameType::kData:
+    case FrameType::kMessage:
+      break;
+    default:
+      return;
+  }
+  wk.assembler.push(std::move(f));
+  Frame g;
+  while (wk.assembler.pop(g)) {
+    if (g.type == FrameType::kData) {
+      const auto ch = static_cast<std::size_t>(g.channel);
+      if (ch >= mailboxes_.size()) continue;
+      Mailbox& mb = mailboxes_[ch];
+      if (g.epoch != epoch_ || (mb.ready && mb.epoch == g.epoch)) {
+        duplicates_dropped_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      const std::size_t count = g.payload.size() / sizeof(Real);
+      if (count > mb.data.size()) continue; // cannot happen on a clean link
+      std::memcpy(mb.data.data(), g.payload.data(), g.payload.size());
+      mb.count = count;
+      mb.epoch = g.epoch;
+      mb.ready = true;
+      chan_pending_[ch].delivered = true;
+      frames_received_.fetch_add(1, std::memory_order_relaxed);
+      bytes_received_.fetch_add(static_cast<long long>(g.payload.size()),
+                                std::memory_order_relaxed);
+    } else {
+      const auto key = std::make_tuple(g.src, g.dst, g.epoch,
+                                       std::uint64_t(g.channel));
+      if (!msg_seen_.insert(key).second) {
+        duplicates_dropped_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      Message m;
+      m.src = g.src;
+      m.round = g.epoch;
+      m.seq = std::uint64_t(g.channel);
+      m.bytes = std::move(g.payload);
+      frames_received_.fetch_add(1, std::memory_order_relaxed);
+      bytes_received_.fetch_add(static_cast<long long>(m.bytes.size()),
+                                std::memory_order_relaxed);
+      inbox_[static_cast<std::size_t>(g.dst)].push_back(std::move(m));
+      for (Pending& p : msg_pending_)
+        if (!p.delivered && p.src == g.src && p.dst == g.dst &&
+            p.key == g.epoch && std::uint64_t(p.channel) == m.seq)
+          p.delivered = true;
+    }
+  }
+  cv_.notify_all();
+}
+
+bool ProcessTransport::send_bytes_locked(Worker& w,
+                                         const std::vector<std::uint8_t>& b) {
+  const std::uint8_t* p = b.data();
+  std::size_t n = b.size();
+  const Clock::time_point start = Clock::now();
+  while (n > 0) {
+    const ssize_t k = ::send(w.fd, p, n, MSG_NOSIGNAL);
+    if (k > 0) {
+      p += static_cast<std::size_t>(k);
+      n -= static_cast<std::size_t>(k);
+      continue;
+    }
+    if (k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Worker not draining: give it a short, bounded grace.
+      if (ms_since(start) > opts_.worker_timeout_ms) return false;
+      struct pollfd pfd = {w.fd, POLLOUT, 0};
+      ::poll(&pfd, 1, 20);
+      continue;
+    }
+    if (k < 0 && errno == EINTR) continue;
+    return false; // EPIPE etc: the worker is gone
+  }
+  return true;
+}
+
+void ProcessTransport::transmit_locked(Pending& p, bool fresh_seq) {
+  const int w = worker_of(p.dst);
+  Worker& wk = workers_[static_cast<std::size_t>(w)];
+  if (!wk.alive || wk.degraded || wk.fd < 0) return; // recovery will resend
+  if (fresh_seq) p.seq = wk.tx_seq++;
+
+  Frame f;
+  f.type = p.type;
+  f.src = p.src;
+  f.dst = p.dst;
+  f.channel = p.channel;
+  f.epoch = p.key;
+  f.seq = p.seq;
+  f.payload = p.payload;
+  const auto bytes = encode_frame(f);
+
+  if (fault::fires("transport.delay"))
+    ::usleep(static_cast<unsigned>(opts_.heartbeat_ms) * 1000u);
+  if (fault::fires("transport.drop")) return; // silently lost in the fabric
+  if (fault::fires("transport.truncate")) {
+    // Torn write: half a frame hits the wire; the worker's reader rejects
+    // the damaged stream segment and NACKs.
+    std::vector<std::uint8_t> half(bytes.begin(),
+                                   bytes.begin() + bytes.size() / 2);
+    send_bytes_locked(wk, half);
+    return;
+  }
+  if (send_bytes_locked(wk, bytes)) {
+    frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(static_cast<long long>(bytes.size()),
+                          std::memory_order_relaxed);
+  }
+}
+
+void ProcessTransport::retransmit_undelivered_locked(int w, bool fresh_seq) {
+  for (Pending& p : chan_pending_)
+    if (!p.delivered && p.key == epoch_ && worker_of(p.dst) == w) {
+      transmit_locked(p, fresh_seq);
+      retransmits_.fetch_add(1, std::memory_order_relaxed);
+    }
+  for (Pending& p : msg_pending_)
+    if (!p.delivered && worker_of(p.dst) == w) {
+      transmit_locked(p, fresh_seq);
+      retransmits_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+bool ProcessTransport::worker_wedged_locked(const Worker& w) const {
+  return w.alive && ms_since(w.last_heartbeat) > opts_.worker_timeout_ms;
+}
+
+bool ProcessTransport::recover_worker_locked(int w) {
+  Worker& wk = workers_[static_cast<std::size_t>(w)];
+  if (wk.degraded) return false;
+  // Tear the old process down first (it may be wedged rather than dead).
+  if (wk.pid > 0) {
+    ::kill(wk.pid, SIGKILL);
+    ::waitpid(wk.pid, nullptr, 0);
+    wk.pid = -1;
+  }
+  if (wk.fd >= 0) {
+    graveyard_fds_.push_back(wk.fd);
+    wk.fd = -1;
+  }
+  wk.alive = false;
+  if (wk.restarts >= opts_.max_worker_restarts) {
+    wk.degraded = true;
+    log_warn("transport: worker ", w, " unrecoverable after ", wk.restarts,
+             " restart", wk.restarts == 1 ? "" : "s",
+             " — switching to degraded delivery");
+    cv_.notify_all();
+    return false;
+  }
+  ++wk.restarts;
+  restarts_.fetch_add(1, std::memory_order_relaxed);
+  obs::MetricsRegistry::instance().counter("transport.worker_restarts").inc();
+  // Exponential backoff before the respawn (capped shift).
+  const int delay =
+      opts_.backoff_base_ms << std::min(wk.restarts - 1, 6);
+  ::usleep(static_cast<unsigned>(delay) * 1000u);
+  spawn_worker_locked(w);
+  log_warn("transport: restarted worker ", w, " (pid ", (long long)wk.pid,
+           ", attempt ", wk.restarts, " of ", opts_.max_worker_restarts, ")");
+  // New connection, new sequence space: re-encode everything undelivered.
+  retransmit_undelivered_locked(w, /*fresh_seq=*/true);
+  return true;
+}
+
+void ProcessTransport::deliver_direct_locked(Pending& p) {
+  if (p.delivered) return;
+  if (p.type == FrameType::kData) {
+    if (p.key != epoch_) return;
+    Mailbox& mb = mailboxes_[static_cast<std::size_t>(p.channel)];
+    if (!(mb.ready && mb.epoch == p.key)) {
+      std::memcpy(mb.data.data(), p.payload.data(), p.payload.size());
+      mb.count = p.payload.size() / sizeof(Real);
+      mb.epoch = p.key;
+      mb.ready = true;
+    }
+  } else {
+    const auto key = std::make_tuple(p.src, p.dst, p.key,
+                                     std::uint64_t(p.channel));
+    if (msg_seen_.insert(key).second) {
+      Message m;
+      m.src = p.src;
+      m.round = p.key;
+      m.seq = std::uint64_t(p.channel);
+      m.bytes = p.payload;
+      inbox_[static_cast<std::size_t>(p.dst)].push_back(std::move(m));
+    }
+  }
+  p.delivered = true;
+  degraded_deliveries_.fetch_add(1, std::memory_order_relaxed);
+  obs::MetricsRegistry::instance()
+      .counter("transport.degraded_deliveries")
+      .inc();
+  cv_.notify_all();
+}
+
+template <class DonePred>
+void ProcessTransport::await_delivery(int w, DonePred&& done,
+                                      const char* what) {
+  std::unique_lock<std::mutex> lock(mu_);
+  int backoff = opts_.backoff_base_ms;
+  Clock::time_point window_start = Clock::now();
+  for (;;) {
+    if (done()) return;
+    Worker& wk = workers_[static_cast<std::size_t>(w)];
+    if (wk.degraded) {
+      if (!opts_.allow_degraded)
+        throw TransportError(std::string("transport: worker ") +
+                             std::to_string(w) +
+                             " is unrecoverable and degraded delivery is "
+                             "disabled (awaiting " +
+                             what + ")");
+      for (Pending& p : chan_pending_)
+        if (!p.delivered && worker_of(p.dst) == w) deliver_direct_locked(p);
+      for (Pending& p : msg_pending_)
+        if (!p.delivered && worker_of(p.dst) == w) deliver_direct_locked(p);
+      if (done()) return;
+      throw TransportError(std::string("transport: ") + what +
+                           " unavailable even after degraded delivery");
+    }
+    const Clock::time_point since =
+        wk.last_spawn > window_start ? wk.last_spawn : window_start;
+    const bool window_expired = ms_since(since) >= opts_.worker_timeout_ms;
+    if (!wk.alive || worker_wedged_locked(wk) || window_expired) {
+      if (wk.alive && (worker_wedged_locked(wk) || window_expired)) {
+        timeouts_.fetch_add(1, std::memory_order_relaxed);
+        obs::MetricsRegistry::instance().counter("transport.timeouts").inc();
+      }
+      recover_worker_locked(w);
+      window_start = Clock::now();
+      backoff = opts_.backoff_base_ms;
+      continue;
+    }
+    cv_.wait_for(lock, std::chrono::milliseconds(backoff));
+    if (done()) return;
+    // Alive but quiet: nudge with a retransmit, back off exponentially.
+    if (workers_[static_cast<std::size_t>(w)].alive &&
+        !workers_[static_cast<std::size_t>(w)].degraded)
+      retransmit_undelivered_locked(w, /*fresh_seq=*/false);
+    backoff = std::min(backoff * 2,
+                       std::max(opts_.backoff_base_ms,
+                                opts_.worker_timeout_ms / 2));
+  }
+}
+
+void ProcessTransport::begin_epoch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++epoch_;
+  for (Mailbox& mb : mailboxes_) mb.ready = false;
+  for (Pending& p : chan_pending_) {
+    p.delivered = false;
+    p.key = ~0ull; // stale until re-posted
+  }
+  if (!workers_.empty() && fault::fires("transport.worker_kill")) {
+    const int w = static_cast<int>(epoch_ % workers_.size());
+    Worker& wk = workers_[static_cast<std::size_t>(w)];
+    if (wk.pid > 0) ::kill(wk.pid, SIGKILL);
+  }
+}
+
+void ProcessTransport::post(Index channel, const Real* data,
+                            std::size_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto ch = static_cast<std::size_t>(channel);
+  PT_ASSERT_MSG(ch < chan_pending_.size(), "unknown transport channel");
+  if (count > channels_[ch].max_reals)
+    throw TransportError("transport: posted payload exceeds channel bound");
+  Pending& p = chan_pending_[ch];
+  p.type = FrameType::kData;
+  p.src = static_cast<std::int32_t>(channels_[ch].src);
+  p.dst = static_cast<std::int32_t>(channels_[ch].dst);
+  p.channel = static_cast<std::int32_t>(channel);
+  p.key = epoch_;
+  p.delivered = false;
+  const auto* raw = reinterpret_cast<const std::uint8_t*>(data);
+  p.payload.assign(raw, raw + count * sizeof(Real));
+  transmit_locked(p, /*fresh_seq=*/true);
+}
+
+const Real* ProcessTransport::collect(Index channel, std::size_t count) {
+  const auto ch = static_cast<std::size_t>(channel);
+  int w;
+  std::uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PT_ASSERT_MSG(ch < chan_pending_.size(), "unknown transport channel");
+    if (chan_pending_[ch].key != epoch_)
+      throw TransportError("transport: channel " + std::to_string(channel) +
+                           " was not posted this epoch");
+    w = worker_of(channels_[ch].dst);
+    epoch = epoch_;
+  }
+  await_delivery(
+      w,
+      [&] {
+        const Mailbox& mb = mailboxes_[ch];
+        return mb.ready && mb.epoch == epoch;
+      },
+      "halo payload");
+  std::lock_guard<std::mutex> lock(mu_);
+  const Mailbox& mb = mailboxes_[ch];
+  if (mb.count != count)
+    throw TransportError("transport: channel " + std::to_string(channel) +
+                         " delivered " + std::to_string(mb.count) +
+                         " reals, expected " + std::to_string(count));
+  return mb.data.data();
+}
+
+void ProcessTransport::send_message(Index src, Index dst, std::uint64_t round,
+                                    const void* bytes, std::size_t len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Round advance: prune dedupe/ordinal state older than two rounds (late
+  // duplicates of the previous round must still be recognizable).
+  if (round > max_round_ || max_round_ == ~0ull) {
+    max_round_ = round;
+    for (auto it = msg_seen_.begin(); it != msg_seen_.end();)
+      it = std::get<2>(*it) + 2 <= round ? msg_seen_.erase(it) : ++it;
+    for (auto it = msg_ordinal_.begin(); it != msg_ordinal_.end();)
+      it = std::get<2>(it->first) + 2 <= round ? msg_ordinal_.erase(it)
+                                               : ++it;
+    msg_pending_.erase(
+        std::remove_if(msg_pending_.begin(), msg_pending_.end(),
+                       [&](const Pending& p) {
+                         return p.delivered && p.key + 2 <= round;
+                       }),
+        msg_pending_.end());
+  }
+  const std::uint64_t ordinal = msg_ordinal_[{src, dst, round}]++;
+  Pending p;
+  p.type = FrameType::kMessage;
+  p.src = static_cast<std::int32_t>(src);
+  p.dst = static_cast<std::int32_t>(dst);
+  p.channel = static_cast<std::int32_t>(ordinal);
+  p.key = round;
+  const auto* raw = static_cast<const std::uint8_t*>(bytes);
+  p.payload.assign(raw, raw + len);
+  msg_pending_.push_back(std::move(p));
+  transmit_locked(msg_pending_.back(), /*fresh_seq=*/true);
+}
+
+std::vector<Message> ProcessTransport::receive_messages(Index dst,
+                                                        std::size_t expected,
+                                                        std::uint64_t round) {
+  const int w = worker_of(dst);
+  await_delivery(
+      w,
+      [&] {
+        std::size_t n = 0;
+        for (const Message& m : inbox_[static_cast<std::size_t>(dst)])
+          if (m.round == round) ++n;
+        return n >= expected;
+      },
+      "migration messages");
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& box = inbox_[static_cast<std::size_t>(dst)];
+  std::vector<Message> out;
+  for (auto it = box.begin(); it != box.end();) {
+    if (it->round == round) {
+      out.push_back(std::move(*it));
+      it = box.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Message& a, const Message& b) {
+    return a.src != b.src ? a.src < b.src : a.seq < b.seq;
+  });
+  return out;
+}
+
+void ProcessTransport::heal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int w = 0; w < static_cast<int>(workers_.size()); ++w) {
+    Worker& wk = workers_[static_cast<std::size_t>(w)];
+    if (wk.alive && !wk.degraded) continue;
+    if (wk.pid > 0) {
+      ::kill(wk.pid, SIGKILL);
+      ::waitpid(wk.pid, nullptr, 0);
+      wk.pid = -1;
+    }
+    if (wk.fd >= 0) {
+      graveyard_fds_.push_back(wk.fd);
+      wk.fd = -1;
+    }
+    wk.degraded = false;
+    wk.restarts = 0; // a heal grants a fresh restart budget
+    spawn_worker_locked(w);
+    log_warn("transport: healed worker ", w, " (pid ", (long long)wk.pid,
+             ")");
+  }
+}
+
+void ProcessTransport::kill_worker(int w, int sig) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Worker& wk = workers_[static_cast<std::size_t>(w)];
+  if (wk.pid > 0) ::kill(wk.pid, sig);
+}
+
+pid_t ProcessTransport::worker_pid(int w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_[static_cast<std::size_t>(w)].pid;
+}
+
+TransportStats ProcessTransport::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TransportStats s;
+  s.backend = to_string(kind());
+  s.workers = static_cast<int>(workers_.size());
+  s.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+  s.frames_received = frames_received_.load(std::memory_order_relaxed);
+  s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  s.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+  s.retransmits = retransmits_.load(std::memory_order_relaxed);
+  s.timeouts = timeouts_.load(std::memory_order_relaxed);
+  s.heartbeats = heartbeats_.load(std::memory_order_relaxed);
+  s.worker_restarts = restarts_.load(std::memory_order_relaxed);
+  s.degraded_deliveries =
+      degraded_deliveries_.load(std::memory_order_relaxed);
+  s.crc_rejected = crc_rejected_acc_;
+  s.reordered = reordered_acc_;
+  s.duplicates_dropped =
+      duplicates_acc_ + duplicates_dropped_.load(std::memory_order_relaxed);
+  for (const Worker& wk : workers_) {
+    s.crc_rejected += wk.reader.crc_rejected();
+    s.reordered += wk.assembler.reordered();
+    s.duplicates_dropped += wk.assembler.duplicates();
+    if (wk.degraded) s.degraded = true;
+  }
+  return s;
+}
+
+void ProcessTransport::reset_stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  frames_sent_.store(0);
+  frames_received_.store(0);
+  bytes_sent_.store(0);
+  bytes_received_.store(0);
+  retransmits_.store(0);
+  timeouts_.store(0);
+  heartbeats_.store(0);
+  restarts_.store(0);
+  degraded_deliveries_.store(0);
+  duplicates_dropped_.store(0);
+  crc_rejected_acc_ = reordered_acc_ = duplicates_acc_ = 0;
+}
+
+} // namespace ptatin::transport

@@ -1,0 +1,180 @@
+// Multi-process transport backend: forked worker processes as the validated
+// exchange fabric (docs/TRANSPORT.md).
+//
+// Topology. configure() forks W workers (W = min(num_ranks, num_workers or
+// 4)); rank r's traffic is routed through worker r % W ("subdomain group").
+// Each worker is connected to the parent by one UNIX SOCK_STREAM socketpair.
+// Workers are deliberately stateless routers: a worker reads CRC-framed
+// payloads, validates them, and echoes them back; the parent delivers the
+// validated bytes into per-channel mailboxes / per-rank message inboxes. The
+// element kernels themselves stay in the parent's threads (they are C++
+// closures that cannot cross a process boundary), so every halo byte — but
+// no compute — round-trips through the fabric. Because delivered bytes are
+// the exact posted bytes and the accumulation order is fixed by the engine,
+// results are bitwise identical to the in-memory backend.
+//
+// Robustness (the supervisor state machine, docs/TRANSPORT.md):
+//   - every frame carries a header CRC, payload CRC and per-connection seq;
+//     a worker that sees stream damage (torn/corrupt frame) NACKs and the
+//     parent retransmits every undelivered payload for that worker;
+//   - workers heartbeat every heartbeat_ms; the parent RX thread tracks the
+//     last beacon per worker and EOF on the socket (kill -9, crash);
+//   - collect()/receive_messages() wait with exponential backoff
+//     (backoff_base_ms doubling), retransmitting undelivered payloads each
+//     wait slice; after worker_timeout_ms without delivery the worker is
+//     declared wedged, SIGKILLed, reaped, respawned (fresh socketpair, seq
+//     space reset, undelivered payloads re-encoded and retransmitted) —
+//     up to max_worker_restarts times per worker;
+//   - when the restart budget is exhausted the transport degrades: payloads
+//     are delivered directly from the retained send copies (bitwise
+//     identical, accounted as degraded_deliveries) — or, with
+//     allow_degraded=false, TransportError is thrown for the
+//     SafeguardedStepper to heal() and replay the step.
+//
+// Fault-injection sites (deterministic, docs/ROBUSTNESS.md): transport.drop
+// (frame never written), transport.truncate (half a frame written — torn
+// stream), transport.delay (send stalls one heartbeat period),
+// transport.worker_kill (SIGKILL a worker at epoch start).
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "transport/frame.hpp"
+#include "transport/transport.hpp"
+
+namespace ptatin::transport {
+
+class ProcessTransport : public Transport {
+public:
+  explicit ProcessTransport(const TransportOptions& opts);
+  ~ProcessTransport() override;
+
+  void configure(Index num_ranks,
+                 const std::vector<ChannelDesc>& channels) override;
+  void begin_epoch() override;
+  void post(Index channel, const Real* data, std::size_t count) override;
+  const Real* collect(Index channel, std::size_t count) override;
+  void send_message(Index src, Index dst, std::uint64_t round,
+                    const void* bytes, std::size_t len) override;
+  std::vector<Message> receive_messages(Index dst, std::size_t expected,
+                                        std::uint64_t round) override;
+  void heal() override;
+
+  TransportKind kind() const override { return TransportKind::kProcess; }
+  TransportStats stats() const override;
+  void reset_stats() override;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  /// Worker routing rank r's traffic.
+  int worker_of(Index rank) const {
+    return static_cast<int>(rank % static_cast<Index>(workers_.size()));
+  }
+  /// Test hook: signal a worker process (e.g. SIGKILL to simulate a crash).
+  void kill_worker(int w, int sig);
+  /// Test hook: the pid of worker w (-1 when not running).
+  pid_t worker_pid(int w) const;
+
+private:
+  struct Worker {
+    pid_t pid = -1;
+    int fd = -1; ///< parent side of the socketpair (non-blocking)
+    std::uint64_t generation = 0; ///< bumped on every (re)spawn
+    std::uint64_t tx_seq = 0;
+    FrameReader reader;
+    SequenceAssembler assembler;
+    std::chrono::steady_clock::time_point last_heartbeat{};
+    std::chrono::steady_clock::time_point last_spawn{};
+    bool alive = false;
+    bool degraded = false; ///< restart budget exhausted
+    int restarts = 0;
+  };
+  /// Retained copy of a posted/sent payload, kept until its echo is
+  /// delivered so it can be retransmitted (same seq on the same connection,
+  /// fresh seq after a respawn) or delivered directly in degraded mode.
+  struct Pending {
+    FrameType type = FrameType::kData;
+    std::int32_t src = 0, dst = 0;
+    std::int32_t channel = 0;  ///< halo channel id / message ordinal
+    std::uint64_t key = 0;     ///< epoch (kData) or round (kMessage)
+    std::uint64_t seq = 0;     ///< seq of the last transmission
+    std::vector<std::uint8_t> payload;
+    bool delivered = false;
+  };
+  struct Mailbox {
+    std::vector<Real> data;
+    std::size_t count = 0;
+    std::uint64_t epoch = ~0ull;
+    bool ready = false;
+  };
+
+  void spawn_worker_locked(int w);
+  void shutdown_workers();
+  void rx_loop();
+  /// Write one encoded frame to worker w (non-blocking fd; short poll on a
+  /// full buffer). Returns false when the worker cannot accept bytes.
+  bool send_bytes_locked(Worker& w, const std::vector<std::uint8_t>& bytes);
+  /// Encode and transmit a pending payload to its worker, applying the
+  /// fault-injection sites. Assigns a fresh seq when `fresh_seq`.
+  void transmit_locked(Pending& p, bool fresh_seq);
+  void retransmit_undelivered_locked(int w, bool fresh_seq);
+  void handle_frame_locked(int w, Frame&& f);
+  /// Kill/reap/respawn worker w after a backoff; false when the restart
+  /// budget is exhausted (worker marked degraded).
+  bool recover_worker_locked(int w);
+  bool worker_wedged_locked(const Worker& w) const;
+  /// Deliver a pending payload without the fabric (degraded mode).
+  void deliver_direct_locked(Pending& p);
+  /// Common wait/retransmit/recover/degrade loop shared by collect() and
+  /// receive_messages(). `done` is evaluated under mu_; `w` is the worker
+  /// the caller is waiting on.
+  template <class DonePred>
+  void await_delivery(int w, DonePred&& done, const char* what);
+
+  TransportOptions opts_;
+  Index num_ranks_ = 0;
+  std::vector<ChannelDesc> channels_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Worker> workers_;
+  std::vector<Mailbox> mailboxes_;       ///< one per halo channel
+  std::vector<Pending> chan_pending_;    ///< one per halo channel
+  std::vector<Pending> msg_pending_;     ///< in send order
+  std::vector<std::vector<Message>> inbox_; ///< per dst rank
+  /// Message dedupe: (src, dst, round, ordinal) already delivered.
+  std::set<std::tuple<std::int32_t, std::int32_t, std::uint64_t,
+                      std::uint64_t>>
+      msg_seen_;
+  std::map<std::tuple<Index, Index, std::uint64_t>, std::uint64_t>
+      msg_ordinal_; ///< next ordinal per (src, dst, round)
+  std::vector<int> graveyard_fds_; ///< closed by the RX thread only
+  std::uint64_t epoch_ = 0;
+  std::uint64_t max_round_ = ~0ull;
+  /// Reader/assembler counters banked across worker respawns (a respawn
+  /// resets the live objects).
+  long long crc_rejected_acc_ = 0;
+  long long reordered_acc_ = 0;
+  long long duplicates_acc_ = 0;
+
+  std::thread rx_thread_;
+  std::atomic<bool> rx_stop_{false};
+
+  std::atomic<long long> frames_sent_{0}, frames_received_{0};
+  std::atomic<long long> bytes_sent_{0}, bytes_received_{0};
+  std::atomic<long long> retransmits_{0}, timeouts_{0}, heartbeats_{0};
+  std::atomic<long long> restarts_{0}, degraded_deliveries_{0};
+  std::atomic<long long> duplicates_dropped_{0};
+};
+
+} // namespace ptatin::transport

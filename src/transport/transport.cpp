@@ -1,0 +1,28 @@
+#include "transport/transport.hpp"
+
+#include "transport/memory.hpp"
+#include "transport/process.hpp"
+
+namespace ptatin::transport {
+
+TransportKind parse_transport_kind(const std::string& s) {
+  if (s == "memory") return TransportKind::kMemory;
+  if (s == "process") return TransportKind::kProcess;
+  throw Error("unknown -transport '" + s + "' (expected memory|process)");
+}
+
+const char* to_string(TransportKind k) {
+  switch (k) {
+    case TransportKind::kMemory: return "memory";
+    case TransportKind::kProcess: return "process";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Transport> make_transport(const TransportOptions& opts) {
+  if (opts.kind == TransportKind::kProcess)
+    return std::make_unique<ProcessTransport>(opts);
+  return std::make_unique<InMemoryTransport>();
+}
+
+} // namespace ptatin::transport

@@ -1,0 +1,159 @@
+// Pluggable halo-exchange / point-migration transport (docs/TRANSPORT.md).
+//
+// The paper's rank-parallel design (§II-D) assumes halo contributions and
+// migrating material points cross process boundaries. SubdomainEngine and the
+// MPM exchanger speak two verb families:
+//
+//   halo:       begin_epoch() -> post(channel, reals) -> collect(channel)
+//   migration:  send_message(src, dst, round) -> receive_messages(dst, round)
+//
+// This interface extracts those verbs so the delivery fabric is swappable:
+//
+//   kMemory   — the original in-memory exchange. post() publishes a pointer,
+//               collect() returns it; the caller's phase barrier provides the
+//               ordering. Bitwise- and allocation-identical to the
+//               pre-transport engine.
+//   kProcess  — forked worker processes connected over UNIX socketpairs.
+//               Every payload is CRC-framed with a sequence number, routed
+//               through the worker that owns the destination rank group, and
+//               validated end-to-end. Workers heartbeat; the parent-side
+//               supervisor detects a dead (exit, kill -9) or wedged
+//               (heartbeat-stale) worker, respawns it with exponential
+//               backoff, and retransmits undelivered payloads. When the
+//               restart budget is exhausted the transport degrades to direct
+//               delivery from the retained send copies (accounted in
+//               TransportStats / the `transport` report section) or throws
+//               TransportError when degraded mode is disallowed.
+//
+// Both backends deliver identical payload bytes in an identical accumulation
+// order, so solver results are bitwise identical across backends — the
+// acceptance bar enforced in tests/test_transport.cpp and CI multiproc-smoke.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace ptatin::transport {
+
+enum class TransportKind {
+  kMemory,  ///< in-memory pointer handoff (default; single-process)
+  kProcess, ///< forked worker processes over UNIX socketpairs
+};
+
+/// Parse "memory" | "process" (throws Error otherwise).
+TransportKind parse_transport_kind(const std::string& s);
+const char* to_string(TransportKind k);
+
+struct TransportOptions {
+  TransportKind kind = TransportKind::kMemory;
+  int heartbeat_ms = 50;        ///< worker heartbeat period
+  int worker_timeout_ms = 2000; ///< no delivery/heartbeat for this long =>
+                                ///< the worker is dead or wedged
+  int max_worker_restarts = 2;  ///< respawns per worker before degrading
+  int backoff_base_ms = 10;     ///< base of the exponential retry backoff
+  bool allow_degraded = true;   ///< deliver from retained copies when the
+                                ///< restart budget is exhausted (else throw)
+  int num_workers = 0;          ///< process backend worker count
+                                ///< (0 = min(num_ranks, 4))
+};
+
+/// Cumulative transport accounting (feeds the transport.* obs counters and
+/// the `transport` section of ptatin.solver_report/1).
+struct TransportStats {
+  std::string backend;
+  int workers = 0;
+  long long frames_sent = 0;
+  long long frames_received = 0;
+  long long bytes_sent = 0;
+  long long bytes_received = 0;
+  long long crc_rejected = 0;       ///< frames rejected for CRC/length damage
+  long long reordered = 0;          ///< frames held for in-order delivery
+  long long duplicates_dropped = 0; ///< stale/duplicate frames discarded
+  long long retransmits = 0;
+  long long timeouts = 0;           ///< waits that hit worker_timeout_ms
+  long long heartbeats = 0;
+  long long worker_restarts = 0;
+  long long degraded_deliveries = 0;
+  bool degraded = false; ///< some worker exhausted its restart budget
+};
+
+/// Thrown when delivery is impossible: a worker is unrecoverable and
+/// degraded mode is disallowed (or a payload exceeds its channel bound).
+/// SafeguardedStepper catches this, heals the transport, and replays the
+/// step at the SAME dt — a transport fault is infrastructure, not numerics.
+class TransportError : public Error {
+public:
+  using Error::Error;
+};
+
+/// A halo channel: one (src rank -> dst rank) link with a fixed payload
+/// bound, registered up front by the engine so both backends can size
+/// buffers once.
+struct ChannelDesc {
+  Index src = 0;
+  Index dst = 0;
+  std::size_t max_reals = 0;
+};
+
+/// A received migration message. `seq` is the per-(src,dst,round) ordinal
+/// assigned at send time — stable across retransmits and worker respawns, so
+/// receivers sorting by (src, seq) see a deterministic order.
+struct Message {
+  Index src = 0;
+  std::uint64_t round = 0;
+  std::uint64_t seq = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+class Transport {
+public:
+  virtual ~Transport() = default;
+
+  /// Register the rank count and the full halo channel table. Must be called
+  /// once before any verb; the process backend forks its workers here.
+  virtual void configure(Index num_ranks,
+                         const std::vector<ChannelDesc>& channels) = 0;
+
+  // --- halo verbs (one epoch per engine apply) ----------------------------
+  /// Start a new halo epoch: invalidates every channel's previous payload.
+  virtual void begin_epoch() = 0;
+  /// Publish `count` reals on `channel` for this epoch. `data` must stay
+  /// valid until the next begin_epoch() (the engine's send buffers do).
+  /// Thread-safe across distinct channels.
+  virtual void post(Index channel, const Real* data, std::size_t count) = 0;
+  /// Block until this epoch's payload for `channel` is delivered; returns a
+  /// pointer to `count` reals, valid until the next begin_epoch().
+  /// Thread-safe across distinct channels. Drives recovery (retransmit,
+  /// worker respawn, degraded delivery) on the process backend.
+  virtual const Real* collect(Index channel, std::size_t count) = 0;
+
+  // --- migration verbs ----------------------------------------------------
+  /// Queue a point-migration message from rank src to rank dst for `round`.
+  virtual void send_message(Index src, Index dst, std::uint64_t round,
+                            const void* bytes, std::size_t len) = 0;
+  /// Block until `expected` messages for (dst, round) are delivered; returns
+  /// them sorted by (src, seq) and removes them from the inbox.
+  virtual std::vector<Message> receive_messages(Index dst,
+                                                std::size_t expected,
+                                                std::uint64_t round) = 0;
+
+  // --- supervision --------------------------------------------------------
+  /// Respawn any dead/degraded workers and clear the degraded flag, so a
+  /// step replay can attempt full-fidelity delivery again. No-op on the
+  /// in-memory backend.
+  virtual void heal() {}
+
+  virtual TransportKind kind() const = 0;
+  virtual TransportStats stats() const = 0;
+  virtual void reset_stats() = 0;
+};
+
+/// Build the backend selected by `opts`.
+std::unique_ptr<Transport> make_transport(const TransportOptions& opts);
+
+} // namespace ptatin::transport

@@ -1,0 +1,697 @@
+// Transport-layer tests (docs/TRANSPORT.md): wire framing and CRC rejection,
+// sequence reassembly, backend equivalence (in-memory vs forked-process
+// workers must be bitwise identical), the supervisor state machine driven by
+// deterministic fault injection (dropped/torn frames, killed workers,
+// exhausted restart budgets), idempotent migration replay, and the
+// config/report/exit-code wiring.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/faultinject.hpp"
+#include "common/options.hpp"
+#include "common/rng.hpp"
+#include "fem/bc.hpp"
+#include "fem/subdomain_engine.hpp"
+#include "mpm/exchanger.hpp"
+#include "mpm/points.hpp"
+#include "obs/report.hpp"
+#include "ptatin/config.hpp"
+#include "ptatin/context.hpp"
+#include "ptatin/exit_codes.hpp"
+#include "ptatin/models_sinker.hpp"
+#include "ptatin/stepper.hpp"
+#include "stokes/fields.hpp"
+#include "stokes/viscous_ops.hpp"
+#include "transport/frame.hpp"
+#include "transport/memory.hpp"
+#include "transport/process.hpp"
+#include "transport/transport.hpp"
+
+namespace ptatin {
+namespace {
+
+using transport::Frame;
+using transport::FrameReader;
+using transport::FrameType;
+using transport::InMemoryTransport;
+using transport::ProcessTransport;
+using transport::SequenceAssembler;
+using transport::TransportError;
+using transport::TransportKind;
+using transport::TransportOptions;
+
+/// Every test starts and ends with no armed faults; a failing test must not
+/// leak its faults into the next one.
+class TransportFaults : public ::testing::Test {
+protected:
+  void SetUp() override { fault::FaultInjector::instance().disarm_all(); }
+  void TearDown() override { fault::FaultInjector::instance().disarm_all(); }
+};
+
+Frame make_frame(std::uint64_t seq, std::int32_t channel,
+                 std::vector<std::uint8_t> payload) {
+  Frame f;
+  f.type = FrameType::kData;
+  f.src = 1;
+  f.dst = 2;
+  f.channel = channel;
+  f.epoch = 7;
+  f.seq = seq;
+  f.payload = std::move(payload);
+  return f;
+}
+
+/// Fast supervisor settings so recovery paths run in milliseconds.
+TransportOptions fast_process_opts() {
+  TransportOptions o;
+  o.kind = TransportKind::kProcess;
+  o.heartbeat_ms = 5;
+  o.worker_timeout_ms = 250;
+  o.backoff_base_ms = 1;
+  return o;
+}
+
+// --- wire framing ------------------------------------------------------------
+
+TEST(FrameCodec, EncodeRoundTripsThroughReader) {
+  const Frame a = make_frame(0, 3, {1, 2, 3, 4, 5});
+  const Frame b = make_frame(1, 9, {});
+  const auto ea = encode_frame(a);
+  const auto eb = encode_frame(b);
+
+  FrameReader rd;
+  // Feed in awkward split chunks: framing must not depend on write sizes.
+  rd.feed(ea.data(), 10);
+  Frame out;
+  EXPECT_FALSE(rd.next(out));
+  rd.feed(ea.data() + 10, ea.size() - 10);
+  rd.feed(eb.data(), eb.size());
+
+  ASSERT_TRUE(rd.next(out));
+  EXPECT_EQ(out.type, FrameType::kData);
+  EXPECT_EQ(out.src, 1);
+  EXPECT_EQ(out.dst, 2);
+  EXPECT_EQ(out.channel, 3);
+  EXPECT_EQ(out.epoch, 7u);
+  EXPECT_EQ(out.seq, 0u);
+  EXPECT_EQ(out.payload, a.payload);
+  ASSERT_TRUE(rd.next(out));
+  EXPECT_EQ(out.channel, 9);
+  EXPECT_TRUE(out.payload.empty());
+  EXPECT_FALSE(rd.next(out));
+  EXPECT_EQ(rd.crc_rejected(), 0);
+  EXPECT_FALSE(rd.take_damaged());
+}
+
+TEST(FrameCodec, CorruptHeaderResyncsToNextFrame) {
+  auto ea = encode_frame(make_frame(0, 1, {10, 20}));
+  const auto eb = encode_frame(make_frame(1, 2, {30}));
+  ea[6] ^= 0xff; // damage inside the header: header CRC must reject it
+
+  FrameReader rd;
+  rd.feed(ea.data(), ea.size());
+  rd.feed(eb.data(), eb.size());
+  Frame out;
+  ASSERT_TRUE(rd.next(out)); // only the undamaged frame survives
+  EXPECT_EQ(out.channel, 2);
+  EXPECT_FALSE(rd.next(out));
+  EXPECT_GT(rd.crc_rejected(), 0);
+  EXPECT_TRUE(rd.take_damaged());
+  EXPECT_FALSE(rd.take_damaged()); // cleared by the read
+}
+
+TEST(FrameCodec, CorruptPayloadSkipsWholeFrame) {
+  auto ea = encode_frame(make_frame(0, 1, {10, 20, 30, 40}));
+  const auto eb = encode_frame(make_frame(1, 2, {50}));
+  ea[transport::kFrameHeaderSize + 1] ^= 0x01; // valid header, torn body
+
+  FrameReader rd;
+  rd.feed(ea.data(), ea.size());
+  rd.feed(eb.data(), eb.size());
+  Frame out;
+  ASSERT_TRUE(rd.next(out));
+  EXPECT_EQ(out.channel, 2);
+  EXPECT_EQ(rd.crc_rejected(), 1);
+  EXPECT_TRUE(rd.take_damaged());
+}
+
+TEST(FrameCodec, TruncatedFrameWaitsWithoutDamage) {
+  const auto ea = encode_frame(make_frame(0, 1, {1, 2, 3}));
+  FrameReader rd;
+  rd.feed(ea.data(), ea.size() / 2);
+  Frame out;
+  EXPECT_FALSE(rd.next(out)); // incomplete != damaged
+  EXPECT_FALSE(rd.take_damaged());
+  rd.feed(ea.data() + ea.size() / 2, ea.size() - ea.size() / 2);
+  ASSERT_TRUE(rd.next(out));
+  EXPECT_EQ(out.payload.size(), 3u);
+}
+
+TEST(FrameCodec, SequenceAssemblerReordersAndDropsDuplicates) {
+  SequenceAssembler asmb;
+  asmb.push(make_frame(1, 11, {}));
+  Frame out;
+  EXPECT_FALSE(asmb.pop(out)); // gap at seq 0 holds seq 1 back
+  asmb.push(make_frame(0, 10, {}));
+  ASSERT_TRUE(asmb.pop(out));
+  EXPECT_EQ(out.channel, 10);
+  ASSERT_TRUE(asmb.pop(out));
+  EXPECT_EQ(out.channel, 11);
+  EXPECT_FALSE(asmb.pop(out));
+  EXPECT_EQ(asmb.reordered(), 1);
+
+  asmb.push(make_frame(0, 10, {})); // stale: already emitted
+  EXPECT_FALSE(asmb.pop(out));
+  EXPECT_EQ(asmb.duplicates(), 1);
+  EXPECT_EQ(asmb.next_seq(), 2u);
+
+  asmb.reset();
+  EXPECT_EQ(asmb.next_seq(), 0u);
+}
+
+// --- in-memory backend -------------------------------------------------------
+
+TEST(InMemoryBackend, PostCollectIsPointerPassThrough) {
+  InMemoryTransport t;
+  t.configure(2, {{0, 1, 8}});
+  std::vector<Real> buf = {1.5, -2.5, 3.5};
+  t.begin_epoch();
+  t.post(0, buf.data(), buf.size());
+  // Zero copy: the very same buffer comes back (the engine's bitwise and
+  // allocation-identity guarantee).
+  EXPECT_EQ(t.collect(0, buf.size()), buf.data());
+}
+
+TEST(InMemoryBackend, StaleOrMissingCollectThrows) {
+  InMemoryTransport t;
+  t.configure(2, {{0, 1, 8}});
+  t.begin_epoch();
+  EXPECT_THROW(t.collect(0, 3), TransportError); // nothing posted this epoch
+  std::vector<Real> buf = {1, 2, 3};
+  t.post(0, buf.data(), buf.size());
+  EXPECT_THROW(t.collect(0, 2), TransportError); // count mismatch
+  t.begin_epoch();
+  EXPECT_THROW(t.collect(0, 3), TransportError); // previous epoch invalidated
+}
+
+TEST(InMemoryBackend, MessagesArriveSortedBySrcAndOrdinal) {
+  InMemoryTransport t;
+  t.configure(3, {});
+  const char m10[] = "from1-first", m11[] = "from1-second", m00[] = "from0";
+  t.send_message(1, 2, 0, m10, sizeof m10);
+  t.send_message(1, 2, 0, m11, sizeof m11);
+  t.send_message(0, 2, 0, m00, sizeof m00);
+  auto msgs = t.receive_messages(2, 3, 0);
+  ASSERT_EQ(msgs.size(), 3u);
+  EXPECT_EQ(msgs[0].src, 0);
+  EXPECT_EQ(msgs[1].src, 1);
+  EXPECT_EQ(msgs[1].seq, 0u);
+  EXPECT_EQ(msgs[2].seq, 1u);
+  EXPECT_EQ(std::memcmp(msgs[2].bytes.data(), m11, sizeof m11), 0);
+}
+
+// --- backend equivalence on the engine --------------------------------------
+
+StructuredMesh make_deformed_mesh(Index mx, Index my, Index mz) {
+  StructuredMesh mesh = StructuredMesh::box(mx, my, mz, {0, 0, 0}, {1, 1, 1});
+  mesh.deform([](const Vec3& x) {
+    return Vec3{x[0] + 0.04 * std::sin(3 * x[1]) * x[2],
+                x[1] + 0.05 * std::cos(2 * x[0]),
+                x[2] + 0.03 * x[0] * x[1]};
+  });
+  return mesh;
+}
+
+QuadCoefficients make_variable_coeff(const StructuredMesh& mesh,
+                                     unsigned seed = 3) {
+  QuadCoefficients c(mesh.num_elements());
+  Rng rng(seed);
+  for (Index e = 0; e < mesh.num_elements(); ++e)
+    for (int q = 0; q < kQuadPerEl; ++q) {
+      c.eta(e, q) = std::pow(10.0, rng.uniform(-2, 2));
+      c.rho(e, q) = rng.uniform(0.9, 1.3);
+    }
+  return c;
+}
+
+Vector random_vector(Index n, unsigned seed) {
+  Vector v(n);
+  Rng rng(seed);
+  for (Index i = 0; i < n; ++i) v[i] = rng.uniform(-1, 1);
+  return v;
+}
+
+/// One decomposed viscous apply on the given transport (null = the engine's
+/// built-in default).
+Vector apply_with_transport(const StructuredMesh& mesh,
+                            const QuadCoefficients& coeff, Index px, Index py,
+                            Index pz, transport::Transport* t) {
+  DirichletBc bc(num_velocity_dofs(mesh));
+  SubdomainEngine eng(mesh, px, py, pz);
+  if (t != nullptr) eng.set_transport(t);
+  auto op = make_viscous_backend(
+      ViscousBackendSpec{FineOperatorType::kTensor, 0, &eng}, mesh, coeff,
+      &bc);
+  Vector x = random_vector(op->rows(), 19);
+  Vector y(x.size());
+  op->apply(x, y);
+  return y;
+}
+
+TEST(BackendEquivalence, ExplicitMemoryTransportIsBitwiseDefault) {
+  StructuredMesh mesh = make_deformed_mesh(5, 4, 3);
+  QuadCoefficients coeff = make_variable_coeff(mesh);
+  const Vector y0 = apply_with_transport(mesh, coeff, 2, 2, 1, nullptr);
+  InMemoryTransport mem;
+  const Vector y1 = apply_with_transport(mesh, coeff, 2, 2, 1, &mem);
+  ASSERT_EQ(y0.size(), y1.size());
+  for (Index i = 0; i < y0.size(); ++i) EXPECT_EQ(y0[i], y1[i]);
+}
+
+TEST(BackendEquivalence, ProcessBackendMatchesMemoryBitwise) {
+  StructuredMesh mesh = make_deformed_mesh(5, 4, 3);
+  QuadCoefficients coeff = make_variable_coeff(mesh);
+  for (auto [px, py, pz] : {std::array<Index, 3>{2, 2, 1},
+                            std::array<Index, 3>{2, 2, 2}}) {
+    const Vector y0 = apply_with_transport(mesh, coeff, px, py, pz, nullptr);
+    ProcessTransport proc(fast_process_opts());
+    const Vector y1 = apply_with_transport(mesh, coeff, px, py, pz, &proc);
+    const transport::TransportStats st = proc.stats();
+    EXPECT_EQ(st.backend, "process");
+    EXPECT_GT(st.frames_sent, 0);
+    EXPECT_EQ(st.frames_received, st.frames_sent);
+    EXPECT_EQ(st.crc_rejected, 0);
+    ASSERT_EQ(y0.size(), y1.size());
+    for (Index i = 0; i < y0.size(); ++i)
+      EXPECT_EQ(y0[i], y1[i]) << px << "x" << py << "x" << pz << " dof " << i;
+  }
+}
+
+// --- supervisor state machine (fault-driven) ---------------------------------
+
+TEST_F(TransportFaults, DroppedFrameIsRetransmitted) {
+  ProcessTransport t(fast_process_opts());
+  t.configure(2, {{0, 1, 8}});
+  std::vector<Real> buf = {4.0, 5.0, 6.0};
+  ASSERT_TRUE(
+      fault::FaultInjector::instance().arm_from_spec("transport.drop:1"));
+  t.begin_epoch();
+  t.post(0, buf.data(), buf.size()); // first transmission vanishes
+  const Real* got = t.collect(0, buf.size());
+  ASSERT_NE(got, nullptr);
+  for (std::size_t i = 0; i < buf.size(); ++i) EXPECT_EQ(got[i], buf[i]);
+  EXPECT_GE(t.stats().retransmits, 1);
+}
+
+TEST_F(TransportFaults, TornFrameIsNackedAndRetransmitted) {
+  ProcessTransport t(fast_process_opts());
+  t.configure(2, {{0, 1, 8}});
+  std::vector<Real> buf = {7.0, 8.0};
+  ASSERT_TRUE(
+      fault::FaultInjector::instance().arm_from_spec("transport.truncate:1"));
+  t.begin_epoch();
+  t.post(0, buf.data(), buf.size()); // half a frame hits the wire
+  const Real* got = t.collect(0, buf.size());
+  for (std::size_t i = 0; i < buf.size(); ++i) EXPECT_EQ(got[i], buf[i]);
+  EXPECT_GE(t.stats().retransmits, 1);
+  // The worker NACKs the tear after echoing the recovered frame, so the
+  // rejection count can trail the delivery by one RX round: poll briefly.
+  long long rejected = 0;
+  for (int i = 0; i < 200 && rejected == 0; ++i) {
+    rejected = t.stats().crc_rejected;
+    if (rejected == 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(rejected, 1); // the worker's reader rejected the tear
+}
+
+TEST_F(TransportFaults, KilledWorkerIsRestartedAndDeliveryCompletes) {
+  ProcessTransport t(fast_process_opts());
+  t.configure(2, {{0, 1, 8}});
+  t.kill_worker(t.worker_of(1), SIGKILL); // crash before any traffic
+  std::vector<Real> buf = {1.0, 2.0, 3.0, 4.0};
+  t.begin_epoch();
+  t.post(0, buf.data(), buf.size());
+  const Real* got = t.collect(0, buf.size());
+  for (std::size_t i = 0; i < buf.size(); ++i) EXPECT_EQ(got[i], buf[i]);
+  const transport::TransportStats st = t.stats();
+  EXPECT_GE(st.worker_restarts, 1);
+  EXPECT_FALSE(st.degraded);
+}
+
+TEST_F(TransportFaults, ExhaustedRestartBudgetDegradesThenHeals) {
+  TransportOptions opts = fast_process_opts();
+  opts.max_worker_restarts = 0;
+  ProcessTransport t(opts);
+  t.configure(2, {{0, 1, 8}});
+  t.kill_worker(t.worker_of(1), SIGKILL);
+  std::vector<Real> buf = {9.0, 10.0};
+  t.begin_epoch();
+  t.post(0, buf.data(), buf.size());
+  // No restart budget: delivery degrades to the retained copy — still the
+  // exact posted bytes.
+  const Real* got = t.collect(0, buf.size());
+  for (std::size_t i = 0; i < buf.size(); ++i) EXPECT_EQ(got[i], buf[i]);
+  transport::TransportStats st = t.stats();
+  EXPECT_TRUE(st.degraded);
+  EXPECT_GE(st.degraded_deliveries, 1);
+
+  // heal() respawns and restores full-fidelity delivery.
+  t.heal();
+  EXPECT_FALSE(t.stats().degraded);
+  t.begin_epoch();
+  t.post(0, buf.data(), buf.size());
+  const Real* again = t.collect(0, buf.size());
+  for (std::size_t i = 0; i < buf.size(); ++i) EXPECT_EQ(again[i], buf[i]);
+  EXPECT_EQ(t.stats().degraded_deliveries, st.degraded_deliveries);
+}
+
+TEST_F(TransportFaults, DegradedDisallowedThrowsTransportError) {
+  TransportOptions opts = fast_process_opts();
+  opts.max_worker_restarts = 0;
+  opts.allow_degraded = false;
+  ProcessTransport t(opts);
+  t.configure(2, {{0, 1, 8}});
+  t.kill_worker(t.worker_of(1), SIGKILL);
+  std::vector<Real> buf = {1.0};
+  t.begin_epoch();
+  t.post(0, buf.data(), buf.size());
+  EXPECT_THROW(t.collect(0, buf.size()), TransportError);
+}
+
+TEST_F(TransportFaults, WorkerKillMidApplyKeepsResultBitwise) {
+  StructuredMesh mesh = make_deformed_mesh(5, 4, 3);
+  QuadCoefficients coeff = make_variable_coeff(mesh);
+  const Vector y0 = apply_with_transport(mesh, coeff, 2, 2, 1, nullptr);
+  // The injected SIGKILL fires inside the second apply's begin_epoch, while
+  // that apply's exchange is about to flow through the killed worker.
+  ASSERT_TRUE(fault::FaultInjector::instance().arm_from_spec(
+      "transport.worker_kill:2"));
+  ProcessTransport proc(fast_process_opts());
+  DirichletBc bc(num_velocity_dofs(mesh));
+  SubdomainEngine eng(mesh, 2, 2, 1);
+  eng.set_transport(&proc);
+  auto op = make_viscous_backend(
+      ViscousBackendSpec{FineOperatorType::kTensor, 0, &eng}, mesh, coeff,
+      &bc);
+  Vector x = random_vector(op->rows(), 19);
+  Vector y1(x.size());
+  op->apply(x, y1); // epoch 1: clean
+  op->apply(x, y1); // epoch 2: worker killed, supervisor must recover
+  EXPECT_GE(proc.stats().worker_restarts, 1);
+  for (Index i = 0; i < y0.size(); ++i) EXPECT_EQ(y0[i], y1[i]);
+}
+
+// --- stepper integration -----------------------------------------------------
+
+PtatinOptions tiny_decomposed_options() {
+  PtatinOptions o;
+  o.points_per_dim = 2;
+  o.nonlinear.max_it = 3;
+  o.nonlinear.rtol = 1e-2;
+  o.nonlinear.linear.gmg.levels = 2;
+  o.nonlinear.linear.coarse_solve = GmgCoarseSolve::kBJacobiLu;
+  o.nonlinear.linear.coarse_bjacobi_blocks = 1;
+  o.nonlinear.linear.krylov.max_it = 300;
+  o.decomp = {2, 1, 1};
+  o.transport.kind = TransportKind::kProcess;
+  o.transport.heartbeat_ms = 5;
+  o.transport.worker_timeout_ms = 250;
+  o.transport.backoff_base_ms = 1;
+  o.transport.max_worker_restarts = 0;
+  o.transport.allow_degraded = false;
+  return o;
+}
+
+SinkerParams tiny_sinker() {
+  SinkerParams p;
+  p.mx = p.my = p.mz = 4;
+  p.num_spheres = 1;
+  p.radius = 0.2;
+  p.contrast = 1e2;
+  return p;
+}
+
+TEST_F(TransportFaults, StepperRetriesTransportFailureAtSameDt) {
+  PtatinContext ctx(make_sinker_model(tiny_sinker()),
+                    tiny_decomposed_options());
+  ASSERT_NE(ctx.transport(), nullptr);
+  SafeguardOptions sg;
+  sg.max_retries = 1;
+  SafeguardedStepper stepper(ctx, sg);
+
+  // Every epoch SIGKILLs a worker; with no restart budget and degraded mode
+  // disallowed, every attempt dies with a TransportError.
+  ASSERT_TRUE(fault::FaultInjector::instance().arm_from_spec(
+      "transport.worker_kill:1:error:*"));
+  const Real dt = 0.004;
+  SafeguardedStepResult res = stepper.advance(dt);
+  EXPECT_FALSE(res.ok);
+  ASSERT_EQ(res.failures.size(), 2u); // first attempt + one retry
+  for (const std::string& f : res.failures)
+    EXPECT_EQ(f.rfind("transport:", 0), 0u) << f;
+  // Infrastructure failure: the dt is never cut across transport retries.
+  EXPECT_EQ(res.dt_used, dt);
+  EXPECT_TRUE(std::isinf(stepper.dt_cap()));
+
+  // Disarm and advance again: the first attempt still sees the degraded
+  // transport, the stepper heals it between attempts, and the retry
+  // completes at the same dt.
+  fault::FaultInjector::instance().disarm_all();
+  res = stepper.advance(dt);
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(res.dt_used, dt);
+  if (!res.failures.empty()) {
+    EXPECT_EQ(res.failures.front().rfind("transport:", 0), 0u);
+  }
+}
+
+// --- migration over the transport -------------------------------------------
+
+TEST(MigrationTransport, EnvelopeCodecRoundTrips) {
+  std::vector<PointEnvelope> envs(3);
+  envs[0] = {{0.1, 0.2, 0.3}, 4, 0.5, 0};
+  envs[1] = {{-1.0, 2.0, -3.0}, -1, 0.0, 1};
+  envs[2] = {{7.0, 8.0, 9.0}, 2, 1.25, 2};
+  const auto bytes = encode_envelopes(envs);
+  const auto back = decode_envelopes(bytes.data(), bytes.size());
+  ASSERT_EQ(back.size(), envs.size());
+  for (std::size_t i = 0; i < envs.size(); ++i) {
+    EXPECT_EQ(back[i].id, envs[i].id);
+    EXPECT_EQ(back[i].lithology, envs[i].lithology);
+    EXPECT_EQ(back[i].plastic_strain, envs[i].plastic_strain);
+    for (int d = 0; d < 3; ++d) EXPECT_EQ(back[i].x[d], envs[i].x[d]);
+  }
+  EXPECT_THROW(decode_envelopes(bytes.data(), bytes.size() - 1), Error);
+}
+
+/// The displaced-points scenario of test_mpm's PointsMoveToOwningRank,
+/// reusable across backends.
+std::vector<RankPoints> displaced_ranks(const StructuredMesh& mesh,
+                                        const Decomposition& decomp) {
+  MaterialPoints global;
+  layout_points(mesh, 2, [](const Vec3&) { return 0; }, global);
+  auto ranks = distribute_points(mesh, decomp, global);
+  Index moved = 0;
+  for (Index i = 0; i < ranks[0].points.size() && moved < 5; ++i) {
+    Vec3 x = ranks[0].points.position(i);
+    if (x[0] < 0.4) {
+      x[0] += 0.5;
+      ranks[0].points.set_position(i, x);
+      ++moved;
+    }
+  }
+  EXPECT_EQ(moved, 5);
+  return ranks;
+}
+
+TEST(MigrationTransport, ProcessBackendMatchesLegacyMigration) {
+  StructuredMesh mesh = StructuredMesh::box(4, 4, 4, {0, 0, 0}, {1, 1, 1});
+  Decomposition decomp = Decomposition::create(mesh, 2, 1, 1);
+
+  auto legacy = displaced_ranks(mesh, decomp);
+  const MigrationStats s0 = migrate_points(mesh, decomp, legacy);
+
+  auto wired = displaced_ranks(mesh, decomp);
+  ProcessTransport proc(fast_process_opts());
+  proc.configure(decomp.num_ranks(), {});
+  MigrationLedger ledger;
+  const MigrationStats s1 =
+      migrate_points(mesh, decomp, wired, proc, 0, &ledger);
+
+  EXPECT_EQ(s0.sent, s1.sent);
+  EXPECT_EQ(s0.received, s1.received);
+  EXPECT_EQ(s0.deleted, s1.deleted);
+  EXPECT_EQ(s1.duplicates, 0);
+  ASSERT_EQ(legacy.size(), wired.size());
+  for (std::size_t r = 0; r < legacy.size(); ++r) {
+    const MaterialPoints& a = legacy[r].points;
+    const MaterialPoints& b = wired[r].points;
+    ASSERT_EQ(a.size(), b.size()) << "rank " << r;
+    for (Index i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a.element(i), b.element(i));
+      EXPECT_EQ(a.lithology(i), b.lithology(i));
+      for (int c = 0; c < 3; ++c)
+        EXPECT_EQ(a.position(i)[c], b.position(i)[c]);
+    }
+  }
+}
+
+TEST(MigrationTransport, ReplayedDeliveryIsIdempotentWithLedger) {
+  StructuredMesh mesh = StructuredMesh::box(4, 4, 4, {0, 0, 0}, {1, 1, 1});
+  Decomposition decomp = Decomposition::create(mesh, 2, 1, 1);
+
+  // One point that belongs to rank 1, shipped as a message from rank 0.
+  std::vector<PointEnvelope> envs(1);
+  envs[0] = {{0.8, 0.5, 0.5}, 3, 0.25, 0};
+  transport::Message msg;
+  msg.src = 0;
+  msg.round = 0;
+  msg.seq = 0;
+  msg.bytes = encode_envelopes(envs);
+
+  RankPoints dst;
+  dst.rank = 1;
+  MigrationLedger ledger;
+  ledger.begin_round(0);
+  MigrationStats stats;
+  apply_incoming_points(mesh, decomp, dst, {msg}, &ledger, &stats);
+  EXPECT_EQ(dst.points.size(), 1);
+  EXPECT_EQ(stats.received, 1);
+
+  // A worker restart redelivers the same message: the ledger must swallow it.
+  apply_incoming_points(mesh, decomp, dst, {msg}, &ledger, &stats);
+  EXPECT_EQ(dst.points.size(), 1);
+  EXPECT_EQ(stats.received, 1);
+  EXPECT_EQ(stats.duplicates, 1);
+
+  // A new round is a fresh dedupe scope.
+  ledger.begin_round(1);
+  EXPECT_TRUE(ledger.seen.empty());
+}
+
+// --- config / report / exit-code wiring --------------------------------------
+
+TEST(TransportConfig, KindParsesAndRejectsUnknown) {
+  EXPECT_EQ(transport::parse_transport_kind("memory"),
+            TransportKind::kMemory);
+  EXPECT_EQ(transport::parse_transport_kind("process"),
+            TransportKind::kProcess);
+  EXPECT_THROW(transport::parse_transport_kind("carrier-pigeon"), Error);
+  EXPECT_STREQ(transport::to_string(TransportKind::kProcess), "process");
+}
+
+TEST(TransportConfig, KnobsParseAndValidate) {
+  const char* argv[] = {"prog", "-transport", "process", "-heartbeat_ms",
+                        "20",   "-worker_timeout_ms", "400",
+                        "-max_worker_restarts", "5", "-backoff_base_ms", "2"};
+  Options o = Options::from_args(11, argv);
+  SolverConfig cfg = SolverConfig::from_options(o);
+  const TransportOptions& to = cfg.ptatin().transport;
+  EXPECT_EQ(to.kind, TransportKind::kProcess);
+  EXPECT_EQ(to.heartbeat_ms, 20);
+  EXPECT_EQ(to.worker_timeout_ms, 400);
+  EXPECT_EQ(to.max_worker_restarts, 5);
+  EXPECT_EQ(to.backoff_base_ms, 2);
+
+  Options bad_hb;
+  bad_hb.set("heartbeat_ms", "0");
+  EXPECT_THROW(SolverConfig::from_options(bad_hb), Error);
+
+  Options bad_timeout;
+  bad_timeout.set("heartbeat_ms", "100");
+  bad_timeout.set("worker_timeout_ms", "50");
+  EXPECT_THROW(SolverConfig::from_options(bad_timeout), Error);
+
+  Options bad_kind;
+  bad_kind.set("transport", "smoke-signals");
+  EXPECT_THROW(SolverConfig::from_options(bad_kind), Error);
+}
+
+TEST(TransportConfig, MistypedKnobSuggestsTransport) {
+  SolverConfig::describe_options();
+  const char* argv[] = {"prog", "-transprot", "process"};
+  Options o = Options::from_args(3, argv);
+  const auto unknown = o.unknown_keys();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0].key, "transprot");
+  ASSERT_FALSE(unknown[0].suggestions.empty());
+  EXPECT_EQ(unknown[0].suggestions[0], "transport");
+  EXPECT_NE(Options::format_unknown(unknown).find("did you mean -transport"),
+            std::string::npos);
+}
+
+TEST(TransportConfig, ContextWiresProcessTransportIntoEngine) {
+  PtatinOptions o = tiny_decomposed_options();
+  o.transport.max_worker_restarts = 2;
+  o.transport.allow_degraded = true;
+  PtatinContext ctx(make_sinker_model(tiny_sinker()), o);
+  ASSERT_NE(ctx.transport(), nullptr);
+  EXPECT_EQ(ctx.transport()->kind(), TransportKind::kProcess);
+  ASSERT_NE(ctx.subdomain_engine(), nullptr);
+  EXPECT_EQ(ctx.subdomain_engine()->transport(), ctx.transport());
+
+  // Memory kind (the default) keeps the engine's built-in transport.
+  PtatinOptions m = tiny_decomposed_options();
+  m.transport = TransportOptions{};
+  PtatinContext mem_ctx(make_sinker_model(tiny_sinker()), m);
+  EXPECT_EQ(mem_ctx.transport(), nullptr);
+  ASSERT_NE(mem_ctx.subdomain_engine(), nullptr);
+  EXPECT_NE(mem_ctx.subdomain_engine()->transport(), nullptr);
+}
+
+TEST(TransportReport, SectionRoundTripsThroughJson) {
+  obs::SolverReport rep;
+  obs::TransportRecord rec;
+  rec.backend = "process";
+  rec.workers = 4;
+  rec.frames_sent = 100;
+  rec.frames_received = 99;
+  rec.bytes_sent = 4096;
+  rec.bytes_received = 4000;
+  rec.crc_rejected = 2;
+  rec.reordered = 3;
+  rec.duplicates_dropped = 1;
+  rec.retransmits = 5;
+  rec.timeouts = 1;
+  rec.worker_restarts = 2;
+  rec.degraded_deliveries = 7;
+  rec.degraded = true;
+  rep.set_transport(rec);
+
+  const obs::SolverReport back =
+      obs::SolverReport::parse(rep.to_json_string());
+  ASSERT_TRUE(back.has_transport());
+  const obs::TransportRecord& r = back.transport();
+  EXPECT_EQ(r.backend, "process");
+  EXPECT_EQ(r.workers, 4);
+  EXPECT_EQ(r.frames_sent, 100);
+  EXPECT_EQ(r.frames_received, 99);
+  EXPECT_EQ(r.bytes_sent, 4096);
+  EXPECT_EQ(r.bytes_received, 4000);
+  EXPECT_EQ(r.crc_rejected, 2);
+  EXPECT_EQ(r.reordered, 3);
+  EXPECT_EQ(r.duplicates_dropped, 1);
+  EXPECT_EQ(r.retransmits, 5);
+  EXPECT_EQ(r.timeouts, 1);
+  EXPECT_EQ(r.worker_restarts, 2);
+  EXPECT_EQ(r.degraded_deliveries, 7);
+  EXPECT_TRUE(r.degraded);
+}
+
+TEST(TransportExit, DistinctDocumentedExitCode) {
+  EXPECT_EQ(int(DriverExit::kTransportFailure), 5);
+  EXPECT_NE(std::string(describe(DriverExit::kTransportFailure))
+                .find("transport"),
+            std::string::npos);
+}
+
+} // namespace
+} // namespace ptatin
