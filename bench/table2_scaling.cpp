@@ -14,11 +14,22 @@
 // timed raw fine-level operator applies plus a full solve, and reports the
 // halo traffic, iteration counts, and final residuals per px x py x pz.
 //
+// The decomp sweep also takes the SDC hardening knobs (-scrub_every N,
+// -sentinel_every N; docs/ROBUSTNESS.md): the sweep seals the quiescent
+// apply input and CRC-scrubs it at the requested cadence inside the timed
+// apply loop, and the full solves run with sealed operator hierarchies and
+// Krylov residual sentinels. The resulting SDC column makes the overhead of
+// the detection layer visible next to the unhardened rows — the acceptance
+// target is <5% apply-time overhead at the default cadences.
+//
 // Usage: table2_scaling [-grids 8,12,16] [-contrast 1e4] [-rtol 1e-5]
 //        table2_scaling -grids 16 -decomp 1x1x1,2x2x1,2x2x2 [-applies 40]
 //                       [-transport memory|process]
+//                       [-scrub_every N] [-sentinel_every N]
 #include "bench_common.hpp"
+#include "common/sealed.hpp"
 #include "common/timing.hpp"
+#include "ptatin/scrub.hpp"
 #include "fem/subdomain_engine.hpp"
 #include "obs/perf.hpp"
 #include "obs/report.hpp"
@@ -46,14 +57,27 @@ int run_decomp_sweep(const Options& opts, const std::vector<Index>& grids,
   transport::TransportOptions topts;
   topts.kind =
       transport::parse_transport_kind(opts.get_string("transport", "memory"));
+  // SDC hardening cadences (0 = off): scrub_every is applied per timed
+  // apply (CRC sweep of the sealed input) and turns on operator sealing in
+  // the solve; sentinel_every flows into the solve's Krylov settings.
+  const int scrub_every = opts.get_int("scrub_every", 0);
+  const int sentinel_every = opts.get_int("sentinel_every", 0);
+  char sdc_label[32];
+  if (scrub_every > 0 || sentinel_every > 0)
+    std::snprintf(sdc_label, sizeof sdc_label, "s%d/k%d", scrub_every,
+                  sentinel_every);
+  else
+    std::snprintf(sdc_label, sizeof sdc_label, "off");
 
   bench::banner("Table II (decomposition sweep): fine-level apply and solve "
                 "vs subdomain shape");
-  std::printf("threads: %d, raw applies timed per shape: %d, transport: %s\n\n",
-              num_threads(), n_applies, transport::to_string(topts.kind));
+  std::printf("threads: %d, raw applies timed per shape: %d, transport: %s, "
+              "sdc: %s\n\n",
+              num_threads(), n_applies, transport::to_string(topts.kind),
+              sdc_label);
 
-  bench::Table tab({"Grid", "Decomp", "Apply(s)", "HaloMB", "Its", "FinalRes",
-                    "Solve(s)"});
+  bench::Table tab({"Grid", "Decomp", "SDC", "Apply(s)", "HaloMB", "Its",
+                    "FinalRes", "Solve(s)"});
   tab.print_header();
 
   obs::JsonValue rows = obs::JsonValue::array();
@@ -73,6 +97,9 @@ int run_decomp_sweep(const Options& opts, const std::vector<Index>& grids,
       cfg.stokes().gmg.levels = levels;
       cfg.stokes().krylov.rtol = rtol;
       cfg.stokes().krylov.max_it = 500;
+      cfg.stokes().krylov.sentinel_every = sentinel_every;
+      cfg.stokes().gmg.seal_operators = scrub_every > 0;
+      cfg.stokes().amg.seal_operators = scrub_every > 0;
       // Always drive the engine path — 1x1x1 is the single-subdomain
       // baseline (one sequential sweep, no halo), so the sweep isolates the
       // decomposition's thread scaling from the kernel itself.
@@ -92,9 +119,28 @@ int run_decomp_sweep(const Options& opts, const std::vector<Index>& grids,
         x[i] = std::sin(Real(0.37) * Real(i));
       op->apply(x, y); // warm-up (builds scratch slabs)
       if (eng) eng->reset_stats();
+
+      // When scrubbing, seal the quiescent apply input and sweep the seal
+      // registry at the production cadence *inside* the timed loop, so the
+      // CRC pass the stepper's scrubber pays between steps shows up in the
+      // apply column.
+      sdc::ScopedSeal bench_seal;
+      if (scrub_every > 0) {
+        const Vector* xs = &x;
+        bench_seal = sdc::ScopedSeal("bench.state", [xs] {
+          return std::vector<sdc::Region>{
+              {"x", xs->data(), xs->size() * sizeof(Real)}};
+        });
+      }
+      sdc::Scrubber scrubber(scrub_every);
       Timer t_apply;
-      for (int it = 0; it < n_applies; ++it) op->apply(x, y);
+      for (int it = 0; it < n_applies; ++it) {
+        op->apply(x, y);
+        if (!scrubber.scrub_if_due(it + 1).empty())
+          std::printf("    WARNING: scrub mismatch during apply sweep\n");
+      }
       const double apply_seconds = t_apply.seconds();
+      bench_seal.reset();
 
       StokesSolveResult res;
       if (do_solve) {
@@ -109,6 +155,7 @@ int run_decomp_sweep(const Options& opts, const std::vector<Index>& grids,
                     (long long)shape[1], (long long)shape[2]);
       tab.cell(grid);
       tab.cell(dec);
+      tab.cell(sdc_label);
       tab.cell(apply_seconds, "%.3f");
       tab.cell(double(st.halo_bytes_sent) / (1024.0 * 1024.0), "%.1f");
       tab.cell(long(res.stats.iterations));
@@ -132,6 +179,8 @@ int run_decomp_sweep(const Options& opts, const std::vector<Index>& grids,
       row["interior_elements"] = obs::JsonValue((long long)st.interior_elements);
       row["boundary_elements"] = obs::JsonValue((long long)st.boundary_elements);
       row["levels"] = obs::JsonValue(levels);
+      row["scrub_every"] = obs::JsonValue(scrub_every);
+      row["sentinel_every"] = obs::JsonValue(sentinel_every);
       row["transport"] = obs::JsonValue(transport::to_string(topts.kind));
       if (tr) {
         const transport::TransportStats ts = tr->stats();
@@ -157,6 +206,8 @@ int run_decomp_sweep(const Options& opts, const std::vector<Index>& grids,
   run["grids"] = obs::JsonValue(opts.get_string("grids", "8,12"));
   run["decomp"] = obs::JsonValue(opts.get_string("decomp", ""));
   run["transport"] = obs::JsonValue(transport::to_string(topts.kind));
+  run["scrub_every"] = obs::JsonValue(scrub_every);
+  run["sentinel_every"] = obs::JsonValue(sentinel_every);
   run["contrast"] = obs::JsonValue(contrast);
   run["rtol"] = obs::JsonValue(rtol);
   run["rows"] = std::move(rows);

@@ -61,6 +61,9 @@ void describe_driver_options() {
                     "DIR/solver_report.json");
   Options::describe("faults", "SPEC",
                     "arm fault injection, SPEC = site:nth[:kind[:count]],...");
+  Options::describe("list_fault_sites", "",
+                    "print the registered fault-site catalogue and exit\n"
+                    "(machine-readable: one \"site\\tsummary\" per line)");
   Options::describe("verbose", "", "per-iteration logging");
   Options::describe("help", "", "print this help and exit");
 }
@@ -107,8 +110,15 @@ int main(int argc, char** argv) {
                 "  3  checkpoint/restart failure\n"
                 "  4  health-check failure\n"
                 "  5  transport failure (workers dead beyond "
-                "-max_worker_restarts)\n",
+                "-max_worker_restarts)\n"
+                "  6  silent data corruption (seal/sentinel detection no "
+                "snapshot could heal)\n",
                 Options::help_text().c_str());
+    return int(DriverExit::kSuccess);
+  }
+  if (o.get_bool("list_fault_sites", false)) {
+    for (const auto& site : fault::FaultInjector::known_sites())
+      std::printf("%s\t%s\n", site.site, site.summary);
     return int(DriverExit::kSuccess);
   }
   // Unknown flags are a typed usage error, not a silent no-op: a mistyped
@@ -130,6 +140,11 @@ int main(int argc, char** argv) {
                  faults.c_str());
     return int(DriverExit::kUsageError);
   }
+  // Disarm at every exit path so armed-but-never-fired specs (a typo'd site
+  // name tests nothing) are warned about; the chaos campaign greps for it.
+  struct FaultTeardown {
+    ~FaultTeardown() { fault::FaultInjector::instance().disarm_all(); }
+  } fault_teardown;
 
   int vertical_axis = 2;
   ModelSetup setup;
@@ -202,11 +217,16 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Reporting is read-only: const access keeps the non-const points()
+  // accessor from bumping the state epoch, which would disarm the SDC seal
+  // the safeguarded stepper arms between steps (docs/ROBUSTNESS.md).
+  const PtatinContext& cctx = ctx;
+
   const auto dshape = cfg.decomp_shape();
   std::printf("== pTatin3D driver: model %s, %lld elements, %lld material "
               "points, decomp %lldx%lldx%lld, steps %d..%d ==\n",
               name.c_str(), (long long)ctx.mesh().num_elements(),
-              (long long)ctx.points().size(), (long long)dshape[0],
+              (long long)cctx.points().size(), (long long)dshape[0],
               (long long)dshape[1], (long long)dshape[2], start_step + 1,
               steps);
 
@@ -232,7 +252,8 @@ int main(int argc, char** argv) {
                                   : sres.failures.back();
         std::fprintf(stderr, "error: step %d failed beyond recovery (%s)\n",
                      s, why.c_str());
-        outcome = why.rfind("health:", 0) == 0 ? DriverExit::kHealthFailure
+        outcome = sdc::is_sdc_failure(why) ? DriverExit::kSdcFailure
+                  : why.rfind("health:", 0) == 0 ? DriverExit::kHealthFailure
                   : why.rfind("transport:", 0) == 0
                       ? DriverExit::kTransportFailure
                       : DriverExit::kSolverFailure;
@@ -258,14 +279,14 @@ int main(int argc, char** argv) {
                 s, dt, rep.nonlinear.iterations,
                 rep.nonlinear.total_krylov_iterations, fs.u_rms,
                 topo.min - topo.mean, topo.max - topo.mean,
-                (long long)ctx.points().size(), rep.seconds);
+                (long long)cctx.points().size(), rep.seconds);
 
     char tag[32];
     if (vtk_every > 0 && s % vtk_every == 0) {
       std::snprintf(tag, sizeof tag, "_%04d.vtk", s);
       write_vtk_structured(prefix + "_mesh" + tag, ctx.mesh(), ctx.velocity(),
                            ctx.pressure(), &ctx.coefficients());
-      write_vtk_points(prefix + "_pts" + tag, ctx.points());
+      write_vtk_points(prefix + "_pts" + tag, cctx.points());
     }
     // Legacy single-file checkpoints (no integrity rotation): only when no
     // -checkpoint_dir is configured, and when running unguarded also as the

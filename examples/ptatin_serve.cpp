@@ -78,7 +78,9 @@ int main(int argc, char** argv) {
         "  1  a job was evicted after an unrecovered solver failure\n"
         "  2  usage error (unknown flag, malformed -jobs file or -faults)\n"
         "  3  a job was evicted after a checkpoint/restart failure\n"
-        "  4  a job was evicted by the watchdog / health pass\n",
+        "  4  a job was evicted by the watchdog / health pass\n"
+        "  6  a job was quarantined after repeated silent-data-corruption\n"
+        "     deaths (its digest is never cached, docs/ROBUSTNESS.md)\n",
         Options::help_text().c_str());
     return int(DriverExit::kSuccess);
   }
@@ -96,6 +98,10 @@ int main(int argc, char** argv) {
                  faults.c_str());
     return int(DriverExit::kUsageError);
   }
+  // Disarm at exit so armed-but-never-fired specs are warned about.
+  struct FaultTeardown {
+    ~FaultTeardown() { fault::FaultInjector::instance().disarm_all(); }
+  } fault_teardown;
 
   const std::string jobs_path = o.get_string("jobs", "");
   if (jobs_path.empty()) {
@@ -164,10 +170,11 @@ int main(int argc, char** argv) {
   const FleetReport report = fleet.report();
   std::printf(
       "== drained: %lld completed (%lld from cache), %lld evicted, "
-      "%lld preemptions, %.2f jobs/s, p50 %.3f s, p99 %.3f s ==\n",
+      "%lld quarantined, %lld preemptions, %.2f jobs/s, p50 %.3f s, "
+      "p99 %.3f s ==\n",
       report.completed, report.served_from_cache, report.evicted,
-      report.preemptions, report.throughput_jobs_per_s, report.latency_p50,
-      report.latency_p99);
+      report.quarantined, report.preemptions, report.throughput_jobs_per_s,
+      report.latency_p50, report.latency_p99);
 
   std::string report_path = o.get_string("fleet_report", "");
   if (report_path.empty() && !fo.workdir.empty())

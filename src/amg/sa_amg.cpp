@@ -181,6 +181,22 @@ SaAmg::SaAmg(const CsrMatrix& a, const std::vector<Vector>& near_nullspace,
   coarsest_.setup(last.a, std::min(opts.coarsest_blocks, last.a.rows()),
                   SubdomainSolve::kLu);
 
+  // SDC seal over the setup-immutable hierarchy (docs/ROBUSTNESS.md):
+  // levels_ is never resized after construction, so the provider's pointers
+  // into the per-level matrices stay valid for the object's lifetime.
+  if (opts.seal_operators) {
+    seal_ = sdc::ScopedSeal("amg.operators", [this]() {
+      std::vector<sdc::Region> regions;
+      for (std::size_t l = 0; l < levels_.size(); ++l) {
+        const std::string prefix = "L" + std::to_string(l);
+        levels_[l].a.append_seal_regions(prefix, regions);
+        if (levels_[l].p.nnz() > 0)
+          levels_[l].p.append_seal_regions(prefix + ".p", regions);
+      }
+      return regions;
+    });
+  }
+
   setup_seconds_ = t.seconds();
 }
 

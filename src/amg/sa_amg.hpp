@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/sealed.hpp"
 #include "ksp/chebyshev.hpp"
 #include "ksp/pc.hpp"
 #include "la/block_jacobi.hpp"
@@ -51,6 +52,11 @@ struct AmgOptions {
   AmgCoarsestSolve coarsest = AmgCoarsestSolve::kBlockJacobiLu;
   Index coarsest_blocks = 4; ///< block-Jacobi subdomain count
   ChebyshevOptions chebyshev;
+  /// Register the per-level Galerkin operators and prolongators with the SDC
+  /// seal registry (docs/ROBUSTNESS.md): the hierarchy is setup-immutable,
+  /// so the periodic scrubber can detect a flipped bit. Enabled by the
+  /// config layer when -scrub_every > 0.
+  bool seal_operators = false;
 };
 
 class SaAmg : public Preconditioner {
@@ -72,6 +78,11 @@ public:
   /// Total operator complexity: sum(nnz_l) / nnz_0.
   double operator_complexity() const;
 
+  /// Verify the operator seal now (empty when intact or seal_operators is
+  /// off). Solve-scoped hierarchies die before the periodic scrubber runs,
+  /// so the Stokes solver checks this after every solve.
+  std::vector<std::string> verify_seal() const { return seal_.verify(); }
+
 private:
   struct Level {
     CsrMatrix a;
@@ -89,6 +100,7 @@ private:
   BlockJacobi coarsest_;
   AmgOptions opts_;
   double setup_seconds_ = 0.0;
+  sdc::ScopedSeal seal_; ///< over the per-level A / P arrays
 };
 
 } // namespace ptatin

@@ -62,6 +62,31 @@ FaultInjector& FaultInjector::instance() {
 
 FaultInjector::FaultInjector() = default;
 
+const std::vector<SiteInfo>& FaultInjector::known_sites() {
+  // Stable order: the chaos campaign's sweep and its CI log output follow it.
+  static const std::vector<SiteInfo> sites = {
+      {"ksp.rnorm", "corrupt a Krylov residual norm (NaN/Inf/0)"},
+      {"ksp.breakdown", "force a Krylov algorithmic breakdown"},
+      {"nonlin.rnorm", "corrupt a nonlinear residual norm"},
+      {"nonlin.linsolve", "declare a linear solve fatally failed"},
+      {"checkpoint.write", "throw from the checkpoint writer"},
+      {"checkpoint.read", "throw from the checkpoint reader"},
+      {"checkpoint.torn_write", "truncate a published checkpoint file"},
+      {"checkpoint.bitflip", "flip one checkpoint payload bit post-CRC"},
+      {"health.field_nan", "poison one velocity entry before a health pass"},
+      {"transport.drop", "drop one transport frame"},
+      {"transport.truncate", "truncate one transport frame"},
+      {"transport.delay", "delay one transport frame past the timeout"},
+      {"transport.worker_kill", "SIGKILL one transport worker"},
+      {"sdc.field_bitflip", "flip a low mantissa bit of a sealed field"},
+      {"sdc.particle_bitflip", "flip a low mantissa bit of a particle slab"},
+      {"sdc.matrix_bitflip", "flip a bit in a sealed operator matrix"},
+      {"sdc.krylov_drift", "drift the Krylov recurrence off the true "
+                           "residual"},
+  };
+  return sites;
+}
+
 void FaultInjector::arm(FaultSpec spec) {
   std::lock_guard<std::mutex> lock(mu_);
   armed_.push_back(Armed{std::move(spec), 0});
@@ -104,9 +129,25 @@ bool FaultInjector::arm_from_spec(const std::string& spec) {
 
 void FaultInjector::disarm_all() {
   std::lock_guard<std::mutex> lock(mu_);
+  for (const Armed& a : armed_) {
+    if (a.fired || a.spec.probability > 0.0) continue;
+    // A spec that never fired usually means a typo'd site name or a count
+    // the run never reached — either way the fault tested nothing.
+    log_warn("fault spec armed at site '", a.spec.site, "' (nth=", a.spec.nth,
+             ") never fired — ", a.calls, " call(s) observed; check the site "
+             "name against -list_fault_sites");
+  }
   armed_.clear();
   injected_.store(0, std::memory_order_relaxed);
   enabled_.store(false, std::memory_order_relaxed);
+}
+
+std::vector<FaultSpec> FaultInjector::unfired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FaultSpec> out;
+  for (const Armed& a : armed_)
+    if (!a.fired && a.spec.probability <= 0.0) out.push_back(a.spec);
+  return out;
 }
 
 void FaultInjector::seed(std::uint64_t s) {
@@ -128,6 +169,7 @@ const FaultSpec* FaultInjector::advance(const char* site) {
       fire = a.calls >= a.spec.nth &&
              (a.spec.count < 0 || a.calls < a.spec.nth + a.spec.count);
     }
+    if (fire) a.fired = true;
     if (fire && firing == nullptr) firing = &a.spec;
   }
   if (firing != nullptr) {

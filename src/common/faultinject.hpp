@@ -3,9 +3,15 @@
 // Solver code marks fault *sites* — named points where a failure can be
 // injected ("ksp.rnorm", "ksp.breakdown", "nonlin.rnorm", "checkpoint.write",
 // "checkpoint.read", "checkpoint.torn_write", "checkpoint.bitflip",
-// "health.field_nan", and the transport sites "transport.drop",
-// "transport.truncate", "transport.delay", "transport.worker_kill" —
-// docs/TRANSPORT.md). Tests and the driver arm faults against those sites:
+// "health.field_nan", the transport sites "transport.drop",
+// "transport.truncate", "transport.delay", "transport.worker_kill"
+// (docs/TRANSPORT.md), and the silent-data-corruption sites
+// "sdc.field_bitflip", "sdc.particle_bitflip", "sdc.matrix_bitflip",
+// "sdc.krylov_drift" — docs/ROBUSTNESS.md). The compiled-in site catalogue
+// is enumerable via known_sites() (the chaos campaign sweeps it) and specs
+// armed against a site that never fired — a typo'd name tests nothing — are
+// reported by unfired() and warned about at disarm time.
+// Tests and the driver arm faults against those sites:
 // "corrupt the value at the Nth call", "throw at the Nth call". Every recovery path in the
 // safeguard layer (docs/ROBUSTNESS.md) is exercised through this mechanism,
 // so the paths are proven to fire rather than assumed to.
@@ -45,19 +51,36 @@ struct FaultSpec {
                             ///< (seeded, deterministic) instead of by count
 };
 
+/// One entry of the compiled-in fault-site catalogue.
+struct SiteInfo {
+  const char* site;    ///< site name specs arm against
+  const char* summary; ///< what a fault injected here simulates
+};
+
 class FaultInjector {
 public:
   /// Process-wide injector. Arms PTATIN_FAULTS from the environment on
   /// first use.
   static FaultInjector& instance();
 
+  /// The compiled-in catalogue of fault sites, in stable order. The chaos
+  /// campaign (tests/chaos_campaign.py) sweeps this list via the driver's
+  /// -list_fault_sites flag.
+  static const std::vector<SiteInfo>& known_sites();
+
   void arm(FaultSpec spec);
   /// Parse and arm comma-separated "site:nth[:kind[:count]]" specs, where
   /// kind is nan|inf|zero|error (default nan). Returns false (arming
   /// nothing) on malformed input.
   bool arm_from_spec(const std::string& spec);
-  /// Remove all armed faults and reset call counters and statistics.
+  /// Remove all armed faults and reset call counters and statistics. Specs
+  /// that never fired (typically a typo'd site name, which silently tests
+  /// nothing) are warned about; probabilistic specs are exempt — not firing
+  /// is a legitimate draw for them.
   void disarm_all();
+
+  /// Armed count-based specs that have not fired yet (see disarm_all).
+  std::vector<FaultSpec> unfired() const;
   /// Reseed the probabilistic mode (default seed is fixed).
   void seed(std::uint64_t s);
 
@@ -80,6 +103,7 @@ private:
   struct Armed {
     FaultSpec spec;
     long long calls = 0; ///< calls observed at this fault's site
+    bool fired = false;  ///< this spec has injected at least once
   };
   /// Returns the armed fault that fires for this call, or nullptr.
   const FaultSpec* advance(const char* site);

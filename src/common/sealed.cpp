@@ -1,0 +1,131 @@
+#include "common/sealed.hpp"
+
+#include <algorithm>
+
+#include "common/crc32.hpp"
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace ptatin::sdc {
+
+void Seal::arm(const std::vector<Region>& regions) {
+  entries_.clear();
+  entries_.reserve(regions.size());
+  for (const Region& r : regions)
+    entries_.push_back(Entry{r.name, r.bytes, crc32(r.data, r.bytes)});
+  obs::MetricsRegistry::instance().counter("sdc.seals_armed").inc();
+}
+
+std::vector<std::string> Seal::verify(
+    const std::vector<Region>& regions) const {
+  std::vector<std::string> bad;
+  if (regions.size() != entries_.size()) {
+    bad.push_back("region count changed (" + std::to_string(entries_.size()) +
+                  " sealed, " + std::to_string(regions.size()) + " present)");
+    return bad;
+  }
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    const Region& r = regions[i];
+    if (r.bytes != e.bytes)
+      bad.push_back(e.name + " (size changed)");
+    else if (crc32(r.data, r.bytes) != e.crc)
+      bad.push_back(e.name);
+  }
+  return bad;
+}
+
+SealRegistry& SealRegistry::instance() {
+  static SealRegistry* reg = new SealRegistry();
+  return *reg;
+}
+
+std::uint64_t SealRegistry::add(std::string name, RegionProvider provider) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry e;
+  e.id = next_id_++;
+  e.name = std::move(name);
+  e.provider = std::move(provider);
+  e.seal.arm(e.provider());
+  entries_.push_back(std::move(e));
+  return entries_.back().id;
+}
+
+void SealRegistry::remove(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [id](const Entry& e) { return e.id == id; }),
+                 entries_.end());
+}
+
+void SealRegistry::rearm(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& e : entries_)
+    if (e.id == id) {
+      e.seal.arm(e.provider());
+      return;
+    }
+}
+
+std::vector<std::string> SealRegistry::verify_all() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& metrics = obs::MetricsRegistry::instance();
+  std::vector<std::string> bad;
+  for (const Entry& e : entries_) {
+    metrics.counter("sdc.seal_verifies").inc();
+    for (const std::string& region : e.seal.verify(e.provider()))
+      bad.push_back(e.name + "/" + region);
+  }
+  if (!bad.empty()) {
+    metrics.counter("sdc.seal_mismatches").inc((long long)bad.size());
+    for (const std::string& b : bad)
+      log_warn("sdc: sealed region mismatch: ", b);
+  }
+  return bad;
+}
+
+std::vector<std::string> SealRegistry::verify_one(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& metrics = obs::MetricsRegistry::instance();
+  std::vector<std::string> bad;
+  for (const Entry& e : entries_) {
+    if (e.id != id) continue;
+    metrics.counter("sdc.seal_verifies").inc();
+    for (const std::string& region : e.seal.verify(e.provider()))
+      bad.push_back(e.name + "/" + region);
+    break;
+  }
+  if (!bad.empty()) {
+    metrics.counter("sdc.seal_mismatches").inc((long long)bad.size());
+    for (const std::string& b : bad)
+      log_warn("sdc: sealed region mismatch: ", b);
+  }
+  return bad;
+}
+
+std::size_t SealRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+ScopedSeal::ScopedSeal(std::string name, RegionProvider provider)
+    : id_(SealRegistry::instance().add(std::move(name), std::move(provider))) {
+}
+
+void ScopedSeal::rearm() {
+  if (id_ != 0) SealRegistry::instance().rearm(id_);
+}
+
+std::vector<std::string> ScopedSeal::verify() const {
+  if (id_ == 0) return {};
+  return SealRegistry::instance().verify_one(id_);
+}
+
+void ScopedSeal::reset() {
+  if (id_ != 0) {
+    SealRegistry::instance().remove(id_);
+    id_ = 0;
+  }
+}
+
+} // namespace ptatin::sdc

@@ -155,6 +155,8 @@ EnergySolveStats EnergySolver::step(
   s.rtol = 1e-10;
   s.max_it = 500;
   s.restart = 50;
+  s.sentinel_every = sentinel_every_;
+  s.sentinel_tol = sentinel_tol_;
   Vector Tn;
   Tn.copy_from(T); // warm start
   stats.linear = gmres_solve(op, pc, rhs, Tn, s);

@@ -63,10 +63,20 @@ public:
 
   Index num_dofs() const { return mesh_.num_vertices(); }
 
+  /// Enable the Krylov SDC sentinel on the internal GMRES solve
+  /// (docs/ROBUSTNESS.md): cross-check the Arnoldi recurrence against the
+  /// recomputed true residual every `every` iterations (0 = off).
+  void set_sentinel(int every, Real tol) {
+    sentinel_every_ = every;
+    sentinel_tol_ = tol;
+  }
+
 private:
   const StructuredMesh& mesh_;
   Real kappa_;
   std::function<Real(const Vec3&)> source_;
+  int sentinel_every_ = 0;
+  Real sentinel_tol_ = 1e-6;
 };
 
 } // namespace ptatin

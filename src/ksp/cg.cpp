@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/faultinject.hpp"
+#include "ksp/sentinel.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perf.hpp"
 
@@ -17,6 +18,7 @@ SolveStats cg_solve(const LinearOperator& a, const Preconditioner& pc,
   if (x.size() != n) x.resize(n);
 
   Vector r(n), z(n), p(n), ap(n);
+  Vector sr; // sentinel scratch, sized on first use
   a.residual(b, x, r);
 
   Real rnorm = fault::corrupt("ksp.rnorm", r.norm2());
@@ -49,6 +51,18 @@ SolveStats cg_solve(const LinearOperator& a, const Preconditioner& pc,
       if (s.record_history) stats.history.push_back(rnorm);
       if (s.monitor) s.monitor(it, rnorm, &r);
       reason = conv.test(rnorm, it);
+
+      // SDC sentinel (docs/ROBUSTNESS.md): the recurrence r += -alpha*Ap
+      // must track the recomputed true residual b - A x. The check only
+      // reads, so a clean run's trajectory is bitwise unchanged.
+      if (s.sentinel_every > 0 && reason == ConvergedReason::kIterating &&
+          it % s.sentinel_every == 0) {
+        sr.resize(n);
+        a.residual(b, x, sr);
+        if (sdc_sentinel_drift(rnorm, sr.norm2(), stats.initial_residual, it,
+                               s, stats))
+          reason = ConvergedReason::kDivergedSdc;
+      }
       if (reason != ConvergedReason::kIterating) break;
 
       pc.apply(r, z);

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/faultinject.hpp"
+#include "ksp/sentinel.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perf.hpp"
 
@@ -32,12 +33,36 @@ SolveStats gmres_impl(const LinearOperator& a, const Preconditioner& pc,
   std::vector<Real> cs(m), sn(m), g(m + 1);
 
   Vector r(n), w(n), ztmp(n);
+  Vector sx, sr, sw, sz; // sentinel scratch, sized on first use
   a.residual(b, x, r);
   Real rnorm = fault::corrupt("ksp.rnorm", r.norm2());
   stats.initial_residual = rnorm;
   const ConvergenceTest conv(s, rnorm);
   if (s.record_history) stats.history.push_back(rnorm);
   if (s.monitor) s.monitor(0, rnorm, &r);
+
+  // Solve the cols x cols triangular system H y = g and add the resulting
+  // Krylov correction to xs. Shared by the end-of-cycle update and the SDC
+  // sentinel (which applies it to a scratch copy of x mid-cycle).
+  auto apply_update = [&](int cols, Vector& xs, Vector& acc, Vector& tmp) {
+    std::vector<Real> y(cols, 0.0);
+    for (int i = cols - 1; i >= 0; --i) {
+      Real sum = g[i];
+      for (int k = i + 1; k < cols; ++k) sum -= H[k][i] * y[k];
+      y[i] = sum / H[i][i];
+    }
+    if (flexible) {
+      for (int i = 0; i < cols; ++i) xs.axpy(y[i], Z[i]);
+    } else if (cols > 0) {
+      // xs += M^{-1} (V y)
+      acc.resize(n);
+      acc.set_all(0.0);
+      for (int i = 0; i < cols; ++i) acc.axpy(y[i], V[i]);
+      tmp.resize(n);
+      pc.apply(acc, tmp);
+      xs.axpy(1.0, tmp);
+    }
+  };
 
   int total_it = 0;
   ConvergedReason reason = conv.test(rnorm, total_it);
@@ -101,32 +126,39 @@ SolveStats gmres_impl(const LinearOperator& a, const Preconditioner& pc,
       if (s.record_history) stats.history.push_back(rnorm);
       if (s.monitor) s.monitor(total_it, rnorm, nullptr);
       reason = conv.test(rnorm, total_it);
+
+      // SDC sentinel: every sentinel_every iterations materialize the
+      // candidate solution from the j completed columns and recompute the
+      // true residual the recurrence claims to track. Reads only scratch
+      // vectors, so the iteration itself is bitwise unchanged.
+      if (s.sentinel_every > 0 && reason == ConvergedReason::kIterating &&
+          total_it % s.sentinel_every == 0) {
+        sx.copy_from(x);
+        apply_update(j, sx, sw, sz);
+        sr.resize(n);
+        a.residual(b, sx, sr);
+        if (sdc_sentinel_drift(rnorm, sr.norm2(), stats.initial_residual,
+                               total_it, s, stats))
+          reason = ConvergedReason::kDivergedSdc;
+      }
     }
 
-    // Solve the j x j triangular system H y = g.
-    std::vector<Real> y(j, 0.0);
-    for (int i = j - 1; i >= 0; --i) {
-      Real sum = g[i];
-      for (int k = i + 1; k < j; ++k) sum -= H[k][i] * y[k];
-      y[i] = sum / H[i][i];
-    }
-    // Update solution.
-    if (flexible) {
-      for (int i = 0; i < j; ++i) x.axpy(y[i], Z[i]);
-    } else if (j > 0) {
-      // x += M^{-1} (V y)
-      w.resize(n);
-      w.set_all(0.0);
-      for (int i = 0; i < j; ++i) w.axpy(y[i], V[i]);
-      pc.apply(w, ztmp);
-      x.axpy(1.0, ztmp);
-    }
+    // Update the solution with the j completed columns.
+    apply_update(j, x, w, ztmp);
 
+    const Real recurrence_norm = rnorm;
     a.residual(b, x, r);
     rnorm = r.norm2();
+    // The explicit residual here is free: cross-check the recurrence against
+    // it when the sentinel is enabled (a drift at cycle end is the same
+    // corruption signal as mid-cycle).
+    if (s.sentinel_every > 0 && !is_fatal(reason) && j > 0 &&
+        sdc_sentinel_drift(recurrence_norm, rnorm, stats.initial_residual,
+                           total_it, s, stats))
+      reason = ConvergedReason::kDivergedSdc;
     // Re-test against the explicit residual: the Arnoldi recurrence can
     // disagree near convergence, and a max_it exit may actually have met
-    // the target. Fatal reasons (NaN, dtol, breakdown) stand.
+    // the target. Fatal reasons (NaN, dtol, breakdown, SDC) stand.
     if (!is_fatal(reason)) reason = conv.test(rnorm, total_it);
   }
 

@@ -1,0 +1,31 @@
+// SDC sentinel shared by the recurrence-based Krylov methods
+// (docs/ROBUSTNESS.md).
+//
+// GMRES and CG track the residual through a cheap scalar/vector recurrence
+// (|g[j+1]| from the Givens-rotated Hessenberg; r += -alpha*Ap). In exact
+// arithmetic the recurrence equals the true residual ||b - A x||;
+// floating-point drift stays O(eps * ||r_0||). A flipped bit in the Krylov
+// basis, the operator data, or the recurrence scalars therefore shows up as
+// drift far above roundoff — while the recurrence happily "converges" on
+// garbage. Every KrylovSettings::sentinel_every iterations the solvers
+// recompute the true residual and call this cross-check; a trip terminates
+// the solve with ConvergedReason::kDivergedSdc, which the timestep safeguard
+// tier heals by a same-dt replay from the rollback snapshot.
+//
+// GCR needs no sentinel: it iterates on the explicit residual already.
+#pragma once
+
+#include "ksp/settings.hpp"
+
+namespace ptatin {
+
+/// Compare the recurrence-tracked norm against the recomputed true residual
+/// norm; relative drift (measured against ||r_0||) beyond s.sentinel_tol is
+/// a trip: fills stats.detail, counts sdc.sentinel_* metrics/report fields,
+/// and returns true. Non-finite inputs are left to the NaN guards. The
+/// deterministic fault site "sdc.krylov_drift" perturbs the recurrence side
+/// here so the whole detect-and-heal loop is provable in tests.
+bool sdc_sentinel_drift(Real recurrence, Real truenorm, Real rnorm0, int it,
+                        const KrylovSettings& s, SolveStats& stats);
+
+} // namespace ptatin

@@ -27,6 +27,9 @@ enum class ConvergedReason {
   kDivergedNanOrInf,   ///< NaN or Inf entered the iteration
   kDivergedBreakdown,  ///< algorithmic breakdown (zero pivot / indefinite)
   kDivergedMaxIt,      ///< iteration cap reached without convergence
+  kDivergedSdc,        ///< sentinel: recurrence residual drifted off the
+                       ///< recomputed true residual (silent data corruption,
+                       ///< docs/ROBUSTNESS.md)
 };
 
 constexpr const char* to_string(ConvergedReason r) {
@@ -38,6 +41,7 @@ constexpr const char* to_string(ConvergedReason r) {
     case ConvergedReason::kDivergedNanOrInf: return "diverged_nanorinf";
     case ConvergedReason::kDivergedBreakdown: return "diverged_breakdown";
     case ConvergedReason::kDivergedMaxIt: return "diverged_max_it";
+    case ConvergedReason::kDivergedSdc: return "diverged_sdc";
   }
   return "unknown";
 }
@@ -52,7 +56,8 @@ constexpr bool is_converged(ConvergedReason r) {
 constexpr bool is_fatal(ConvergedReason r) {
   return r == ConvergedReason::kDivergedDtol ||
          r == ConvergedReason::kDivergedNanOrInf ||
-         r == ConvergedReason::kDivergedBreakdown;
+         r == ConvergedReason::kDivergedBreakdown ||
+         r == ConvergedReason::kDivergedSdc;
 }
 
 struct KrylovSettings {
@@ -63,6 +68,17 @@ struct KrylovSettings {
   int max_it = 10000;
   int restart = 30;          ///< GMRES/FGMRES/GCR restart length
   bool record_history = true;
+  /// SDC sentinel cadence (docs/ROBUSTNESS.md): every sentinel_every
+  /// iterations GMRES/CG recompute the true residual ||b - A x|| and compare
+  /// it against the recurrence-tracked norm. Relative drift (measured
+  /// against ||r_0||) beyond sentinel_tol stops with kDivergedSdc — silent
+  /// corruption of the Krylov basis or operator data makes the cheap
+  /// recurrence "converge" on garbage the true residual exposes. 0 = off.
+  /// The sentinel only *reads* extra state, so a clean run's trajectory is
+  /// bitwise unchanged. (GCR needs no sentinel: it iterates on the explicit
+  /// residual already.)
+  int sentinel_every = 0;
+  Real sentinel_tol = 1e-6;
   /// Called once per iteration with (iteration, ||r||, residual-or-null).
   /// GCR passes the explicit residual vector; GMRES variants pass nullptr
   /// because the residual exists only through the Arnoldi recurrence (§III-A).

@@ -21,6 +21,16 @@ CsrMatrix::CsrMatrix(Index rows, Index cols, std::vector<Index> row_ptr,
   PT_ASSERT(row_ptr_.back() == static_cast<Index>(vals_.size()));
 }
 
+void CsrMatrix::append_seal_regions(const std::string& prefix,
+                                    std::vector<sdc::Region>& regions) const {
+  regions.push_back({prefix + ".row_ptr", row_ptr_.data(),
+                     row_ptr_.size() * sizeof(Index)});
+  regions.push_back({prefix + ".col_idx", col_idx_.data(),
+                     col_idx_.size() * sizeof(Index)});
+  regions.push_back(
+      {prefix + ".values", vals_.data(), vals_.size() * sizeof(Real)});
+}
+
 void CsrMatrix::mult(const Vector& x, Vector& y) const {
   PT_ASSERT(x.size() == cols_);
   if (y.size() != rows_) y.resize(rows_);

@@ -6,8 +6,10 @@
 // a per-thread sparse accumulator.
 #pragma once
 
+#include <string>
 #include <vector>
 
+#include "common/sealed.hpp"
 #include "common/types.hpp"
 #include "la/vector.hpp"
 
@@ -30,6 +32,13 @@ public:
   const std::vector<Index>& col_idx() const { return col_idx_; }
   const std::vector<Real>& values() const { return vals_; }
   std::vector<Real>& values() { return vals_; }
+
+  /// Enumerate the three CSR arrays as SDC seal regions named
+  /// "<prefix>.row_ptr/.col_idx/.values" (docs/ROBUSTNESS.md). Only valid
+  /// while the matrix is setup-immutable: the seal layer re-reads these
+  /// pointers at every verify, so any structural mutation must re-arm.
+  void append_seal_regions(const std::string& prefix,
+                           std::vector<sdc::Region>& regions) const;
 
   /// y <- A x.
   void mult(const Vector& x, Vector& y) const;

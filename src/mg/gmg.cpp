@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "common/faultinject.hpp"
 #include "common/timing.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perf.hpp"
@@ -105,6 +106,32 @@ GmgHierarchy::GmgHierarchy(const StructuredMesh& fine_mesh,
   } else {
     PT_ASSERT_MSG(coarse_factory != nullptr, "coarse solver factory required");
     coarse_solver_ = coarse_factory(*levels_[0].assembled);
+  }
+
+  // --- SDC seal over the setup-immutable operator data -----------------------
+  // levels_ is never resized after construction, so the provider's pointers
+  // into the per-level containers stay valid for the hierarchy's lifetime.
+  if (opts.seal_operators) {
+    seal_ = sdc::ScopedSeal("gmg.operators", [this]() {
+      std::vector<sdc::Region> regions;
+      for (std::size_t l = 0; l < levels_.size(); ++l) {
+        const Level& lev = levels_[l];
+        const std::string prefix = "L" + std::to_string(l);
+        if (lev.assembled != nullptr && lev.assembled->nnz() > 0)
+          lev.assembled->append_seal_regions(prefix, regions);
+        if (lev.prolongation.nnz() > 0)
+          lev.prolongation.append_seal_regions(prefix + ".prolongation",
+                                               regions);
+      }
+      return regions;
+    });
+    // Deterministic SDC injection: flip a low mantissa bit in the coarsest
+    // assembled operator AFTER arming, so the next scrub must catch it.
+    if (fault::fires("sdc.matrix_bitflip") &&
+        levels_[0].assembled != nullptr && levels_[0].assembled->nnz() > 0) {
+      auto& vals = levels_[0].assembled->values();
+      vals[0] = sdc::flip_low_mantissa_bit(vals[0]);
+    }
   }
 }
 

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/sealed.hpp"
 #include "fem/bc.hpp"
 #include "fem/mesh.hpp"
 #include "ksp/chebyshev.hpp"
@@ -54,6 +55,12 @@ struct GmgOptions {
   /// Recursion count per level: 1 = V-cycle (the paper's choice), 2 =
   /// W-cycle (ablation; more coarse work per application).
   int cycle_gamma = 1;
+  /// Register the assembled coarse operators and prolongations with the SDC
+  /// seal registry (docs/ROBUSTNESS.md): these matrices are setup-immutable,
+  /// so the periodic scrubber can detect a flipped bit in them. Enabled by
+  /// the config layer when -scrub_every > 0; off by default to keep the CRC
+  /// pass out of setups that never scrub.
+  bool seal_operators = false;
 };
 
 /// Deepest usable hierarchy for an m^3 element mesh: coarsen while the
@@ -106,6 +113,11 @@ public:
 
   Index level_dofs(int level) const { return levels_[level].ndofs; }
 
+  /// Verify the operator seal now (empty when intact or seal_operators is
+  /// off). Solve-scoped hierarchies die before the periodic scrubber runs,
+  /// so the Stokes solver checks this after every solve.
+  std::vector<std::string> verify_seal() const { return seal_.verify(); }
+
 private:
   struct Level {
     StructuredMesh mesh;    ///< owned copy (fine level included)
@@ -129,6 +141,7 @@ private:
   std::unique_ptr<Preconditioner> coarse_solver_;
   GmgOptions opts_;
   double galerkin_seconds_ = 0.0;
+  sdc::ScopedSeal seal_; ///< over the assembled/prolongation arrays
 };
 
 } // namespace ptatin

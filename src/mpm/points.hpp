@@ -9,6 +9,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/sealed.hpp"
 #include "common/small_mat.hpp"
 #include "common/types.hpp"
 #include "fem/mesh.hpp"
@@ -51,6 +52,19 @@ public:
     xi_[3 * i + 2] = xi[2];
   }
   void invalidate_location(Index i) { el_[i] = -1; }
+
+  /// Enumerate the SoA slabs as SDC seal regions (docs/ROBUSTNESS.md). The
+  /// stepper seals the point population between steps; any mutation path
+  /// (advection, population control) runs before the seal is re-armed.
+  void append_seal_regions(std::vector<sdc::Region>& regions) const {
+    regions.push_back({"points.x", x_.data(), x_.size() * sizeof(Real)});
+    regions.push_back({"points.xi", xi_.data(), xi_.size() * sizeof(Real)});
+    regions.push_back({"points.el", el_.data(), el_.size() * sizeof(Index)});
+    regions.push_back(
+        {"points.lith", lith_.data(), lith_.size() * sizeof(int)});
+    regions.push_back(
+        {"points.eps_p", eps_p_.data(), eps_p_.size() * sizeof(Real)});
+  }
 
 private:
   std::vector<Real> x_;   ///< 3*n positions

@@ -182,10 +182,15 @@ NonlinearResult NonlinearStokesSolver::solve(
   // Escalation policy: a failed Newton path restarts as Picard with tight,
   // fixed linear forcing — the robust (if slow) linearization. NaN is not
   // retried here: the state itself is poisoned, and recovery belongs to the
-  // timestep tier (rollback + smaller dt).
+  // timestep tier (rollback + smaller dt). An SDC sentinel trip is not a
+  // linearization problem either — changing to Picard would mask the
+  // corruption AND perturb the healed trajectory; the timestep tier owns the
+  // same-dt replay (docs/ROBUSTNESS.md).
+  const bool sdc_trip =
+      res.failure_detail.find("diverged_sdc") != std::string::npos;
   if (failure != NonlinearFailure::kNone &&
-      failure != NonlinearFailure::kNanResidual && opts_.fallback_to_picard &&
-      opts_.use_newton) {
+      failure != NonlinearFailure::kNanResidual && !sdc_trip &&
+      opts_.fallback_to_picard && opts_.use_newton) {
     log_warn("nonlinear solve: ", to_string(failure), " (",
              res.failure_detail, ") — restarting with Picard");
     obs::MetricsRegistry::instance()

@@ -25,6 +25,7 @@ void SolverReport::clear() {
   safeguards_.clear();
   population_.clear();
   state_ = StateRecord{};
+  sdc_ = SdcRecord{};
   decomp_ = DecompRecord{};
   has_decomp_ = false;
   transport_ = TransportRecord{};
@@ -148,6 +149,19 @@ JsonValue state_to_json(const StateRecord& s) {
   return j;
 }
 
+JsonValue sdc_to_json(const SdcRecord& s) {
+  JsonValue j = JsonValue::object();
+  j["seals_armed"] = JsonValue(s.seals_armed);
+  j["seal_verifies"] = JsonValue(s.seal_verifies);
+  j["scrubs"] = JsonValue(s.scrubs);
+  j["detections"] = JsonValue(s.detections);
+  j["heals"] = JsonValue(s.heals);
+  j["sentinel_checks"] = JsonValue(s.sentinel_checks);
+  j["sentinel_trips"] = JsonValue(s.sentinel_trips);
+  j["unrecovered"] = JsonValue(s.unrecovered);
+  return j;
+}
+
 std::vector<double> number_array(const JsonValue* a) {
   std::vector<double> out;
   if (a == nullptr || !a->is_array()) return out;
@@ -236,6 +250,7 @@ JsonValue SolverReport::to_json() const {
   j["population"] = std::move(population);
 
   j["state"] = state_to_json(state_);
+  j["sdc"] = sdc_to_json(sdc_);
   if (has_decomp_) j["decomposition"] = decomp_to_json(decomp_);
   if (has_transport_) j["transport"] = transport_to_json(transport_);
 
@@ -354,6 +369,18 @@ SolverReport SolverReport::parse(const std::string& json_text) {
     rep.state_.health_checks = int(number_or(*st, "health_checks", 0));
     rep.state_.health_failures = int(number_or(*st, "health_failures", 0));
     rep.state_.health_repairs = int(number_or(*st, "health_repairs", 0));
+  }
+
+  if (const JsonValue* sd = j.find("sdc"); sd != nullptr) {
+    rep.sdc_.seals_armed = (long long)(number_or(*sd, "seals_armed", 0));
+    rep.sdc_.seal_verifies = (long long)(number_or(*sd, "seal_verifies", 0));
+    rep.sdc_.scrubs = (long long)(number_or(*sd, "scrubs", 0));
+    rep.sdc_.detections = (long long)(number_or(*sd, "detections", 0));
+    rep.sdc_.heals = (long long)(number_or(*sd, "heals", 0));
+    rep.sdc_.sentinel_checks =
+        (long long)(number_or(*sd, "sentinel_checks", 0));
+    rep.sdc_.sentinel_trips = (long long)(number_or(*sd, "sentinel_trips", 0));
+    rep.sdc_.unrecovered = (long long)(number_or(*sd, "unrecovered", 0));
   }
 
   if (const JsonValue* d = j.find("decomposition"); d != nullptr) {

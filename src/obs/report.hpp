@@ -115,6 +115,21 @@ struct DecompRecord {
   long long boundary_elements = 0;
 };
 
+/// Silent-data-corruption defense summary — the "sdc" section of
+/// ptatin.solver_report/1 (docs/ROBUSTNESS.md). Filled by the seal layer
+/// (src/common/sealed), the Krylov sentinels (src/ksp/sentinel), the
+/// scrubber, and the safeguarded stepper's detect-and-heal path.
+struct SdcRecord {
+  long long seals_armed = 0;     ///< seal arm events (initial + re-arms)
+  long long seal_verifies = 0;   ///< per-entry registry verifications
+  long long scrubs = 0;          ///< scrubber sweeps over the seal registry
+  long long detections = 0;      ///< seal mismatches attributed to corruption
+  long long heals = 0;           ///< corrupted state restored from a snapshot
+  long long sentinel_checks = 0; ///< Krylov recurrence-vs-true cross-checks
+  long long sentinel_trips = 0;  ///< cross-checks that flagged drift
+  long long unrecovered = 0;     ///< SDC events no snapshot could heal
+};
+
 /// Transport-layer summary — the "transport" section of
 /// ptatin.solver_report/1 (docs/TRANSPORT.md). Filled from
 /// Transport::stats() by the driver when an explicit backend is configured.
@@ -169,6 +184,8 @@ public:
   }
   StateRecord& state() { return state_; }
   const StateRecord& state() const { return state_; }
+  SdcRecord& sdc() { return sdc_; }
+  const SdcRecord& sdc() const { return sdc_; }
 
   /// Record (or overwrite — the stats are cumulative) the subdomain
   /// execution summary. Serialized only once set.
@@ -207,6 +224,7 @@ private:
   std::vector<SafeguardRecord> safeguards_;
   std::vector<PopulationRecord> population_;
   StateRecord state_;
+  SdcRecord sdc_;
   DecompRecord decomp_;
   bool has_decomp_ = false;
   TransportRecord transport_;

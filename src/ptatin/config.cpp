@@ -103,6 +103,21 @@ void SolverConfig::describe_options() {
   Options::describe("checkpoint_every", "N", "checkpoint cadence (0 = off)");
   Options::describe("checkpoint_keep", "K",
                     "checkpoints kept in DIR (default 3)");
+  Options::describe("seal_state", "true|false",
+                    "CRC-seal model state between steps and heal\n"
+                    "detected corruption by same-dt replay (default\n"
+                    "true, docs/ROBUSTNESS.md)");
+  Options::describe("scrub_every", "N",
+                    "scrub cadence over sealed setup-immutable\n"
+                    "operator data in steps (0 = off); also arms the\n"
+                    "GMG operator seals");
+  Options::describe("sentinel_every", "N",
+                    "Krylov SDC sentinel: recompute the true residual\n"
+                    "every N iterations and cross-check the recurrence\n"
+                    "(0 = off)");
+  Options::describe("sentinel_tol", "X",
+                    "sentinel drift tolerance relative to ||r_0||\n"
+                    "(default 1e-6)");
   Options::describe("transport", "memory|process",
                     "halo-exchange / migration backend (default memory;\n"
                     "process forks crash-isolated workers,\n"
@@ -143,6 +158,11 @@ SolverConfig SolverConfig::from_options(const Options& o) {
   so.krylov.rtol = o.get_real("krylov_rtol", 1e-5);
   so.krylov.max_it = o.get_int("krylov_maxit", 500);
   so.krylov.dtol = o.get_real("dtol", 1e5);
+  so.krylov.sentinel_every = o.get_int("sentinel_every", 0);
+  so.krylov.sentinel_tol = o.get_real("sentinel_tol", 1e-6);
+  PT_ASSERT_MSG(so.krylov.sentinel_every >= 0,
+                "-sentinel_every must be >= 0");
+  PT_ASSERT_MSG(so.krylov.sentinel_tol > 0, "-sentinel_tol must be > 0");
 
   if (o.has("decomp")) {
     const auto shapes = parse_decomp_shapes(o.get_string("decomp", "1,1,1"));
@@ -177,6 +197,13 @@ SolverConfig SolverConfig::from_options(const Options& o) {
   sg.checkpoint_dir = o.get_string("checkpoint_dir", "");
   sg.checkpoint_every = o.get_int("checkpoint_every", 0);
   sg.checkpoint_keep = o.get_int("checkpoint_keep", 3);
+  sg.seal_state = o.get_bool("seal_state", true);
+  sg.scrub_every = o.get_int("scrub_every", 0);
+  PT_ASSERT_MSG(sg.scrub_every >= 0, "-scrub_every must be >= 0");
+  // A scrubbing run needs the operator seals registered, and only a
+  // scrubbing run pays their CRC arming cost.
+  so.gmg.seal_operators = sg.scrub_every > 0;
+  so.amg.seal_operators = sg.scrub_every > 0;
   return cfg;
 }
 

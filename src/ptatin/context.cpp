@@ -54,6 +54,8 @@ PtatinContext::PtatinContext(ModelSetup setup, const PtatinOptions& opts)
     temperature_bc_ = VertexBc(setup_.mesh.num_vertices());
     if (setup_.temperature_bc) setup_.temperature_bc(setup_.mesh, temperature_bc_);
     energy_ = std::make_unique<EnergySolver>(setup_.mesh, setup_.kappa);
+    energy_->set_sentinel(opts_.nonlinear.linear.krylov.sentinel_every,
+                          opts_.nonlinear.linear.krylov.sentinel_tol);
   }
 
   // Nonlinear solver: coarse-level BCs come from the model's factory.

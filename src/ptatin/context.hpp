@@ -63,7 +63,10 @@ public:
   // --- state access ----------------------------------------------------------
   const StructuredMesh& mesh() const { return setup_.mesh; }
   const MaterialPoints& points() const { return points_; }
-  MaterialPoints& points() { return points_; }
+  MaterialPoints& points() {
+    ++state_epoch_;
+    return points_;
+  }
   const Vector& velocity() const { return u_; }
   const Vector& pressure() const { return p_; }
   const Vector& temperature() const { return T_; }
@@ -85,10 +88,30 @@ public:
   CoefficientUpdater coefficient_updater();
 
   // --- mutable state access (checkpoint restore, custom initial states) ----
-  StructuredMesh& mutable_mesh() { return setup_.mesh; }
-  Vector& mutable_velocity() { return u_; }
-  Vector& mutable_pressure() { return p_; }
-  Vector& mutable_temperature() { return T_; }
+  // Each accessor bumps the state epoch: the SDC seal the safeguarded
+  // stepper holds over the model state records the epoch when armed, so a
+  // sanctioned out-of-band mutation (checkpoint restore, test setup)
+  // invalidates the seal instead of tripping it (docs/ROBUSTNESS.md).
+  StructuredMesh& mutable_mesh() {
+    ++state_epoch_;
+    return setup_.mesh;
+  }
+  Vector& mutable_velocity() {
+    ++state_epoch_;
+    return u_;
+  }
+  Vector& mutable_pressure() {
+    ++state_epoch_;
+    return p_;
+  }
+  Vector& mutable_temperature() {
+    ++state_epoch_;
+    return T_;
+  }
+
+  /// Monotone counter of sanctioned out-of-band state mutations. Bumped by
+  /// every mutable accessor above; read by the stepper's SDC seal.
+  long long state_epoch() const { return state_epoch_; }
 
 private:
   ModelSetup setup_;
@@ -101,6 +124,7 @@ private:
   std::unique_ptr<NonlinearStokesSolver> nonlinear_;
   std::unique_ptr<EnergySolver> energy_;
   VertexBc temperature_bc_;
+  long long state_epoch_ = 0;
 };
 
 } // namespace ptatin

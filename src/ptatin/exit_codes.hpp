@@ -15,6 +15,8 @@ enum class DriverExit : int {
   kCheckpointFailure = 3,///< restart/checkpoint could not be loaded or saved
   kHealthFailure = 4,    ///< a health check failed beyond recovery
   kTransportFailure = 5, ///< transport workers failed beyond restarts/retries
+  kSdcFailure = 6,       ///< unrecoverable silent data corruption (seal or
+                         ///< sentinel detection that no snapshot could heal)
 };
 
 inline const char* describe(DriverExit e) {
@@ -25,6 +27,7 @@ inline const char* describe(DriverExit e) {
     case DriverExit::kCheckpointFailure: return "checkpoint/restart failure";
     case DriverExit::kHealthFailure: return "health-check failure";
     case DriverExit::kTransportFailure: return "transport failure";
+    case DriverExit::kSdcFailure: return "silent data corruption";
   }
   return "unknown";
 }

@@ -72,7 +72,12 @@ HealthReport check_health(PtatinContext& ctx, const HealthOptions& opts) {
   }
 
   if (opts.check_population) {
-    population_bounds(ctx.mesh(), ctx.points(), rep.min_per_cell,
+    // Read through const access: the non-const points() accessor bumps the
+    // state epoch, which would disarm the SDC state seal and mask exactly
+    // the corruption this pass cannot see (docs/ROBUSTNESS.md). Only the
+    // repair below is a sanctioned mutation.
+    const PtatinContext& cctx = ctx;
+    population_bounds(cctx.mesh(), cctx.points(), rep.min_per_cell,
                       rep.max_per_cell);
     const auto violated = [&] {
       return rep.min_per_cell < opts.population.min_per_element ||

@@ -1,0 +1,18 @@
+#include "ptatin/scrub.hpp"
+
+#include "common/sealed.hpp"
+#include "obs/metrics.hpp"
+#include "obs/perf.hpp"
+#include "obs/report.hpp"
+
+namespace ptatin::sdc {
+
+std::vector<std::string> Scrubber::scrub_now() {
+  PerfScope span("SdcScrub");
+  ++scrubs_;
+  obs::MetricsRegistry::instance().counter("sdc.scrubs").inc();
+  ++obs::SolverReport::global().sdc().scrubs;
+  return SealRegistry::instance().verify_all();
+}
+
+} // namespace ptatin::sdc

@@ -1,0 +1,44 @@
+// Periodic SDC scrubber over the process-wide seal registry
+// (docs/ROBUSTNESS.md).
+//
+// Setup-immutable objects (assembled CSR matrices, Galerkin coarse
+// operators, prolongations) register CRC32 seals with sdc::SealRegistry at
+// construction. The scrubber sweeps every registered seal every
+// `scrub_every` steps — a memory-bandwidth-bound CRC pass, cheap next to a
+// Stokes solve — so a bit flipped in quiescent operator data is detected
+// within a bounded number of steps instead of silently poisoning every
+// subsequent solve. The safeguarded stepper owns a Scrubber and treats a
+// mismatch as unrecoverable (setup-immutable data has no rollback snapshot):
+// the run stops with an "sdc:" failure and exit code 6.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ptatin::sdc {
+
+class Scrubber {
+public:
+  /// `every` = sweep cadence in steps; <= 0 disables the scrubber.
+  explicit Scrubber(int every = 0) : every_(every) {}
+
+  bool enabled() const { return every_ > 0; }
+  int every() const { return every_; }
+  long long scrubs() const { return scrubs_; }
+
+  /// Sweep the registry when `step` is a multiple of the cadence. Returns
+  /// the mismatching "entry/region" names (empty = intact or not due).
+  std::vector<std::string> scrub_if_due(int step) {
+    if (every_ <= 0 || step % every_ != 0) return {};
+    return scrub_now();
+  }
+
+  /// Unconditional sweep; counts sdc.scrubs metric and report fields.
+  std::vector<std::string> scrub_now();
+
+private:
+  int every_ = 0;
+  long long scrubs_ = 0;
+};
+
+} // namespace ptatin::sdc

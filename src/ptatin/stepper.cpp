@@ -1,8 +1,10 @@
 #include "ptatin/stepper.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/faultinject.hpp"
 #include "common/log.hpp"
 #include "ptatin/config.hpp"
 #include "obs/metrics.hpp"
@@ -18,11 +20,38 @@ bool all_finite(const Vector& v) {
   return true;
 }
 
+/// The between-steps quiescent model state under the SDC seal: everything
+/// the solve trusts on reentry (mesh geometry, solution fields, material
+/// point slabs). Enumerated fresh at every arm/verify so container
+/// reallocation between steps cannot dangle.
+std::vector<sdc::Region> state_regions(const PtatinContext& ctx) {
+  std::vector<sdc::Region> r;
+  const auto& coords = ctx.mesh().coords();
+  r.push_back({"state.coords", coords.data(), coords.size() * sizeof(Real)});
+  r.push_back({"state.velocity", ctx.velocity().data(),
+               std::size_t(ctx.velocity().size()) * sizeof(Real)});
+  r.push_back({"state.pressure", ctx.pressure().data(),
+               std::size_t(ctx.pressure().size()) * sizeof(Real)});
+  r.push_back({"state.temperature", ctx.temperature().data(),
+               std::size_t(ctx.temperature().size()) * sizeof(Real)});
+  ctx.points().append_seal_regions(r);
+  return r;
+}
+
+std::string join_names(const std::vector<std::string>& names) {
+  std::string out;
+  for (const auto& n : names) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
 } // namespace
 
 SafeguardedStepper::SafeguardedStepper(PtatinContext& ctx,
                                        const SafeguardOptions& opts)
-    : ctx_(ctx), opts_(opts) {
+    : ctx_(ctx), opts_(opts), scrubber_(opts.scrub_every) {
   if (!opts_.checkpoint_dir.empty())
     rotation_ = std::make_unique<CheckpointRotation>(opts_.checkpoint_dir,
                                                      opts_.checkpoint_keep);
@@ -39,6 +68,57 @@ void SafeguardedStepper::resume(const CheckpointMeta& meta) {
                             : std::numeric_limits<Real>::infinity();
 }
 
+void SafeguardedStepper::arm_seal() {
+  state_seal_.arm(state_regions(ctx_));
+  seal_epoch_ = ctx_.state_epoch();
+  ++obs::SolverReport::global().sdc().seals_armed;
+}
+
+std::string SafeguardedStepper::verify_seal_on_reentry() {
+  if (!state_seal_.armed()) return {};
+  auto& metrics = obs::MetricsRegistry::instance();
+  auto& sdc_report = obs::SolverReport::global().sdc();
+
+  // A sanctioned out-of-band mutation (checkpoint restore, test setup wrote
+  // through a mutable accessor) makes the seal stale, not the state corrupt.
+  if (ctx_.state_epoch() != seal_epoch_) {
+    state_seal_.disarm();
+    return {};
+  }
+
+  const auto bad = state_seal_.verify(state_regions(ctx_));
+  if (bad.empty()) return {};
+
+  metrics.counter("sdc.detections").inc();
+  ++sdc_report.detections;
+  log_warn("sdc: state corruption detected at step ", step_index_,
+           " boundary (", join_names(bad), ")");
+
+  if (!last_good_.valid()) {
+    metrics.counter("sdc.unrecovered").inc();
+    ++sdc_report.unrecovered;
+    return "sdc: state corrupted with no snapshot to heal from (" +
+           join_names(bad) + ")";
+  }
+  // Heal: restore the snapshot the seal was armed over (bitwise-equal to the
+  // sealed state, so the replayed trajectory matches a fault-free run), then
+  // prove the restore actually took.
+  last_good_.restore(ctx_);
+  arm_seal();
+  const auto still_bad = state_seal_.verify(state_regions(ctx_));
+  if (!still_bad.empty()) {
+    metrics.counter("sdc.unrecovered").inc();
+    ++sdc_report.unrecovered;
+    return "sdc: state corruption persisted through snapshot restore (" +
+           join_names(still_bad) + ")";
+  }
+  metrics.counter("sdc.heals").inc();
+  ++sdc_report.heals;
+  log_warn("sdc: step ", step_index_,
+           " state healed from the last good snapshot");
+  return {};
+}
+
 std::string SafeguardedStepper::diagnose(const StepReport& report) const {
   if (report.nonlinear.failure != NonlinearFailure::kNone) {
     std::string msg =
@@ -47,6 +127,10 @@ std::string SafeguardedStepper::diagnose(const StepReport& report) const {
       msg += " (" + report.nonlinear.failure_detail + ")";
     return msg;
   }
+  // The energy solve reports through its linear stats, not the nonlinear
+  // failure taxonomy; only its sentinel trip needs the safeguard tier.
+  if (report.energy.linear.reason == ConvergedReason::kDivergedSdc)
+    return "sdc: energy solve " + report.energy.linear.reason_message();
   if (opts_.check_fields &&
       (!all_finite(ctx_.velocity()) || !all_finite(ctx_.pressure()) ||
        !all_finite(ctx_.temperature())))
@@ -81,6 +165,46 @@ SafeguardedStepResult SafeguardedStepper::advance(Real dt) {
   }
 
   ++step_index_;
+
+  // Unrecoverable SDC exit: record the failure like an exhausted retry
+  // sequence so telemetry shows why the run stopped.
+  auto fail_now = [&](std::string failure) {
+    res.failures.push_back(std::move(failure));
+    metrics.counter("safeguard.step_failures").inc();
+    metrics.counter("safeguard.unrecovered_steps").inc();
+    state_seal_.disarm();
+    if (auto& report = obs::SolverReport::global(); report.enabled()) {
+      obs::SafeguardRecord rec;
+      rec.step = step_index_;
+      rec.recovered = false;
+      rec.failures = res.failures;
+      report.add_safeguard(std::move(rec));
+    }
+    return res;
+  };
+
+  // --- SDC boundary pass (docs/ROBUSTNESS.md) -------------------------------
+  // Verify the state sealed at the end of the previous step before trusting
+  // it again; a mismatch is healed in place from the last good snapshot.
+  if (opts_.seal_state) {
+    std::string sdc_failure = verify_seal_on_reentry();
+    if (!sdc_failure.empty()) return fail_now(std::move(sdc_failure));
+  }
+  // Scrub the process-wide seal registry (setup-immutable operator data).
+  // No snapshot covers those objects, so a mismatch is unrecoverable.
+  if (scrubber_.enabled()) {
+    const auto bad = scrubber_.scrub_if_due(step_index_);
+    if (!bad.empty()) {
+      metrics.counter("sdc.detections").inc();
+      metrics.counter("sdc.unrecovered").inc();
+      auto& sdc_report = obs::SolverReport::global().sdc();
+      ++sdc_report.detections;
+      ++sdc_report.unrecovered;
+      return fail_now("sdc: setup-immutable object corrupted (" +
+                      join_names(bad) + ")");
+    }
+  }
+
   dt = clamp_dt(dt);
 
   const bool checkpoint_due = rotation_ != nullptr &&
@@ -90,16 +214,23 @@ SafeguardedStepResult SafeguardedStepper::advance(Real dt) {
       checkpoint_due ||
       (opts_.health_every > 0 && step_index_ % opts_.health_every == 0);
 
-  // Snapshot for rollback. A failed snapshot (full disk has no analogue in
-  // memory, but fault injection and OOM do) degrades to an unguarded step
-  // rather than refusing to advance.
-  MemoryCheckpoint snapshot;
-  try {
-    snapshot.capture(ctx_);
-  } catch (const Error& e) {
-    metrics.counter("safeguard.snapshot_failures").inc();
-    log_warn("safeguard: state snapshot failed (", e.what(),
-             ") — stepping without rollback protection");
+  // Snapshot for rollback. When the boundary pass just attested the live
+  // state still matches last_good_, reuse that snapshot instead of
+  // re-serializing the whole model state; otherwise capture fresh. A failed
+  // capture (fault injection, OOM) degrades to an unguarded step rather
+  // than refusing to advance.
+  MemoryCheckpoint fresh_snapshot;
+  MemoryCheckpoint* snapshot = &fresh_snapshot;
+  if (opts_.seal_state && state_seal_.armed() && last_good_.valid()) {
+    snapshot = &last_good_;
+  } else {
+    try {
+      fresh_snapshot.capture(ctx_);
+    } catch (const Error& e) {
+      metrics.counter("safeguard.snapshot_failures").inc();
+      log_warn("safeguard: state snapshot failed (", e.what(),
+               ") — stepping without rollback protection");
+    }
   }
 
   std::vector<Real> attempted_dts;
@@ -109,6 +240,7 @@ SafeguardedStepResult SafeguardedStepper::advance(Real dt) {
     attempted_dts.push_back(dt);
     std::string failure;
     bool transport_failure = false;
+    bool sdc_failure = false;
     try {
       res.report = ctx_.step(dt);
       failure = diagnose(res.report);
@@ -134,26 +266,32 @@ SafeguardedStepResult SafeguardedStepper::advance(Real dt) {
 
     metrics.counter("safeguard.step_failures").inc();
     if (transport_failure) metrics.counter("transport.step_failures").inc();
+    sdc_failure = sdc::is_sdc_failure(failure);
+    if (sdc_failure) {
+      metrics.counter("sdc.detections").inc();
+      ++obs::SolverReport::global().sdc().detections;
+    }
     res.failures.push_back(failure);
     log_warn("safeguard: step ", step_index_, " attempt ", attempt + 1,
              " failed (", failure, ") at dt = ", dt);
 
-    // Transport failures are infrastructure, not numerics: the retry keeps
-    // the SAME dt (healed workers replay the identical step, preserving
-    // bitwise reproducibility) instead of cutting the step size.
-    const Real dt_next = transport_failure ? dt : dt * opts_.dt_cut_factor;
-    if (!snapshot.valid() || attempt >= opts_.max_retries ||
+    // Transport and SDC failures are infrastructure, not numerics: the retry
+    // keeps the SAME dt (the restored snapshot replays the identical step,
+    // preserving bitwise reproducibility) instead of cutting the step size.
+    const bool same_dt_replay = transport_failure || sdc_failure;
+    const Real dt_next = same_dt_replay ? dt : dt * opts_.dt_cut_factor;
+    if (!snapshot->valid() || attempt >= opts_.max_retries ||
         !(dt_next > opts_.dt_min)) {
       res.retries = attempt;
       break; // unrecoverable: report failure to the caller
     }
 
-    snapshot.restore(ctx_);
+    snapshot->restore(ctx_);
     metrics.counter("safeguard.rollbacks").inc();
     metrics.counter("safeguard.retries").inc();
     if (transport_failure) {
       ctx_.heal_transport();
-    } else {
+    } else if (!same_dt_replay) {
       dt = dt_next;
       dt_was_cut = true;
       metrics.counter("safeguard.dt_cuts").inc();
@@ -169,6 +307,21 @@ SafeguardedStepResult SafeguardedStepper::advance(Real dt) {
     dt_cap_ *= opts_.dt_grow_factor;
     if (dt_cap_ >= res.dt_used * opts_.dt_grow_factor)
       dt_cap_ = std::numeric_limits<Real>::infinity();
+  }
+
+  // A Krylov-sentinel trip (or any other sdc-classified failure) that a
+  // same-dt replay recovered from is a completed heal; one that exhausted
+  // the retry budget is unrecovered.
+  if (std::any_of(res.failures.begin(), res.failures.end(),
+                  [](const std::string& f) { return sdc::is_sdc_failure(f); })) {
+    auto& sdc_report = obs::SolverReport::global().sdc();
+    if (res.ok) {
+      metrics.counter("sdc.heals").inc();
+      ++sdc_report.heals;
+    } else {
+      metrics.counter("sdc.unrecovered").inc();
+      ++sdc_report.unrecovered;
+    }
   }
 
   if (res.ok) {
@@ -189,6 +342,40 @@ SafeguardedStepResult SafeguardedStepper::advance(Real dt) {
                  e.what(), ") — continuing without this checkpoint");
       }
     }
+
+    // Seal the now-quiescent model state until the next advance(). The
+    // snapshot is captured first so the seal attests exactly the state the
+    // heal would restore.
+    if (opts_.seal_state) {
+      try {
+        last_good_.capture(ctx_);
+        arm_seal();
+      } catch (const Error& e) {
+        state_seal_.disarm();
+        metrics.counter("safeguard.snapshot_failures").inc();
+        log_warn("sdc: post-step snapshot failed (", e.what(),
+                 ") — state not sealed this step");
+      }
+      // Deterministic SDC injection AFTER sealing: a low-mantissa flip is
+      // finite and physically plausible, so only the boundary verify of the
+      // NEXT advance() (not this step's health pass) can catch it.
+      if (state_seal_.armed()) {
+        if (fault::fires("sdc.field_bitflip") && ctx_.velocity().size() > 0)
+          const_cast<Vector&>(ctx_.velocity())[0] =
+              sdc::flip_low_mantissa_bit(ctx_.velocity()[0]);
+        // Const access + const_cast: going through the non-const points()
+        // accessor would bump the state epoch and sanction the corruption.
+        auto& pts = const_cast<MaterialPoints&>(
+            static_cast<const PtatinContext&>(ctx_).points());
+        if (fault::fires("sdc.particle_bitflip") && pts.size() > 0)
+          pts.plastic_strain(0) =
+              sdc::flip_low_mantissa_bit(pts.plastic_strain(0));
+      }
+    }
+  } else {
+    // An unrecoverable step leaves the state at the failed attempt; the
+    // seal no longer describes it.
+    state_seal_.disarm();
   }
 
   if (auto& report = obs::SolverReport::global(); report.enabled()) {

@@ -32,9 +32,11 @@
 #include <string>
 #include <vector>
 
+#include "common/sealed.hpp"
 #include "ptatin/checkpoint.hpp"
 #include "ptatin/context.hpp"
 #include "ptatin/health.hpp"
+#include "ptatin/scrub.hpp"
 
 namespace ptatin {
 
@@ -56,6 +58,18 @@ struct SafeguardOptions {
   std::string checkpoint_dir;
   int checkpoint_every = 0;  ///< save cadence in steps (0 = off)
   int checkpoint_keep = 3;   ///< checkpoints retained in the rotation
+
+  // Silent-data-corruption defense (docs/ROBUSTNESS.md). seal_state CRC-seals
+  // the model state (mesh coords, u/p/T, material point slabs) at the end of
+  // each successful step and verifies it on reentry; a mismatch is healed by
+  // restoring the last good snapshot and replaying at the SAME dt. A
+  // sanctioned out-of-band mutation (checkpoint restore, test setup) is
+  // recognized through PtatinContext::state_epoch() and disarms the seal
+  // instead of tripping it. scrub_every sweeps the process-wide seal registry
+  // (setup-immutable operator data) every N steps; a scrub mismatch has no
+  // rollback snapshot and is unrecoverable ("sdc:" failure, exit code 6).
+  bool seal_state = true;
+  int scrub_every = 0;
 };
 
 /// Outcome of one safeguarded step (possibly several attempts).
@@ -115,6 +129,12 @@ public:
 private:
   /// Empty string = clean step; otherwise the failure diagnosis.
   std::string diagnose(const StepReport& report) const;
+  /// Verify the state seal at the step boundary; restores the last good
+  /// snapshot on a mismatch. Returns an "sdc:" failure string when the
+  /// corruption could not be healed ("" = intact, healed, or disarmed).
+  std::string verify_seal_on_reentry();
+  /// Re-arm the state seal over the current (post-step) model state.
+  void arm_seal();
 
   PtatinContext& ctx_;
   SafeguardOptions opts_;
@@ -123,6 +143,15 @@ private:
   Real dt_cap_ = std::numeric_limits<Real>::infinity();
   Real sim_time_ = 0.0;
   int step_index_ = 0; ///< 1-based, counts advance() calls
+
+  // SDC defense state: the seal over the between-steps model state, the
+  // context epoch it was armed at, the snapshot it heals from (also reused
+  // as the rollback snapshot while the seal attests it still matches the
+  // live state), and the registry scrubber.
+  sdc::Seal state_seal_;
+  long long seal_epoch_ = 0;
+  MemoryCheckpoint last_good_;
+  sdc::Scrubber scrubber_;
 };
 
 } // namespace ptatin

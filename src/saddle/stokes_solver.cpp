@@ -156,6 +156,29 @@ StokesSolveResult StokesSolver::solve_stacked(const Vector& rhs,
   res.solve_seconds = t.seconds();
   res.setup_seconds = setup_seconds_;
 
+  // Post-solve scrub of the operator seal (docs/ROBUSTNESS.md): the GMG/AMG
+  // hierarchy is solve-scoped — it dies with this StokesSolver, before the
+  // stepper's periodic scrubber ever sweeps the registry — so a bit flipped
+  // in the sealed operator data must be caught here, while the corrupted
+  // solve it poisoned can still be discarded. The timestep tier classifies
+  // the diverged_sdc reason as SDC and replays at the same dt; the rebuild
+  // re-assembles the operators from intact inputs, which is the heal.
+  {
+    std::vector<std::string> bad;
+    if (gmg_ != nullptr) bad = gmg_->verify_seal();
+    else if (amg_ != nullptr) bad = amg_->verify_seal();
+    if (!bad.empty()) {
+      std::string names;
+      for (const std::string& b : bad) {
+        if (!names.empty()) names += ", ";
+        names += b;
+      }
+      res.stats.converged = false;
+      res.stats.reason = ConvergedReason::kDivergedSdc;
+      res.stats.detail = "setup-immutable operator corrupted (" + names + ")";
+    }
+  }
+
   if (auto& report = obs::SolverReport::global(); report.enabled()) {
     obs::KrylovRecord rec;
     rec.label = "stokes_outer";

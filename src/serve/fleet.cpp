@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/parallel.hpp"
+#include "common/sealed.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "ptatin/health.hpp"
@@ -64,6 +65,7 @@ const char* to_string(JobState s) {
     case JobState::kRunning: return "running";
     case JobState::kCompleted: return "completed";
     case JobState::kEvicted: return "evicted";
+    case JobState::kQuarantined: return "sdc_quarantined";
   }
   return "?";
 }
@@ -139,7 +141,9 @@ bool Fleet::digest_running_locked(const std::string& digest) const {
 
 bool Fleet::all_terminal_locked() const {
   for (const auto& job : all_)
-    if (job->state != JobState::kCompleted && job->state != JobState::kEvicted)
+    if (job->state != JobState::kCompleted &&
+        job->state != JobState::kEvicted &&
+        job->state != JobState::kQuarantined)
       return false;
   return true;
 }
@@ -320,7 +324,9 @@ void Fleet::worker_main(std::shared_ptr<Job> job) {
       }
       if (!sres.ok) {
         failure = sres.failures.empty() ? "step failed" : sres.failures.back();
-        if (failure.rfind("health:", 0) == 0)
+        if (sdc::is_sdc_failure(failure))
+          code = DriverExit::kSdcFailure;
+        else if (failure.rfind("health:", 0) == 0)
           code = DriverExit::kHealthFailure;
         break;
       }
@@ -355,7 +361,11 @@ void Fleet::worker_main(std::shared_ptr<Job> job) {
       job->state = JobState::kCompleted;
       job->exit_code = DriverExit::kSuccess;
       job->end_s = now;
-      cache_.insert(job->digest, job->result);
+      // A quarantined digest is never admitted: its SDC signature already
+      // proved this machine cannot produce a trustworthy result for it, and
+      // a poisoned cache entry would be served to every future twin.
+      if (quarantined_digests_.count(job->digest) == 0)
+        cache_.insert(job->digest, job->result);
       metrics.counter("serve.jobs.completed").inc();
       if (opts_.verbose)
         log_info("serve: ", job->id, " completed (", job->steps_done.load(),
@@ -381,7 +391,21 @@ void Fleet::worker_main(std::shared_ptr<Job> job) {
       ++job->failures;
       job->failure = failure;
       job->exit_code = code;
-      if (job->failures <= opts_.max_job_restarts) {
+      if (code == DriverExit::kSdcFailure) ++job->sdc_failures;
+      if (job->sdc_failures >= 2) {
+        // Two SDC deaths are a reproducible corruption signature, not bad
+        // luck: quarantine the job (terminal) instead of burning the rest of
+        // its restart budget, and ban its digest from the result cache.
+        job->state = JobState::kQuarantined;
+        job->failure = "sdc_quarantined (" +
+                       std::to_string(job->sdc_failures) +
+                       "x exit 6): " + failure;
+        job->end_s = now;
+        quarantined_digests_.insert(job->digest);
+        metrics.counter("serve.jobs.quarantined").inc();
+        log_warn("serve: ", job->id, " quarantined: ", job->failure);
+      } else if (job->failures <= opts_.max_job_restarts ||
+                 code == DriverExit::kSdcFailure) {
         // Requeue; the next incarnation resumes from the last durable
         // checkpoint (or from scratch when none was written yet).
         job->state = JobState::kQueued;
@@ -428,6 +452,8 @@ FleetReport Fleet::report() const {
       latency.record(job->end_s - job->submit_s);
     } else if (job->state == JobState::kEvicted) {
       ++r.evicted;
+    } else if (job->state == JobState::kQuarantined) {
+      ++r.quarantined;
     }
     obs::JsonValue pj = obs::JsonValue::object();
     pj["id"] = obs::JsonValue(job->id);
@@ -440,6 +466,7 @@ FleetReport Fleet::report() const {
     pj["preemptions"] = obs::JsonValue(job->preemptions);
     pj["resumed_from_step"] = obs::JsonValue(job->resumed_from);
     pj["failures"] = obs::JsonValue(job->failures);
+    pj["sdc_failures"] = obs::JsonValue(job->sdc_failures);
     pj["exit_code"] = obs::JsonValue(int(job->exit_code));
     pj["reason"] = obs::JsonValue(job->failure);
     pj["latency_s"] = obs::JsonValue(

@@ -32,6 +32,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "common/timing.hpp"
@@ -45,7 +46,17 @@
 
 namespace ptatin::serve {
 
-enum class JobState { kQueued, kRunning, kCompleted, kEvicted };
+enum class JobState {
+  kQueued,
+  kRunning,
+  kCompleted,
+  kEvicted,
+  /// Terminal: died twice with the SDC exit code (docs/ROBUSTNESS.md). A
+  /// reproducible silent-corruption signature means the result can never be
+  /// trusted — the job stops burning restart budget and its digest is never
+  /// admitted to the result cache.
+  kQuarantined,
+};
 const char* to_string(JobState s);
 
 /// One submitted job and its full lifecycle state. Non-atomic fields are
@@ -62,6 +73,7 @@ struct Job {
   JobState state = JobState::kQueued;
   bool from_cache = false;
   int failures = 0;
+  int sdc_failures = 0; ///< incarnations that died with DriverExit::kSdcFailure
   int preemptions = 0;
   long long resumed_from = 0; ///< first checkpoint step resumed from
   std::string failure;        ///< last failure / eviction reason
@@ -137,6 +149,9 @@ private:
   std::vector<std::shared_ptr<Job>> all_;
   std::vector<std::shared_ptr<Job>> running_;
   ResultCache cache_;
+  /// Digests quarantined after repeated SDC deaths: never admitted to the
+  /// result cache, even if a later incarnation or twin happens to complete.
+  std::unordered_set<std::string> quarantined_digests_;
   int cores_in_use_ = 0;
   int peak_cores_ = 0;
   std::size_t peak_queue_depth_ = 0;

@@ -15,6 +15,7 @@ obs::JsonValue FleetReport::to_json() const {
   jobs["completed"] = obs::JsonValue(completed);
   jobs["served_from_cache"] = obs::JsonValue(served_from_cache);
   jobs["evicted"] = obs::JsonValue(evicted);
+  jobs["quarantined"] = obs::JsonValue(quarantined);
   jobs["preemptions"] = obs::JsonValue(preemptions);
   jobs["resumed"] = obs::JsonValue(resumed);
   j["jobs"] = std::move(jobs);

@@ -22,6 +22,8 @@ struct FleetReport {
   long long completed = 0;
   long long served_from_cache = 0; ///< subset of completed
   long long evicted = 0;           ///< watchdog / repeated-failure evictions
+  long long quarantined = 0;       ///< terminal SDC quarantines (exit 6 twice;
+                                   ///< digest banned from the result cache)
   long long preemptions = 0;       ///< boundary yields across all jobs
   long long resumed = 0;           ///< jobs that resumed from a checkpoint
 

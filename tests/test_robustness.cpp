@@ -734,6 +734,301 @@ TEST_F(Robustness, RestartReproducesUninterruptedRunBitwise) {
   obs::SolverReport::global().state() = obs::StateRecord{};
 }
 
+// --- silent data corruption (docs/ROBUSTNESS.md) -----------------------------
+
+TEST_F(Robustness, SealDetectsBitFlipSizeChangeAndRegionLoss) {
+  std::vector<Real> buf(64, 1.5);
+  auto regions = [&buf] {
+    return std::vector<sdc::Region>{
+        {"test.buf", buf.data(), buf.size() * sizeof(Real)}};
+  };
+  sdc::Seal seal;
+  EXPECT_FALSE(seal.armed());
+  seal.arm(regions());
+  EXPECT_TRUE(seal.armed());
+  EXPECT_TRUE(seal.verify(regions()).empty());
+
+  buf[17] = sdc::flip_low_mantissa_bit(buf[17]);
+  std::vector<std::string> bad = seal.verify(regions());
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0], "test.buf");
+
+  // Re-arming blesses the current bytes.
+  seal.arm(regions());
+  EXPECT_TRUE(seal.verify(regions()).empty());
+
+  // A size change is corruption too, not just in-place flips.
+  buf.resize(32);
+  EXPECT_FALSE(seal.verify(regions()).empty());
+  seal.disarm();
+  EXPECT_FALSE(seal.armed());
+}
+
+TEST_F(Robustness, FlipLowMantissaBitIsFinitePlausibleAndInvertible) {
+  const Real v = 1.2331e-01;
+  const Real flipped = sdc::flip_low_mantissa_bit(v);
+  EXPECT_NE(flipped, v);
+  EXPECT_TRUE(std::isfinite(flipped));
+  EXPECT_NEAR(flipped, v, 1e-12); // invisible to any range check
+  EXPECT_EQ(sdc::flip_low_mantissa_bit(flipped), v);
+}
+
+TEST_F(Robustness, SealRegistryScopedLifecycleVerifyAllAndRearm) {
+  auto& reg = sdc::SealRegistry::instance();
+  const std::size_t size0 = reg.size();
+  std::vector<Real> buf(16, 2.0);
+  {
+    sdc::ScopedSeal seal("test.obj", [&buf] {
+      return std::vector<sdc::Region>{
+          {"data", buf.data(), buf.size() * sizeof(Real)}};
+    });
+    EXPECT_EQ(reg.size(), size0 + 1);
+    EXPECT_TRUE(reg.verify_all().empty());
+
+    buf[3] = sdc::flip_low_mantissa_bit(buf[3]);
+    std::vector<std::string> bad = reg.verify_all();
+    ASSERT_EQ(bad.size(), 1u);
+    EXPECT_EQ(bad[0], "test.obj/data"); // entry/region names localize it
+
+    seal.rearm(); // sanctioned mutation: blessed again
+    EXPECT_TRUE(reg.verify_all().empty());
+  }
+  EXPECT_EQ(reg.size(), size0); // RAII removal — no dangling provider
+}
+
+TEST_F(Robustness, IsSdcFailureClassifiesPrefixAndSentinelReason) {
+  EXPECT_TRUE(sdc::is_sdc_failure("sdc: state corrupted"));
+  EXPECT_TRUE(sdc::is_sdc_failure(
+      "nonlinear: linear_breakdown (u-solve diverged_sdc)"));
+  EXPECT_FALSE(sdc::is_sdc_failure("nonlinear: nan_residual"));
+  EXPECT_FALSE(sdc::is_sdc_failure("health: non-finite values"));
+  EXPECT_FALSE(sdc::is_sdc_failure("transport: frame dropped"));
+}
+
+TEST_F(Robustness, FieldBitflipInvisibleToHealthButHealedBySealBitwise) {
+  // The ISSUE 8 acceptance regression: a low-mantissa velocity flip between
+  // steps passes the NaN/Jacobian health pass, is caught by the state seal
+  // on reentry, healed from the last good snapshot, and the healed
+  // trajectory is bitwise identical to a fault-free run.
+  PtatinContext ref(make_sinker_model(tiny_sinker()), tiny_options());
+  SafeguardedStepper ref_stepper(ref);
+  for (int s = 0; s < 3; ++s) ASSERT_TRUE(ref_stepper.advance(0.004).ok);
+  const StateDigest want = digest_state(ref);
+
+  auto& report = obs::SolverReport::global();
+  report.clear();
+  const long long heals0 = counter_value("sdc.heals");
+  const long long detections0 = counter_value("sdc.detections");
+
+  PtatinContext ctx(make_sinker_model(tiny_sinker()), tiny_options());
+  SafeguardedStepper stepper(ctx);
+  auto& fi = fault::FaultInjector::instance();
+  // Fires right after step 1 seals its state: the corruption sits in the
+  // "quiescent" field across the step boundary.
+  ASSERT_TRUE(fi.arm_from_spec("sdc.field_bitflip:1:error:1"));
+  ASSERT_TRUE(stepper.advance(0.004).ok);
+  EXPECT_EQ(fi.injected(), 1);
+
+  // The health pass alone does NOT see the flip — that is the threat model.
+  EXPECT_TRUE(check_health(ctx).ok);
+
+  SafeguardedStepResult res = stepper.advance(0.004);
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(res.retries, 0); // healed at the boundary, not by retry
+  ASSERT_TRUE(stepper.advance(0.004).ok);
+
+  EXPECT_EQ(digest_state(ctx), want);
+  EXPECT_EQ(counter_value("sdc.detections") - detections0, 1);
+  EXPECT_EQ(counter_value("sdc.heals") - heals0, 1);
+  EXPECT_EQ(report.sdc().detections, 1);
+  EXPECT_EQ(report.sdc().heals, 1);
+  EXPECT_EQ(report.sdc().unrecovered, 0);
+  EXPECT_GE(report.sdc().seals_armed, 3);
+  report.clear();
+}
+
+TEST_F(Robustness, ParticleBitflipIsHealedBitwiseToo) {
+  PtatinContext ref(make_sinker_model(tiny_sinker()), tiny_options());
+  SafeguardedStepper ref_stepper(ref);
+  for (int s = 0; s < 2; ++s) ASSERT_TRUE(ref_stepper.advance(0.004).ok);
+  const StateDigest want = digest_state(ref);
+
+  PtatinContext ctx(make_sinker_model(tiny_sinker()), tiny_options());
+  SafeguardedStepper stepper(ctx);
+  auto& fi = fault::FaultInjector::instance();
+  ASSERT_TRUE(fi.arm_from_spec("sdc.particle_bitflip:1:error:1"));
+  ASSERT_TRUE(stepper.advance(0.004).ok);
+  EXPECT_EQ(fi.injected(), 1);
+  EXPECT_TRUE(check_health(ctx).ok);
+  ASSERT_TRUE(stepper.advance(0.004).ok);
+  EXPECT_EQ(digest_state(ctx), want);
+}
+
+TEST_F(Robustness, SanctionedMutationDisarmsSealInsteadOfTripping) {
+  PtatinContext ctx(make_sinker_model(tiny_sinker()), tiny_options());
+  SafeguardedStepper stepper(ctx);
+  ASSERT_TRUE(stepper.advance(0.004).ok);
+  // Out-of-band write through the mutable accessor: the epoch bump marks it
+  // sanctioned, so the next step must NOT diagnose corruption.
+  ctx.mutable_velocity()[0] += 1e-3;
+  const long long detections0 = counter_value("sdc.detections");
+  SafeguardedStepResult res = stepper.advance(0.004);
+  EXPECT_TRUE(res.ok);
+  EXPECT_TRUE(res.failures.empty());
+  EXPECT_EQ(counter_value("sdc.detections") - detections0, 0);
+}
+
+TEST_F(Robustness, ScrubberFlagsCorruptedSetupImmutableObjectUnrecoverable) {
+  std::vector<Real> operator_data(128, 3.25);
+  sdc::ScopedSeal seal("test.operator", [&operator_data] {
+    return std::vector<sdc::Region>{{"values", operator_data.data(),
+                                     operator_data.size() * sizeof(Real)}};
+  });
+
+  PtatinContext ctx(make_sinker_model(tiny_sinker()), tiny_options());
+  SafeguardOptions sg;
+  sg.scrub_every = 1;
+  SafeguardedStepper stepper(ctx, sg);
+  ASSERT_TRUE(stepper.advance(0.004).ok); // clean scrub
+
+  operator_data[7] = sdc::flip_low_mantissa_bit(operator_data[7]);
+  const long long unrecovered0 = counter_value("sdc.unrecovered");
+  SafeguardedStepResult res = stepper.advance(0.004);
+  EXPECT_FALSE(res.ok); // no snapshot covers setup-immutable data
+  ASSERT_EQ(res.failures.size(), 1u);
+  EXPECT_EQ(res.failures[0].rfind("sdc:", 0), 0u) << res.failures[0];
+  EXPECT_NE(res.failures[0].find("test.operator/values"), std::string::npos)
+      << res.failures[0];
+  EXPECT_TRUE(sdc::is_sdc_failure(res.failures[0]));
+  EXPECT_EQ(counter_value("sdc.unrecovered") - unrecovered0, 1);
+}
+
+TEST_F(Robustness, KrylovSentinelTripsOnInjectedDriftInCgAndGmres) {
+  const Index n = 24;
+  CsrMatrix a = spd_diag(n);
+  MatrixOperator op(&a);
+  IdentityPc pc;
+  Vector b(n, 1.0);
+  KrylovSettings s;
+  s.max_it = 200;
+  s.sentinel_every = 2;
+
+  auto& fi = fault::FaultInjector::instance();
+  for (const char* which : {"cg", "gmres", "fgmres"}) {
+    fi.disarm_all();
+    ASSERT_TRUE(fi.arm_from_spec("sdc.krylov_drift:1:error:1"));
+    Vector x;
+    SolveStats st;
+    if (std::string(which) == "cg") {
+      st = cg_solve(op, pc, b, x, s);
+    } else if (std::string(which) == "gmres") {
+      st = gmres_solve(op, pc, b, x, s);
+    } else {
+      st = fgmres_solve(op, pc, b, x, s);
+    }
+    EXPECT_FALSE(st.converged) << which;
+    EXPECT_EQ(st.reason, ConvergedReason::kDivergedSdc) << which;
+    EXPECT_TRUE(is_fatal(st.reason)) << which;
+    EXPECT_NE(st.detail.find("recurrence residual"), std::string::npos)
+        << which << ": " << st.detail;
+  }
+  fi.disarm_all();
+}
+
+TEST_F(Robustness, SentinelOnCleanSolveIsBitwiseInvisible) {
+  const Index n = 24;
+  CsrMatrix a = spd_diag(n);
+  MatrixOperator op(&a);
+  IdentityPc pc;
+  Vector b(n, 1.0);
+
+  KrylovSettings off;
+  off.rtol = 1e-10;
+  Vector x_off;
+  const SolveStats st_off = cg_solve(op, pc, b, x_off, off);
+  ASSERT_TRUE(st_off.converged);
+
+  KrylovSettings on = off;
+  on.sentinel_every = 1; // every iteration: the strictest cadence
+  Vector x_on;
+  const SolveStats st_on = cg_solve(op, pc, b, x_on, on);
+  EXPECT_TRUE(st_on.converged);
+  EXPECT_EQ(st_on.reason, st_off.reason);
+  EXPECT_EQ(st_on.iterations, st_off.iterations);
+  for (Index i = 0; i < n; ++i) EXPECT_EQ(x_on[i], x_off[i]) << i;
+}
+
+TEST_F(Robustness, SentinelTripHealsBySameDtReplayAtStepperTier) {
+  // End to end through the stepper: the trip is classified SDC, replayed at
+  // the SAME dt (no dt cut), and the healed digest matches fault-free.
+  //
+  // The Stokes outer Krylov is GCR (explicit residual — no recurrence to
+  // drift), so the sentinel's in-solver path is the energy solve's GMRES:
+  // give the sinker a temperature gradient so that solve does real work.
+  const auto with_energy = [this] {
+    ModelSetup ms = make_sinker_model(tiny_sinker());
+    ms.use_energy = true;
+    ms.initial_temperature = [](const Vec3& x) { return Real(1) - x[2]; };
+    return ms;
+  };
+  PtatinOptions po = tiny_options();
+  po.nonlinear.linear.krylov.sentinel_every = 2;
+  PtatinContext ref(with_energy(), po);
+  SafeguardedStepper ref_stepper(ref);
+  for (int s = 0; s < 2; ++s) ASSERT_TRUE(ref_stepper.advance(0.004).ok);
+  const StateDigest want = digest_state(ref);
+
+  PtatinContext ctx(with_energy(), po);
+  SafeguardedStepper stepper(ctx);
+  auto& fi = fault::FaultInjector::instance();
+  ASSERT_TRUE(fi.arm_from_spec("sdc.krylov_drift:1:error:1"));
+  SafeguardedStepResult res = stepper.advance(0.004);
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(res.retries, 1);
+  EXPECT_NEAR(res.dt_used, 0.004, 0.0); // same-dt replay, not a dt cut
+  ASSERT_GE(res.failures.size(), 1u);
+  EXPECT_TRUE(sdc::is_sdc_failure(res.failures[0])) << res.failures[0];
+  ASSERT_TRUE(stepper.advance(0.004).ok);
+  EXPECT_EQ(digest_state(ctx), want);
+}
+
+TEST_F(Robustness, InjectorReportsArmedButUnfiredSpecs) {
+  auto& fi = fault::FaultInjector::instance();
+  ASSERT_TRUE(fi.arm_from_spec("sdc.fieldbitflip:1,t.real:1:nan:1"));
+  EXPECT_TRUE(std::isnan(fault::corrupt("t.real", 1.0)));
+  // The typo'd site never fires; unfired() names it for the teardown warning
+  // (and the chaos campaign fails any faulted run that logs it).
+  std::vector<fault::FaultSpec> unfired = fi.unfired();
+  ASSERT_EQ(unfired.size(), 1u);
+  EXPECT_EQ(unfired[0].site, "sdc.fieldbitflip");
+  EXPECT_TRUE(fi.known_sites().size() >= 17u);
+  for (const auto& info : fi.known_sites())
+    EXPECT_NE(unfired[0].site, info.site); // the typo matches no real site
+}
+
+TEST_F(Robustness, SdcSectionRoundTripsThroughJson) {
+  obs::SolverReport rep;
+  obs::SdcRecord& sd = rep.sdc();
+  sd.seals_armed = 42;
+  sd.seal_verifies = 41;
+  sd.scrubs = 7;
+  sd.detections = 3;
+  sd.heals = 2;
+  sd.sentinel_checks = 500;
+  sd.sentinel_trips = 1;
+  sd.unrecovered = 1;
+
+  obs::SolverReport back = obs::SolverReport::parse(rep.to_json_string());
+  EXPECT_EQ(back.sdc().seals_armed, 42);
+  EXPECT_EQ(back.sdc().seal_verifies, 41);
+  EXPECT_EQ(back.sdc().scrubs, 7);
+  EXPECT_EQ(back.sdc().detections, 3);
+  EXPECT_EQ(back.sdc().heals, 2);
+  EXPECT_EQ(back.sdc().sentinel_checks, 500);
+  EXPECT_EQ(back.sdc().sentinel_trips, 1);
+  EXPECT_EQ(back.sdc().unrecovered, 1);
+}
+
 // --- driver exit taxonomy ----------------------------------------------------
 
 TEST_F(Robustness, DriverExitCodesAreStableAndDescribed) {
@@ -742,6 +1037,7 @@ TEST_F(Robustness, DriverExitCodesAreStableAndDescribed) {
   EXPECT_EQ(int(DriverExit::kUsageError), 2);
   EXPECT_EQ(int(DriverExit::kCheckpointFailure), 3);
   EXPECT_EQ(int(DriverExit::kHealthFailure), 4);
+  EXPECT_EQ(int(DriverExit::kSdcFailure), 6);
   EXPECT_STREQ(describe(DriverExit::kSuccess), "success");
   EXPECT_NE(std::string(describe(DriverExit::kSolverFailure)).find("solver"),
             std::string::npos);

@@ -440,6 +440,38 @@ TEST_F(Serve, RepeatedlyFailingJobIsEvictedWithSolverExitCode) {
   EXPECT_EQ(fleet.report().evicted, 1);
 }
 
+TEST_F(Serve, JobDyingTwiceOfSdcIsQuarantinedAndNeverCached) {
+  // Persistently corrupt the sealed operator hierarchy: every incarnation
+  // dies with the SDC exit code. Two such deaths are a reproducible
+  // corruption signature (docs/ROBUSTNESS.md) — the job goes terminal
+  // sdc_quarantined without burning the remaining restart budget, and its
+  // digest is never admitted to the result cache.
+  ASSERT_TRUE(fault::FaultInjector::instance().arm_from_spec(
+      "sdc.matrix_bitflip:1:error:*"));
+  FleetOptions fo;
+  fo.workdir = dir("wd");
+  fo.max_job_restarts = 5; // quarantine must trigger before this is spent
+  Fleet fleet(fo);
+  auto job = fleet.submit(spec_from(
+      // m=6: deep enough for an assembled (and therefore sealed) coarse
+      // operator — suggest_gmg_levels collapses m<=5 to a single mat-free
+      // level with nothing to corrupt.
+      R"({"name":"poisoned","model":"sinker","m":6,"steps":2,)"
+      R"("scrub_every":1,"max_retries":1})"));
+  fleet.run_until_drained();
+  EXPECT_EQ(job->state, JobState::kQuarantined);
+  EXPECT_EQ(job->exit_code, DriverExit::kSdcFailure);
+  EXPECT_EQ(job->sdc_failures, 2);
+  EXPECT_NE(job->failure.find("sdc_quarantined"), std::string::npos)
+      << job->failure;
+  const FleetReport r = fleet.report();
+  EXPECT_EQ(r.quarantined, 1);
+  EXPECT_EQ(r.completed, 0);
+  EXPECT_FALSE(
+      fs::exists(fs::path(dir("wd")) / "cache" / (job->digest + ".json")))
+      << "quarantined digest leaked into the result cache";
+}
+
 TEST_F(Serve, WatchdogEvictsJobsPastTheirDeadline) {
   FleetOptions fo;
   fo.workdir = dir("wd");
