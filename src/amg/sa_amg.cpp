@@ -165,19 +165,25 @@ SaAmg::SaAmg(const CsrMatrix& a, const std::vector<Vector>& near_nullspace,
   for (std::size_t l = 0; l + 1 < levels_.size(); ++l) {
     Level& lev = levels_[l];
     lev.op = std::make_unique<MatrixOperator>(&lev.a);
+    if (opts.blocked_spmv) lev.op->enable_blocked();
     if (opts.smoother == AmgSmoother::kChebyshev) {
       lev.smoother.setup(*lev.op, lev.a.diagonal(), opts.chebyshev);
     } else {
       lev.krylov_smoother_pc = std::make_unique<Ilu0Pc>(lev.a);
     }
+  }
+  // Cycle workspace, sized once so the V-cycle never allocates.
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    Level& lev = levels_[l];
     lev.r.resize(lev.a.rows());
     lev.e.resize(lev.a.rows());
+    lev.rc.resize(lev.a.rows());
+    lev.ec.resize(lev.a.rows());
   }
   // Coarsest solver.
   Level& last = levels_.back();
   last.op = std::make_unique<MatrixOperator>(&last.a);
-  last.r.resize(last.a.rows());
-  last.e.resize(last.a.rows());
+  if (opts.blocked_spmv) last.op->enable_blocked();
   coarsest_.setup(last.a, std::min(opts.coarsest_blocks, last.a.rows()),
                   SubdomainSolve::kLu);
 
@@ -239,13 +245,19 @@ void SaAmg::cycle(int level, const Vector& b, Vector& x) const {
 
   smooth(lev, b, x, opts_.smooth_pre);
 
+  // Restriction stays the serial mult_transpose scatter here, unlike GMG:
+  // the smoothed-aggregation prolongator has arbitrary real weights, so its
+  // products round, and an explicit-transpose mult picks up CsrMatrix::mult's
+  // FMA-tail codegen — last-bit drift vs the scatter. (GMG's interpolation
+  // weights are powers of two, making every product exact and the swap
+  // codegen-proof; see docs/KERNELS.md.) The rc/ec workspace lives on the
+  // coarse level, so the recursion never aliases it.
   lev.op->residual(b, x, lev.r);
   const Level& next = levels_[level + 1];
-  Vector rc;
-  next.p.mult_transpose(lev.r, rc);
-  Vector ec(next.a.rows(), 0.0);
-  cycle(level + 1, rc, ec);
-  next.p.mult_add(ec, x);
+  next.p.mult_transpose(lev.r, next.rc);
+  next.ec.set_all(0.0);
+  cycle(level + 1, next.rc, next.ec);
+  next.p.mult_add(next.ec, x);
 
   smooth(lev, b, x, opts_.smooth_post);
 }

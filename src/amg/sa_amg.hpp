@@ -52,6 +52,9 @@ struct AmgOptions {
   AmgCoarsestSolve coarsest = AmgCoarsestSolve::kBlockJacobiLu;
   Index coarsest_blocks = 4; ///< block-Jacobi subdomain count
   ChebyshevOptions chebyshev;
+  /// Route level applies through the blocked SELL-8 SpMV
+  /// (la/blocked_spmv.hpp); bitwise identical to plain CSR, pure perf knob.
+  bool blocked_spmv = true;
   /// Register the per-level Galerkin operators and prolongators with the SDC
   /// seal registry (docs/ROBUSTNESS.md): the hierarchy is setup-immutable,
   /// so the periodic scrubber can detect a flipped bit. Enabled by the
@@ -90,7 +93,8 @@ private:
     ChebyshevSmoother smoother;
     std::unique_ptr<MatrixOperator> op;
     std::unique_ptr<Ilu0Pc> krylov_smoother_pc; ///< for kKrylovIlu
-    mutable Vector r, e;
+    mutable Vector r, e, rc, ec; // per-level cycle workspace (no per-call
+                                 // allocation on the V-cycle hot path)
   };
 
   void smooth(const Level& lev, const Vector& b, Vector& x, int its) const;

@@ -1,0 +1,29 @@
+// Explicit fused multiply-add matching the seed elementwise kernels.
+//
+// The build uses -O3 -march=native, where GCC's default -ffp-contract=fast
+// contracts the elementwise `yp[i] += a * xp[i]` of Vector::axpy into a
+// packed vfmadd. Contraction is a PER-LOOP compiler decision, though — a
+// fused kernel written with the identical statement shape is not guaranteed
+// to contract, and an uncontracted replay differs from axpy's result in the
+// last bit. A fused loop that must replay an axpy step bitwise therefore
+// spells the FMA out with pt_muladd instead of relying on the optimizer.
+// (Reduction loops are a different story: see blocked_spmv.hpp, which gets
+// parity by sharing CsrMatrix::mult's exact loop shape instead.)
+//
+// On targets without hardware FMA the seed loops cannot contract either, so
+// the plain mul+add form is the matching choice there.
+#pragma once
+
+#include <cmath>
+
+#include "common/types.hpp"
+
+namespace ptatin {
+
+#if defined(__FMA__)
+inline Real pt_muladd(Real a, Real b, Real c) { return std::fma(a, b, c); }
+#else
+inline Real pt_muladd(Real a, Real b, Real c) { return a * b + c; }
+#endif
+
+} // namespace ptatin

@@ -50,6 +50,8 @@ void BlockJacobi::setup(const CsrMatrix& a, Index nblocks, SubdomainSolve solve,
     } else {
       blk.ilu.factor(sub);
     }
+    blk.rhs.resize(blk.hi - blk.lo);
+    blk.sol.resize(blk.hi - blk.lo);
   }
 }
 
@@ -61,7 +63,8 @@ void BlockJacobi::apply(const Vector& b, Vector& x) const {
     const Block& blk = blocks_[bi];
     const Index m = blk.hi - blk.lo;
     if (m == 0) return;
-    Vector rhs(m), sol(m);
+    Vector& rhs = blk.rhs;
+    Vector& sol = blk.sol;
     for (Index i = 0; i < m; ++i) rhs[i] = b[blk.lo + i];
     if (blk.solve == SubdomainSolve::kLu) {
       blk.lu.solve(rhs, sol);

@@ -44,6 +44,10 @@ private:
     LuFactor lu;
     Ilu0 ilu;
     SubdomainSolve solve = SubdomainSolve::kLu;
+    /// Per-block apply scratch, sized at setup so the apply hot path stays
+    /// allocation-free. Safe despite `apply() const`: each block is touched
+    /// by exactly one parallel_for iteration.
+    mutable Vector rhs, sol;
   };
 
   static CsrMatrix extract_block(const CsrMatrix& a, Index lo, Index hi);

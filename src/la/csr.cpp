@@ -76,12 +76,13 @@ void CsrMatrix::mult_transpose(const Vector& x, Vector& y) const {
 Vector CsrMatrix::diagonal() const {
   Vector d(rows_, 0.0);
   parallel_for(rows_, [&](Index i) {
-    for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      if (col_idx_[k] == i) {
-        d[i] = vals_[k];
-        break;
-      }
-    }
+    // Rows are sorted, so the diagonal is a binary search, not a scan.
+    const Index lo = row_ptr_[i], hi = row_ptr_[i + 1];
+    auto begin = col_idx_.begin() + lo;
+    auto end = col_idx_.begin() + hi;
+    auto it = std::lower_bound(begin, end, i);
+    if (it != end && *it == i)
+      d[i] = vals_[static_cast<std::size_t>(lo + (it - begin))];
   });
   return d;
 }
@@ -114,22 +115,70 @@ void CsrMatrix::zero_row_set_identity(Index i) {
 }
 
 CsrMatrix CsrMatrix::transpose() const {
-  std::vector<Index> rp(cols_ + 1, 0);
-  for (Index k = 0; k < nnz(); ++k) ++rp[col_idx_[k] + 1];
-  for (Index j = 0; j < cols_; ++j) rp[j + 1] += rp[j];
+  // Counting sort by column. Every entry's destination is well-defined
+  // independent of scheduling — position = column start + number of earlier
+  // (in global CSR order) entries with the same column — so the parallel
+  // path below produces the exact arrays the serial scatter would, for any
+  // thread count: rows of the transpose list original rows in increasing
+  // order, i.e. already sorted.
   std::vector<Index> ci(nnz());
   std::vector<Real> va(nnz());
-  std::vector<Index> next(rp.begin(), rp.end() - 1);
-  for (Index i = 0; i < rows_; ++i) {
-    for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      const Index j = col_idx_[k];
-      const Index dst = next[j]++;
-      ci[dst] = i;
-      va[dst] = vals_[k];
+  const int nteam = num_threads();
+  if (nteam <= 1 || rows_ < 4 * kReduceChunk) {
+    std::vector<Index> rp(cols_ + 1, 0);
+    for (Index k = 0; k < nnz(); ++k) ++rp[col_idx_[k] + 1];
+    for (Index j = 0; j < cols_; ++j) rp[j + 1] += rp[j];
+    std::vector<Index> next(rp.begin(), rp.end() - 1);
+    for (Index i = 0; i < rows_; ++i) {
+      for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+        const Index j = col_idx_[k];
+        const Index dst = next[j]++;
+        ci[dst] = i;
+        va[dst] = vals_[k];
+      }
+    }
+    return CsrMatrix(cols_, rows_, std::move(rp), std::move(ci),
+                     std::move(va));
+  }
+
+  // Parallel: per-row-chunk column histograms, a column-major exclusive
+  // scan in chunk order (turning each chunk's count into its write cursor),
+  // then a parallel per-chunk scatter.
+  const Index nchunks = nteam;
+  const Index chunk_rows = (rows_ + nchunks - 1) / nchunks;
+  std::vector<std::vector<Index>> counts(static_cast<std::size_t>(nchunks));
+  parallel_for(nchunks, [&](Index c) {
+    auto& cnt = counts[static_cast<std::size_t>(c)];
+    cnt.assign(static_cast<std::size_t>(cols_), 0);
+    const Index lo = c * chunk_rows;
+    const Index hi = std::min(rows_, lo + chunk_rows);
+    for (Index k = row_ptr_[lo]; k < row_ptr_[hi]; ++k) ++cnt[col_idx_[k]];
+  });
+  std::vector<Index> rp(cols_ + 1, 0);
+  Index run = 0;
+  for (Index j = 0; j < cols_; ++j) {
+    rp[j] = run;
+    for (Index c = 0; c < nchunks; ++c) {
+      auto& cnt = counts[static_cast<std::size_t>(c)];
+      const Index nj = cnt[static_cast<std::size_t>(j)];
+      cnt[static_cast<std::size_t>(j)] = run; // becomes the write cursor
+      run += nj;
     }
   }
-  // Rows of the transpose are produced in increasing original-row order, so
-  // the column indices within each row are already sorted.
+  rp[cols_] = run;
+  parallel_for(nchunks, [&](Index c) {
+    auto& cursor = counts[static_cast<std::size_t>(c)];
+    const Index lo = c * chunk_rows;
+    const Index hi = std::min(rows_, lo + chunk_rows);
+    for (Index i = lo; i < hi; ++i) {
+      for (Index k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+        const Index j = col_idx_[k];
+        const Index dst = cursor[static_cast<std::size_t>(j)]++;
+        ci[dst] = i;
+        va[dst] = vals_[k];
+      }
+    }
+  });
   return CsrMatrix(cols_, rows_, std::move(rp), std::move(ci), std::move(va));
 }
 
@@ -245,8 +294,12 @@ CsrMatrix CsrMatrix::add(Real alpha, const CsrMatrix& a, const CsrMatrix& b) {
 }
 
 Real CsrMatrix::frobenius_norm() const {
-  Real s = 0.0;
-  for (Real v : vals_) s += v * v;
+  const Real* va = vals_.data();
+  // Deterministic fixed-chunk reduction: bitwise reproducible at any thread
+  // count (and a different — equally valid — rounding than the old serial
+  // left-to-right sum once nnz exceeds one chunk).
+  const Real s =
+      parallel_reduce_sum(nnz(), [&](Index k) { return va[k] * va[k]; });
   return std::sqrt(s);
 }
 

@@ -57,6 +57,12 @@ GmgHierarchy::GmgHierarchy(const StructuredMesh& fine_mesh,
       finest.mesh, finest.coeff, &finest.bc);
   finest.op = finest.elem_op.get();
 
+  GmgSetupCache* cache =
+      (opts.setup_cache != nullptr && opts.rap_cache) ? opts.setup_cache
+                                                      : nullptr;
+  if (cache != nullptr && static_cast<int>(cache->rap.size()) < L - 1)
+    cache->rap.resize(static_cast<std::size_t>(L - 1));
+
   for (int l = L - 2; l >= 0; --l) {
     Level& lev = levels_[l];
     const Level& finer = levels_[l + 1];
@@ -73,10 +79,31 @@ GmgHierarchy::GmgHierarchy(const StructuredMesh& fine_mesh,
         finer_mat != nullptr;
     if (use_galerkin) {
       Timer t;
-      lev.assembled = std::make_unique<CsrMatrix>(
-          CsrMatrix::ptap(*finer_mat, lev.prolongation));
+      bool refreshed = false;
+      if (cache != nullptr) {
+        // Cached symbolic phase: numeric-only replay when the cross-rebuild
+        // cache recognizes the input patterns (bitwise identical to the
+        // from-scratch ptap — see la/galerkin.hpp).
+        GalerkinProduct& gp = cache->rap[static_cast<std::size_t>(l)];
+        lev.assembled = std::make_unique<CsrMatrix>(
+            gp.product(*finer_mat, lev.prolongation));
+        refreshed = gp.last_was_refresh();
+      } else {
+        lev.assembled = std::make_unique<CsrMatrix>(
+            CsrMatrix::ptap(*finer_mat, lev.prolongation));
+      }
       lev.bc.apply_to_matrix_symmetric(*lev.assembled);
-      galerkin_seconds_ += t.seconds();
+      const double dt = t.seconds();
+      galerkin_seconds_ += dt;
+      if (refreshed) {
+        rap_refresh_seconds_ += dt;
+        ++rap_refreshes_;
+        obs::MetricsRegistry::instance().counter("mg.rap.refreshes").inc();
+      } else {
+        rap_setup_seconds_ += dt;
+        ++rap_setups_;
+        obs::MetricsRegistry::instance().counter("mg.rap.setups").inc();
+      }
     } else {
       // First level below a matrix-free finest (or rediscretize-all):
       // assemble from restricted coefficients.
@@ -85,18 +112,33 @@ GmgHierarchy::GmgHierarchy(const StructuredMesh& fine_mesh,
       lev.bc.apply_to_matrix_symmetric(*lev.assembled);
     }
     lev.mat_op = std::make_unique<MatrixOperator>(lev.assembled.get());
+    if (opts.blocked_spmv) lev.mat_op->enable_blocked();
     lev.op = lev.mat_op.get();
   }
+
+  // Explicit transposes so the per-cycle restriction runs row-parallel
+  // (CsrMatrix::mult) instead of through the serial mult_transpose scatter.
+  for (int l = 0; l < L - 1; ++l)
+    levels_[l].restriction = levels_[l].prolongation.transpose();
 
   // --- smoothers (all levels except the coarsest, which gets the solver) ----
   for (int l = 1; l < L; ++l) {
     Level& lev = levels_[l];
     lev.smoother.setup(*lev.op, lev.op->diagonal(), opts.chebyshev);
+  }
+  // Cycle workspace (r/e on every level, rc/ec on the coarse targets) is
+  // sized here once: the V-cycle itself never allocates.
+  for (int l = 0; l < L; ++l) {
+    Level& lev = levels_[l];
     lev.r.resize(lev.ndofs);
     lev.e.resize(lev.ndofs);
+    lev.rc.resize(lev.ndofs);
+    lev.ec.resize(lev.ndofs);
   }
-  levels_[0].r.resize(levels_[0].ndofs);
-  levels_[0].e.resize(levels_[0].ndofs);
+  restrict_counter_ =
+      &obs::MetricsRegistry::instance().counter("mg.transfer.restrictions");
+  prolong_counter_ =
+      &obs::MetricsRegistry::instance().counter("mg.transfer.prolongations");
 
   // --- coarse solver ---------------------------------------------------------
   if (L == 1) {
@@ -166,32 +208,38 @@ void GmgHierarchy::cycle(int level, const Vector& b, Vector& x) const {
     lev.smoother.smooth(b, x, opts_.smooth_pre);
   }
 
-  // Residual and restriction (R = P^T). The prolongation between this level
-  // and the next coarser one is stored on the COARSE level.
+  // Residual and restriction (R = P^T, cached explicitly so the restriction
+  // is the row-parallel CSR mult — bitwise identical to the serial
+  // mult_transpose scatter, which accumulates each output dof in the same
+  // ascending-fine-row order). The transfer operators between this level
+  // and the next coarser one are stored on the COARSE level, as is the
+  // rc/ec workspace this frame uses (each recursion depth owns a distinct
+  // level's scratch, so the recursion never aliases it).
   const Level& coarse = levels_[level - 1];
-  Vector rc;
   {
     PerfScope perf(level_tag("MGTransfer", level));
     lev.op->residual(b, x, lev.r);
-    coarse.prolongation.mult_transpose(lev.r, rc);
+    coarse.restriction.mult(lev.r, coarse.rc);
   }
+  restrict_counter_->inc();
 
   // Coarse Dirichlet rows carry no residual equation.
-  coarse.bc.zero_constrained(rc);
+  coarse.bc.zero_constrained(coarse.rc);
 
   // Recurse from a zero initial guess; gamma > 1 gives a W-cycle (repeating
   // the recursion refines the coarse correction on intermediate levels; on
   // the coarsest level the solve is idempotent, so run it once).
-  Vector ec(coarse.ndofs, 0.0);
+  coarse.ec.set_all(0.0);
   const int gamma = (level - 1 == 0) ? 1 : std::max(1, opts_.cycle_gamma);
-  for (int g = 0; g < gamma; ++g) cycle(level - 1, rc, ec);
+  for (int g = 0; g < gamma; ++g) cycle(level - 1, coarse.rc, coarse.ec);
 
   // Prolongate and correct.
   {
     PerfScope perf(level_tag("MGTransfer", level));
-    coarse.prolongation.mult(ec, lev.e);
+    coarse.prolongation.mult(coarse.ec, lev.e);
     x.axpy(1.0, lev.e);
   }
+  prolong_counter_->inc();
 
   // Post-smooth.
   {

@@ -18,11 +18,24 @@
 #include "fem/mesh.hpp"
 #include "ksp/chebyshev.hpp"
 #include "ksp/pc.hpp"
+#include "la/galerkin.hpp"
 #include "mg/coarsen.hpp"
 #include "mg/prolongation.hpp"
+#include "obs/metrics.hpp"
 #include "stokes/viscous_ops.hpp"
 
 namespace ptatin {
+
+/// Setup state that survives hierarchy rebuilds. A GmgHierarchy is
+/// solve-scoped (each Newton step constructs a fresh one), but the Galerkin
+/// RAP patterns only depend on the mesh topology — so a caller that owns one
+/// of these across rebuilds (NonlinearStokesSolver does) turns every
+/// repeated coarse-operator assembly into a numeric-only refresh
+/// (la/galerkin.hpp). Stale entries self-heal: GalerkinProduct validates its
+/// inputs and falls back to a full setup on any pattern change.
+struct GmgSetupCache {
+  std::vector<GalerkinProduct> rap; ///< indexed by coarse level
+};
 
 // FineOperatorType lives in stokes/viscous_ops.hpp (included above) next to
 // the make_viscous_backend factory; this header re-exports it transitively
@@ -61,6 +74,14 @@ struct GmgOptions {
   /// the config layer when -scrub_every > 0; off by default to keep the CRC
   /// pass out of setups that never scrub.
   bool seal_operators = false;
+  /// Borrowed cross-rebuild setup cache (may be null = no caching). With
+  /// `rap_cache`, Galerkin products replay numeric-only against the cached
+  /// sparsity patterns — bitwise identical to the from-scratch ptap.
+  GmgSetupCache* setup_cache = nullptr;
+  bool rap_cache = true;
+  /// Route coarse-level applies through the blocked SELL-8 SpMV
+  /// (la/blocked_spmv.hpp); bitwise identical to plain CSR, pure perf knob.
+  bool blocked_spmv = true;
 };
 
 /// Deepest usable hierarchy for an m^3 element mesh: coarsen while the
@@ -108,8 +129,15 @@ public:
   int num_levels() const { return static_cast<int>(levels_.size()); }
 
   /// Setup time spent assembling Galerkin products (reported in Table IV as
-  /// the extra R^T A R cost).
+  /// the extra R^T A R cost). Sum of the setup and refresh buckets below.
   double galerkin_setup_seconds() const { return galerkin_seconds_; }
+
+  /// RAP time split by path: full symbolic+numeric setups vs numeric-only
+  /// refreshes served by the GmgSetupCache.
+  double rap_setup_seconds() const { return rap_setup_seconds_; }
+  double rap_refresh_seconds() const { return rap_refresh_seconds_; }
+  long rap_setups() const { return rap_setups_; }
+  long rap_refreshes() const { return rap_refreshes_; }
 
   Index level_dofs(int level) const { return levels_[level].ndofs; }
 
@@ -130,9 +158,13 @@ private:
     std::unique_ptr<MatrixOperator> mat_op;
     const LinearOperator* op = nullptr; ///< operator the smoother uses
     CsrMatrix prolongation; ///< to the next finer level (absent on finest)
+    /// Explicit P^T, built once at setup so the per-cycle restriction is a
+    /// row-parallel CSR mult instead of the serial mult_transpose scatter.
+    CsrMatrix restriction;
     ChebyshevSmoother smoother;
     Index ndofs = 0;
-    mutable Vector r, e, rc; // workspace
+    mutable Vector r, e, rc, ec; // per-level cycle workspace (no per-call
+                                 // allocation on the V-cycle hot path)
   };
 
   void cycle(int level, const Vector& b, Vector& x) const;
@@ -141,6 +173,11 @@ private:
   std::unique_ptr<Preconditioner> coarse_solver_;
   GmgOptions opts_;
   double galerkin_seconds_ = 0.0;
+  double rap_setup_seconds_ = 0.0, rap_refresh_seconds_ = 0.0;
+  long rap_setups_ = 0, rap_refreshes_ = 0;
+  /// Captured once: counter lookup by name allocates for long names.
+  obs::Counter* restrict_counter_ = nullptr;
+  obs::Counter* prolong_counter_ = nullptr;
   sdc::ScopedSeal seal_; ///< over the assembled/prolongation arrays
 };
 

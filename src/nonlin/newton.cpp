@@ -88,6 +88,11 @@ NonlinearResult NonlinearStokesSolver::solve(
       StokesSolverOptions lopts = opts_.linear;
       lopts.newton_operator = newton_step;
       if (with_ew) lopts.krylov.rtol = lin_rtol;
+      // The GMG hierarchy is rebuilt from scratch every iteration, but its
+      // Galerkin RAP sparsity patterns only depend on the mesh — hand each
+      // rebuild the cross-iteration cache so the coarse operators refresh
+      // numeric-only (bitwise identical to the from-scratch product).
+      lopts.gmg.setup_cache = &gmg_cache_;
       PerfScope step_span("NewtonStep");
       StokesSolver linear(mesh_, coeff, bc_, lopts);
 

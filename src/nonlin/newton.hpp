@@ -13,6 +13,7 @@
 
 #include <functional>
 
+#include "mg/gmg.hpp"
 #include "saddle/stokes_solver.hpp"
 
 namespace ptatin {
@@ -106,6 +107,12 @@ private:
   const DirichletBc& bc_;
   NonlinearOptions opts_;
   CsrMatrix b_full_;
+  /// Cross-iteration GMG setup cache: every Newton step rebuilds the
+  /// hierarchy, but the Galerkin RAP patterns are mesh-topological — the
+  /// cache turns the rebuild's coarse products into numeric-only refreshes.
+  /// Mutable because solve() is const; solve() is not concurrently reentrant
+  /// (it never was — it shares fu/fp scratch too).
+  mutable GmgSetupCache gmg_cache_;
 };
 
 } // namespace ptatin

@@ -75,6 +75,12 @@ void SolverConfig::describe_options() {
                     "default 1,1,1 = global paths, docs/PARALLELISM.md)");
   Options::describe("levels", "N", "GMG levels (default auto)");
   Options::describe("coarse", "amg|bjacobi|asmcg", "coarse-grid solver");
+  Options::describe("mg_rap_cache", "true|false",
+                    "cache Galerkin RAP patterns across operator rebuilds");
+  Options::describe("mg_blocked_spmv", "true|false",
+                    "blocked SELL-8 SpMV for assembled coarse levels");
+  Options::describe("mg_fused_smoother", "true|false",
+                    "fused Chebyshev sweep (one vector pass per iteration)");
   Options::describe("amg_coarse_size", "N",
                     "AMG coarsening stops at this many rows");
   Options::describe("newton", "true|false", "Newton linearization");
@@ -155,6 +161,15 @@ SolverConfig SolverConfig::from_options(const Options& o) {
   so.gmg.levels = o.get_int("levels", suggest_gmg_levels(mres));
   so.coarse_solve = parse_coarse(o.get_string("coarse", "amg"));
   so.amg.coarse_size = o.get_index("amg_coarse_size", 400);
+  // Coarse-grid pipeline knobs (docs/KERNELS.md): every one of these is
+  // bitwise-neutral — identical Krylov histories and -final_state digests
+  // either way — so they exist for parity tests and perf A/B runs.
+  so.gmg.rap_cache = o.get_bool("mg_rap_cache", true);
+  so.gmg.blocked_spmv = o.get_bool("mg_blocked_spmv", true);
+  so.amg.blocked_spmv = so.gmg.blocked_spmv;
+  const bool fused = o.get_bool("mg_fused_smoother", true);
+  so.gmg.chebyshev.fused = fused;
+  so.amg.chebyshev.fused = fused;
   so.krylov.rtol = o.get_real("krylov_rtol", 1e-5);
   so.krylov.max_it = o.get_int("krylov_maxit", 500);
   so.krylov.dtol = o.get_real("dtol", 1e5);

@@ -263,6 +263,44 @@ TEST(Csr, DiagonalExtraction) {
   for (Index i = 0; i < 7; ++i) EXPECT_DOUBLE_EQ(d[i], 2.0);
 }
 
+TEST(Csr, DiagonalOfMissingEntriesIsZero) {
+  // The binary-search extraction must report 0 for rows without a stored
+  // diagonal (and for empty rows), like the old linear scan did.
+  CooMatrix coo(4, 4);
+  coo.add(0, 1, 5.0); // row 0: off-diagonal only
+  coo.add(2, 2, 7.0); // row 1 empty, row 2 diagonal, row 3 empty
+  CsrMatrix a = coo.to_csr();
+  Vector d = a.diagonal();
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+  EXPECT_DOUBLE_EQ(d[1], 0.0);
+  EXPECT_DOUBLE_EQ(d[2], 7.0);
+  EXPECT_DOUBLE_EQ(d[3], 0.0);
+}
+
+TEST(Csr, FrobeniusNormMatchesReferenceAndIsThreadInvariant) {
+  Rng rng(21);
+  CsrMatrix a = random_spd(400, rng);
+  // Reference: serial accumulation in a different order (column pass via the
+  // transpose has the same multiset of squares).
+  long double ref = 0.0;
+  for (Index k = 0; k < a.nnz(); ++k)
+    ref += (long double)a.values()[k] * a.values()[k];
+  const Real expect = std::sqrt((Real)ref);
+  const int saved = num_threads();
+  set_num_threads(1);
+  const Real n1 = a.frobenius_norm();
+  set_num_threads(2);
+  const Real n2 = a.frobenius_norm();
+  set_num_threads(8);
+  const Real n8 = a.frobenius_norm();
+  set_num_threads(saved);
+  // The fixed-chunk reduction is deterministic in the thread count...
+  EXPECT_EQ(n1, n2);
+  EXPECT_EQ(n1, n8);
+  // ...and agrees with the straight serial sum to rounding.
+  EXPECT_NEAR(n1, expect, 1e-13 * expect);
+}
+
 TEST(CsrPattern, AssembleAfterPattern) {
   CsrPattern pat(3, 3);
   const Index cols01[] = {0, 1};
