@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
   };
 
   StokesSolverOptions base;
-  base.backend = FineOperatorType::kTensor;
+  base.kernel.type = FineOperatorType::kTensor;
   base.gmg.levels = levels;
   base.coarse_solve = GmgCoarseSolve::kBJacobiLu;
   base.coarse_bjacobi_blocks = 1;

@@ -120,7 +120,7 @@ int run_decomp_sweep(const Options& opts, const std::vector<Index>& grids,
       }
 
       auto op = make_viscous_backend(
-          ViscousBackendSpec{FineOperatorType::kTensor, 0, eng.get()}, mesh,
+          KernelSpec{.type = FineOperatorType::kTensor, .engine = eng.get()}, mesh,
           coeff, &bc);
       Vector x(op->rows()), y(op->rows());
       for (Index i = 0; i < x.size(); ++i)
@@ -356,7 +356,7 @@ int main(int argc, char** argv) {
                          FineOperatorType::kMatrixFree,
                          FineOperatorType::kTensor}) {
       StokesSolverOptions so;
-      so.backend = backend;
+      so.kernel.type = backend;
       so.gmg.levels = levels;
       so.coarse_solve = GmgCoarseSolve::kAmg;
       so.amg.coarse_size = 400;
@@ -387,11 +387,7 @@ int main(int argc, char** argv) {
       char grid[32];
       std::snprintf(grid, sizeof grid, "%lld^3", (long long)m);
       tab.cell(grid);
-      switch (backend) {
-        case FineOperatorType::kAssembled: tab.cell("Asmb"); break;
-        case FineOperatorType::kMatrixFree: tab.cell("MF"); break;
-        default: tab.cell("Tens"); break;
-      }
+      tab.cell(fine_operator_display(backend));
       tab.cell(long(res.stats.iterations));
       tab.cell(solver.coarse_setup_seconds(), "%.2f");
       tab.cell(reg.event("MGCoarseSolve").seconds(), "%.2f");
@@ -404,10 +400,7 @@ int main(int argc, char** argv) {
 
       obs::JsonValue row = obs::JsonValue::object();
       row["m"] = obs::JsonValue((long long)m);
-      row["backend"] = obs::JsonValue(
-          backend == FineOperatorType::kAssembled
-              ? "Asmb"
-              : backend == FineOperatorType::kMatrixFree ? "MF" : "Tens");
+      row["backend"] = obs::JsonValue(fine_operator_display(backend));
       row["levels"] = obs::JsonValue(levels);
       row["iterations"] = obs::JsonValue(res.stats.iterations);
       row["converged"] = obs::JsonValue(res.stats.converged);

@@ -69,8 +69,8 @@ int main(int argc, char** argv) {
     for (const Config& cfg : configs) {
       if (cfg.batch_width != 0 && !is_batch_width(cfg.batch_width)) continue;
       StokesSolverOptions so;
-      so.backend = cfg.backend;
-      so.batch_width = cfg.batch_width;
+      so.kernel.type = cfg.backend;
+      so.kernel.batch_width = cfg.batch_width;
       so.gmg.levels = levels;
       so.coarse_solve = GmgCoarseSolve::kAmg;
       so.amg.coarse_size = 400;

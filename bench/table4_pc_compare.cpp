@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
   {
     Config c;
     c.name = "GMG-mf";
-    c.opts.backend = FineOperatorType::kTensor;
+    c.opts.kernel.type = FineOperatorType::kTensor;
     c.opts.gmg.levels = levels;
     c.opts.coarse_solve = GmgCoarseSolve::kAmg;
     configs.push_back(c);
@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
   {
     Config c;
     c.name = "GMG-i";
-    c.opts.backend = FineOperatorType::kAssembled;
+    c.opts.kernel.type = FineOperatorType::kAssembled;
     c.opts.gmg.levels = levels;
     c.opts.coarse_solve = GmgCoarseSolve::kAmg;
     configs.push_back(c);
@@ -74,7 +74,7 @@ int main(int argc, char** argv) {
   {
     Config c;
     c.name = "GMG-ii";
-    c.opts.backend = FineOperatorType::kAssembled;
+    c.opts.kernel.type = FineOperatorType::kAssembled;
     c.opts.gmg.levels = levels;
     c.opts.gmg.smooth_pre = 3;
     c.opts.gmg.smooth_post = 3;
@@ -84,7 +84,7 @@ int main(int argc, char** argv) {
   {
     Config c;
     c.name = "SA-i";
-    c.opts.backend = FineOperatorType::kAssembled;
+    c.opts.kernel.type = FineOperatorType::kAssembled;
     c.opts.velocity_pc = VelocityPcType::kSaAmg;
     c.opts.amg.strength_threshold = 0.01;
     c.opts.amg.coarse_size = 400;
@@ -93,7 +93,7 @@ int main(int argc, char** argv) {
   {
     Config c;
     c.name = "SAML-i";
-    c.opts.backend = FineOperatorType::kAssembled;
+    c.opts.kernel.type = FineOperatorType::kAssembled;
     c.opts.velocity_pc = VelocityPcType::kSaAmg;
     c.opts.amg.strength_threshold = 0.01;
     c.opts.amg.coarse_size = 100;
@@ -102,7 +102,7 @@ int main(int argc, char** argv) {
   {
     Config c;
     c.name = "SAML-ii";
-    c.opts.backend = FineOperatorType::kAssembled;
+    c.opts.kernel.type = FineOperatorType::kAssembled;
     c.opts.velocity_pc = VelocityPcType::kSaAmg;
     c.opts.amg.strength_threshold = 0.01;
     c.opts.amg.coarse_size = 100;

@@ -319,6 +319,7 @@ int main(int argc, char** argv) {
     report.set_meta("model", name);
     report.set_meta("steps", std::to_string(steps));
     report.set_meta("backend", o.get_string("backend", "tens"));
+    report.set_meta("order", std::to_string(o.get_int("order", 2)));
     report.set_meta("op_batch_width",
                     std::to_string(o.get_int("op_batch_width", 0)));
     report.set_meta("decomp", std::to_string(dshape[0]) + "x" +

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
 
   // 4. Solver: defaults reproduce the paper's production configuration.
   StokesSolverOptions so;
-  so.backend = FineOperatorType::kTensor; // matrix-free tensor-product A
+  so.kernel.type = FineOperatorType::kTensor; // matrix-free tensor-product A
   so.gmg.levels = suggest_gmg_levels(m);
   so.coarse_solve = GmgCoarseSolve::kAmg; // SA-AMG coarse-grid solver
   so.amg.coarse_size = 400;

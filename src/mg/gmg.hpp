@@ -49,16 +49,24 @@ enum class CoarseOperatorType {
 
 struct GmgOptions {
   int levels = 3;
-  FineOperatorType fine_type = FineOperatorType::kTensor;
-  /// Cross-element SIMD batch width for the matrix-free finest-level
-  /// operator: 0 = scalar path, 4 or 8 = batched (docs/KERNELS.md). Batched
-  /// applies are bitwise identical to scalar, so this is a pure perf knob.
-  int batch_width = 0;
-  /// Subdomain-parallel engine for the finest-level operator (borrowed, may
-  /// be null = global colored loop; docs/PARALLELISM.md). Coarse levels stay
-  /// on the global path — their assembled SpMV has no element sweep, and the
-  /// engine's halo plans only match the finest element grid.
-  const SubdomainEngine* fine_decomp = nullptr;
+  /// The finest-level kernel description (backend, order, SIMD batch width,
+  /// subdomain engine — fem/kernel_registry.hpp). Batched applies are
+  /// bitwise identical to scalar, so width is a pure perf knob. The engine
+  /// applies to the finest level only — coarse levels stay on the global
+  /// path (their assembled SpMV has no element sweep, and the engine's halo
+  /// plans only match the finest element grid). The hierarchy requires
+  /// order == 2 (coarsening/BC layers are tied to the Q2 lattice).
+  KernelSpec fine_kernel;
+
+  /// Deprecated views onto `fine_kernel` (one-time warning on write). Use
+  /// fine_kernel.type / fine_kernel.batch_width / fine_kernel.engine.
+  DeprecatedKernelField<FineOperatorType> fine_type{
+      &fine_kernel.type, "GmgOptions::fine_type", "fine_kernel.type"};
+  DeprecatedKernelField<int> batch_width{
+      &fine_kernel.batch_width, "GmgOptions::batch_width",
+      "fine_kernel.batch_width"};
+  DeprecatedKernelField<const SubdomainEngine*> fine_decomp{
+      &fine_kernel.engine, "GmgOptions::fine_decomp", "fine_kernel.engine"};
   CoarseOperatorType coarse_type = CoarseOperatorType::kGalerkin;
   int smooth_pre = 2;  ///< V(2,2) by default (§IV-A)
   int smooth_post = 2;

@@ -1,21 +1,17 @@
 #include "ptatin/config.hpp"
 
 #include "common/error.hpp"
+#include "fem/kernel_registry.hpp"
 #include "fem/subdomain_engine.hpp"
 #include "saddle/stokes_solver.hpp"
+#include "stokes/viscous_qk.hpp"
 
 namespace ptatin {
 
 namespace {
 
-FineOperatorType parse_backend(const std::string& s) {
-  if (s == "asmb") return FineOperatorType::kAssembled;
-  if (s == "mf") return FineOperatorType::kMatrixFree;
-  if (s == "tensc") return FineOperatorType::kTensorC;
-  PT_ASSERT_MSG(s == "tens",
-                "unknown -backend (expected asmb|mf|tens|tensc)");
-  return FineOperatorType::kTensor;
-}
+// -backend parsing lives in the kernel registry (parse_fine_operator) —
+// the one place that spells the back-end tokens.
 
 GmgCoarseSolve parse_coarse(const std::string& s) {
   if (s == "bjacobi") return GmgCoarseSolve::kBJacobiLu;
@@ -70,6 +66,10 @@ void SolverConfig::describe_options() {
   Options::describe("op_batch_width", "0|4|8",
                     "cross-element SIMD batching of the matrix-free\n"
                     "back-ends (0 = scalar, docs/KERNELS.md)");
+  Options::describe("order", "2|3|4",
+                    "Qk velocity polynomial order (default 2). The full\n"
+                    "solver stack runs k=2; k=3,4 select the standalone\n"
+                    "matrix-free applies (kernel registry, docs/KERNELS.md)");
   Options::describe("decomp", "px,py,pz",
                     "subdomain decomposition shape (\"2x2x2\" or \"2,2,2\";\n"
                     "default 1,1,1 = global paths, docs/PARALLELISM.md)");
@@ -153,10 +153,22 @@ SolverConfig SolverConfig::from_options(const Options& o) {
   po.nonlinear.fallback_to_picard = o.get_bool("picard_fallback", true);
 
   StokesSolverOptions& so = po.nonlinear.linear;
-  so.backend = parse_backend(o.get_string("backend", "tens"));
-  so.batch_width = o.get_int("op_batch_width", 0);
-  PT_ASSERT_MSG(so.batch_width == 0 || is_batch_width(so.batch_width),
+  so.kernel.type = parse_fine_operator(o.get_string("backend", "tens"));
+  so.kernel.batch_width = o.get_int("op_batch_width", 0);
+  PT_ASSERT_MSG(so.kernel.batch_width == 0 ||
+                    is_batch_width(so.kernel.batch_width),
                 "-op_batch_width must be 0, 4, or 8");
+  so.kernel.order = o.get_int("order", 2);
+  PT_ASSERT_MSG(so.kernel.order >= 2 && so.kernel.order <= 4,
+                "-order must be 2, 3, or 4");
+  // Reject unsupported (backend, order, width) combinations right here, with
+  // the registry's nearest-key diagnosis (e.g. asmb only exists at k = 2).
+  ensure_qk_kernels_registered();
+  if (!KernelRegistry::instance().is_registered(so.kernel)) {
+    PT_THROW("no kernel registered for " +
+             KernelKey::of(so.kernel).str() + "; " +
+             KernelRegistry::instance().nearest_keys_message(so.kernel));
+  }
   const Index mres = o.get_index("mx", o.get_index("m", 8));
   so.gmg.levels = o.get_int("levels", suggest_gmg_levels(mres));
   so.coarse_solve = parse_coarse(o.get_string("coarse", "amg"));
@@ -244,7 +256,7 @@ std::unique_ptr<StokesSolver> SolverConfig::make_stokes_solver(
     const StructuredMesh& mesh, const QuadCoefficients& coeff,
     const DirichletBc& bc, const SubdomainEngine* engine) const {
   StokesSolverOptions so = ptatin_.nonlinear.linear;
-  so.decomp = engine;
+  so.kernel.engine = engine;
   return std::make_unique<StokesSolver>(mesh, coeff, bc, so);
 }
 

@@ -61,11 +61,16 @@ public:
 
   // --- fluent setters ------------------------------------------------------
   SolverConfig& backend(FineOperatorType t) {
-    ptatin_.nonlinear.linear.backend = t;
+    ptatin_.nonlinear.linear.kernel.type = t;
     return *this;
   }
   SolverConfig& batch_width(int w) {
-    ptatin_.nonlinear.linear.batch_width = w;
+    ptatin_.nonlinear.linear.kernel.batch_width = w;
+    return *this;
+  }
+  /// Qk velocity order (2..4; the full solver stack requires 2).
+  SolverConfig& order(int k) {
+    ptatin_.nonlinear.linear.kernel.order = k;
     return *this;
   }
   /// Subdomain decomposition shape; {1,1,1} = global (non-decomposed) paths.

@@ -21,7 +21,7 @@ PtatinContext::PtatinContext(ModelSetup setup, const PtatinOptions& opts)
       transport_ = transport::make_transport(opts_.transport);
       engine_->set_transport(transport_.get());
     }
-    opts_.nonlinear.linear.decomp = engine_.get();
+    opts_.nonlinear.linear.kernel.engine = engine_.get();
     opts_.pipeline.decomp = engine_.get();
   }
 

@@ -20,9 +20,11 @@ StokesSolver::StokesSolver(const StructuredMesh& mesh,
     : mesh_(mesh), bc_(bc), opts_(opts) {
   Timer t;
 
-  a_ = make_viscous_backend(
-      ViscousBackendSpec{opts.backend, opts.batch_width, opts.decomp}, mesh,
-      coeff, &bc);
+  PT_ASSERT_MSG(opts.kernel.order == 2,
+                "the full Stokes solver stack runs the Q2-P1disc pair only; "
+                "orders 3..4 are standalone matrix-free applies (use "
+                "make_viscous_backend / bench/table1_operator)");
+  a_ = make_viscous_backend(opts.kernel, mesh, coeff, &bc);
   if (opts.newton_operator) a_->set_newton(true);
   op_ = std::make_unique<StokesOperator>(mesh, *a_, bc);
   schur_ = std::make_unique<PressureMassSchur>(mesh, coeff);
@@ -96,8 +98,8 @@ StokesSolver::StokesSolver(const StructuredMesh& mesh,
     };
 
     GmgOptions gmg_opts = opts.gmg;
-    gmg_opts.batch_width = opts.batch_width;
-    gmg_opts.fine_decomp = opts.decomp;
+    gmg_opts.fine_kernel.batch_width = opts.kernel.batch_width;
+    gmg_opts.fine_kernel.engine = opts.kernel.engine;
     gmg_ = std::make_unique<GmgHierarchy>(mesh, coeff, bc, gmg_opts,
                                           bc_factory, coarse_factory);
     vpc_ = gmg_.get();
@@ -192,10 +194,10 @@ StokesSolveResult StokesSolver::solve_stacked(const Vector& rhs,
     rec.history = res.stats.history;
     report.add_krylov(std::move(rec));
 
-    if (opts_.decomp != nullptr) {
+    if (opts_.kernel.engine != nullptr) {
       // Cumulative engine stats (set_decomposition overwrites, so repeated
       // solves through one engine keep the section current).
-      const DecompStats ds = opts_.decomp->stats();
+      const DecompStats ds = opts_.kernel.engine->stats();
       obs::DecompRecord dr;
       dr.px = ds.px;
       dr.py = ds.py;

@@ -31,18 +31,25 @@ enum class GmgCoarseSolve {
 enum class OuterKrylov { kGcr, kFgmres };
 
 struct StokesSolverOptions {
-  FineOperatorType backend = FineOperatorType::kTensor;
-  /// Cross-element SIMD batch width for the matrix-free back-ends (0 =
-  /// scalar, 4 or 8 = batched; docs/KERNELS.md). Applies to the Krylov
-  /// operator and is forwarded to the GMG finest-level operator.
-  int batch_width = 0;
-  /// Subdomain-parallel execution engine (docs/PARALLELISM.md). Borrowed,
-  /// may be null (= global colored loops). Like batch_width it applies to
-  /// the Krylov operator and is forwarded to the GMG finest level; when set
-  /// it takes precedence over batch_width and solve_stacked records the
-  /// engine's halo/timing stats in the solver report's `decomposition`
-  /// section.
-  const SubdomainEngine* decomp = nullptr;
+  /// The fine-level kernel description — backend, polynomial order, SIMD
+  /// batch width, and subdomain engine in one spec (fem/kernel_registry.hpp).
+  /// Applies to the Krylov operator and is forwarded to the GMG finest-level
+  /// operator. When `kernel.engine` is set it takes precedence over
+  /// `kernel.batch_width` and solve_stacked records the engine's halo/timing
+  /// stats in the solver report's `decomposition` section. The full solver
+  /// stack requires kernel.order == 2 (higher orders are standalone applies).
+  KernelSpec kernel;
+
+  /// Deprecated views onto `kernel` (kept so existing drivers compile; a
+  /// one-time warning fires on write). Use kernel.type / kernel.batch_width /
+  /// kernel.engine instead.
+  DeprecatedKernelField<FineOperatorType> backend{
+      &kernel.type, "StokesSolverOptions::backend", "kernel.type"};
+  DeprecatedKernelField<int> batch_width{
+      &kernel.batch_width, "StokesSolverOptions::batch_width",
+      "kernel.batch_width"};
+  DeprecatedKernelField<const SubdomainEngine*> decomp{
+      &kernel.engine, "StokesSolverOptions::decomp", "kernel.engine"};
   VelocityPcType velocity_pc = VelocityPcType::kGmg;
   GmgOptions gmg;               ///< used when velocity_pc == kGmg
   GmgCoarseSolve coarse_solve = GmgCoarseSolve::kAmg;

@@ -9,15 +9,8 @@ namespace ptatin::serve {
 
 namespace {
 
-const char* backend_name(FineOperatorType t) {
-  switch (t) {
-    case FineOperatorType::kAssembled: return "asmb";
-    case FineOperatorType::kMatrixFree: return "mf";
-    case FineOperatorType::kTensor: return "tens";
-    case FineOperatorType::kTensorC: return "tensc";
-  }
-  return "?";
-}
+// Back-end tokens come from the kernel registry (fine_operator_token) — the
+// one place that spells them.
 
 const char* coarse_name(GmgCoarseSolve c) {
   switch (c) {
@@ -102,8 +95,11 @@ obs::JsonValue JobSpec::canonical_json() const {
   // (not the raw options) makes default-filled and explicitly-spelled
   // defaults indistinguishable by construction.
   obs::JsonValue s = obs::JsonValue::object();
-  s["backend"] = obs::JsonValue(backend_name(so.backend));
-  s["batch_width"] = obs::JsonValue(so.batch_width);
+  s["backend"] = obs::JsonValue(fine_operator_token(so.kernel.type));
+  // Order is result-determining (it changes the discretization entirely), so
+  // it is part of the digest even while the fleet runs k = 2 solves only.
+  s["order"] = obs::JsonValue(so.kernel.order);
+  s["batch_width"] = obs::JsonValue(so.kernel.batch_width);
   obs::JsonValue decomp = obs::JsonValue::array();
   for (Index d : po.decomp) decomp.push_back(obs::JsonValue((long long)d));
   s["decomp"] = std::move(decomp);

@@ -1,9 +1,16 @@
 // One-dimensional contraction kernels shared by the tensor-product operators.
 //
-// The 3^3 nodal lattice of a Q2 element is contracted axis-by-axis with the
-// 3x3 one-dimensional basis (B̂) and derivative (D̂) matrices — the sum
-// factorization of §III-D that applies the 81x27 reference gradient in
-// 3 * 2 * 3^4 = 4374 flops instead of 13122.
+// The P^3 nodal lattice of a Qk element (P = k+1) is contracted axis-by-axis
+// with the PxP one-dimensional basis (B̂) and derivative (D̂) matrices — the
+// sum factorization of §III-D that applies the reference gradient in
+// O(P^4) flops per direction instead of the O(P^6) dense contraction. The
+// historical Q2 case is P = 3: 3 * 2 * 3^4 = 4374 flops vs 13122.
+//
+// Everything here is templated over the compile-time 1D point count P so the
+// kernel registry's Qk specializations (k = 2..4) instantiate fully-unrolled
+// contractions; the P = 3 instantiation generates the exact arithmetic (same
+// loads, same left-associated accumulation) the hard-coded Q2 kernels always
+// had, keeping the k = 2 digest contract intact.
 #pragma once
 
 #include "common/aligned.hpp"
@@ -12,70 +19,97 @@
 namespace ptatin {
 namespace tensor_kernel {
 
-/// Contract a 27-value lattice along one axis with a 3x3 matrix:
-/// out[q over axis] = sum_a M[q][a] in[a over axis]. `Transpose` applies M^T.
-template <bool Transpose>
-inline void contract_axis(const Real M[3][3], int axis, const Real* in,
-                          Real* out) {
-  const int stride = axis == 0 ? 1 : (axis == 1 ? 3 : 9);
-  const int s1 = axis == 0 ? 3 : 1;
-  const int s2 = axis == 2 ? 3 : 9;
-  for (int l2 = 0; l2 < 3; ++l2)
-    for (int l1 = 0; l1 < 3; ++l1) {
+/// Contract a P^3-value lattice along one axis with a PxP matrix (row-major,
+/// M[q*P + a]): out[q over axis] = sum_a M[q][a] in[a over axis].
+/// `Transpose` applies M^T.
+template <bool Transpose, int P>
+inline void contract_axis(const Real* M, int axis, const Real* in, Real* out) {
+  const int stride = axis == 0 ? 1 : (axis == 1 ? P : P * P);
+  const int s1 = axis == 0 ? P : 1;
+  const int s2 = axis == 2 ? P : P * P;
+  for (int l2 = 0; l2 < P; ++l2)
+    for (int l1 = 0; l1 < P; ++l1) {
       const int base = l1 * s1 + l2 * s2;
-      const Real v0 = in[base + 0 * stride];
-      const Real v1 = in[base + 1 * stride];
-      const Real v2 = in[base + 2 * stride];
-      for (int q = 0; q < 3; ++q) {
-        const Real m0 = Transpose ? M[0][q] : M[q][0];
-        const Real m1 = Transpose ? M[1][q] : M[q][1];
-        const Real m2 = Transpose ? M[2][q] : M[q][2];
-        out[base + q * stride] = m0 * v0 + m1 * v1 + m2 * v2;
+      Real v[P];
+      for (int a = 0; a < P; ++a) v[a] = in[base + a * stride];
+      for (int q = 0; q < P; ++q) {
+        Real acc = (Transpose ? M[0 * P + q] : M[q * P + 0]) * v[0];
+        for (int a = 1; a < P; ++a)
+          acc += (Transpose ? M[a * P + q] : M[q * P + a]) * v[a];
+        out[base + q * stride] = acc;
       }
     }
 }
 
-/// Forward gradient: nodal values (27) -> three reference derivatives at the
-/// 27 tensorized quadrature points.
+/// Q2 convenience overload over the historical [3][3] matrix type.
+template <bool Transpose>
+inline void contract_axis(const Real M[3][3], int axis, const Real* in,
+                          Real* out) {
+  contract_axis<Transpose, 3>(&M[0][0], axis, in, out);
+}
+
+/// Forward gradient: nodal values (P^3) -> three reference derivatives at the
+/// P^3 tensorized quadrature points.
+template <int P>
+inline void tensor_gradient_p(const Real* B, const Real* D, const Real* u,
+                              Real* gx, Real* gy, Real* gz) {
+  constexpr int N = P * P * P;
+  Real t1[N], t2[N], t3[N];
+  contract_axis<false, P>(D, 0, u, t1);
+  contract_axis<false, P>(B, 1, t1, t2);
+  contract_axis<false, P>(B, 2, t2, gx);
+  contract_axis<false, P>(B, 0, u, t1);
+  contract_axis<false, P>(D, 1, t1, t2);
+  contract_axis<false, P>(B, 2, t2, gy);
+  contract_axis<false, P>(B, 1, t1, t3); // t1 = B_x u reused
+  contract_axis<false, P>(D, 2, t3, gz);
+}
+
 inline void tensor_gradient(const Real B[3][3], const Real D[3][3],
                             const Real* u, Real* gx, Real* gy, Real* gz) {
-  Real t1[27], t2[27], t3[27];
-  contract_axis<false>(D, 0, u, t1);
-  contract_axis<false>(B, 1, t1, t2);
-  contract_axis<false>(B, 2, t2, gx);
-  contract_axis<false>(B, 0, u, t1);
-  contract_axis<false>(D, 1, t1, t2);
-  contract_axis<false>(B, 2, t2, gy);
-  contract_axis<false>(B, 1, t1, t3); // t1 = B_x u reused
-  contract_axis<false>(D, 2, t3, gz);
+  tensor_gradient_p<3>(&B[0][0], &D[0][0], u, gx, gy, gz);
 }
 
 /// Adjoint of tensor_gradient: accumulate nodal residuals from the three
 /// reference-stress fields at quadrature points.
+template <int P>
+inline void tensor_gradient_transpose_p(const Real* B, const Real* D,
+                                        const Real* sx, const Real* sy,
+                                        const Real* sz, Real* y) {
+  constexpr int N = P * P * P;
+  Real t1[N], t2[N], t3[N];
+  contract_axis<true, P>(B, 2, sx, t1);
+  contract_axis<true, P>(B, 1, t1, t2);
+  contract_axis<true, P>(D, 0, t2, t3);
+  for (int i = 0; i < N; ++i) y[i] += t3[i];
+  contract_axis<true, P>(B, 2, sy, t1);
+  contract_axis<true, P>(D, 1, t1, t2);
+  contract_axis<true, P>(B, 0, t2, t3);
+  for (int i = 0; i < N; ++i) y[i] += t3[i];
+  contract_axis<true, P>(D, 2, sz, t1);
+  contract_axis<true, P>(B, 1, t1, t2);
+  contract_axis<true, P>(B, 0, t2, t3);
+  for (int i = 0; i < N; ++i) y[i] += t3[i];
+}
+
 inline void tensor_gradient_transpose(const Real B[3][3], const Real D[3][3],
                                       const Real* sx, const Real* sy,
                                       const Real* sz, Real* y) {
-  Real t1[27], t2[27], t3[27];
-  contract_axis<true>(B, 2, sx, t1);
-  contract_axis<true>(B, 1, t1, t2);
-  contract_axis<true>(D, 0, t2, t3);
-  for (int i = 0; i < 27; ++i) y[i] += t3[i];
-  contract_axis<true>(B, 2, sy, t1);
-  contract_axis<true>(D, 1, t1, t2);
-  contract_axis<true>(B, 0, t2, t3);
-  for (int i = 0; i < 27; ++i) y[i] += t3[i];
-  contract_axis<true>(D, 2, sz, t1);
-  contract_axis<true>(B, 1, t1, t2);
-  contract_axis<true>(B, 0, t2, t3);
-  for (int i = 0; i < 27; ++i) y[i] += t3[i];
+  tensor_gradient_transpose_p<3>(&B[0][0], &D[0][0], sx, sy, sz, y);
 }
 
 /// Interpolate nodal values to quadrature points: out = (B⊗B⊗B) u.
+template <int P>
+inline void tensor_interpolate_p(const Real* B, const Real* u, Real* out) {
+  constexpr int N = P * P * P;
+  Real t1[N], t2[N];
+  contract_axis<false, P>(B, 0, u, t1);
+  contract_axis<false, P>(B, 1, t1, t2);
+  contract_axis<false, P>(B, 2, t2, out);
+}
+
 inline void tensor_interpolate(const Real B[3][3], const Real* u, Real* out) {
-  Real t1[27], t2[27];
-  contract_axis<false>(B, 0, u, t1);
-  contract_axis<false>(B, 1, t1, t2);
-  contract_axis<false>(B, 2, t2, out);
+  tensor_interpolate_p<3>(&B[0][0], u, out);
 }
 
 // ---------------------------------------------------------------------------
@@ -88,69 +122,95 @@ inline void tensor_interpolate(const Real B[3][3], const Real* u, Real* out) {
 // batched results are bitwise identical to the per-element path.
 // ---------------------------------------------------------------------------
 
-/// Batched contract_axis: in/out are [27][W] lane buffers.
-template <bool Transpose, int W>
-inline void contract_axis_batched(const Real M[3][3], int axis, const Real* in,
+/// Batched contract_axis: in/out are [P^3][W] lane buffers, M is PxP
+/// row-major.
+template <bool Transpose, int P, int W>
+inline void contract_axis_batched(const Real* M, int axis, const Real* in,
                                   Real* out) {
-  const int stride = axis == 0 ? 1 : (axis == 1 ? 3 : 9);
-  const int s1 = axis == 0 ? 3 : 1;
-  const int s2 = axis == 2 ? 3 : 9;
-  for (int l2 = 0; l2 < 3; ++l2)
-    for (int l1 = 0; l1 < 3; ++l1) {
+  const int stride = axis == 0 ? 1 : (axis == 1 ? P : P * P);
+  const int s1 = axis == 0 ? P : 1;
+  const int s2 = axis == 2 ? P : P * P;
+  for (int l2 = 0; l2 < P; ++l2)
+    for (int l1 = 0; l1 < P; ++l1) {
       const int base = l1 * s1 + l2 * s2;
-      const Real* v0 = in + (base + 0 * stride) * W;
-      const Real* v1 = in + (base + 1 * stride) * W;
-      const Real* v2 = in + (base + 2 * stride) * W;
-      for (int q = 0; q < 3; ++q) {
-        const Real m0 = Transpose ? M[0][q] : M[q][0];
-        const Real m1 = Transpose ? M[1][q] : M[q][1];
-        const Real m2 = Transpose ? M[2][q] : M[q][2];
+      const Real* v[P];
+      for (int a = 0; a < P; ++a) v[a] = in + (base + a * stride) * W;
+      for (int q = 0; q < P; ++q) {
+        Real m[P];
+        for (int a = 0; a < P; ++a)
+          m[a] = Transpose ? M[a * P + q] : M[q * P + a];
         Real* o = out + (base + q * stride) * W;
         PT_SIMD
-        for (int l = 0; l < W; ++l)
-          o[l] = m0 * v0[l] + m1 * v1[l] + m2 * v2[l];
+        for (int l = 0; l < W; ++l) {
+          Real acc = m[0] * v[0][l];
+          for (int a = 1; a < P; ++a) acc += m[a] * v[a][l];
+          o[l] = acc;
+        }
       }
     }
 }
 
-/// Batched forward gradient: u, gx, gy, gz are [27][W] lane buffers.
+/// Q2 convenience overload over the historical [3][3] matrix type.
+template <bool Transpose, int W>
+inline void contract_axis_batched(const Real M[3][3], int axis, const Real* in,
+                                  Real* out) {
+  contract_axis_batched<Transpose, 3, W>(&M[0][0], axis, in, out);
+}
+
+/// Batched forward gradient: u, gx, gy, gz are [P^3][W] lane buffers.
+template <int P, int W>
+inline void tensor_gradient_batched_p(const Real* B, const Real* D,
+                                      const Real* u, Real* gx, Real* gy,
+                                      Real* gz) {
+  constexpr int N = P * P * P;
+  alignas(kSimdAlign) Real t1[N * W], t2[N * W], t3[N * W];
+  contract_axis_batched<false, P, W>(D, 0, u, t1);
+  contract_axis_batched<false, P, W>(B, 1, t1, t2);
+  contract_axis_batched<false, P, W>(B, 2, t2, gx);
+  contract_axis_batched<false, P, W>(B, 0, u, t1);
+  contract_axis_batched<false, P, W>(D, 1, t1, t2);
+  contract_axis_batched<false, P, W>(B, 2, t2, gy);
+  contract_axis_batched<false, P, W>(B, 1, t1, t3); // t1 = B_x u reused
+  contract_axis_batched<false, P, W>(D, 2, t3, gz);
+}
+
 template <int W>
 inline void tensor_gradient_batched(const Real B[3][3], const Real D[3][3],
                                     const Real* u, Real* gx, Real* gy,
                                     Real* gz) {
-  alignas(kSimdAlign) Real t1[27 * W], t2[27 * W], t3[27 * W];
-  contract_axis_batched<false, W>(D, 0, u, t1);
-  contract_axis_batched<false, W>(B, 1, t1, t2);
-  contract_axis_batched<false, W>(B, 2, t2, gx);
-  contract_axis_batched<false, W>(B, 0, u, t1);
-  contract_axis_batched<false, W>(D, 1, t1, t2);
-  contract_axis_batched<false, W>(B, 2, t2, gy);
-  contract_axis_batched<false, W>(B, 1, t1, t3); // t1 = B_x u reused
-  contract_axis_batched<false, W>(D, 2, t3, gz);
+  tensor_gradient_batched_p<3, W>(&B[0][0], &D[0][0], u, gx, gy, gz);
 }
 
-/// Batched adjoint gradient: sx, sy, sz, y are [27][W] lane buffers.
+/// Batched adjoint gradient: sx, sy, sz, y are [P^3][W] lane buffers.
+template <int P, int W>
+inline void tensor_gradient_transpose_batched_p(const Real* B, const Real* D,
+                                                const Real* sx, const Real* sy,
+                                                const Real* sz, Real* y) {
+  constexpr int N = P * P * P;
+  alignas(kSimdAlign) Real t1[N * W], t2[N * W], t3[N * W];
+  contract_axis_batched<true, P, W>(B, 2, sx, t1);
+  contract_axis_batched<true, P, W>(B, 1, t1, t2);
+  contract_axis_batched<true, P, W>(D, 0, t2, t3);
+  PT_SIMD
+  for (int i = 0; i < N * W; ++i) y[i] += t3[i];
+  contract_axis_batched<true, P, W>(B, 2, sy, t1);
+  contract_axis_batched<true, P, W>(D, 1, t1, t2);
+  contract_axis_batched<true, P, W>(B, 0, t2, t3);
+  PT_SIMD
+  for (int i = 0; i < N * W; ++i) y[i] += t3[i];
+  contract_axis_batched<true, P, W>(D, 2, sz, t1);
+  contract_axis_batched<true, P, W>(B, 1, t1, t2);
+  contract_axis_batched<true, P, W>(B, 0, t2, t3);
+  PT_SIMD
+  for (int i = 0; i < N * W; ++i) y[i] += t3[i];
+}
+
 template <int W>
 inline void tensor_gradient_transpose_batched(const Real B[3][3],
                                               const Real D[3][3],
                                               const Real* sx, const Real* sy,
                                               const Real* sz, Real* y) {
-  alignas(kSimdAlign) Real t1[27 * W], t2[27 * W], t3[27 * W];
-  contract_axis_batched<true, W>(B, 2, sx, t1);
-  contract_axis_batched<true, W>(B, 1, t1, t2);
-  contract_axis_batched<true, W>(D, 0, t2, t3);
-  PT_SIMD
-  for (int i = 0; i < 27 * W; ++i) y[i] += t3[i];
-  contract_axis_batched<true, W>(B, 2, sy, t1);
-  contract_axis_batched<true, W>(D, 1, t1, t2);
-  contract_axis_batched<true, W>(B, 0, t2, t3);
-  PT_SIMD
-  for (int i = 0; i < 27 * W; ++i) y[i] += t3[i];
-  contract_axis_batched<true, W>(D, 2, sz, t1);
-  contract_axis_batched<true, W>(B, 1, t1, t2);
-  contract_axis_batched<true, W>(B, 0, t2, t3);
-  PT_SIMD
-  for (int i = 0; i < 27 * W; ++i) y[i] += t3[i];
+  tensor_gradient_transpose_batched_p<3, W>(&B[0][0], &D[0][0], sx, sy, sz, y);
 }
 
 } // namespace tensor_kernel

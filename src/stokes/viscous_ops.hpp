@@ -26,6 +26,7 @@
 #include "common/parallel.hpp"
 #include "fem/bc.hpp"
 #include "fem/dofmap.hpp"
+#include "fem/kernel_registry.hpp"
 #include "fem/mesh.hpp"
 #include "ksp/operator.hpp"
 #include "la/csr.hpp"
@@ -36,10 +37,9 @@ namespace ptatin {
 
 class SubdomainEngine;
 
-/// The four interchangeable fine-level back-ends (Table I row labels).
-/// Lives here (not mg/gmg.hpp) so the back-end factory below is usable
-/// without pulling in the multigrid layer.
-enum class FineOperatorType { kAssembled, kMatrixFree, kTensor, kTensorC };
+// FineOperatorType, KernelSpec, and the dispatch registry live in
+// fem/kernel_registry.hpp (included above) — re-exported here for the many
+// existing call sites that name them through this header.
 
 /// Flop / byte models per element for the four back-ends, as analyzed in
 /// §III-D (Table I). "paper_*" are the published analytic counts.
@@ -115,22 +115,19 @@ protected:
   mutable Vector work_;
 };
 
-/// Construction-time description of a fine-level viscous back-end: the
-/// single spec consumed by the solver stack (StokesSolver, the GMG finest
-/// level, SolverConfig) instead of per-call-site argument threading.
-struct ViscousBackendSpec {
-  FineOperatorType type = FineOperatorType::kTensor;
-  /// Cross-element SIMD batch width (0 = scalar; docs/KERNELS.md). Ignored
-  /// when `decomp` is set — the engine path sweeps per-subdomain scalar.
-  int batch_width = 0;
-  /// Subdomain-parallel execution engine (borrowed, may be null).
-  const SubdomainEngine* decomp = nullptr;
-};
+/// Deprecated name for the construction-time kernel description — the
+/// KernelSpec (fem/kernel_registry.hpp) absorbed it, adding the polynomial
+/// order. Note the field rename: the engine pointer is `engine` (was
+/// `decomp`).
+using ViscousBackendSpec = KernelSpec;
 
-/// Build a viscous back-end from its spec (the one factory; mg/gmg and
-/// saddle/stokes_solver previously each had a private copy of this switch).
+/// Build a viscous back-end from its spec by resolving the kernel registry
+/// (the one construction path; mg/gmg and saddle/stokes_solver previously
+/// each had a private copy of a switch over the type). Unregistered
+/// (backend, order, width, engine-mode) combinations throw with the nearest
+/// registered keys named.
 std::unique_ptr<ViscousOperatorBase>
-make_viscous_backend(const ViscousBackendSpec& spec, const StructuredMesh& mesh,
+make_viscous_backend(const KernelSpec& spec, const StructuredMesh& mesh,
                      const QuadCoefficients& coeff, const DirichletBc* bc);
 
 // ---------------------------------------------------------------------------

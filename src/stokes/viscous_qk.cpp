@@ -1,0 +1,521 @@
+// Arbitrary-order Qk viscous applies + their kernel-registry registrations.
+//
+// Two implementations of the same Picard operator:
+//  - QkTensorViscousOperator<K>: sum-factorized (O(P^4) gradient cost),
+//    compile-time order, scalar + cross-element batched SoA paths — the
+//    high-order continuation of viscous_tensor.cpp.
+//  - QkGenericViscousOperator: dense dN tables (O(P^6)), runtime order — the
+//    registry's generic-order fallback and the baseline the tensor kernels
+//    are benchmarked against.
+//
+// Geometry is recomputed per apply from the 8 trilinear corners, evaluated
+// at the (k+1)^3 tensorized Gauss points via the Q1 factors tabulated in
+// QkTabulation (same convention as stokes/geometry.cpp: gamma = dxi/dx,
+// wdetj = w * det J).
+#include "stokes/viscous_qk.hpp"
+
+#include "common/small_mat.hpp"
+#include "fem/dofmap.hpp"
+#include "stokes/tensor_contract.hpp"
+
+namespace ptatin {
+
+void qk_element_nodes(const StructuredMesh& mesh, int k, Index e, Index* out) {
+  const int p = k + 1;
+  Index ei, ej, ek;
+  mesh.element_ijk(e, ei, ej, ek);
+  const Index nx = qk_nodes_x(mesh, k);
+  const Index ny = qk_nodes_y(mesh, k);
+  const Index i0 = k * ei, j0 = k * ej, k0 = k * ek;
+  int t = 0;
+  for (int c = 0; c < p; ++c)
+    for (int b = 0; b < p; ++b)
+      for (int a = 0; a < p; ++a)
+        out[t++] = (i0 + a) + nx * ((j0 + b) + ny * (k0 + c));
+}
+
+std::vector<Real> qk_node_coords(const StructuredMesh& mesh, int k) {
+  const int p = k + 1;
+  const int nn = p * p * p;
+  std::vector<Real> X(3 * qk_num_nodes(mesh, k), 0.0);
+  std::vector<Index> nodes(nn);
+  for (Index e = 0; e < mesh.num_elements(); ++e) {
+    Real xe[kQ1NodesPerEl][3];
+    mesh.element_corner_coords(e, xe);
+    qk_element_nodes(mesh, k, e, nodes.data());
+    int t = 0;
+    for (int c = 0; c < p; ++c)
+      for (int b = 0; b < p; ++b)
+        for (int a = 0; a < p; ++a, ++t) {
+          const Real xi[3] = {-1.0 + 2.0 * a / k, -1.0 + 2.0 * b / k,
+                              -1.0 + 2.0 * c / k};
+          Real N[kQ1NodesPerEl];
+          q1_eval(xi, N);
+          for (int r = 0; r < 3; ++r) {
+            Real x = 0.0;
+            for (int v = 0; v < kQ1NodesPerEl; ++v) x += N[v] * xe[v][r];
+            X[3 * nodes[t] + r] = x;
+          }
+        }
+  }
+  return X;
+}
+
+// ---------------------------------------------------------------------------
+// Base: viscosity lift Gauss3 -> Gauss-p.
+// ---------------------------------------------------------------------------
+
+QkViscousOperatorBase::QkViscousOperatorBase(int k, const StructuredMesh& mesh,
+                                             const QuadCoefficients& coeff,
+                                             const DirichletBc* bc,
+                                             int batch_width)
+    : ViscousOperatorBase(mesh, coeff, bc, batch_width), k_(k),
+      nq_((k + 1) * (k + 1) * (k + 1)) {
+  PT_ASSERT_MSG(k >= 2 && k <= 4, "Qk operators support k = 2..4");
+  PT_ASSERT_MSG(bc == nullptr,
+                "Qk (k > 2) applies take no Dirichlet mask — the BC layer is "
+                "tied to the Q2 node lattice");
+  refresh_coefficients();
+}
+
+void QkViscousOperatorBase::refresh_coefficients() {
+  const QkTabulation& tab = qk_tabulation(k_);
+  const int p = tab.p;
+  const Real* I = tab.interp1.data(); // [p*3], Gauss3 -> Gauss-p per axis
+  etaq_.resize(static_cast<std::size_t>(mesh_.num_elements()) * nq_);
+  for_each_element_colored(mesh_, [&](Index e) {
+    // eta27 on the 3x3x3 Gauss3 grid (x fastest, the QuadQ2 point order).
+    Real eta27[kQuadPerEl];
+    for (int q = 0; q < kQuadPerEl; ++q) eta27[q] = coeff_.eta(e, q);
+    // Lift axis by axis: 3x3x3 -> px3x3 -> pxpx3 -> pxpxp.
+    Real t1[5 * 3 * 3], t2[5 * 5 * 3];
+    for (int l = 0; l < 3; ++l)
+      for (int j = 0; j < 3; ++j)
+        for (int i = 0; i < p; ++i) {
+          Real v = 0.0;
+          for (int a = 0; a < 3; ++a) v += I[i * 3 + a] * eta27[a + 3 * j + 9 * l];
+          t1[i + p * (j + 3 * l)] = v;
+        }
+    for (int l = 0; l < 3; ++l)
+      for (int j = 0; j < p; ++j)
+        for (int i = 0; i < p; ++i) {
+          Real v = 0.0;
+          for (int a = 0; a < 3; ++a) v += I[j * 3 + a] * t1[i + p * (a + 3 * l)];
+          t2[i + p * (j + p * l)] = v;
+        }
+    Real* out = etaq_.data() + static_cast<std::size_t>(e) * nq_;
+    for (int l = 0; l < p; ++l)
+      for (int j = 0; j < p; ++j)
+        for (int i = 0; i < p; ++i) {
+          Real v = 0.0;
+          for (int a = 0; a < 3; ++a) v += I[l * 3 + a] * t2[i + p * (j + p * a)];
+          out[i + p * (j + p * l)] = v;
+        }
+  });
+}
+
+Vector QkViscousOperatorBase::diagonal() const {
+  PT_THROW("Qk (k > 2) applies expose no assembled diagonal — they are "
+           "standalone operators, not smoother operators");
+}
+
+namespace {
+
+/// Metric terms of one Qk quadrature point from the 8 trilinear corners
+/// (mirrors compute_element_geometry's convention).
+inline Real qk_point_geometry(const QkTabulation& tab, int q,
+                              const Real xe[kQ1NodesPerEl][3], Mat3& gamma) {
+  Mat3 J{};
+  for (int v = 0; v < kQ1NodesPerEl; ++v)
+    for (int r = 0; r < 3; ++r)
+      for (int d = 0; d < 3; ++d)
+        J[3 * r + d] += xe[v][r] * tab.geomdN[(q * kQ1NodesPerEl + v) * 3 + d];
+  const Real det = det3(J);
+  PT_DEBUG_ASSERT(det > 0.0);
+  gamma = inv3(J, det);
+  return tab.w[q] * det;
+}
+
+/// Scalar sum-factorized Qk element apply (also the batched ragged tail).
+template <int K>
+inline void apply_qk_tensor_element(const StructuredMesh& mesh,
+                                    const QkTabulation& tab, const Real* etaq,
+                                    Index e, const Real* xp, Real* yp) {
+  constexpr int P = K + 1;
+  constexpr int NN = P * P * P;
+  Index nodes[NN];
+  qk_element_nodes(mesh, K, e, nodes);
+
+  Real u[3][NN];
+  for (int i = 0; i < NN; ++i)
+    for (int c = 0; c < 3; ++c) u[c][i] = xp[velocity_dof(nodes[i], c)];
+
+  Real xe[kQ1NodesPerEl][3];
+  mesh.element_corner_coords(e, xe);
+
+  Real gref[3][3][NN];
+  for (int c = 0; c < 3; ++c)
+    tensor_kernel::tensor_gradient_p<P>(tab.B1.data(), tab.D1.data(), u[c],
+                                        gref[c][0], gref[c][1], gref[c][2]);
+
+  Real sref[3][3][NN];
+  for (int q = 0; q < NN; ++q) {
+    Mat3 ga;
+    const Real scale = qk_point_geometry(tab, q, xe, ga);
+    Real G[3][3];
+    for (int c = 0; c < 3; ++c)
+      for (int r = 0; r < 3; ++r)
+        G[c][r] = gref[c][0][q] * ga[0 + r] + gref[c][1][q] * ga[3 + r] +
+                  gref[c][2][q] * ga[6 + r];
+
+    const Real eta = etaq[q];
+    const Real Dxx = G[0][0], Dyy = G[1][1], Dzz = G[2][2];
+    const Real Dxy = Real(0.5) * (G[0][1] + G[1][0]);
+    const Real Dxz = Real(0.5) * (G[0][2] + G[2][0]);
+    const Real Dyz = Real(0.5) * (G[1][2] + G[2][1]);
+
+    Real s[3][3];
+    s[0][0] = 2 * eta * Dxx;
+    s[1][1] = 2 * eta * Dyy;
+    s[2][2] = 2 * eta * Dzz;
+    s[0][1] = s[1][0] = 2 * eta * Dxy;
+    s[0][2] = s[2][0] = 2 * eta * Dxz;
+    s[1][2] = s[2][1] = 2 * eta * Dyz;
+
+    for (int c = 0; c < 3; ++c)
+      for (int d = 0; d < 3; ++d)
+        sref[c][d][q] =
+            scale * (s[c][0] * ga[3 * d + 0] + s[c][1] * ga[3 * d + 1] +
+                     s[c][2] * ga[3 * d + 2]);
+  }
+
+  Real ye[3][NN] = {};
+  for (int c = 0; c < 3; ++c)
+    tensor_kernel::tensor_gradient_transpose_p<P>(tab.B1.data(), tab.D1.data(),
+                                                  sref[c][0], sref[c][1],
+                                                  sref[c][2], ye[c]);
+
+  for (int i = 0; i < NN; ++i)
+    for (int c = 0; c < 3; ++c) yp[velocity_dof(nodes[i], c)] += ye[c][i];
+}
+
+} // namespace
+
+template <int K>
+QkTensorViscousOperator<K>::QkTensorViscousOperator(
+    const StructuredMesh& mesh, const QuadCoefficients& coeff,
+    const DirichletBc* bc, int batch_width)
+    : QkViscousOperatorBase(K, mesh, coeff, bc, batch_width) {}
+
+template <int K>
+std::string QkTensorViscousOperator<K>::name() const {
+  std::string n = "Tens[k" + std::to_string(K);
+  if (batch_width_ != 0) n += ",b" + std::to_string(batch_width_);
+  return n + "]";
+}
+
+template <int K>
+OperatorCostModel QkTensorViscousOperator<K>::cost_model() const {
+  // Closed form of the §III-D count in P = K+1: 17 one-dimensional
+  // contractions at P^3 (2P-1) flops each, 9 P^3 adjoint accumulations, and
+  // 300 flops per quadrature point. P = 3 reproduces the published 15228.
+  const double P = K + 1;
+  const double P3 = P * P * P;
+  return {51.0 * P3 * (2 * P - 1) + 309.0 * P3, 1008.0 / 27.0 * P3,
+          2376.0 / 27.0 * P3};
+}
+
+template <int K>
+template <int W>
+void QkTensorViscousOperator<K>::apply_batched(const Vector& x,
+                                               Vector& y) const {
+  constexpr int P = K + 1;
+  constexpr int NN = P * P * P;
+  const QkTabulation& tab = qk_tabulation(K);
+  y.set_all(0.0);
+  const Real* xp = x.data();
+  Real* yp = y.data();
+
+  for_each_element_batched_colored<W>(
+      mesh_,
+      [&](const Index* elems) {
+        Index nodes[W][NN];
+        for (int l = 0; l < W; ++l)
+          qk_element_nodes(mesh_, K, elems[l], nodes[l]);
+
+        alignas(kSimdAlign) Real u[3][NN * W];
+        for (int i = 0; i < NN; ++i)
+          for (int l = 0; l < W; ++l) {
+            const Index base = velocity_dof(nodes[l][i], 0);
+            u[0][i * W + l] = xp[base + 0];
+            u[1][i * W + l] = xp[base + 1];
+            u[2][i * W + l] = xp[base + 2];
+          }
+
+        alignas(kSimdAlign) Real xe[kQ1NodesPerEl][3][W];
+        for (int l = 0; l < W; ++l) {
+          Real xs[kQ1NodesPerEl][3];
+          mesh_.element_corner_coords(elems[l], xs);
+          for (int v = 0; v < kQ1NodesPerEl; ++v)
+            for (int r = 0; r < 3; ++r) xe[v][r][l] = xs[v][r];
+        }
+
+        alignas(kSimdAlign) Real gref[3][3][NN * W];
+        for (int c = 0; c < 3; ++c)
+          tensor_kernel::tensor_gradient_batched_p<P, W>(
+              tab.B1.data(), tab.D1.data(), u[c], gref[c][0], gref[c][1],
+              gref[c][2]);
+
+        alignas(kSimdAlign) Real sref[3][3][NN * W];
+        for (int q = 0; q < NN; ++q) {
+          // Lane-parallel geometry, identical expression trees to the scalar
+          // qk_point_geometry (det3/inv3 expanded lane-wise).
+          alignas(kSimdAlign) Real J[9][W] = {};
+          for (int v = 0; v < kQ1NodesPerEl; ++v)
+            for (int r = 0; r < 3; ++r)
+              for (int d = 0; d < 3; ++d) {
+                const Real dn = tab.geomdN[(q * kQ1NodesPerEl + v) * 3 + d];
+                PT_SIMD
+                for (int l = 0; l < W; ++l)
+                  J[3 * r + d][l] += xe[v][r][l] * dn;
+              }
+          alignas(kSimdAlign) Real ga[9][W], wd[W];
+          const Real wq = tab.w[q];
+          PT_SIMD
+          for (int l = 0; l < W; ++l) {
+            const Real det =
+                J[0][l] * (J[4][l] * J[8][l] - J[5][l] * J[7][l]) -
+                J[1][l] * (J[3][l] * J[8][l] - J[5][l] * J[6][l]) +
+                J[2][l] * (J[3][l] * J[7][l] - J[4][l] * J[6][l]);
+            const Real id = Real(1) / det;
+            ga[0][l] = (J[4][l] * J[8][l] - J[5][l] * J[7][l]) * id;
+            ga[1][l] = (J[2][l] * J[7][l] - J[1][l] * J[8][l]) * id;
+            ga[2][l] = (J[1][l] * J[5][l] - J[2][l] * J[4][l]) * id;
+            ga[3][l] = (J[5][l] * J[6][l] - J[3][l] * J[8][l]) * id;
+            ga[4][l] = (J[0][l] * J[8][l] - J[2][l] * J[6][l]) * id;
+            ga[5][l] = (J[2][l] * J[3][l] - J[0][l] * J[5][l]) * id;
+            ga[6][l] = (J[3][l] * J[7][l] - J[4][l] * J[6][l]) * id;
+            ga[7][l] = (J[1][l] * J[6][l] - J[0][l] * J[7][l]) * id;
+            ga[8][l] = (J[0][l] * J[4][l] - J[1][l] * J[3][l]) * id;
+            wd[l] = wq * det;
+          }
+
+          alignas(kSimdAlign) Real eta[W];
+          for (int l = 0; l < W; ++l) eta[l] = eta_q(elems[l])[q];
+
+          alignas(kSimdAlign) Real G[3][3][W], s[3][3][W];
+          for (int c = 0; c < 3; ++c)
+            for (int r = 0; r < 3; ++r) {
+              const Real* g0 = &gref[c][0][q * W];
+              const Real* g1 = &gref[c][1][q * W];
+              const Real* g2 = &gref[c][2][q * W];
+              PT_SIMD
+              for (int l = 0; l < W; ++l)
+                G[c][r][l] = g0[l] * ga[0 + r][l] + g1[l] * ga[3 + r][l] +
+                             g2[l] * ga[6 + r][l];
+            }
+          PT_SIMD
+          for (int l = 0; l < W; ++l) {
+            const Real Dxx = G[0][0][l], Dyy = G[1][1][l], Dzz = G[2][2][l];
+            const Real Dxy = Real(0.5) * (G[0][1][l] + G[1][0][l]);
+            const Real Dxz = Real(0.5) * (G[0][2][l] + G[2][0][l]);
+            const Real Dyz = Real(0.5) * (G[1][2][l] + G[2][1][l]);
+            s[0][0][l] = 2 * eta[l] * Dxx;
+            s[1][1][l] = 2 * eta[l] * Dyy;
+            s[2][2][l] = 2 * eta[l] * Dzz;
+            s[0][1][l] = s[1][0][l] = 2 * eta[l] * Dxy;
+            s[0][2][l] = s[2][0][l] = 2 * eta[l] * Dxz;
+            s[1][2][l] = s[2][1][l] = 2 * eta[l] * Dyz;
+          }
+          for (int c = 0; c < 3; ++c)
+            for (int d = 0; d < 3; ++d) {
+              Real* out = &sref[c][d][q * W];
+              PT_SIMD
+              for (int l = 0; l < W; ++l)
+                out[l] = wd[l] * (s[c][0][l] * ga[3 * d + 0][l] +
+                                  s[c][1][l] * ga[3 * d + 1][l] +
+                                  s[c][2][l] * ga[3 * d + 2][l]);
+            }
+        }
+
+        alignas(kSimdAlign) Real ye[3][NN * W] = {};
+        for (int c = 0; c < 3; ++c)
+          tensor_kernel::tensor_gradient_transpose_batched_p<P, W>(
+              tab.B1.data(), tab.D1.data(), sref[c][0], sref[c][1], sref[c][2],
+              ye[c]);
+
+        for (int i = 0; i < NN; ++i)
+          for (int l = 0; l < W; ++l) {
+            const Index base = velocity_dof(nodes[l][i], 0);
+            yp[base + 0] += ye[0][i * W + l];
+            yp[base + 1] += ye[1][i * W + l];
+            yp[base + 2] += ye[2][i * W + l];
+          }
+      },
+      [&](Index e) {
+        apply_qk_tensor_element<K>(mesh_, tab, eta_q(e), e, xp, yp);
+      });
+}
+
+template <int K>
+void QkTensorViscousOperator<K>::apply_unmasked(const Vector& x,
+                                                Vector& y) const {
+  PT_ASSERT_MSG(engine_ == nullptr,
+                "Qk (k > 2) applies have no subdomain-engine path");
+  switch (batch_width_) {
+    case 8: apply_batched<8>(x, y); return;
+    case 4: apply_batched<4>(x, y); return;
+    default: break;
+  }
+  const QkTabulation& tab = qk_tabulation(K);
+  y.set_all(0.0);
+  const Real* xp = x.data();
+  Real* yp = y.data();
+  for_each_element_colored(mesh_, [&](Index e) {
+    apply_qk_tensor_element<K>(mesh_, tab, eta_q(e), e, xp, yp);
+  });
+}
+
+template class QkTensorViscousOperator<3>;
+template class QkTensorViscousOperator<4>;
+
+// ---------------------------------------------------------------------------
+// Generic runtime-order fallback (dense dN tables).
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr int kQkMaxNodes = 5 * 5 * 5; // k = 4
+}
+
+QkGenericViscousOperator::QkGenericViscousOperator(
+    int k, const StructuredMesh& mesh, const QuadCoefficients& coeff,
+    const DirichletBc* bc)
+    : QkViscousOperatorBase(k, mesh, coeff, bc, /*batch_width=*/0) {}
+
+std::string QkGenericViscousOperator::name() const {
+  return "QkGen[k" + std::to_string(k_) + "]";
+}
+
+OperatorCostModel QkGenericViscousOperator::cost_model() const {
+  // MF-style dense element cost scales as (P^3)^2; anchored to the Q2 MF
+  // count (53622 at P = 3, §III-D Table I).
+  const double P3 = double(nq_);
+  return {53622.0 / 729.0 * P3 * P3, 1008.0 / 27.0 * P3, 2376.0 / 27.0 * P3};
+}
+
+void QkGenericViscousOperator::apply_unmasked(const Vector& x,
+                                              Vector& y) const {
+  PT_ASSERT_MSG(engine_ == nullptr,
+                "Qk generic fallback has no subdomain-engine path");
+  const QkTabulation& tab = qk_tabulation(k_);
+  const int nn = tab.nodes_per_el();
+  y.set_all(0.0);
+  const Real* xp = x.data();
+  Real* yp = y.data();
+
+  for_each_element_colored(mesh_, [&](Index e) {
+    Index nodes[kQkMaxNodes];
+    qk_element_nodes(mesh_, k_, e, nodes);
+
+    Real ue[kQkMaxNodes][3];
+    for (int i = 0; i < nn; ++i)
+      for (int c = 0; c < 3; ++c) ue[i][c] = xp[velocity_dof(nodes[i], c)];
+
+    Real xe[kQ1NodesPerEl][3];
+    mesh_.element_corner_coords(e, xe);
+    const Real* etaq = eta_q(e);
+
+    Real ye[kQkMaxNodes][3] = {};
+    for (int q = 0; q < nn; ++q) {
+      Mat3 ga;
+      const Real scale = qk_point_geometry(tab, q, xe, ga);
+
+      Real gphys[kQkMaxNodes][3];
+      const Real* dNq = &tab.dN[static_cast<std::size_t>(q) * nn * 3];
+      for (int i = 0; i < nn; ++i)
+        for (int r = 0; r < 3; ++r)
+          gphys[i][r] = dNq[i * 3 + 0] * ga[0 + r] + dNq[i * 3 + 1] * ga[3 + r] +
+                        dNq[i * 3 + 2] * ga[6 + r];
+
+      Real G[3][3] = {};
+      for (int i = 0; i < nn; ++i)
+        for (int c = 0; c < 3; ++c)
+          for (int r = 0; r < 3; ++r) G[c][r] += ue[i][c] * gphys[i][r];
+
+      const Real eta = etaq[q];
+      const Real Dxx = G[0][0], Dyy = G[1][1], Dzz = G[2][2];
+      const Real Dxy = Real(0.5) * (G[0][1] + G[1][0]);
+      const Real Dxz = Real(0.5) * (G[0][2] + G[2][0]);
+      const Real Dyz = Real(0.5) * (G[1][2] + G[2][1]);
+
+      Real sigma[3][3];
+      sigma[0][0] = scale * 2 * eta * Dxx;
+      sigma[1][1] = scale * 2 * eta * Dyy;
+      sigma[2][2] = scale * 2 * eta * Dzz;
+      sigma[0][1] = sigma[1][0] = scale * 2 * eta * Dxy;
+      sigma[0][2] = sigma[2][0] = scale * 2 * eta * Dxz;
+      sigma[1][2] = sigma[2][1] = scale * 2 * eta * Dyz;
+
+      for (int i = 0; i < nn; ++i)
+        for (int c = 0; c < 3; ++c)
+          ye[i][c] += sigma[c][0] * gphys[i][0] + sigma[c][1] * gphys[i][1] +
+                      sigma[c][2] * gphys[i][2];
+    }
+
+    for (int i = 0; i < nn; ++i)
+      for (int c = 0; c < 3; ++c) yp[velocity_dof(nodes[i], c)] += ye[i][c];
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Registry entries.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <int K, int W>
+std::unique_ptr<ViscousOperatorBase>
+make_qk_tensor(const KernelSpec&, const StructuredMesh& mesh,
+               const QuadCoefficients& coeff, const DirichletBc* bc) {
+  return std::make_unique<QkTensorViscousOperator<K>>(mesh, coeff, bc, W);
+}
+
+std::unique_ptr<ViscousOperatorBase>
+make_qk_generic(const KernelSpec& spec, const StructuredMesh& mesh,
+                const QuadCoefficients& coeff, const DirichletBc* bc) {
+  return std::make_unique<QkGenericViscousOperator>(spec.order, mesh, coeff,
+                                                    bc);
+}
+
+} // namespace
+
+PT_REGISTER_KERNEL(qk_tens_k3_b0, kTensor, 3, 0, kGlobal,
+                   (&make_qk_tensor<3, 0>));
+PT_REGISTER_KERNEL(qk_tens_k3_b4, kTensor, 3, 4, kGlobal,
+                   (&make_qk_tensor<3, 4>));
+PT_REGISTER_KERNEL(qk_tens_k3_b8, kTensor, 3, 8, kGlobal,
+                   (&make_qk_tensor<3, 8>));
+PT_REGISTER_KERNEL(qk_tens_k4_b0, kTensor, 4, 0, kGlobal,
+                   (&make_qk_tensor<4, 0>));
+PT_REGISTER_KERNEL(qk_tens_k4_b4, kTensor, 4, 4, kGlobal,
+                   (&make_qk_tensor<4, 4>));
+PT_REGISTER_KERNEL(qk_tens_k4_b8, kTensor, 4, 8, kGlobal,
+                   (&make_qk_tensor<4, 8>));
+
+// Runtime generic-order fallbacks (scalar, global sweep): orders 3..4 under
+// both matrix-free backend names. Order 2 is deliberately excluded — every
+// k = 2 spec must resolve to the digest-pinned Q2 specializations, and
+// resolve_fallback() still reaches the generic path for parity tests via
+// order 3+.
+PT_REGISTER_KERNEL_FALLBACK(qk_generic_mf, kMatrixFree, 0, kGlobal, 3, 4,
+                            &make_qk_generic);
+PT_REGISTER_KERNEL_FALLBACK(qk_generic_tens, kTensor, 0, kGlobal, 3, 4,
+                            &make_qk_generic);
+
+void ensure_qk_kernels_registered() {
+  // Body intentionally empty: calling (or merely referencing) this symbol
+  // from make_backend.cpp pins this TU — and with it the registrars above —
+  // into every statically linked binary.
+}
+
+} // namespace ptatin

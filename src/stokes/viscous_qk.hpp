@@ -1,0 +1,122 @@
+// Arbitrary-order Qk matrix-free viscous applies (kernel-registry payload).
+//
+// The paper's Table I argument (§III-D): sum-factorized tensor kernels win
+// bigger as polynomial order grows, because the dense reference gradient
+// costs O(P^6) per element while the factorized one costs O(P^4). These
+// operators realize that axis for k = 3, 4 on the same StructuredMesh the
+// full Q2 solver runs on: the element grid is unchanged, the velocity lives
+// on the k*m+1 per-direction Qk node lattice, quadrature is the tensorized
+// (k+1)-point Gauss rule, and the element sweep reuses the 8-color scheme
+// (same-colored elements are two apart per direction, so they share no Qk
+// nodes for any k >= 1).
+//
+// Scope: standalone Picard applies (bench + convergence tests + future
+// high-order scenarios). No Dirichlet masking, no Newton term, no subdomain
+// engine, no assembled diagonal — the registry refuses to resolve those
+// combinations rather than approximating them.
+#pragma once
+
+#include "fem/kernel_registry.hpp"
+#include "stokes/viscous_ops.hpp"
+
+namespace ptatin {
+
+// Qk node lattice on an mx x my x mz element grid: k*m+1 nodes per
+// direction, node ordering x-fastest like the Q2 lattice.
+inline Index qk_nodes_x(const StructuredMesh& m, int k) { return k * m.mx() + 1; }
+inline Index qk_nodes_y(const StructuredMesh& m, int k) { return k * m.my() + 1; }
+inline Index qk_nodes_z(const StructuredMesh& m, int k) { return k * m.mz() + 1; }
+inline Index qk_num_nodes(const StructuredMesh& m, int k) {
+  return qk_nodes_x(m, k) * qk_nodes_y(m, k) * qk_nodes_z(m, k);
+}
+inline Index qk_num_velocity_dofs(const StructuredMesh& m, int k) {
+  return 3 * qk_num_nodes(m, k);
+}
+
+/// Global Qk node indices of element e, (k+1)^3 entries, a + p*b + p^2*c
+/// ordering (x fastest) matching StructuredMesh::element_nodes for k = 2.
+void qk_element_nodes(const StructuredMesh& mesh, int k, Index e, Index* out);
+
+/// Physical coordinates of every Qk lattice node (3 * qk_num_nodes, x,y,z
+/// interleaved), evaluated through each element's trilinear geometry map.
+/// Shared nodes are written consistently (the trilinear map of adjacent
+/// elements agrees on shared faces).
+std::vector<Real> qk_node_coords(const StructuredMesh& mesh, int k);
+
+/// Common base: Qk dof sizing + the construction-time viscosity lift from
+/// the 27-point Gauss3 grid (where QuadCoefficients lives) onto the (k+1)^3
+/// Qk quadrature grid by per-axis quadratic Lagrange interpolation — exact
+/// whenever eta varies at most quadratically per element along each axis.
+class QkViscousOperatorBase : public ViscousOperatorBase {
+public:
+  QkViscousOperatorBase(int k, const StructuredMesh& mesh,
+                        const QuadCoefficients& coeff, const DirichletBc* bc,
+                        int batch_width);
+
+  Index rows() const override { return qk_num_velocity_dofs(mesh_, k_); }
+  Index cols() const override { return qk_num_velocity_dofs(mesh_, k_); }
+
+  int order() const { return k_; }
+
+  void set_newton(bool on) override {
+    PT_ASSERT_MSG(!on, "Qk (k > 2) applies are Picard-only");
+  }
+  Vector diagonal() const override;
+
+  /// Re-run the eta lift after QuadCoefficients change.
+  void refresh_coefficients();
+
+protected:
+  /// Lifted viscosity at the Qk quadrature points, [e * p^3 + q].
+  const Real* eta_q(Index e) const {
+    return etaq_.data() + static_cast<std::size_t>(e) * nq_;
+  }
+
+  int k_;
+  int nq_; ///< (k+1)^3 quadrature points per element
+  AlignedVector<Real> etaq_;
+};
+
+/// Sum-factorized Qk tensor apply, compile-time order (K = 3 or 4), scalar
+/// and cross-element batched SoA paths (batched bitwise-identical to scalar,
+/// same contract as the Q2 kernels).
+template <int K>
+class QkTensorViscousOperator : public QkViscousOperatorBase {
+public:
+  QkTensorViscousOperator(const StructuredMesh& mesh,
+                          const QuadCoefficients& coeff, const DirichletBc* bc,
+                          int batch_width = 0);
+
+  std::string name() const override;
+  OperatorCostModel cost_model() const override;
+
+protected:
+  void apply_unmasked(const Vector& x, Vector& y) const override;
+
+private:
+  template <int W>
+  void apply_batched(const Vector& x, Vector& y) const;
+};
+
+/// Runtime-order dense matrix-free apply — the registry's generic-order
+/// fallback (MF-style O(P^6) element cost; the baseline the tensor kernels
+/// are measured against in BENCH_table1.json).
+class QkGenericViscousOperator : public QkViscousOperatorBase {
+public:
+  QkGenericViscousOperator(int k, const StructuredMesh& mesh,
+                           const QuadCoefficients& coeff,
+                           const DirichletBc* bc);
+
+  std::string name() const override;
+  OperatorCostModel cost_model() const override;
+
+protected:
+  void apply_unmasked(const Vector& x, Vector& y) const override;
+};
+
+/// Link anchor: forces the registrar objects in viscous_qk.cpp (Qk tensor
+/// specializations + generic-order fallbacks) into any binary that links the
+/// back-end factory, so static-library dead-TU elimination cannot drop them.
+void ensure_qk_kernels_registered();
+
+} // namespace ptatin

@@ -226,8 +226,8 @@ TEST(BatchedMg, BatchedFineOperatorReproducesScalarVcycle) {
   auto run_vcycle = [&](int width) {
     GmgOptions go;
     go.levels = 2;
-    go.fine_type = FineOperatorType::kTensor;
-    go.batch_width = width;
+    go.fine_kernel.type = FineOperatorType::kTensor;
+    go.fine_kernel.batch_width = width;
     GmgHierarchy gmg(
         mesh, coeff, bc, go,
         [](const StructuredMesh& m) { return sinker_boundary_conditions(m); },

@@ -391,7 +391,7 @@ TEST(GmgCoarse, SolveIterationIdentityWithNewKernels) {
   auto solve_with = [&](bool optimized, GmgSetupCache* cache, Vector& x) {
     GmgOptions opts;
     opts.levels = 3;
-    opts.fine_type = FineOperatorType::kAssembled; // full Galerkin chain
+    opts.fine_kernel.type = FineOperatorType::kAssembled; // full Galerkin chain
     opts.blocked_spmv = optimized;
     opts.chebyshev.fused = optimized;
     opts.setup_cache = cache;
@@ -432,7 +432,7 @@ TEST(GmgCoarse, SetupCacheTurnsRebuildsIntoRefreshes) {
   DirichletBc bc = sinker_boundary_conditions(mesh);
   GmgOptions opts;
   opts.levels = 3;
-  opts.fine_type = FineOperatorType::kAssembled;
+  opts.fine_kernel.type = FineOperatorType::kAssembled;
   GmgSetupCache cache;
   opts.setup_cache = &cache;
 

@@ -110,10 +110,10 @@ TEST(SubdomainEngine, SingleSubdomainHasNoHalo) {
   QuadCoefficients coeff = make_variable_coeff(mesh, false);
   DirichletBc bc(num_velocity_dofs(mesh));
   auto global = make_viscous_backend(
-      ViscousBackendSpec{FineOperatorType::kTensor, 0, nullptr}, mesh, coeff,
+      KernelSpec{.type = FineOperatorType::kTensor}, mesh, coeff,
       &bc);
   auto decomp = make_viscous_backend(
-      ViscousBackendSpec{FineOperatorType::kTensor, 0, &eng}, mesh, coeff,
+      KernelSpec{.type = FineOperatorType::kTensor, .engine = &eng}, mesh, coeff,
       &bc);
   Vector x = random_vector(global->rows(), 11);
   Vector y0(x.size()), y1(x.size());
@@ -139,10 +139,10 @@ TEST(SubdomainEngine, AllBackendsMatchGlobalApplyTo1e12) {
                                     FineOperatorType::kTensorC};
   Vector x = random_vector(num_velocity_dofs(mesh), 7);
   for (FineOperatorType t : types) {
-    auto global = make_viscous_backend(ViscousBackendSpec{t, 0, nullptr},
+    auto global = make_viscous_backend(KernelSpec{.type = t},
                                        mesh, coeff, &bc);
     auto decomp =
-        make_viscous_backend(ViscousBackendSpec{t, 0, &eng}, mesh, coeff, &bc);
+        make_viscous_backend(KernelSpec{.type = t, .engine = &eng}, mesh, coeff, &bc);
     for (bool newton : {false, true}) {
       if (newton && t == FineOperatorType::kTensorC) continue; // Picard-only
       global->set_newton(newton);
@@ -162,7 +162,7 @@ TEST(SubdomainEngine, FixedShapeApplyIsBitwiseReproducible) {
   DirichletBc bc = sinker_boundary_conditions(mesh);
   SubdomainEngine eng(mesh, 2, 2, 2);
   auto op = make_viscous_backend(
-      ViscousBackendSpec{FineOperatorType::kTensor, 0, &eng}, mesh, coeff,
+      KernelSpec{.type = FineOperatorType::kTensor, .engine = &eng}, mesh, coeff,
       &bc);
   Vector x = random_vector(op->rows(), 13);
   Vector y0(x.size()), y1(x.size());
@@ -182,10 +182,11 @@ TEST(SubdomainEngine, EnginePathTakesPrecedenceOverBatchWidth) {
   // batch_width 8 would take the SIMD path; with an engine the decomposed
   // path must win and still match the scalar global result to rounding.
   auto batched_decomp = make_viscous_backend(
-      ViscousBackendSpec{FineOperatorType::kTensor, 8, &eng}, mesh, coeff,
+      KernelSpec{.type = FineOperatorType::kTensor, .batch_width = 8,
+                 .engine = &eng}, mesh, coeff,
       &bc);
   auto scalar_decomp = make_viscous_backend(
-      ViscousBackendSpec{FineOperatorType::kTensor, 0, &eng}, mesh, coeff,
+      KernelSpec{.type = FineOperatorType::kTensor, .engine = &eng}, mesh, coeff,
       &bc);
   Vector x = random_vector(batched_decomp->rows(), 17);
   Vector y0(x.size()), y1(x.size());
@@ -326,7 +327,7 @@ TEST(SubdomainEngine, StatsCountAppliesAndHaloBytes) {
   DirichletBc bc(num_velocity_dofs(mesh));
   SubdomainEngine eng(mesh, 2, 2, 1);
   auto op = make_viscous_backend(
-      ViscousBackendSpec{FineOperatorType::kTensor, 0, &eng}, mesh, coeff,
+      KernelSpec{.type = FineOperatorType::kTensor, .engine = &eng}, mesh, coeff,
       &bc);
   eng.reset_stats();
   Vector x = random_vector(op->rows(), 3);
@@ -413,7 +414,7 @@ TEST(SolverConfig, FromOptionsWiresDecompAndSolverKnobs) {
   EXPECT_EQ(cfg.decomp_shape()[0], 2);
   EXPECT_EQ(cfg.decomp_shape()[1], 2);
   EXPECT_EQ(cfg.decomp_shape()[2], 1);
-  EXPECT_EQ(cfg.stokes().backend, FineOperatorType::kMatrixFree);
+  EXPECT_EQ(cfg.stokes().kernel.type, FineOperatorType::kMatrixFree);
   EXPECT_EQ(cfg.stokes().gmg.levels, 2);
   EXPECT_FALSE(cfg.use_safeguard());
 

@@ -228,7 +228,7 @@ TEST(Gmg, MatrixFreeAndAssembledFinestAgree) {
   auto iterations = [&](FineOperatorType ft) {
     GmgOptions opts;
     opts.levels = 2;
-    opts.fine_type = ft;
+    opts.fine_kernel.type = ft;
     GmgHierarchy mg(mesh, coeff, bc, opts, sinker_bc_factory(),
                     lu_coarse_factory());
     const auto& A = mg.fine_operator();

@@ -225,7 +225,7 @@ TEST(StokesSolve, BackendsAllConverge) {
        {FineOperatorType::kAssembled, FineOperatorType::kMatrixFree,
         FineOperatorType::kTensor, FineOperatorType::kTensorC}) {
     StokesSolverOptions opts = small_gmg_options(2);
-    opts.backend = backend;
+    opts.kernel.type = backend;
     StokesSolver solver(mesh, coeff, bc, opts);
     StokesSolveResult res = solver.solve(f);
     EXPECT_TRUE(res.stats.converged) << "backend " << int(backend);
@@ -267,7 +267,7 @@ TEST(StokesSolve, SaAmgVelocityPcConverges) {
   DirichletBc bc = sinker_boundary_conditions(mesh);
   StokesSolverOptions opts;
   opts.velocity_pc = VelocityPcType::kSaAmg;
-  opts.backend = FineOperatorType::kAssembled;
+  opts.kernel.type = FineOperatorType::kAssembled;
   opts.amg.coarse_size = 200;
   opts.krylov.max_it = 400;
   StokesSolver solver(mesh, coeff, bc, opts);

@@ -112,6 +112,7 @@ TEST_F(Serve, DigestDistinguishesDistinctConfigs) {
       R"({"model":"sinker","m":8,"steps":3})",
       R"({"model":"sinker","m":6,"steps":4})",
       R"({"model":"sinker","m":6,"steps":3,"backend":"mf"})",
+      R"({"model":"sinker","m":6,"steps":3,"order":3})",
       R"({"model":"sinker","m":6,"steps":3,"contrast":100})",
       R"({"model":"sinker","m":6,"steps":3,"dt":0.001})",
       R"({"model":"sinker","m":6,"steps":3,"max_retries":1})",
@@ -143,7 +144,7 @@ TEST_F(Serve, FromJsonParsesServeFields) {
   EXPECT_EQ(s.steps, 7);
   EXPECT_DOUBLE_EQ(s.dt0, 0.001);
   EXPECT_DOUBLE_EQ(s.cfl, 0.3);
-  EXPECT_EQ(s.config.stokes().backend, FineOperatorType::kMatrixFree);
+  EXPECT_EQ(s.config.stokes().kernel.type, FineOperatorType::kMatrixFree);
 }
 
 TEST_F(Serve, FromJsonRejectsUnknownKeysWithSuggestions) {
@@ -175,7 +176,7 @@ TEST_F(Serve, SolverConfigFromJsonMatchesFromOptions) {
   const obs::JsonValue j =
       obs::JsonValue::parse(R"({"backend":"mf","levels":2,"newton":false})");
   const SolverConfig cfg = SolverConfig::from_json(j);
-  EXPECT_EQ(cfg.stokes().backend, FineOperatorType::kMatrixFree);
+  EXPECT_EQ(cfg.stokes().kernel.type, FineOperatorType::kMatrixFree);
   EXPECT_EQ(cfg.stokes().gmg.levels, 2);
   EXPECT_FALSE(cfg.ptatin().nonlinear.use_newton);
   EXPECT_THROW(

@@ -71,7 +71,7 @@ TEST(GmgIntrospection, AssembledFinestAccumulatesGalerkinTime) {
   DirichletBc bc = sinker_boundary_conditions(mesh);
   GmgOptions opts;
   opts.levels = 2;
-  opts.fine_type = FineOperatorType::kAssembled;
+  opts.fine_kernel.type = FineOperatorType::kAssembled;
   GmgHierarchy mg(
       mesh, coeff, bc, opts,
       [](const StructuredMesh& m) { return sinker_boundary_conditions(m); },

@@ -258,7 +258,7 @@ Vector apply_with_transport(const StructuredMesh& mesh,
   SubdomainEngine eng(mesh, px, py, pz);
   if (t != nullptr) eng.set_transport(t);
   auto op = make_viscous_backend(
-      ViscousBackendSpec{FineOperatorType::kTensor, 0, &eng}, mesh, coeff,
+      KernelSpec{.type = FineOperatorType::kTensor, .engine = &eng}, mesh, coeff,
       &bc);
   Vector x = random_vector(op->rows(), 19);
   Vector y(x.size());
@@ -399,7 +399,7 @@ TEST_F(TransportFaults, WorkerKillMidApplyKeepsResultBitwise) {
   SubdomainEngine eng(mesh, 2, 2, 1);
   eng.set_transport(&proc);
   auto op = make_viscous_backend(
-      ViscousBackendSpec{FineOperatorType::kTensor, 0, &eng}, mesh, coeff,
+      KernelSpec{.type = FineOperatorType::kTensor, .engine = &eng}, mesh, coeff,
       &bc);
   Vector x = random_vector(op->rows(), 19);
   Vector y1(x.size());
